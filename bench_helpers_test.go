@@ -1,0 +1,34 @@
+package sosr
+
+import (
+	"testing"
+
+	"sosr/internal/graph"
+	"sosr/internal/graphrecon"
+	"sosr/internal/prng"
+)
+
+// Internal-graph helpers for the benchmark harness (benches drive internal
+// protocol entry points directly so they can report wire bytes per stage).
+
+func graphGnpInternal(n int, p float64, src *prng.Source) *graph.Graph {
+	return graph.Gnp(n, p, src)
+}
+
+func graphPerturbInternal(g *graph.Graph, k int, src *prng.Source) (*graph.Graph, [][2]int) {
+	return graph.Perturb(g, k, src)
+}
+
+// graphGnpDisjoint samples G(n, p) until its degree neighborhoods at
+// threshold m are (m, k)-disjoint.
+func graphGnpDisjoint(b *testing.B, n int, p float64, m, k int, src *prng.Source) *graph.Graph {
+	b.Helper()
+	for attempt := 0; attempt < 50; attempt++ {
+		g := graph.Gnp(n, p, src)
+		if graphrecon.MinNeighborhoodDisjointness(g, m) >= k {
+			return g
+		}
+	}
+	b.Fatal("no disjoint base graph sampled")
+	return nil
+}

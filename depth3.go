@@ -1,0 +1,108 @@
+package sosr
+
+import (
+	"sosr/internal/core"
+	"sosr/internal/hashing"
+	"sosr/internal/transport"
+)
+
+// Depth-3 reconciliation — sets of sets of sets — implements the recursion
+// the paper sketches as future work at the end of §3.2 ("creating IBLTs of
+// structures representing sets of sets as IBLTs of IBLTs ... to reconcile
+// sets of sets of sets").
+
+// Config3 configures depth-3 reconciliation.
+type Config3 struct {
+	// Seed seeds the shared public coins.
+	Seed uint64
+	// MaxGroups, MaxChildSets, MaxChildSize bound the instance shape
+	// (derived from the inputs when zero).
+	MaxGroups, MaxChildSets, MaxChildSize int
+	// KnownDiff bounds the total element differences under the recursive
+	// minimum matching (required; use SetsOfSetsOfSetsDistance for ground
+	// truth in tests).
+	KnownDiff int
+	// Replicas amplifies by replication with fresh coins; 0 means 3.
+	Replicas int
+}
+
+// Result3 reports a depth-3 reconciliation.
+type Result3 struct {
+	// Recovered is Bob's reconstruction of Alice's grandparent set.
+	Recovered [][][]uint64
+	// AddedGroups / RemovedGroups are the group-level diff.
+	AddedGroups, RemovedGroups [][][]uint64
+	Stats                      Stats
+	Attempts                   int
+}
+
+// ReconcileSetsOfSetsOfSets runs the depth-3 protocol: Bob (second argument)
+// recovers Alice's grandparent set in one round per attempt, with
+// communication driven by the three difference bounds rather than the data
+// size.
+func ReconcileSetsOfSetsOfSets(alice, bob [][][]uint64, cfg Config3) (*Result3, error) {
+	p := core.Params3{G: cfg.MaxGroups, S: cfg.MaxChildSets, H: cfg.MaxChildSize}
+	if p.G <= 0 {
+		p.G = maxLen(len(alice), len(bob))
+	}
+	if p.S <= 0 {
+		for _, gp := range [][][][]uint64{alice, bob} {
+			for _, group := range gp {
+				if len(group) > p.S {
+					p.S = len(group)
+				}
+			}
+		}
+		if p.S < 1 {
+			p.S = 1
+		}
+	}
+	if p.H <= 0 {
+		for _, gp := range [][][][]uint64{alice, bob} {
+			for _, group := range gp {
+				for _, cs := range group {
+					if len(cs) > p.H {
+						p.H = len(cs)
+					}
+				}
+			}
+		}
+		if p.H < 1 {
+			p.H = 1
+		}
+	}
+	b := core.Bounds3{D: cfg.KnownDiff}
+	replicas := cfg.Replicas
+	if replicas <= 0 {
+		replicas = 3
+	}
+	coins := hashing.NewCoins(cfg.Seed)
+	sess := transport.New()
+	var res *core.Result3
+	var lastErr error
+	attempts := 0
+	for r := 0; r < replicas; r++ {
+		attempts++
+		out, err := core.Nested3KnownD(sess, coins.Sub("replica3", r), alice, bob, p, b)
+		if err == nil {
+			res = out
+			break
+		}
+		lastErr = err
+	}
+	if res == nil {
+		return nil, lastErr
+	}
+	return &Result3{
+		Recovered:     res.Recovered,
+		AddedGroups:   res.AddedGroups,
+		RemovedGroups: res.RemovedGroups,
+		Stats:         statsFrom(sess.Stats()),
+		Attempts:      attempts,
+	}, nil
+}
+
+// SetsOfSetsOfSetsDistance computes the recursive ground-truth difference
+// between two grandparent sets (minimum group matching over sets-of-sets
+// distances).
+func SetsOfSetsOfSetsDistance(a, b [][][]uint64) int { return core.Distance3(a, b) }

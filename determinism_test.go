@@ -1,0 +1,112 @@
+package sosr
+
+import (
+	"testing"
+
+	"sosr/internal/workload"
+)
+
+// Public-coin reproducibility: two runs with the same seed must produce
+// byte-identical transcripts (this is what lets two real machines agree on
+// every hash function without communication, §2).
+
+func TestDeterministicTranscripts(t *testing.T) {
+	alice, bob := workload.PlantedSetsOfSets(5, 16, 20, 1<<40, 7)
+	for _, proto := range []Protocol{ProtocolNaive, ProtocolNested, ProtocolCascade, ProtocolMultiRound} {
+		run := func() Stats {
+			res, err := ReconcileSetsOfSets(alice, bob, Config{
+				Seed: 42, MaxChildSets: 16, MaxChildSize: 20, Protocol: proto, KnownDiff: 7,
+			})
+			if err != nil {
+				t.Fatalf("%v: %v", proto, err)
+			}
+			return res.Stats
+		}
+		a, b := run(), run()
+		if a != b {
+			t.Fatalf("%v: runs with equal seeds diverged: %+v vs %+v", proto, a, b)
+		}
+	}
+}
+
+func TestSeedChangesTranscript(t *testing.T) {
+	alice, bob := workload.PlantedSetsOfSets(6, 12, 16, 1<<40, 4)
+	r1, err := ReconcileSetsOfSets(alice, bob, Config{Seed: 1, KnownDiff: 4, Protocol: ProtocolMultiRound})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := ReconcileSetsOfSets(alice, bob, Config{Seed: 2, KnownDiff: 4, Protocol: ProtocolMultiRound})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same structure sizes but both must still recover correctly; the seeds
+	// drive different hash functions (bytes may or may not coincide), so the
+	// only invariant is correctness.
+	if SetsOfSetsDistance(r1.Recovered, alice) != 0 || SetsOfSetsDistance(r2.Recovered, alice) != 0 {
+		t.Fatal("seed change broke recovery")
+	}
+}
+
+func TestDeterministicGraphAndForest(t *testing.T) {
+	base, h, err := PlantedSeparatedGraph(480, 2, 0.4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ga := PerturbGraph(base, 1, 10)
+	gb := PerturbGraph(base, 1, 11)
+	run := func() Stats {
+		res, err := ReconcileGraphs(ga, gb, GraphConfig{Seed: 3, Scheme: SchemeDegreeOrdering, MaxEdits: 2, TopDegrees: h})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("graph transcripts diverged: %+v vs %+v", a, b)
+	}
+
+	fa := RandomForest(100, 0.2, 12)
+	fb := PerturbForest(fa, 2, 13)
+	runF := func() Stats {
+		res, err := ReconcileForests(fa, fb, ForestConfig{Seed: 4, MaxEdits: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats
+	}
+	if a, b := runF(), runF(); a != b {
+		t.Fatalf("forest transcripts diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestReconcileSetsOfMultisets(t *testing.T) {
+	alice := [][]uint64{
+		{1, 1, 1, 2},
+		{9, 9},
+	}
+	bob := [][]uint64{
+		{1, 1, 2},
+		{9, 9},
+	}
+	d := SetsOfMultisetsDistance(alice, bob)
+	if d != 1 {
+		t.Fatalf("multiset distance = %d, want 1", d)
+	}
+	res, err := ReconcileSetsOfMultisets(alice, bob, Config{Seed: 5, KnownDiff: 2 * d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if SetsOfMultisetsDistance(res.Recovered, alice) != 0 {
+		t.Fatal("wrong multiset recovery")
+	}
+	if len(res.Added) != 1 || len(res.Removed) != 1 {
+		t.Fatalf("diff %d/%d", len(res.Added), len(res.Removed))
+	}
+}
+
+func TestReconcileSetsOfMultisetsRangeError(t *testing.T) {
+	bad := [][]uint64{{1 << 50}}
+	if _, err := ReconcileSetsOfMultisets(bad, bad, Config{Seed: 1, KnownDiff: 1}); err == nil {
+		t.Fatal("out-of-range multiset element accepted")
+	}
+}

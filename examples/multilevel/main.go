@@ -1,0 +1,88 @@
+// Depth-3 reconciliation: sets of sets of sets — the recursion the paper
+// sketches as future work at the end of §3.2. Scenario: two replicas of a
+// content store organized as collections → documents → shingle sets; a few
+// edits touch one document and one whole collection appears.
+//
+//	go run ./examples/multilevel
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sosr"
+)
+
+func main() {
+	// Bob's replica: three collections, each a set of document shingle sets.
+	bob := [][][]uint64{
+		{ // collection "reports"
+			{101, 102, 103},
+			{210, 211},
+		},
+		{ // collection "notes"
+			{300, 301, 302, 303},
+		},
+		{ // collection "archive"
+			{900, 901},
+			{910, 911, 912},
+		},
+	}
+	// Alice's replica: one document in "reports" gained a shingle, and a
+	// brand-new collection exists.
+	alice := [][][]uint64{
+		{
+			{101, 102, 103},
+			{210, 211, 212}, // edited document
+		},
+		{
+			{300, 301, 302, 303},
+		},
+		{
+			{900, 901},
+			{910, 911, 912},
+		},
+		{ // new collection
+			{1000, 1001},
+		},
+	}
+
+	d := sosr.SetsOfSetsOfSetsDistance(alice, bob)
+	fmt.Printf("recursive ground-truth difference d = %d\n", d)
+
+	res, err := sosr.ReconcileSetsOfSetsOfSets(alice, bob, sosr.Config3{
+		Seed:      777,
+		KnownDiff: d,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("one round, %d wire bytes\n", res.Stats.TotalBytes)
+	fmt.Printf("collections Bob must add: %d, drop: %d\n", len(res.AddedGroups), len(res.RemovedGroups))
+	for _, g := range res.AddedGroups {
+		fmt.Printf("  + collection with %d document(s)\n", len(g))
+	}
+	if sosr.SetsOfSetsOfSetsDistance(res.Recovered, alice) != 0 {
+		log.Fatal("verification failed")
+	}
+	fmt.Println("Bob's replica now matches Alice's at every level.")
+
+	// Multiset children (§3.4): word-count vectors instead of shingle sets.
+	bobCounts := [][]uint64{
+		{5, 5, 5, 9},    // "the" x3, "cat" x1
+		{7, 7, 8, 8, 8}, // another document
+	}
+	aliceCounts := [][]uint64{
+		{5, 5, 5, 5, 9}, // one more "the"
+		{7, 7, 8, 8, 8},
+	}
+	md := sosr.SetsOfMultisetsDistance(aliceCounts, bobCounts)
+	mres, err := sosr.ReconcileSetsOfMultisets(aliceCounts, bobCounts, sosr.Config{
+		Seed:      778,
+		KnownDiff: 2 * md, // packed-set inflation factor
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("multiset children: distance %d reconciled in %d bytes\n", md, mres.Stats.TotalBytes)
+}

@@ -1,0 +1,303 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+
+	"sosr/internal/hashing"
+	"sosr/internal/iblt"
+	"sosr/internal/transport"
+)
+
+// CascadeKnownD solves SSRK with Algorithm 2, "Cascading IBLTs of IBLTs"
+// (Theorem 3.7). It exploits that there are O(d) total changes across child
+// sets rather than O(d) changes in each: for i = 1..t with
+// t = ⌈log₂ min(d, h)⌉, Alice sends a parent IBLT T_i of O(d/2^i) cells
+// whose keys are (O(2^i)-cell child IBLT, hash) encodings; child sets with
+// small differences decode at low levels, and each recovered set is deleted
+// from all later levels. When d ≥ h a final table T* of O(d/h) cells carries
+// full child-set encodings for the stragglers. One round,
+// O(d log min(d,h) log u + d log s) bits, success probability Ω(1)
+// (amplify with Replicated, or use CascadeUnknownD's verified doubling).
+func CascadeKnownD(sess *transport.Session, coins hashing.Coins, alice, bob [][]uint64, p Params, d int) (*Result, error) {
+	p, err := p.normalized()
+	if err != nil {
+		return nil, err
+	}
+	if d < 1 {
+		d = 1
+	}
+	plan := newCascadePlan(coins, p, d)
+
+	// --- Alice: build T_1..T_t (and T*), send all in one round. ---
+	msg := sess.Send(transport.Alice, "cascade-iblts", cascadeAliceMsg(plan, coins, alice))
+
+	// --- Bob ---
+	res, err := cascadeBob(coins, plan, msg, bob)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats = sess.Stats()
+	res.Attempts = 1
+	res.DUsed = d
+	return res, nil
+}
+
+// cascadePlan fixes every size and seed both parties derive from (coins, p, d).
+type cascadePlan struct {
+	p         Params
+	d         int
+	t         int
+	star      bool
+	level     []childCodec // level[i-1] is the codec for T_i
+	starCodec naiveCodec
+	coins     hashing.Coins
+}
+
+func newCascadePlan(coins hashing.Coins, p Params, d int) *cascadePlan {
+	md := d
+	if p.H < md {
+		md = p.H
+	}
+	t := bits.Len(uint(md - 1)) // ⌈log2 md⌉ for md ≥ 2
+	if t < 1 {
+		t = 1
+	}
+	plan := &cascadePlan{p: p, d: d, t: t, star: d >= p.H, coins: coins}
+	for i := 1; i <= t; i++ {
+		plan.level = append(plan.level, newChildCodec(coins, "cascade/child", i, iblt.CellsTight(1<<i)))
+	}
+	plan.starCodec = newNaiveCodec(p)
+	return plan
+}
+
+func (pl *cascadePlan) parentSeed(i int) uint64 { return pl.coins.Seed("cascade/parent", i) }
+func (pl *cascadePlan) starSeed() uint64        { return pl.coins.Seed("cascade/star", 0) }
+
+// parentCells sizes T_i: level 1 must hold the full symmetric difference of
+// encodings (≤ 2·d̂); level i holds Alice's not-yet-recovered child sets,
+// bounded by (9/4)·d/2^(i-1) in the paper's analysis.
+func (pl *cascadePlan) parentCells(i int) int {
+	dHat := DHat(pl.d, pl.p.S)
+	if i == 1 {
+		return iblt.CellsFor(2 * dHat)
+	}
+	// The paper's analysis leaves at most (9/4)·d/2^(i-1) unrecovered keys
+	// entering T_i.
+	bound := (9 * pl.d) >> uint(i+1)
+	if bound > dHat {
+		bound = dHat
+	}
+	if bound < 2 {
+		bound = 2
+	}
+	return iblt.CellsFor(bound)
+}
+
+func (pl *cascadePlan) starCells() int {
+	bound := (3*pl.d)/(2*pl.p.H) + 2
+	return iblt.CellsFor(bound)
+}
+
+func cascadeBob(coins hashing.Coins, plan *cascadePlan, msg []byte, bob [][]uint64) (*Result, error) {
+	if len(msg) < 4+1+8 {
+		return nil, fmt.Errorf("core: short cascade message")
+	}
+	t := int(binary.LittleEndian.Uint32(msg))
+	if t != plan.t {
+		return nil, fmt.Errorf("core: cascade level count %d != plan %d", t, plan.t)
+	}
+	off := 4
+	tables := make([]*iblt.Table, t)
+	for i := 0; i < t; i++ {
+		body, n, err := readFramed(msg[off:])
+		if err != nil {
+			return nil, err
+		}
+		off += n
+		tables[i], err = iblt.Unmarshal(body)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var starTable *iblt.Table
+	if msg[off] == 1 {
+		off++
+		body, n, err := readFramed(msg[off:])
+		if err != nil {
+			return nil, err
+		}
+		off += n
+		starTable, err = iblt.Unmarshal(body)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		off++
+	}
+	if len(msg) < off+8 {
+		return nil, fmt.Errorf("core: cascade message missing parent hash")
+	}
+	wantParent := binary.LittleEndian.Uint64(msg[off:])
+
+	byHash := make(map[uint64][]uint64, len(bob))
+	for _, cs := range bob {
+		byHash[childHash(coins, cs)] = cs
+	}
+
+	// --- Level 1: delete all of Bob's encodings, find D_B and the full set
+	// of Alice's differing encodings. ---
+	codec1 := plan.level[0]
+	t1 := tables[0]
+	for _, cs := range bob {
+		t1.Delete(codec1.encode(cs))
+	}
+	addedEnc, removedEnc, err := t1.Decode()
+	if err != nil {
+		return nil, fmt.Errorf("%w: level 1: %v", ErrParentDecode, err)
+	}
+	var dB [][]uint64
+	removedHashes := make(map[uint64]bool, len(removedEnc))
+	for _, enc := range removedEnc {
+		_, h, err := codec1.decode(enc)
+		if err != nil {
+			return nil, fmt.Errorf("%w: level 1: %v", ErrChildDecode, err)
+		}
+		cs, ok := byHash[h]
+		if !ok {
+			return nil, fmt.Errorf("%w: level 1 removed hash unknown", ErrChildDecode)
+		}
+		dB = append(dB, cs)
+		removedHashes[childHash(coins, cs)] = true
+	}
+	// outstanding: Alice's differing child-set hashes not yet recovered.
+	outstanding := make(map[uint64]bool, len(addedEnc))
+	var dA [][]uint64
+	recovered := make(map[uint64][]uint64) // alice child hash -> recovered set
+	tryRecover := func(codec childCodec, enc []byte) error {
+		ta, hA, err := codec.decode(enc)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrChildDecode, err)
+		}
+		if !outstanding[hA] {
+			if _, done := recovered[hA]; done {
+				return nil // already recovered at an earlier level
+			}
+			outstanding[hA] = true // first sighting (level 1 path adds below)
+		}
+		if rec, ok := codec.recoverFromCandidates(ta, hA, dB); ok {
+			recovered[hA] = rec
+			delete(outstanding, hA)
+			dA = append(dA, rec)
+		}
+		return nil
+	}
+	for _, enc := range addedEnc {
+		_, hA, err := codec1.decode(enc)
+		if err != nil {
+			return nil, fmt.Errorf("%w: level 1: %v", ErrChildDecode, err)
+		}
+		outstanding[hA] = true
+	}
+	for _, enc := range addedEnc {
+		if err := tryRecover(codec1, enc); err != nil {
+			return nil, err
+		}
+	}
+
+	// --- Levels 2..t: delete everything known, extract the remainder. ---
+	for i := 2; i <= t; i++ {
+		codec := plan.level[i-1]
+		ti := tables[i-1]
+		for _, cs := range bob {
+			if !removedHashes[childHash(coins, cs)] { // all except D_B
+				ti.Delete(codec.encode(cs))
+			}
+		}
+		for _, rec := range recovered { // all of D_A so far
+			ti.Delete(codec.encode(rec))
+		}
+		added, removed, err := ti.Decode()
+		if err != nil {
+			// A parent-level peel failure at level i is fatal only if the
+			// stragglers cannot be caught later; report it.
+			return nil, fmt.Errorf("%w: level %d: %v", ErrParentDecode, i, err)
+		}
+		if len(removed) != 0 {
+			return nil, fmt.Errorf("%w: level %d: unexpected negative keys", ErrParentDecode, i)
+		}
+		for _, enc := range added {
+			if err := tryRecover(codec, enc); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// --- T*: full encodings for anything still outstanding. ---
+	if starTable != nil {
+		for _, cs := range bob {
+			if !removedHashes[childHash(coins, cs)] {
+				starTable.Delete(plan.starCodec.encode(cs))
+			}
+		}
+		for _, rec := range recovered {
+			starTable.Delete(plan.starCodec.encode(rec))
+		}
+		added, removed, err := starTable.Decode()
+		if err != nil {
+			return nil, fmt.Errorf("%w: T*: %v", ErrParentDecode, err)
+		}
+		if len(removed) != 0 {
+			return nil, fmt.Errorf("%w: T*: unexpected negative keys", ErrParentDecode)
+		}
+		for _, enc := range added {
+			cs, err := plan.starCodec.decode(enc)
+			if err != nil {
+				return nil, fmt.Errorf("%w: T*: %v", ErrChildDecode, err)
+			}
+			h := childHash(coins, cs)
+			if _, done := recovered[h]; done {
+				continue
+			}
+			recovered[h] = cs
+			delete(outstanding, h)
+			dA = append(dA, cs)
+		}
+	}
+
+	if len(outstanding) != 0 {
+		return nil, fmt.Errorf("%w: %d child sets unrecovered", ErrChildDecode, len(outstanding))
+	}
+	final := assemble(bob, dA, removedHashes, coins)
+	if parentHash(coins, final) != wantParent {
+		return nil, ErrVerify
+	}
+	return &Result{Recovered: final, Added: sortSets(dA), Removed: sortSets(dB)}, nil
+}
+
+// CascadeUnknownD solves SSRU per Corollary 3.8: repeated doubling over d
+// with per-attempt coins and Bob acknowledgements (O(log d) rounds).
+func CascadeUnknownD(sess *transport.Session, coins hashing.Coins, alice, bob [][]uint64, p Params) (*Result, error) {
+	return doublingLoop(sess, coins, alice, bob, p, func(sess *transport.Session, att hashing.Coins, d int) (*Result, error) {
+		return CascadeKnownD(sess, att, alice, bob, p, d)
+	})
+}
+
+func appendFramed(dst, body []byte) []byte {
+	var sz [4]byte
+	binary.LittleEndian.PutUint32(sz[:], uint32(len(body)))
+	dst = append(dst, sz[:]...)
+	return append(dst, body...)
+}
+
+func readFramed(buf []byte) (body []byte, consumed int, err error) {
+	if len(buf) < 4 {
+		return nil, 0, fmt.Errorf("core: truncated frame")
+	}
+	n := int(binary.LittleEndian.Uint32(buf))
+	if len(buf) < 4+n {
+		return nil, 0, fmt.Errorf("core: truncated frame body (%d < %d)", len(buf)-4, n)
+	}
+	return buf[4 : 4+n], 4 + n, nil
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"sosr/internal/hashing"
+	"sosr/internal/iblt"
+)
+
+// Split-party digests. The in-process protocol functions simulate both
+// parties; a real deployment instead has Alice compute a single payload and
+// ship it over her own channel. For the one-round protocols (naive, nested,
+// cascade) that payload is self-describing: BuildDigest produces it, and any
+// Bob holding the shared seed applies it with ApplyDigest. Digest bytes are
+// exactly the bytes the simulated transport would have recorded, plus a
+// small self-describing header.
+
+// DigestKind identifies the protocol a digest carries.
+type DigestKind byte
+
+// One-round digest kinds.
+const (
+	DigestNaive DigestKind = 1 + iota
+	DigestNested
+	DigestCascade
+)
+
+// digestMagic guards against applying foreign blobs.
+var digestMagic = [4]byte{'S', 'O', 'S', '1'}
+
+// ErrBadDigest indicates a digest that does not parse or whose parameters
+// disagree with the receiver's configuration.
+var ErrBadDigest = errors.New("core: malformed or incompatible digest")
+
+// BuildDigest computes Alice's one-message payload for the given protocol.
+// The digest embeds the instance parameters and difference bounds so Bob
+// only needs the digest plus the shared seed.
+func BuildDigest(kind DigestKind, coins hashing.Coins, alice [][]uint64, p Params, d, dHat int) ([]byte, error) {
+	p, err := p.normalized()
+	if err != nil {
+		return nil, err
+	}
+	if d < 1 {
+		d = 1
+	}
+	if dHat <= 0 {
+		dHat = DHat(d, p.S)
+	}
+	var body []byte
+	switch kind {
+	case DigestNaive:
+		body = naiveAliceMsg(coins, alice, p, dHat)
+	case DigestNested:
+		body = nestedAliceMsg(coins, alice, p, d, dHat)
+	case DigestCascade:
+		body = cascadeAliceMsg(newCascadePlan(coins, p, d), coins, alice)
+	default:
+		return nil, fmt.Errorf("%w: unknown kind %d", ErrBadDigest, kind)
+	}
+	hdr := make([]byte, 4+1+8+8+8+8+8)
+	copy(hdr, digestMagic[:])
+	hdr[4] = byte(kind)
+	binary.LittleEndian.PutUint64(hdr[5:], uint64(p.S))
+	binary.LittleEndian.PutUint64(hdr[13:], uint64(p.H))
+	binary.LittleEndian.PutUint64(hdr[21:], p.U)
+	binary.LittleEndian.PutUint64(hdr[29:], uint64(d))
+	binary.LittleEndian.PutUint64(hdr[37:], uint64(dHat))
+	return append(hdr, body...), nil
+}
+
+// ApplyDigest runs Bob's side against a received digest, returning his
+// reconstruction of Alice's parent set. coins must be built from the same
+// seed Alice used.
+func ApplyDigest(digest []byte, coins hashing.Coins, bob [][]uint64) (*Result, error) {
+	const hdrLen = 4 + 1 + 8 + 8 + 8 + 8 + 8
+	if len(digest) < hdrLen || string(digest[:4]) != string(digestMagic[:]) {
+		return nil, ErrBadDigest
+	}
+	kind := DigestKind(digest[4])
+	p := Params{
+		S: int(binary.LittleEndian.Uint64(digest[5:])),
+		H: int(binary.LittleEndian.Uint64(digest[13:])),
+		U: binary.LittleEndian.Uint64(digest[21:]),
+	}
+	d := int(binary.LittleEndian.Uint64(digest[29:]))
+	dHat := int(binary.LittleEndian.Uint64(digest[37:]))
+	var err error
+	if p, err = p.normalized(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadDigest, err)
+	}
+	if d < 1 || dHat < 1 || d > 1<<40 || dHat > 1<<40 {
+		return nil, fmt.Errorf("%w: implausible bounds d=%d d̂=%d", ErrBadDigest, d, dHat)
+	}
+	body := digest[hdrLen:]
+	var res *Result
+	switch kind {
+	case DigestNaive:
+		res, err = naiveBob(coins, body, bob, newNaiveCodec(p))
+	case DigestNested:
+		res, err = nestedBob(coins, body, bob, newChildCodec(coins, "nested/child", 0, iblt.CellsFor(d)))
+	case DigestCascade:
+		res, err = cascadeBob(coins, newCascadePlan(coins, p, d), body, bob)
+	default:
+		return nil, fmt.Errorf("%w: unknown kind %d", ErrBadDigest, kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Attempts = 1
+	res.DUsed = d
+	return res, nil
+}
+
+// naiveAliceMsg builds the Theorem 3.3 payload.
+func naiveAliceMsg(coins hashing.Coins, alice [][]uint64, p Params, dHat int) []byte {
+	codec := newNaiveCodec(p)
+	t := iblt.New(iblt.CellsFor(2*dHat), codec.width, 0, coins.Seed("naive/parent", 0))
+	for _, cs := range alice {
+		t.Insert(codec.encode(cs))
+	}
+	return append(t.Marshal(), u64le(parentHash(coins, alice))...)
+}
+
+// nestedAliceMsg builds the Algorithm 1 payload.
+func nestedAliceMsg(coins hashing.Coins, alice [][]uint64, p Params, d, dHat int) []byte {
+	codec := newChildCodec(coins, "nested/child", 0, iblt.CellsFor(d))
+	parent := iblt.New(iblt.CellsFor(2*dHat), codec.width, 0, coins.Seed("nested/parent", 0))
+	for _, cs := range alice {
+		parent.Insert(codec.encode(cs))
+	}
+	return append(parent.Marshal(), u64le(parentHash(coins, alice))...)
+}
+
+// cascadeAliceMsg builds the Algorithm 2 payload (all levels plus T*).
+func cascadeAliceMsg(plan *cascadePlan, coins hashing.Coins, alice [][]uint64) []byte {
+	var payload []byte
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(plan.t))
+	payload = append(payload, hdr[:]...)
+	for i := 1; i <= plan.t; i++ {
+		ti := iblt.New(plan.parentCells(i), plan.level[i-1].width, 0, plan.parentSeed(i))
+		for _, cs := range alice {
+			ti.Insert(plan.level[i-1].encode(cs))
+		}
+		payload = appendFramed(payload, ti.Marshal())
+	}
+	if plan.star {
+		tStar := iblt.New(plan.starCells(), plan.starCodec.width, 0, plan.starSeed())
+		for _, cs := range alice {
+			tStar.Insert(plan.starCodec.encode(cs))
+		}
+		payload = append(payload, 1)
+		payload = appendFramed(payload, tStar.Marshal())
+	} else {
+		payload = append(payload, 0)
+	}
+	return append(payload, u64le(parentHash(coins, alice))...)
+}
+
+// DigestSize reports the exact digest size for planning, without building it.
+func DigestSize(kind DigestKind, p Params, d, dHat int) (int, error) {
+	p, err := p.normalized()
+	if err != nil {
+		return 0, err
+	}
+	if d < 1 {
+		d = 1
+	}
+	if dHat <= 0 {
+		dHat = DHat(d, p.S)
+	}
+	const hdrLen = 4 + 1 + 8 + 8 + 8 + 8 + 8
+	switch kind {
+	case DigestNaive:
+		codec := newNaiveCodec(p)
+		return hdrLen + iblt.SerializedSizeFor(iblt.CellsFor(2*dHat), codec.width, 0) + 8, nil
+	case DigestNested:
+		codec := newChildCodec(hashing.NewCoins(0), "probe", 0, iblt.CellsFor(d))
+		return hdrLen + iblt.SerializedSizeFor(iblt.CellsFor(2*dHat), codec.width, 0) + 8, nil
+	case DigestCascade:
+		plan := newCascadePlan(hashing.NewCoins(0), p, d)
+		n := hdrLen + 4
+		for i := 1; i <= plan.t; i++ {
+			n += 4 + iblt.SerializedSizeFor(plan.parentCells(i), plan.level[i-1].width, 0)
+		}
+		n++ // star flag
+		if plan.star {
+			n += 4 + iblt.SerializedSizeFor(plan.starCells(), plan.starCodec.width, 0)
+		}
+		return n + 8, nil
+	}
+	return 0, fmt.Errorf("%w: unknown kind %d", ErrBadDigest, kind)
+}

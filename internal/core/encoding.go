@@ -1,0 +1,169 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"sosr/internal/hashing"
+	"sosr/internal/iblt"
+	"sosr/internal/setutil"
+)
+
+// Child-set encodings. The protocols need fixed-width byte representations
+// of child sets so they can serve as vector keys inside parent IBLTs:
+//
+//   - naiveEncoding: the full child set, either as a length-prefixed element
+//     list (h·log u bits) or as a universe bitmap (u bits), whichever is
+//     smaller — giving the naive protocol its O(d̂ · min(h log u, u)) bound
+//     (Theorem 3.3).
+//   - childEncoding: a c-cell child IBLT plus the child set's
+//     pairwise-independent hash (Algorithm 1's "(child IBLT, hash) pair").
+
+// naiveCodec encodes child sets at a fixed width chosen from Params.
+type naiveCodec struct {
+	p      Params
+	bitmap bool
+	width  int
+}
+
+func newNaiveCodec(p Params) naiveCodec {
+	listWidth := 4 + 8*p.H
+	bitmapWidth := int((p.U + 7) / 8)
+	if p.U > 0 && bitmapWidth < listWidth {
+		return naiveCodec{p: p, bitmap: true, width: bitmapWidth}
+	}
+	return naiveCodec{p: p, bitmap: false, width: listWidth}
+}
+
+func (c naiveCodec) encode(cs []uint64) []byte {
+	buf := make([]byte, c.width)
+	if c.bitmap {
+		for _, x := range cs {
+			buf[x/8] |= 1 << (x % 8)
+		}
+		return buf
+	}
+	binary.LittleEndian.PutUint32(buf, uint32(len(cs)))
+	for i, x := range cs {
+		binary.LittleEndian.PutUint64(buf[4+8*i:], x)
+	}
+	return buf
+}
+
+func (c naiveCodec) decode(buf []byte) ([]uint64, error) {
+	if len(buf) != c.width {
+		return nil, fmt.Errorf("core: naive encoding width %d != %d", len(buf), c.width)
+	}
+	if c.bitmap {
+		var out []uint64
+		for i, b := range buf {
+			for bit := 0; bit < 8; bit++ {
+				if b&(1<<bit) != 0 {
+					out = append(out, uint64(i*8+bit))
+				}
+			}
+		}
+		return out, nil
+	}
+	n := int(binary.LittleEndian.Uint32(buf))
+	if n < 0 || n > c.p.H || 4+8*n > len(buf) {
+		return nil, fmt.Errorf("core: corrupt naive encoding (n=%d)", n)
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(buf[4+8*i:])
+	}
+	if !setutil.IsCanonical(out) {
+		return nil, fmt.Errorf("core: corrupt naive encoding (not canonical)")
+	}
+	return out, nil
+}
+
+// childCodec builds Algorithm 1/2 style (child IBLT, hash) encodings at a
+// fixed cell count. All child IBLTs produced by one codec share seed and
+// shape, so any two of them can be subtracted.
+type childCodec struct {
+	cells int
+	seed  uint64
+	hash  uint64 // seed of the per-child-set hash
+	width int
+}
+
+func newChildCodec(coins hashing.Coins, label string, level, cells int) childCodec {
+	seed := coins.Seed(label+"/cells", level)
+	probe := iblt.NewUint64(cells, 0, seed)
+	return childCodec{
+		cells: probe.Cells(),
+		seed:  seed,
+		hash:  coins.Seed(childHashLabel, 0),
+		width: probe.SerializedSize() + 8,
+	}
+}
+
+// table returns an empty child IBLT of this codec's shape.
+func (c childCodec) table() *iblt.Table {
+	return iblt.NewUint64(c.cells, 0, c.seed)
+}
+
+// encode returns the fixed-width encoding of a child set.
+func (c childCodec) encode(cs []uint64) []byte {
+	t := c.table()
+	for _, x := range cs {
+		t.InsertUint64(x)
+	}
+	buf := t.Marshal()
+	var h [8]byte
+	binary.LittleEndian.PutUint64(h[:], setutil.Hash(c.hash, cs))
+	return append(buf, h[:]...)
+}
+
+// decode splits an encoding into its child IBLT and hash.
+func (c childCodec) decode(buf []byte) (*iblt.Table, uint64, error) {
+	if len(buf) != c.width {
+		return nil, 0, fmt.Errorf("core: child encoding width %d != %d", len(buf), c.width)
+	}
+	t, err := iblt.Unmarshal(buf[:len(buf)-8])
+	if err != nil {
+		return nil, 0, err
+	}
+	return t, binary.LittleEndian.Uint64(buf[len(buf)-8:]), nil
+}
+
+// setHash returns the hash this codec attaches to a child set.
+func (c childCodec) setHash(cs []uint64) uint64 { return setutil.Hash(c.hash, cs) }
+
+// recoverAgainst tries to reconstruct Alice's child set from her child IBLT
+// ta (with attached hash wantHash) using candidate as Bob's counterpart: the
+// candidate's IBLT is subtracted, the difference peeled, and the result
+// verified against wantHash. Returns (set, true) on success.
+func (c childCodec) recoverAgainst(ta *iblt.Table, wantHash uint64, candidate []uint64) ([]uint64, bool) {
+	diff := ta.Clone()
+	tb := c.table()
+	for _, x := range candidate {
+		tb.InsertUint64(x)
+	}
+	if err := diff.Subtract(tb); err != nil {
+		return nil, false
+	}
+	added, removed, err := diff.DecodeUint64()
+	if err != nil {
+		return nil, false
+	}
+	recovered := setutil.ApplyDiff(candidate, added, removed)
+	if setutil.Hash(c.hash, recovered) != wantHash {
+		return nil, false
+	}
+	return recovered, true
+}
+
+// recoverFromCandidates tries candidates in order (plus the empty set as a
+// final fallback, covering parent sets of unequal cardinality) and returns
+// the first verified recovery.
+func (c childCodec) recoverFromCandidates(ta *iblt.Table, wantHash uint64, candidates [][]uint64) ([]uint64, bool) {
+	for _, cand := range candidates {
+		if rec, ok := c.recoverAgainst(ta, wantHash, cand); ok {
+			return rec, true
+		}
+	}
+	return c.recoverAgainst(ta, wantHash, nil)
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"sosr/internal/matching"
+	"sosr/internal/setrecon"
+	"sosr/internal/setutil"
+)
+
+// Multisets of multisets (paper §3.4): "All of our protocols can be adapted
+// to reconciling sets of multisets or multisets of multisets in a similar
+// way." Inner multisets become packed sets via the (element, count) trick of
+// setrecon.MultisetToSet. Duplicate child sets at the parent level (a parent
+// *multiset*) are made distinct by attaching a single multiplicity-tag
+// element to each distinct child set, so a count change of ±1 costs two
+// element differences — the bounds change only by constant factors.
+
+// multTagPrefix occupies the count field of a packed word with the reserved
+// value 0xFFF, which EncodeMultisetParent guarantees no real packed element
+// uses (inner multiplicities are capped one below setrecon.MaxMultiplicity).
+const multTagPrefix = uint64(setrecon.MaxMultiplicity) << 48
+
+// MultTag returns the parent-multiplicity tag element for count k.
+func MultTag(k int) uint64 { return multTagPrefix | uint64(k) }
+
+// IsMultTag reports whether a packed element is a multiplicity tag, and its
+// count.
+func IsMultTag(x uint64) (int, bool) {
+	if x>>48 == uint64(setrecon.MaxMultiplicity) {
+		return int(x & ((1 << 48) - 1)), true
+	}
+	return 0, false
+}
+
+// EncodeMultisetParent converts a parent multiset of inner multisets into a
+// canonical set of distinct child sets: each inner multiset is packed, equal
+// inner multisets are grouped, and each group's packed set gains a MultTag
+// carrying the group count.
+func EncodeMultisetParent(inner [][]uint64) ([][]uint64, error) {
+	type group struct {
+		packed []uint64
+		count  int
+	}
+	groups := map[uint64]*group{}
+	var order []uint64
+	for i, ms := range inner {
+		packed, err := setrecon.MultisetToSet(ms)
+		if err != nil {
+			return nil, fmt.Errorf("core: inner multiset %d: %w", i, err)
+		}
+		for _, x := range packed {
+			if _, isTag := IsMultTag(x); isTag {
+				return nil, fmt.Errorf("core: inner multiset %d collides with multiplicity tag", i)
+			}
+		}
+		h := setutil.Hash(0x6d6d73, packed)
+		if g, ok := groups[h]; ok && setutil.Equal(g.packed, packed) {
+			g.count++
+			continue
+		} else if ok {
+			return nil, fmt.Errorf("core: inner multiset hash collision")
+		}
+		groups[h] = &group{packed: packed, count: 1}
+		order = append(order, h)
+	}
+	out := make([][]uint64, 0, len(groups))
+	for _, h := range order {
+		g := groups[h]
+		cs := append(setutil.Clone(g.packed), MultTag(g.count))
+		sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
+		out = append(out, cs)
+	}
+	setutil.SortSets(out)
+	return out, nil
+}
+
+// DecodeMultisetParent inverts EncodeMultisetParent, returning each distinct
+// inner multiset with its parent-level count.
+func DecodeMultisetParent(parent [][]uint64) (inner [][]uint64, counts []int, err error) {
+	for i, cs := range parent {
+		var packed []uint64
+		count := -1
+		for _, x := range cs {
+			if k, isTag := IsMultTag(x); isTag {
+				if count >= 0 {
+					return nil, nil, fmt.Errorf("core: child set %d has two multiplicity tags", i)
+				}
+				count = k
+				continue
+			}
+			packed = append(packed, x)
+		}
+		if count < 0 {
+			return nil, nil, fmt.Errorf("core: child set %d missing multiplicity tag", i)
+		}
+		inner = append(inner, setrecon.SetToMultiset(packed))
+		counts = append(counts, count)
+	}
+	return inner, counts, nil
+}
+
+// MultisetDistance is the ground-truth d between two parent multisets of
+// inner multisets: minimum-cost matching with multiset symmetric-difference
+// costs, flattening parent multiplicities.
+func MultisetDistance(a, b [][]uint64, countsA, countsB []int) int {
+	flat := func(inner [][]uint64, counts []int) [][]uint64 {
+		var out [][]uint64
+		for i, ms := range inner {
+			for c := 0; c < counts[i]; c++ {
+				out = append(out, ms)
+			}
+		}
+		return out
+	}
+	fa, fb := flat(a, countsA), flat(b, countsB)
+	return int(setOfMultisetsDistance(fa, fb))
+}
+
+func setOfMultisetsDistance(a, b [][]uint64) int64 {
+	return matching.SetOfSetsDistance(a, b, setrecon.MultisetSymDiff)
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"sosr/internal/estimator"
+	"sosr/internal/hashing"
+	"sosr/internal/iblt"
+	"sosr/internal/transport"
+)
+
+// NaiveKnownD solves SSRK by ignoring that the items are sets (Theorem 3.3):
+// each child set becomes one opaque fixed-width item from the universe of
+// all possible child sets, and the parent sets are reconciled with a single
+// vector-keyed IBLT of O(d̂) cells. One round, O(d̂ · min(h log u, u)) bits,
+// O(n) time, success probability 1 - 1/poly(d̂).
+func NaiveKnownD(sess *transport.Session, coins hashing.Coins, alice, bob [][]uint64, p Params, dHat int) (*Result, error) {
+	p, err := p.normalized()
+	if err != nil {
+		return nil, err
+	}
+	codec := newNaiveCodec(p)
+
+	// --- Alice --- (the table holds the full symmetric difference, up to
+	// 2·d̂ encodings; see naiveAliceMsg)
+	msg := sess.Send(transport.Alice, "naive-iblt", naiveAliceMsg(coins, alice, p, dHat))
+
+	// --- Bob ---
+	res, err := naiveBob(coins, msg, bob, codec)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats = sess.Stats()
+	res.Attempts = 1
+	res.DUsed = dHat
+	return res, nil
+}
+
+func naiveBob(coins hashing.Coins, msg []byte, bob [][]uint64, codec naiveCodec) (*Result, error) {
+	if len(msg) < 8 {
+		return nil, fmt.Errorf("core: short naive message")
+	}
+	wantParent := binary.LittleEndian.Uint64(msg[len(msg)-8:])
+	t, err := iblt.Unmarshal(msg[:len(msg)-8])
+	if err != nil {
+		return nil, err
+	}
+	for _, cs := range bob {
+		t.Delete(codec.encode(cs))
+	}
+	addedEnc, removedEnc, err := t.Decode()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrParentDecode, err)
+	}
+	added := make([][]uint64, 0, len(addedEnc))
+	for _, enc := range addedEnc {
+		cs, err := codec.decode(enc)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrChildDecode, err)
+		}
+		added = append(added, cs)
+	}
+	removedHashes := make(map[uint64]bool, len(removedEnc))
+	removed := make([][]uint64, 0, len(removedEnc))
+	for _, enc := range removedEnc {
+		cs, err := codec.decode(enc)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrChildDecode, err)
+		}
+		removed = append(removed, cs)
+		removedHashes[childHash(coins, cs)] = true
+	}
+	recovered := assemble(bob, added, removedHashes, coins)
+	if parentHash(coins, recovered) != wantParent {
+		return nil, ErrVerify
+	}
+	return &Result{
+		Recovered: recovered,
+		Added:     sortSets(added),
+		Removed:   sortSets(removed),
+	}, nil
+}
+
+// NaiveUnknownD solves SSRU naively (Theorem 3.4): Bob first sends a
+// set-difference estimator over his child-set hashes; Alice uses the merged
+// estimate (scaled for safety) as d̂ and runs the Theorem 3.3 protocol. Two
+// rounds.
+func NaiveUnknownD(sess *transport.Session, coins hashing.Coins, alice, bob [][]uint64, p Params) (*Result, error) {
+	p, err := p.normalized()
+	if err != nil {
+		return nil, err
+	}
+	dHat := estimateChildDiff(sess, coins, alice, bob, p)
+	res, err := NaiveKnownD(sess, coins, alice, bob, p, dHat)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats = sess.Stats()
+	return res, nil
+}
+
+// estimateChildDiff runs the shared round-0 exchange: Bob sends an estimator
+// over his child-set hashes; Alice merges her own and returns a safe bound
+// on the number of differing child sets.
+func estimateChildDiff(sess *transport.Session, coins hashing.Coins, alice, bob [][]uint64, p Params) int {
+	msg := sess.Send(transport.Bob, "childdiff-estimator", BuildChildDiffProbe(coins, bob, p))
+	return EstimateChildDiff(msg, coins, alice, p)
+}
+
+// BuildChildDiffProbe is Bob's half of the unknown-d̂ estimation: a
+// set-difference estimator over his child-set hashes, usable as a standalone
+// split-party message (see the digest API).
+func BuildChildDiffProbe(coins hashing.Coins, bob [][]uint64, p Params) []byte {
+	params := estimator.CompactParams(2 * p.S)
+	eb := estimator.New(params, coins.Seed("sos/childdiff-est", 0))
+	for _, cs := range bob {
+		eb.Add(childHash(coins, cs), estimator.SideB)
+	}
+	return eb.Marshal()
+}
+
+// EstimateChildDiff is Alice's half: merge the probe with her own child-set
+// hashes and return a safe bound on the number of differing child sets. A
+// garbled probe degrades only the bound (worst case p.S), never correctness.
+func EstimateChildDiff(probe []byte, coins hashing.Coins, alice [][]uint64, p Params) int {
+	params := estimator.CompactParams(2 * p.S)
+	seed := coins.Seed("sos/childdiff-est", 0)
+	ebRecv, err := estimator.Unmarshal(probe)
+	if err != nil {
+		return p.S
+	}
+	ea := estimator.New(params, seed)
+	for _, cs := range alice {
+		ea.Add(childHash(coins, cs), estimator.SideA)
+	}
+	if err := ea.Merge(ebRecv); err != nil {
+		return p.S
+	}
+	dHat := int(ea.Estimate())*EstimatorSafety + 2
+	if dHat > p.S*2 {
+		dHat = p.S * 2
+	}
+	return dHat
+}
+
+// EstimatorSafety scales estimator outputs used as difference bounds,
+// absorbing Theorem 3.1's constant-factor slack.
+const EstimatorSafety = 4
+
+func u64le(x uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], x)
+	return b[:]
+}

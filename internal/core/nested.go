@@ -1,0 +1,168 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"sosr/internal/hashing"
+	"sosr/internal/iblt"
+	"sosr/internal/transport"
+)
+
+// NestedKnownD solves SSRK with Algorithm 1, "IBLT of IBLTs" (Theorem 3.5):
+// every child set is encoded as an O(d)-cell child IBLT plus an O(log s)-bit
+// hash; the encodings are reconciled through an O(d̂)-cell parent IBLT; Bob
+// cross-decodes each of Alice's extracted child IBLTs against his own
+// differing child sets. One round, O(d̂·d log u + d̂ log s) bits,
+// O(n + d̂²·d) time, success probability 1 - 1/poly(d̂).
+//
+// d bounds the total element differences; dHat the number of differing child
+// sets (pass DHat(d, p.S) when no better bound is known).
+func NestedKnownD(sess *transport.Session, coins hashing.Coins, alice, bob [][]uint64, p Params, d, dHat int) (*Result, error) {
+	p, err := p.normalized()
+	if err != nil {
+		return nil, err
+	}
+	codec := newChildCodec(coins, "nested/child", 0, iblt.CellsFor(d))
+
+	// --- Alice: build EA, insert into a parent holding the full encoding
+	// symmetric difference |EA ⊕ EB| ≤ 2·d̂, send (see nestedAliceMsg). ---
+	msg := sess.Send(transport.Alice, "nested-iblt", nestedAliceMsg(coins, alice, p, d, dHat))
+
+	// --- Bob ---
+	res, err := nestedBob(coins, msg, bob, codec)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats = sess.Stats()
+	res.Attempts = 1
+	res.DUsed = d
+	return res, nil
+}
+
+func nestedBob(coins hashing.Coins, msg []byte, bob [][]uint64, codec childCodec) (*Result, error) {
+	if len(msg) < 8 {
+		return nil, fmt.Errorf("core: short nested message")
+	}
+	wantParent := binary.LittleEndian.Uint64(msg[len(msg)-8:])
+	parent, err := iblt.Unmarshal(msg[:len(msg)-8])
+	if err != nil {
+		return nil, err
+	}
+	// Delete EB, decode to find EA \ EB (added) and EB \ EA (removed).
+	for _, cs := range bob {
+		parent.Delete(codec.encode(cs))
+	}
+	addedEnc, removedEnc, err := parent.Decode()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrParentDecode, err)
+	}
+
+	// D_B: Bob's child sets whose hashes appear among the removed encodings.
+	byHash := make(map[uint64][]uint64, len(bob))
+	for _, cs := range bob {
+		byHash[codec.setHash(cs)] = cs
+	}
+	removedHashes := make(map[uint64]bool, len(removedEnc))
+	var dB [][]uint64
+	for _, enc := range removedEnc {
+		_, h, err := codec.decode(enc)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrChildDecode, err)
+		}
+		cs, ok := byHash[h]
+		if !ok {
+			return nil, fmt.Errorf("%w: removed encoding matches none of Bob's child sets", ErrChildDecode)
+		}
+		dB = append(dB, cs)
+		removedHashes[childHash(coins, cs)] = true
+	}
+
+	// For each of Alice's child IBLTs, attempt decoding against each IBLT in
+	// D_B (the O(d̂²) pair loop of Theorem 3.5).
+	var dA [][]uint64
+	for _, enc := range addedEnc {
+		ta, hA, err := codec.decode(enc)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrChildDecode, err)
+		}
+		rec, ok := codec.recoverFromCandidates(ta, hA, dB)
+		if !ok {
+			return nil, fmt.Errorf("%w: no partner decodes child IBLT", ErrChildDecode)
+		}
+		dA = append(dA, rec)
+	}
+
+	recovered := assemble(bob, dA, removedHashes, coins)
+	if parentHash(coins, recovered) != wantParent {
+		return nil, ErrVerify
+	}
+	return &Result{Recovered: recovered, Added: sortSets(dA), Removed: sortSets(dB)}, nil
+}
+
+// NestedUnknownD solves SSRU per Corollary 3.6: the Theorem 3.5 protocol is
+// retried with d = 1, 2, 4, ... (fresh public coins per attempt) until Bob
+// verifies Alice's parent hash; Bob acknowledges each attempt, giving the
+// O(log d) rounds of the corollary.
+func NestedUnknownD(sess *transport.Session, coins hashing.Coins, alice, bob [][]uint64, p Params) (*Result, error) {
+	return doublingLoop(sess, coins, alice, bob, p, func(sess *transport.Session, att hashing.Coins, d int) (*Result, error) {
+		return NestedKnownD(sess, att, alice, bob, p, d, DHat(d, p.S))
+	})
+}
+
+// maxDoublingAttempts caps the doubling loops; 2^31 differences is far past
+// any representable instance.
+const maxDoublingAttempts = 31
+
+// doublingLoop implements the paper's "standard repeated doubling trick"
+// shared by Corollaries 3.6 and 3.8: run the known-d protocol at d = 2^k
+// with per-attempt coins until it succeeds, with Bob acknowledging each
+// attempt so the rounds are counted honestly.
+func doublingLoop(sess *transport.Session, coins hashing.Coins, alice, bob [][]uint64, p Params,
+	attempt func(sess *transport.Session, coins hashing.Coins, d int) (*Result, error)) (*Result, error) {
+	var lastErr error
+	for k := 0; k < maxDoublingAttempts; k++ {
+		d := 1 << k
+		attCoins := coins.Sub("doubling-attempt", k)
+		res, err := attempt(sess, attCoins, d)
+		if err == nil {
+			sess.Send(transport.Bob, "ack", []byte{1})
+			res.Stats = sess.Stats()
+			res.Attempts = k + 1
+			res.DUsed = d
+			return res, nil
+		}
+		lastErr = err
+		sess.Send(transport.Bob, "retry", []byte{0})
+		if tooBig := d > 4*p.S*p.H; tooBig {
+			break
+		}
+	}
+	return nil, fmt.Errorf("%w: %v", ErrGaveUp, lastErr)
+}
+
+// Replicated amplifies any known-d protocol's success probability by
+// replication (§3.2): the protocol is retried with fresh coins until Bob's
+// recovered parent set matches Alice's hash, at most `replicas` times. All
+// attempts' communication accumulates in sess. The paper's replication is
+// parallel ("run the protocol many times in parallel"), which matches the
+// session's round accounting (consecutive same-sender messages share a
+// round); running lazily with early stop makes the recorded bytes a lower
+// bound on the parallel variant's.
+func Replicated(sess *transport.Session, coins hashing.Coins, replicas int,
+	attempt func(sess *transport.Session, coins hashing.Coins) (*Result, error)) (*Result, error) {
+	if replicas < 1 {
+		replicas = 1
+	}
+	var lastErr error
+	for r := 0; r < replicas; r++ {
+		res, err := attempt(sess, coins.Sub("replica", r))
+		if err == nil {
+			res.Stats = sess.Stats()
+			res.Attempts = r + 1
+			return res, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("%w: %v", ErrGaveUp, lastErr)
+}

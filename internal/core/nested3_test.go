@@ -1,0 +1,166 @@
+package core
+
+import (
+	"testing"
+
+	"sosr/internal/hashing"
+	"sosr/internal/prng"
+	"sosr/internal/setutil"
+	"sosr/internal/transport"
+)
+
+// makeInstance3 plants a depth-3 instance: g groups of s child sets each,
+// with d element edits scattered across random children of random groups.
+func makeInstance3(seed uint64, g, s, h int, d int) (alice, bob [][][]uint64) {
+	src := prng.New(seed)
+	used := map[uint64]bool{}
+	next := func() uint64 {
+		for {
+			x := src.Uint64() % (1 << 40)
+			if !used[x] {
+				used[x] = true
+				return x
+			}
+		}
+	}
+	bob = make([][][]uint64, g)
+	for gi := range bob {
+		bob[gi] = make([][]uint64, s)
+		for si := range bob[gi] {
+			size := h/2 + src.Intn(h/2+1)
+			cs := make([]uint64, 0, size)
+			for j := 0; j < size; j++ {
+				cs = append(cs, next())
+			}
+			bob[gi][si] = setutil.Canonical(cs)
+		}
+	}
+	alice = make([][][]uint64, g)
+	for gi := range bob {
+		alice[gi] = setutil.CloneSets(bob[gi])
+	}
+	for e := 0; e < d; e++ {
+		gi, si := src.Intn(g), src.Intn(s)
+		if e%2 == 0 || len(alice[gi][si]) <= 1 {
+			alice[gi][si] = setutil.Canonical(append(setutil.Clone(alice[gi][si]), next()))
+		} else {
+			cs := setutil.Clone(alice[gi][si])
+			idx := src.Intn(len(cs))
+			alice[gi][si] = append(cs[:idx], cs[idx+1:]...)
+		}
+	}
+	return alice, bob
+}
+
+func TestDistance3(t *testing.T) {
+	a := [][][]uint64{{{1, 2}, {3}}, {{10}}}
+	b := [][][]uint64{{{10}}, {{1, 2}, {3}}}
+	if d := Distance3(a, b); d != 0 {
+		t.Fatalf("group order should not matter: d=%d", d)
+	}
+	c := [][][]uint64{{{1, 2}, {3, 4}}, {{10}}}
+	if d := Distance3(a, c); d != 1 {
+		t.Fatalf("single element edit across depth 3: d=%d, want 1", d)
+	}
+	// Extra group pairs against the empty group.
+	e := [][][]uint64{{{1, 2}, {3}}, {{10}}, {{40, 41}}}
+	if d := Distance3(a, e); d != 2 {
+		t.Fatalf("extra group: d=%d, want 2", d)
+	}
+	if !Equal3(a, b) || Equal3(a, c) {
+		t.Fatal("Equal3 broken")
+	}
+}
+
+func TestNested3KnownD(t *testing.T) {
+	p := Params3{G: 6, S: 8, H: 12}
+	for _, d := range []int{1, 3, 6} {
+		alice, bob := makeInstance3(uint64(d)*19+3, p.G, p.S, 10, d)
+		got := Distance3(alice, bob)
+		if got != d {
+			t.Fatalf("planted d=%d, measured %d", d, got)
+		}
+		sess := transport.New()
+		res, err := Nested3KnownD(sess, hashing.NewCoins(uint64(d)+100), alice, bob, p, Bounds3{D: d})
+		if err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+		if !Equal3(res.Recovered, alice) {
+			t.Fatalf("d=%d: wrong recovery", d)
+		}
+		if res.Stats.Rounds != 1 {
+			t.Fatalf("rounds = %d", res.Stats.Rounds)
+		}
+	}
+}
+
+func TestNested3EqualInstances(t *testing.T) {
+	p := Params3{G: 4, S: 4, H: 8}
+	alice, bob := makeInstance3(7, p.G, p.S, 6, 0)
+	sess := transport.New()
+	res, err := Nested3KnownD(sess, hashing.NewCoins(5), alice, bob, p, Bounds3{D: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal3(res.Recovered, alice) {
+		t.Fatal("wrong recovery on equal instances")
+	}
+	if len(res.AddedGroups)+len(res.RemovedGroups) != 0 {
+		t.Fatal("spurious group differences")
+	}
+}
+
+func TestNested3ExtraGroup(t *testing.T) {
+	// Alice holds a group Bob lacks: the empty-group fallback recovers it.
+	bob := [][][]uint64{
+		{{1, 2}, {3, 4}},
+	}
+	alice := [][][]uint64{
+		{{1, 2}, {3, 4}},
+		{{100, 101}, {200}},
+	}
+	d := Distance3(alice, bob)
+	p := Params3{G: 3, S: 3, H: 4}
+	sess := transport.New()
+	res, err := Nested3KnownD(sess, hashing.NewCoins(9), alice, bob, p, Bounds3{D: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal3(res.Recovered, alice) {
+		t.Fatal("wrong recovery with extra group")
+	}
+}
+
+func TestNested3UndersizedFails(t *testing.T) {
+	p := Params3{G: 6, S: 8, H: 24}
+	alice, bob := makeInstance3(55, p.G, p.S, 20, 30)
+	sess := transport.New()
+	if _, err := Nested3KnownD(sess, hashing.NewCoins(6), alice, bob, p, Bounds3{D: 1, DChild: 1, DGroup: 1}); err == nil {
+		t.Fatal("expected failure with tiny bounds")
+	}
+}
+
+func TestNested3CommunicationIndependentOfN(t *testing.T) {
+	p := Params3{G: 6, S: 6, H: 64}
+	d := 2
+	aliceSmall, bobSmall := makeInstance3(81, p.G, p.S, 16, d)
+	aliceBig, bobBig := makeInstance3(82, p.G, p.S, 60, d)
+	run := func(a, b [][][]uint64) int {
+		sess := transport.New()
+		if _, err := Nested3KnownD(sess, hashing.NewCoins(8), a, b, p, Bounds3{D: d}); err != nil {
+			t.Fatal(err)
+		}
+		return sess.TotalBytes()
+	}
+	small := run(aliceSmall, bobSmall)
+	big := run(aliceBig, bobBig)
+	if small != big {
+		t.Fatalf("communication depends on element count: %d vs %d", small, big)
+	}
+}
+
+func TestNested3InvalidParams(t *testing.T) {
+	if _, err := Nested3KnownD(transport.New(), hashing.NewCoins(1), nil, nil, Params3{}, Bounds3{}); err == nil {
+		t.Fatal("zero params accepted")
+	}
+}

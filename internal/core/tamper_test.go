@@ -1,0 +1,130 @@
+package core
+
+import (
+	"testing"
+
+	"sosr/internal/hashing"
+	"sosr/internal/prng"
+	"sosr/internal/setutil"
+	"sosr/internal/transport"
+)
+
+// Adversarial-channel tests: every protocol must either detect a corrupted
+// transcript (return an error) or still deliver the exact answer — silent
+// wrong recovery is the only forbidden outcome (§2's verification "ward").
+
+// tamperedSession flips one pseudo-random byte (and bit) in every message.
+func tamperedSession(seed uint64) *transport.Session {
+	sess := transport.New()
+	src := prng.New(seed)
+	sess.SetTamper(func(label string, payload []byte) []byte {
+		if len(payload) == 0 {
+			return payload
+		}
+		i := src.Intn(len(payload))
+		payload[i] ^= byte(1 << src.Intn(8))
+		return payload
+	})
+	return sess
+}
+
+func TestTamperNeverSilentlyWrong(t *testing.T) {
+	p := Params{S: 12, H: 16, U: 1 << 40}
+	outer := prng.New(404)
+	for trial := 0; trial < 40; trial++ {
+		d := 1 + outer.Intn(6)
+		alice, bob := makeInstance(outer.Uint64(), p.S, 12, p.U, d)
+		coins := hashing.NewCoins(outer.Uint64())
+		seed := outer.Uint64()
+		runs := map[string]func() (*Result, error){
+			"naive": func() (*Result, error) {
+				return NaiveKnownD(tamperedSession(seed), coins, alice, bob, p, DHat(d, p.S))
+			},
+			"nested": func() (*Result, error) {
+				return NestedKnownD(tamperedSession(seed), coins, alice, bob, p, d, DHat(d, p.S))
+			},
+			"cascade": func() (*Result, error) {
+				return CascadeKnownD(tamperedSession(seed), coins, alice, bob, p, d)
+			},
+			"multiround": func() (*Result, error) {
+				return MultiRoundKnownD(tamperedSession(seed), coins, alice, bob, p, d)
+			},
+		}
+		for name, run := range runs {
+			res, err := run()
+			if err != nil {
+				continue // detection is a correct outcome
+			}
+			if !setutil.EqualSetOfSets(res.Recovered, alice) {
+				t.Fatalf("%s: tampering produced silent wrong recovery (trial %d)", name, trial)
+			}
+		}
+	}
+}
+
+func TestTamperDetectedWithHighProbability(t *testing.T) {
+	// Corrupting the bulk payload should usually be *detected*, not
+	// absorbed: check the one-round protocols report errors most of the
+	// time under per-message corruption.
+	p := Params{S: 12, H: 16, U: 1 << 40}
+	alice, bob := makeInstance(99, p.S, 12, p.U, 4)
+	coins := hashing.NewCoins(3)
+	detected := 0
+	const trials = 30
+	for trial := 0; trial < trials; trial++ {
+		if _, err := NestedKnownD(tamperedSession(uint64(trial)), coins, alice, bob, p, 4, 4); err != nil {
+			detected++
+		}
+	}
+	if detected < trials*2/3 {
+		t.Fatalf("only %d/%d corruptions detected", detected, trials)
+	}
+}
+
+func TestTamperTruncation(t *testing.T) {
+	// Truncated messages must error cleanly (no panics, no wrong results).
+	p := Params{S: 8, H: 12, U: 1 << 40}
+	alice, bob := makeInstance(55, p.S, 10, p.U, 3)
+	coins := hashing.NewCoins(5)
+	for cut := 1; cut <= 64; cut *= 4 {
+		sess := transport.New()
+		cut := cut
+		sess.SetTamper(func(label string, payload []byte) []byte {
+			if len(payload) > cut {
+				return payload[:len(payload)-cut]
+			}
+			return payload
+		})
+		res, err := CascadeKnownD(sess, coins, alice, bob, p, 3)
+		if err == nil && !setutil.EqualSetOfSets(res.Recovered, alice) {
+			t.Fatalf("truncation by %d produced silent wrong recovery", cut)
+		}
+	}
+}
+
+func TestTamperEmptyPayloads(t *testing.T) {
+	p := Params{S: 8, H: 12, U: 1 << 40}
+	alice, bob := makeInstance(56, p.S, 10, p.U, 2)
+	coins := hashing.NewCoins(6)
+	sess := transport.New()
+	sess.SetTamper(func(label string, payload []byte) []byte { return nil })
+	if _, err := NaiveKnownD(sess, coins, alice, bob, p, 2); err == nil {
+		t.Fatal("empty payload accepted")
+	}
+	sess2 := transport.New()
+	sess2.SetTamper(func(label string, payload []byte) []byte { return nil })
+	if _, err := MultiRoundKnownD(sess2, coins, alice, bob, p, 2); err == nil {
+		t.Fatal("empty payload accepted by multiround")
+	}
+}
+
+func TestTamperNested3(t *testing.T) {
+	alice, bob := makeInstance3(77, 4, 4, 8, 3)
+	p3 := Params3{G: 4, S: 4, H: 8}
+	for trial := 0; trial < 10; trial++ {
+		res, err := Nested3KnownD(tamperedSession(uint64(trial)+1), hashing.NewCoins(8), alice, bob, p3, Bounds3{D: 3})
+		if err == nil && !Equal3(res.Recovered, alice) {
+			t.Fatalf("depth-3 tampering silently wrong (trial %d)", trial)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package estimator
+
+import (
+	"testing"
+
+	"sosr/internal/prng"
+)
+
+func BenchmarkAdd(b *testing.B) {
+	e := New(Params{}, 1)
+	src := prng.New(2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Add(src.Uint64(), SideA)
+	}
+}
+
+func BenchmarkMerge(b *testing.B) {
+	// The Appendix A claim: merging is word-wise addition plus a mask.
+	x := New(Params{}, 3)
+	y := New(Params{}, 3)
+	src := prng.New(4)
+	for i := 0; i < 1000; i++ {
+		x.Add(src.Uint64(), SideA)
+		y.Add(src.Uint64(), SideB)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := x.Clone().Merge(y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEstimate(b *testing.B) {
+	e := New(Params{}, 5)
+	src := prng.New(6)
+	for i := 0; i < 4096; i++ {
+		e.Add(src.Uint64(), SideA)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = e.Estimate()
+	}
+}
+
+func BenchmarkStrataAdd(b *testing.B) {
+	s := NewStrata(32, 0, 7)
+	src := prng.New(8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Add(src.Uint64(), SideA)
+	}
+}
+
+func BenchmarkStrataEstimate(b *testing.B) {
+	sa := NewStrata(32, 0, 9)
+	sb := NewStrata(32, 0, 9)
+	src := prng.New(10)
+	for i := 0; i < 256; i++ {
+		sa.Add(src.Uint64(), SideA)
+		sb.Add(src.Uint64(), SideB)
+	}
+	if err := sa.Merge(sb); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sa.Estimate()
+	}
+}

@@ -1,0 +1,104 @@
+package estimator
+
+import (
+	"testing"
+
+	"sosr/internal/prng"
+)
+
+// Robustness: corrupt or hostile serialized sketches must never panic or
+// trigger giant allocations.
+
+func TestUnmarshalCorruptionNeverPanics(t *testing.T) {
+	src := prng.New(1)
+	e := New(Params{Levels: 10}, 5)
+	for i := uint64(0); i < 100; i++ {
+		e.Add(i, SideA)
+	}
+	buf := e.Marshal()
+	for trial := 0; trial < 300; trial++ {
+		corrupt := append([]byte(nil), buf...)
+		for f := 0; f <= src.Intn(6); f++ {
+			corrupt[src.Intn(len(corrupt))] ^= byte(1 + src.Intn(255))
+		}
+		if back, err := Unmarshal(corrupt); err == nil {
+			_ = back.Estimate()
+		}
+	}
+}
+
+func TestUnmarshalHostileHeader(t *testing.T) {
+	hostile := make([]byte, 64)
+	for i := 0; i < 16; i++ {
+		hostile[i] = 0x7f // huge Levels/Buckets/Subreplicas/Replicas
+	}
+	if _, err := Unmarshal(hostile); err == nil {
+		t.Fatal("hostile estimator header accepted")
+	}
+}
+
+func TestUnmarshalStrataHostileHeader(t *testing.T) {
+	hostile := make([]byte, 64)
+	for i := 0; i < 8; i++ {
+		hostile[i] = 0x7f // huge strata count and cells
+	}
+	if _, err := UnmarshalStrata(hostile); err == nil {
+		t.Fatal("hostile strata header accepted")
+	}
+}
+
+func TestUnmarshalStrataCorruptionNeverPanics(t *testing.T) {
+	src := prng.New(2)
+	s := NewStrata(8, 20, 3)
+	for i := uint64(0); i < 40; i++ {
+		s.Add(i, SideA)
+	}
+	buf := s.Marshal()
+	for trial := 0; trial < 300; trial++ {
+		corrupt := append([]byte(nil), buf...)
+		for f := 0; f <= src.Intn(6); f++ {
+			corrupt[src.Intn(len(corrupt))] ^= byte(1 + src.Intn(255))
+		}
+		if back, err := UnmarshalStrata(corrupt); err == nil {
+			_ = back.Estimate()
+		}
+	}
+}
+
+func TestUnmarshalRandomGarbage(t *testing.T) {
+	src := prng.New(3)
+	for trial := 0; trial < 300; trial++ {
+		n := src.Intn(200)
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = byte(src.Uint64())
+		}
+		if e, err := Unmarshal(buf); err == nil {
+			_ = e.Estimate()
+		}
+		if s, err := UnmarshalStrata(buf); err == nil {
+			_ = s.Estimate()
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := New(Params{}, 1)
+	a.Add(5, SideA)
+	b := a.Clone()
+	b.Add(6, SideA)
+	b.Add(7, SideA)
+	if a.Estimate() == b.Estimate() && b.Estimate() != 0 {
+		// Estimates could coincide; check the underlying words differ.
+		same := true
+		for i := range a.words {
+			if a.words[i] != b.words[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("clone aliases parent's buckets")
+		}
+	}
+}

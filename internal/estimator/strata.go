@@ -1,0 +1,201 @@
+package estimator
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+
+	"sosr/internal/hashing"
+	"sosr/internal/iblt"
+)
+
+// Strata is the strata estimator of [14] (Eppstein, Goodrich, Uyeda,
+// Varghese: "What's the Difference?"), the baseline the paper improves on:
+// log u strata of fixed-size IBLTs, where element x lands in the stratum
+// equal to the number of trailing zeros of a hash of x. Estimation decodes
+// strata from sparsest to densest and scales the accumulated count at the
+// first stratum that fails to decode.
+//
+// Relative to the paper's Estimator it costs an extra O(log u) factor in
+// space and an extra O(log n) factor in merge/query time (§3), which
+// experiment E5 measures.
+type Strata struct {
+	strata []*iblt.Table
+	cells  int
+	seed   uint64
+	hasher hashing.Pairwise
+}
+
+// DefaultStrataCells is the per-stratum IBLT size used by [14]-style
+// estimators (80 cells in the original paper's evaluation).
+const DefaultStrataCells = 80
+
+// NewStrata creates a strata estimator with the given number of strata
+// (default 32 when <= 0) and cells per stratum (default DefaultStrataCells).
+func NewStrata(strataCount, cells int, seed uint64) *Strata {
+	if strataCount <= 0 {
+		strataCount = 32
+	}
+	if cells <= 0 {
+		cells = DefaultStrataCells
+	}
+	s := &Strata{
+		strata: make([]*iblt.Table, strataCount),
+		cells:  cells,
+		seed:   seed,
+		hasher: hashing.NewPairwise(seed ^ 0x5742a7a),
+	}
+	for i := range s.strata {
+		s.strata[i] = iblt.NewUint64(cells, 3, seed+uint64(i)*0x9e3779b97f4a7c15)
+	}
+	return s
+}
+
+func (s *Strata) stratum(x uint64) int {
+	h := s.hasher.Hash(x)
+	l := bits.TrailingZeros64(h | (1 << 62))
+	if l >= len(s.strata) {
+		l = len(s.strata) - 1
+	}
+	return l
+}
+
+// Add records x on the given side (SideA inserts, SideB deletes, so a
+// stratum's table directly represents the per-stratum difference).
+func (s *Strata) Add(x uint64, side Side) {
+	t := s.strata[s.stratum(x)]
+	switch side {
+	case SideA:
+		t.InsertUint64(x)
+	case SideB:
+		t.DeleteUint64(x)
+	default:
+		panic("estimator: invalid side")
+	}
+}
+
+// Merge folds other into s.
+func (s *Strata) Merge(other *Strata) error {
+	if other == nil || len(s.strata) != len(other.strata) || s.seed != other.seed || s.cells != other.cells {
+		return ErrIncompatible
+	}
+	for i := range s.strata {
+		// Subtract is XOR/negate composition; for merging two halves of the
+		// same logical difference we need addition, which for IBLTs is
+		// Subtract of a negated table. Since sides were already encoded as
+		// insert/delete, plain cell-wise addition = Subtract of negation.
+		if err := s.strata[i].Subtract(negated(other.strata[i])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// negated returns a copy of t with all counts negated (keySums and checksums
+// are XOR-based and therefore unchanged).
+func negated(t *iblt.Table) *iblt.Table {
+	// Round-trip through serialization to flip counts without poking at
+	// internals: decode the raw layout, negate count fields.
+	buf := t.Marshal()
+	const header = 4 + 4 + 4 + 8
+	cellBytes := 4 + t.Width() + 8
+	for c := 0; c < t.Cells(); c++ {
+		off := header + c*cellBytes
+		v := int32(binary.LittleEndian.Uint32(buf[off:]))
+		binary.LittleEndian.PutUint32(buf[off:], uint32(-v))
+	}
+	nt, err := iblt.Unmarshal(buf)
+	if err != nil {
+		panic("estimator: internal negate round-trip failed: " + err.Error())
+	}
+	return nt
+}
+
+// Estimate decodes strata from sparsest to densest, accumulating decoded
+// difference counts; at the first stratum i that fails to decode it returns
+// 2^(i+1) times the count accumulated so far ([14] §4.2).
+func (s *Strata) Estimate() uint64 {
+	count := uint64(0)
+	for i := len(s.strata) - 1; i >= 0; i-- {
+		added, removed, err := s.strata[i].Clone().Decode()
+		if err != nil {
+			return count << uint(i+1)
+		}
+		count += uint64(len(added) + len(removed))
+	}
+	return count
+}
+
+// SerializedSize returns the exact Marshal size in bytes.
+func (s *Strata) SerializedSize() int {
+	n := 4 + 4 + 8
+	for _, t := range s.strata {
+		n += 4 + t.SerializedSize()
+	}
+	return n
+}
+
+// Marshal serializes the estimator.
+func (s *Strata) Marshal() []byte {
+	buf := make([]byte, 0, s.SerializedSize())
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(s.strata)))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(s.cells))
+	binary.LittleEndian.PutUint64(hdr[8:], s.seed)
+	buf = append(buf, hdr[:]...)
+	for _, t := range s.strata {
+		tb := t.Marshal()
+		var sz [4]byte
+		binary.LittleEndian.PutUint32(sz[:], uint32(len(tb)))
+		buf = append(buf, sz[:]...)
+		buf = append(buf, tb...)
+	}
+	return buf
+}
+
+// UnmarshalStrata parses a strata estimator serialized by Marshal.
+func UnmarshalStrata(buf []byte) (*Strata, error) {
+	if len(buf) < 16 {
+		return nil, fmt.Errorf("estimator: truncated strata header")
+	}
+	count := int(binary.LittleEndian.Uint32(buf[0:]))
+	cells := int(binary.LittleEndian.Uint32(buf[4:]))
+	seed := binary.LittleEndian.Uint64(buf[8:])
+	// Mirror NewStrata's defaulting, then reject shapes the buffer cannot
+	// possibly hold BEFORE allocating (a corrupt header must not trigger a
+	// giant allocation).
+	effCount, effCells := count, cells
+	if effCount <= 0 {
+		effCount = 32
+	}
+	if effCells <= 0 {
+		effCells = DefaultStrataCells
+	}
+	// Per-factor bounds first, so the product below cannot overflow.
+	if effCount > len(buf) || effCells > len(buf) {
+		return nil, fmt.Errorf("estimator: strata header claims %d strata x %d cells for %d bytes", effCount, effCells, len(buf))
+	}
+	perStratum := int64(4) + int64(iblt.SerializedSizeFor(effCells, 8, 3))
+	if need := 16 + int64(effCount)*perStratum; int64(len(buf)) < need {
+		return nil, fmt.Errorf("estimator: strata header claims %d strata x %d cells for %d bytes", effCount, effCells, len(buf))
+	}
+	s := NewStrata(count, cells, seed)
+	off := 16
+	for i := 0; i < count; i++ {
+		if len(buf) < off+4 {
+			return nil, fmt.Errorf("estimator: truncated stratum %d", i)
+		}
+		n := int(binary.LittleEndian.Uint32(buf[off:]))
+		off += 4
+		if len(buf) < off+n {
+			return nil, fmt.Errorf("estimator: truncated stratum %d body", i)
+		}
+		t, err := iblt.Unmarshal(buf[off : off+n])
+		if err != nil {
+			return nil, err
+		}
+		s.strata[i] = t
+		off += n
+	}
+	return s, nil
+}

@@ -1,0 +1,382 @@
+// Package field implements arithmetic over GF(p) with p = 2^61 - 1, dense
+// univariate polynomials over that field, Gaussian elimination, rational
+// function (Padé) recovery, and root extraction via Cantor–Zassenhaus
+// equal-degree splitting.
+//
+// This is the substrate for the characteristic-polynomial set reconciliation
+// of Minsky, Trachtenberg & Zippel (paper Thm 2.3): Alice evaluates her
+// characteristic polynomial at reserved points; Bob interpolates the rational
+// function χ_A/χ_B and factors numerator and denominator into linear terms.
+//
+// Set elements must lie in [0, 2^60) so the reserved evaluation points in
+// [2^60, p) can never be roots of either characteristic polynomial, which
+// preserves the paper's success-with-probability-1 guarantee.
+package field
+
+import (
+	"errors"
+	"math/bits"
+)
+
+// P is the field modulus, the Mersenne prime 2^61 - 1.
+const P uint64 = (1 << 61) - 1
+
+// EvalPointBase is the start of the reserved evaluation-point range.
+// Protocol elements must be < EvalPointBase.
+const EvalPointBase uint64 = 1 << 60
+
+// Add returns (a + b) mod P. Inputs must be < P.
+func Add(a, b uint64) uint64 {
+	s := a + b
+	if s >= P {
+		s -= P
+	}
+	return s
+}
+
+// Sub returns (a - b) mod P. Inputs must be < P.
+func Sub(a, b uint64) uint64 {
+	if a >= b {
+		return a - b
+	}
+	return a + P - b
+}
+
+// Neg returns -a mod P.
+func Neg(a uint64) uint64 {
+	if a == 0 {
+		return 0
+	}
+	return P - a
+}
+
+// Mul returns (a * b) mod P using Mersenne folding. Inputs must be < P.
+func Mul(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	// a*b = hi*2^64 + lo and 2^64 ≡ 2^3 (mod 2^61-1).
+	r := (lo & P) + (lo >> 61) + hi*8
+	r = (r & P) + (r >> 61)
+	if r >= P {
+		r -= P
+	}
+	return r
+}
+
+// Pow returns a^e mod P by square-and-multiply.
+func Pow(a, e uint64) uint64 {
+	result := uint64(1)
+	base := a % P
+	for e > 0 {
+		if e&1 == 1 {
+			result = Mul(result, base)
+		}
+		base = Mul(base, base)
+		e >>= 1
+	}
+	return result
+}
+
+// Inv returns the multiplicative inverse of a (a != 0) via Fermat's little
+// theorem. It panics on a == 0, which always indicates a programming error in
+// this codebase (division by zero in Gaussian elimination is guarded).
+func Inv(a uint64) uint64 {
+	if a%P == 0 {
+		panic("field: inverse of zero")
+	}
+	return Pow(a, P-2)
+}
+
+// Reduce maps an arbitrary word into [0, P).
+func Reduce(x uint64) uint64 {
+	r := (x & P) + (x >> 61)
+	if r >= P {
+		r -= P
+	}
+	return r
+}
+
+// EvalPoint returns the i-th reserved evaluation point. Points are distinct
+// for i < 2^60 and never collide with protocol elements.
+func EvalPoint(i int) uint64 {
+	return EvalPointBase + uint64(i)
+}
+
+// Poly is a dense polynomial over GF(P); Poly[i] is the coefficient of x^i.
+// The zero polynomial is the empty (or all-zero) slice. All exported
+// functions return normalized polynomials (no trailing zero coefficients).
+type Poly []uint64
+
+// Normalize strips trailing zero coefficients.
+func (p Poly) Normalize() Poly {
+	n := len(p)
+	for n > 0 && p[n-1] == 0 {
+		n--
+	}
+	return p[:n]
+}
+
+// Degree returns the degree of p, with -1 for the zero polynomial.
+func (p Poly) Degree() int {
+	q := p.Normalize()
+	return len(q) - 1
+}
+
+// IsZero reports whether p is the zero polynomial.
+func (p Poly) IsZero() bool { return len(p.Normalize()) == 0 }
+
+// Clone returns a copy of p.
+func (p Poly) Clone() Poly {
+	out := make(Poly, len(p))
+	copy(out, p)
+	return out
+}
+
+// Eval evaluates p at x via Horner's rule.
+func (p Poly) Eval(x uint64) uint64 {
+	acc := uint64(0)
+	for i := len(p) - 1; i >= 0; i-- {
+		acc = Add(Mul(acc, x), p[i])
+	}
+	return acc
+}
+
+// AddPoly returns p + q.
+func AddPoly(p, q Poly) Poly {
+	n := len(p)
+	if len(q) > n {
+		n = len(q)
+	}
+	out := make(Poly, n)
+	for i := range out {
+		var a, b uint64
+		if i < len(p) {
+			a = p[i]
+		}
+		if i < len(q) {
+			b = q[i]
+		}
+		out[i] = Add(a, b)
+	}
+	return out.Normalize()
+}
+
+// SubPoly returns p - q.
+func SubPoly(p, q Poly) Poly {
+	n := len(p)
+	if len(q) > n {
+		n = len(q)
+	}
+	out := make(Poly, n)
+	for i := range out {
+		var a, b uint64
+		if i < len(p) {
+			a = p[i]
+		}
+		if i < len(q) {
+			b = q[i]
+		}
+		out[i] = Sub(a, b)
+	}
+	return out.Normalize()
+}
+
+// MulPoly returns p * q (schoolbook; degrees in this codebase are O(d), the
+// set-difference bound, so quadratic multiplication matches the paper's
+// stated O(d^2)-ish subroutine costs).
+func MulPoly(p, q Poly) Poly {
+	p, q = p.Normalize(), q.Normalize()
+	if len(p) == 0 || len(q) == 0 {
+		return nil
+	}
+	out := make(Poly, len(p)+len(q)-1)
+	for i, a := range p {
+		if a == 0 {
+			continue
+		}
+		for j, b := range q {
+			out[i+j] = Add(out[i+j], Mul(a, b))
+		}
+	}
+	return out.Normalize()
+}
+
+// Scale returns c * p.
+func (p Poly) Scale(c uint64) Poly {
+	out := make(Poly, len(p))
+	for i, a := range p {
+		out[i] = Mul(a, c)
+	}
+	return out.Normalize()
+}
+
+// Monic returns p scaled so its leading coefficient is 1 (zero stays zero).
+func (p Poly) Monic() Poly {
+	q := p.Normalize()
+	if len(q) == 0 {
+		return q
+	}
+	lead := q[len(q)-1]
+	if lead == 1 {
+		return q
+	}
+	return q.Scale(Inv(lead))
+}
+
+// DivMod returns quotient and remainder of p / q. It panics if q is zero.
+func DivMod(p, q Poly) (quo, rem Poly) {
+	q = q.Normalize()
+	if len(q) == 0 {
+		panic("field: division by zero polynomial")
+	}
+	rem = p.Clone().Normalize()
+	dq := len(q) - 1
+	leadInv := Inv(q[dq])
+	if len(rem)-1 < dq {
+		return nil, rem
+	}
+	quo = make(Poly, len(rem)-dq)
+	for len(rem)-1 >= dq {
+		dr := len(rem) - 1
+		c := Mul(rem[dr], leadInv)
+		quo[dr-dq] = c
+		for i := 0; i <= dq; i++ {
+			rem[dr-dq+i] = Sub(rem[dr-dq+i], Mul(c, q[i]))
+		}
+		rem = rem.Normalize()
+		if len(rem) == 0 {
+			break
+		}
+	}
+	return quo.Normalize(), rem
+}
+
+// Mod returns p mod q.
+func Mod(p, q Poly) Poly {
+	_, r := DivMod(p, q)
+	return r
+}
+
+// GCD returns the monic greatest common divisor of p and q.
+func GCD(p, q Poly) Poly {
+	a, b := p.Normalize(), q.Normalize()
+	for len(b) != 0 {
+		a, b = b, Mod(a, b)
+	}
+	return a.Monic()
+}
+
+// FromRoots returns the monic polynomial ∏ (x - r) over the given roots —
+// the characteristic polynomial χ_S of the paper for S = roots.
+func FromRoots(roots []uint64) Poly {
+	out := Poly{1}
+	for _, r := range roots {
+		rr := r % P
+		next := make(Poly, len(out)+1)
+		for i, c := range out {
+			// (x - r) * c x^i contributes c x^{i+1} - r c x^i.
+			next[i+1] = Add(next[i+1], c)
+			next[i] = Sub(next[i], Mul(rr, c))
+		}
+		out = next
+	}
+	return out
+}
+
+// EvalProduct evaluates ∏ (x - s) at x directly in O(|set|) time without
+// building coefficients; this is how Alice computes χ_A(z_i) in O(n) per
+// point (paper Thm 2.3 running-time discussion).
+func EvalProduct(set []uint64, x uint64) uint64 {
+	acc := uint64(1)
+	for _, s := range set {
+		acc = Mul(acc, Sub(x%P, s%P))
+	}
+	return acc
+}
+
+// Derivative returns p'.
+func (p Poly) Derivative() Poly {
+	q := p.Normalize()
+	if len(q) <= 1 {
+		return nil
+	}
+	out := make(Poly, len(q)-1)
+	for i := 1; i < len(q); i++ {
+		out[i-1] = Mul(q[i], uint64(i)%P)
+	}
+	return out.Normalize()
+}
+
+// PowMod returns base^e mod m for polynomials.
+func PowMod(base Poly, e uint64, m Poly) Poly {
+	result := Poly{1}
+	b := Mod(base, m)
+	for e > 0 {
+		if e&1 == 1 {
+			result = Mod(MulPoly(result, b), m)
+		}
+		b = Mod(MulPoly(b, b), m)
+		e >>= 1
+	}
+	return result
+}
+
+// ErrNotSplitting is returned by Roots when the polynomial does not factor
+// completely into distinct linear terms (which signals a corrupted transcript
+// or an undersized difference bound in the reconciliation protocols).
+var ErrNotSplitting = errors.New("field: polynomial does not split into distinct linear factors")
+
+// Roots returns all roots of p, which must be squarefree and split into
+// distinct linear factors over GF(P); otherwise ErrNotSplitting is returned.
+// It uses Cantor–Zassenhaus equal-degree splitting with deterministic
+// pseudo-random shifts derived from seed, so both parties of a protocol (and
+// reruns of a test) extract roots identically.
+func Roots(p Poly, seed uint64) ([]uint64, error) {
+	p = p.Monic()
+	if len(p) == 0 {
+		return nil, ErrNotSplitting
+	}
+	// Keep only the part of p that splits into distinct linear factors:
+	// gcd(p, x^P - x) is the product of the distinct linear factors. If that
+	// is not all of p, p has repeated or higher-degree factors.
+	xP := PowMod(Poly{0, 1}, P, p) // x^P mod p
+	lin := GCD(SubPoly(xP, Poly{0, 1}), p)
+	if lin.Degree() != p.Degree() {
+		return nil, ErrNotSplitting
+	}
+	roots := make([]uint64, 0, p.Degree())
+	state := seed ^ 0x726f6f7473 // "roots"
+	var split func(f Poly) error
+	split = func(f Poly) error {
+		switch f.Degree() {
+		case 0:
+			return nil
+		case 1:
+			// f = x + c  =>  root = -c.
+			roots = append(roots, Neg(f[0]))
+			return nil
+		}
+		for attempt := 0; attempt < 64; attempt++ {
+			state = state*0x9e3779b97f4a7c15 + 0xbf58476d1ce4e5b9
+			a := Reduce(state ^ (state >> 29))
+			// g = gcd(f, (x+a)^((P-1)/2) - 1): each root r of f lands in g
+			// iff r+a is a quadratic residue, a 50/50 split per root.
+			h := PowMod(Poly{a, 1}, (P-1)/2, f)
+			g := GCD(SubPoly(h, Poly{1}), f)
+			if d := g.Degree(); d > 0 && d < f.Degree() {
+				if err := split(g); err != nil {
+					return err
+				}
+				quo, rem := DivMod(f, g)
+				if !rem.IsZero() {
+					return ErrNotSplitting
+				}
+				return split(quo)
+			}
+		}
+		return ErrNotSplitting
+	}
+	if err := split(p); err != nil {
+		return nil, err
+	}
+	return roots, nil
+}

@@ -1,0 +1,146 @@
+package field
+
+import "errors"
+
+// ErrInterpolation is returned when rational-function recovery fails, e.g.
+// when the true set difference exceeds the bound the caller supplied.
+var ErrInterpolation = errors.New("field: rational interpolation failed")
+
+// RecoverRational recovers monic polynomials (num, den) of degrees exactly
+// (degNum, degDen) such that num(z_i)/den(z_i) = ratio_i at every provided
+// point, reduced to lowest terms. It implements the Padé-style linear system
+// of Minsky–Trachtenberg–Zippel set reconciliation:
+//
+//	num(z) - ratio·den(z) = 0  for each evaluation point z,
+//
+// with the top coefficients pinned to 1, solved by Gaussian elimination in
+// O((degNum+degDen)^3) — the paper's O(d^3) interpolation step. When the true
+// difference is smaller than the caller's bound the system is
+// underdetermined; any solution then shares a common factor with the truth,
+// which the final gcd reduction removes.
+//
+// points and ratios must have the same length, at least degNum+degDen.
+func RecoverRational(points, ratios []uint64, degNum, degDen int) (num, den Poly, err error) {
+	if len(points) != len(ratios) {
+		return nil, nil, ErrInterpolation
+	}
+	if degNum < 0 || degDen < 0 {
+		return nil, nil, ErrInterpolation
+	}
+	unknowns := degNum + degDen
+	if unknowns == 0 {
+		return Poly{1}, Poly{1}, nil
+	}
+	if len(points) < unknowns {
+		return nil, nil, ErrInterpolation
+	}
+	// Unknown vector: num coefficients c_0..c_{degNum-1} then den coefficients
+	// q_0..q_{degDen-1}. Equation per point z with ratio r:
+	//   Σ c_j z^j - r Σ q_j z^j = r z^degDen - z^degNum.
+	rows := len(points)
+	mat := make([][]uint64, rows)
+	rhs := make([]uint64, rows)
+	for i := 0; i < rows; i++ {
+		z, r := points[i]%P, ratios[i]%P
+		row := make([]uint64, unknowns)
+		zp := uint64(1)
+		for j := 0; j < degNum; j++ {
+			row[j] = zp
+			zp = Mul(zp, z)
+		}
+		zNum := zp // zp is now z^degNum
+		zp = uint64(1)
+		for j := 0; j < degDen; j++ {
+			row[degNum+j] = Neg(Mul(r, zp))
+			zp = Mul(zp, z)
+		}
+		zDen := zp
+		mat[i] = row
+		rhs[i] = Sub(Mul(r, zDen), zNum)
+	}
+	sol, ok := SolveLinearSystem(mat, rhs)
+	if !ok {
+		return nil, nil, ErrInterpolation
+	}
+	num = make(Poly, degNum+1)
+	copy(num, sol[:degNum])
+	num[degNum] = 1
+	den = make(Poly, degDen+1)
+	copy(den, sol[degNum:])
+	den[degDen] = 1
+	// Reduce to lowest terms: when the caller's degree bound exceeded the
+	// truth, num and den share a (monic) common factor.
+	g := GCD(num, den)
+	if g.Degree() > 0 {
+		num, _ = DivMod(num, g)
+		den, _ = DivMod(den, g)
+	}
+	return num.Monic(), den.Monic(), nil
+}
+
+// SolveLinearSystem solves mat · x = rhs over GF(P) by Gaussian elimination
+// with partial pivoting, where mat has len(rhs) rows. The system may be
+// over- or under-determined: free variables are set to zero, and ok=false is
+// returned only if the system is inconsistent. mat and rhs are consumed.
+func SolveLinearSystem(mat [][]uint64, rhs []uint64) (sol []uint64, ok bool) {
+	rows := len(mat)
+	if rows == 0 {
+		return nil, true
+	}
+	cols := len(mat[0])
+	pivotRowOfCol := make([]int, cols)
+	for i := range pivotRowOfCol {
+		pivotRowOfCol[i] = -1
+	}
+	r := 0
+	for c := 0; c < cols && r < rows; c++ {
+		// Find pivot.
+		pivot := -1
+		for i := r; i < rows; i++ {
+			if mat[i][c] != 0 {
+				pivot = i
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		mat[r], mat[pivot] = mat[pivot], mat[r]
+		rhs[r], rhs[pivot] = rhs[pivot], rhs[r]
+		inv := Inv(mat[r][c])
+		for j := c; j < cols; j++ {
+			mat[r][j] = Mul(mat[r][j], inv)
+		}
+		rhs[r] = Mul(rhs[r], inv)
+		for i := 0; i < rows; i++ {
+			if i == r || mat[i][c] == 0 {
+				continue
+			}
+			f := mat[i][c]
+			for j := c; j < cols; j++ {
+				mat[i][j] = Sub(mat[i][j], Mul(f, mat[r][j]))
+			}
+			rhs[i] = Sub(rhs[i], Mul(f, rhs[r]))
+		}
+		pivotRowOfCol[c] = r
+		r++
+	}
+	// Inconsistency check: a zero row with nonzero rhs.
+	for i := r; i < rows; i++ {
+		if rhs[i] != 0 {
+			return nil, false
+		}
+	}
+	sol = make([]uint64, cols)
+	for c := 0; c < cols; c++ {
+		if pr := pivotRowOfCol[c]; pr >= 0 {
+			sol[c] = rhs[pr]
+		}
+	}
+	// Verify (handles pivot rows that still reference free columns).
+	// After full reduction rows are in RREF, so substituting free vars = 0
+	// requires adjusting pivots by the free columns' coefficients — but those
+	// coefficients multiply zero, so sol as built already satisfies pivot
+	// rows. Nothing further to do.
+	return sol, true
+}

@@ -1,0 +1,249 @@
+package forest
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"sosr/internal/core"
+	"sosr/internal/hashing"
+	"sosr/internal/transport"
+)
+
+// Forest reconciliation (Theorem 6.1). Each vertex contributes one child
+// multiset M_v = { mark(sig(v)) } ∪ { sig(c) : c a child of v }, where
+// mark() flags the parent entry; the collection {M_v} is a multiset of
+// multisets (identical subtrees contribute identical M_v), reconciled with
+// the §3 machinery. A single edge update changes the signatures of at most
+// σ vertices (its ancestors), so O(dσ) changes occur across the collection.
+// Bob rebuilds Alice's forest from the recovered collection: root
+// signatures are those whose vertex count exceeds their child-occurrence
+// count, and each signature's children multiset is determined by its unique
+// M_v group.
+
+// Protocol errors.
+var (
+	// ErrRebuild indicates the recovered signature collection was not a
+	// consistent forest (hash collision or transcript corruption).
+	ErrRebuild = errors.New("forest: signature collection is not a consistent forest")
+	// ErrBudget indicates reconciliation failed within the given budget.
+	ErrBudget = errors.New("forest: reconciliation budget too small")
+)
+
+// ReconParams configures forest reconciliation.
+type ReconParams struct {
+	// Sigma is σ, the maximum tree depth over both forests.
+	Sigma int
+	// D bounds the number of forest edge edits.
+	D int
+	// Budget overrides the element-change budget passed to the sets-of-sets
+	// protocol; 0 derives a bound from D and Sigma.
+	Budget int
+}
+
+// sigMask truncates signatures to 47 bits so the parent-mark bit and the
+// multiset count field fit in a packed word.
+const sigMask = (1 << 47) - 1
+
+// markParent flags a signature as the parent entry of its M_v.
+func markParent(sig uint64) uint64 { return 1<<47 | (sig & sigMask) }
+
+// childEntry is a child's signature entry.
+func childEntry(sig uint64) uint64 { return sig & sigMask }
+
+// VertexMultisets builds the M_v collection for a forest under sig.
+func VertexMultisets(f *Forest, sigs []uint64) [][]uint64 {
+	children := f.Children()
+	out := make([][]uint64, f.N())
+	for v := range out {
+		mv := []uint64{markParent(sigs[v])}
+		for _, c := range children[v] {
+			mv = append(mv, childEntry(sigs[c]))
+		}
+		out[v] = mv
+	}
+	return out
+}
+
+// Recon runs the Theorem 6.1 protocol: one round (plus the shared
+// sets-of-sets transmission), O(dσ log dσ log n) bits. Bob ends with a
+// forest isomorphic to Alice's.
+func Recon(sess *transport.Session, coins hashing.Coins, fa, fb *Forest, p ReconParams) (*Forest, transport.Stats, error) {
+	if p.D < 1 {
+		p.D = 1
+	}
+	if p.Sigma < 1 {
+		s := fa.Depth()
+		if sb := fb.Depth(); sb > s {
+			s = sb
+		}
+		p.Sigma = s + 1
+	}
+	budget := p.Budget
+	if budget <= 0 {
+		// Each edit re-signs at most σ ancestors; each re-signed vertex
+		// changes its own M_v and its parent's, costing ≲4 packed elements
+		// plus multiplicity-tag churn. Callers wanting certainty can pass a
+		// larger Budget or use ReconAuto's verified doubling.
+		budget = 4*p.D*(p.Sigma+2) + 16
+	}
+	sigSeed := coins.Seed("forest/ahu", 0)
+
+	// --- Alice ---
+	sigsA := HashSignatures(fa, sigSeed)
+	parentA, err := core.EncodeMultisetParent(VertexMultisets(fa, sigsA))
+	if err != nil {
+		return nil, transport.Stats{}, err
+	}
+	// n travels alongside so Bob can verify the rebuilt vertex count.
+	var meta [8]byte
+	binary.LittleEndian.PutUint64(meta[:], uint64(fa.N()))
+
+	// --- Bob's encoding ---
+	sigsB := HashSignatures(fb, sigSeed)
+	parentB, err := core.EncodeMultisetParent(VertexMultisets(fb, sigsB))
+	if err != nil {
+		return nil, transport.Stats{}, err
+	}
+
+	maxChild := 2
+	for _, cs := range parentA {
+		if len(cs) > maxChild {
+			maxChild = len(cs)
+		}
+	}
+	for _, cs := range parentB {
+		if len(cs) > maxChild {
+			maxChild = len(cs)
+		}
+	}
+	params := core.Params{S: fa.N() + fb.N(), H: maxChild + 2*budget, U: 0}
+	res, err := core.CascadeKnownD(sess, coins.Sub("forest/sig", 0), parentA, parentB, params, budget)
+	if err != nil {
+		return nil, transport.Stats{}, fmt.Errorf("%w: %v", ErrBudget, err)
+	}
+	metaMsg := sess.Send(transport.Alice, "forest-meta", meta[:])
+
+	// --- Bob: rebuild. ---
+	wantN := int(binary.LittleEndian.Uint64(metaMsg))
+	rebuilt, err := Rebuild(res.Recovered, wantN)
+	if err != nil {
+		return nil, transport.Stats{}, err
+	}
+	return rebuilt, sess.Stats(), nil
+}
+
+// ReconAuto retries Recon with doubling budgets until Bob verifies, for
+// callers without a good d·σ bound (the Corollary 3.8 doubling applied to
+// forests). Bob acknowledges each attempt.
+func ReconAuto(sess *transport.Session, coins hashing.Coins, fa, fb *Forest, maxBudget int) (*Forest, transport.Stats, error) {
+	if maxBudget <= 0 {
+		maxBudget = 1 << 20
+	}
+	var lastErr error
+	for budget, k := 16, 0; budget <= maxBudget; budget, k = budget*2, k+1 {
+		out, _, err := Recon(sess, coins.Sub("forest-attempt", k), fa, fb, ReconParams{Sigma: 1, D: 1, Budget: budget})
+		if err == nil {
+			sess.Send(transport.Bob, "ack", []byte{1})
+			return out, sess.Stats(), nil
+		}
+		lastErr = err
+		sess.Send(transport.Bob, "retry", []byte{0})
+	}
+	return nil, sess.Stats(), fmt.Errorf("%w: %v", ErrBudget, lastErr)
+}
+
+// Rebuild reconstructs a forest (up to isomorphism) from a recovered
+// collection of tagged M_v child sets produced by core.EncodeMultisetParent.
+// wantN, when positive, is verified against the rebuilt vertex count.
+func Rebuild(parent [][]uint64, wantN int) (*Forest, error) {
+	inner, counts, err := core.DecodeMultisetParent(parent)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrRebuild, err)
+	}
+	type group struct {
+		children map[uint64]int // child signature -> multiplicity per copy
+		count    int            // vertices with this signature
+	}
+	groups := map[uint64]*group{}
+	childOccur := map[uint64]int{}
+	for i, mv := range inner {
+		var parentSig uint64
+		seenParent := false
+		children := map[uint64]int{}
+		for _, x := range mv {
+			if x>>47 == 1 {
+				if seenParent {
+					return nil, fmt.Errorf("%w: two parent marks in one M_v", ErrRebuild)
+				}
+				seenParent = true
+				parentSig = x & sigMask
+				continue
+			}
+			children[x&sigMask]++
+		}
+		if !seenParent {
+			return nil, fmt.Errorf("%w: M_v missing parent mark", ErrRebuild)
+		}
+		if _, dup := groups[parentSig]; dup {
+			return nil, fmt.Errorf("%w: signature appears in two distinct M_v groups", ErrRebuild)
+		}
+		groups[parentSig] = &group{children: children, count: counts[i]}
+		for q, m := range children {
+			childOccur[q] += m * counts[i]
+		}
+	}
+	// Root multiplicities.
+	totalVertices := 0
+	for _, g := range groups {
+		totalVertices += g.count
+	}
+	if wantN > 0 && totalVertices != wantN {
+		return nil, fmt.Errorf("%w: rebuilt %d vertices, want %d", ErrRebuild, totalVertices, wantN)
+	}
+	f := New(totalVertices)
+	next := 0
+	var build func(sig uint64, parentIdx int, depth int) error
+	build = func(sig uint64, parentIdx int, depth int) error {
+		if depth > totalVertices {
+			return fmt.Errorf("%w: cycle in signature graph", ErrRebuild)
+		}
+		g, ok := groups[sig]
+		if !ok {
+			return fmt.Errorf("%w: unknown child signature", ErrRebuild)
+		}
+		if next >= totalVertices {
+			return fmt.Errorf("%w: vertex overflow", ErrRebuild)
+		}
+		v := next
+		next++
+		f.Parent[v] = int32(parentIdx)
+		for q, m := range g.children {
+			for c := 0; c < m; c++ {
+				if err := build(q, v, depth+1); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	for sig, g := range groups {
+		rootCount := g.count - childOccur[sig]
+		if rootCount < 0 {
+			return nil, fmt.Errorf("%w: negative root count", ErrRebuild)
+		}
+		for r := 0; r < rootCount; r++ {
+			if err := build(sig, -1, 1); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if next != totalVertices {
+		return nil, fmt.Errorf("%w: built %d of %d vertices", ErrRebuild, next, totalVertices)
+	}
+	return f, nil
+}
+
+// encodeParent is a package-internal alias of core.EncodeMultisetParent used
+// by tests.
+func encodeParent(inner [][]uint64) ([][]uint64, error) { return core.EncodeMultisetParent(inner) }

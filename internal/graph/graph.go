@@ -1,0 +1,364 @@
+// Package graph provides the graph substrate for the paper's §4–§5
+// applications: bitset-adjacency undirected graphs, Erdős–Rényi G(n,p)
+// generation, bounded edge perturbation (the paper's reconciliation model:
+// Alice and Bob each hold a ≤ d/2-edge perturbation of a common base graph),
+// exact isomorphism testing for verification, and canonical forms for tiny
+// graphs (used by the Theorem 4.1/4.3 polynomial protocols and the Figure 1
+// witness search).
+package graph
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"sosr/internal/prng"
+)
+
+// Graph is an undirected simple graph on vertices 0..N-1 with bitset
+// adjacency rows.
+type Graph struct {
+	N   int
+	adj [][]uint64 // N rows of ceil(N/64) words
+}
+
+// New returns an empty graph on n vertices.
+func New(n int) *Graph {
+	words := (n + 63) / 64
+	adj := make([][]uint64, n)
+	backing := make([]uint64, n*words)
+	for i := range adj {
+		adj[i], backing = backing[:words:words], backing[words:]
+	}
+	return &Graph{N: n, adj: adj}
+}
+
+// Clone returns a deep copy.
+func (g *Graph) Clone() *Graph {
+	out := New(g.N)
+	for i := range g.adj {
+		copy(out.adj[i], g.adj[i])
+	}
+	return out
+}
+
+// AddEdge inserts edge {u, v}; self-loops are rejected.
+func (g *Graph) AddEdge(u, v int) {
+	if u == v {
+		panic("graph: self-loop")
+	}
+	g.adj[u][v/64] |= 1 << (v % 64)
+	g.adj[v][u/64] |= 1 << (u % 64)
+}
+
+// RemoveEdge deletes edge {u, v} if present.
+func (g *Graph) RemoveEdge(u, v int) {
+	g.adj[u][v/64] &^= 1 << (v % 64)
+	g.adj[v][u/64] &^= 1 << (u % 64)
+}
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool {
+	return g.adj[u][v/64]&(1<<(v%64)) != 0
+}
+
+// ToggleEdge flips edge {u, v} and reports whether it is now present.
+func (g *Graph) ToggleEdge(u, v int) bool {
+	if g.HasEdge(u, v) {
+		g.RemoveEdge(u, v)
+		return false
+	}
+	g.AddEdge(u, v)
+	return true
+}
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int) int {
+	d := 0
+	for _, w := range g.adj[v] {
+		d += bits.OnesCount64(w)
+	}
+	return d
+}
+
+// Degrees returns all vertex degrees.
+func (g *Graph) Degrees() []int {
+	out := make([]int, g.N)
+	for v := range out {
+		out[v] = g.Degree(v)
+	}
+	return out
+}
+
+// EdgeCount returns |E|.
+func (g *Graph) EdgeCount() int {
+	total := 0
+	for v := 0; v < g.N; v++ {
+		total += g.Degree(v)
+	}
+	return total / 2
+}
+
+// Edges returns all edges as (u, v) pairs with u < v.
+func (g *Graph) Edges() [][2]int {
+	var out [][2]int
+	for u := 0; u < g.N; u++ {
+		g.EachNeighbor(u, func(v int) {
+			if u < v {
+				out = append(out, [2]int{u, v})
+			}
+		})
+	}
+	return out
+}
+
+// EachNeighbor calls f for every neighbor of u in increasing order.
+func (g *Graph) EachNeighbor(u int, f func(v int)) {
+	for wi, w := range g.adj[u] {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			f(wi*64 + b)
+			w &= w - 1
+		}
+	}
+}
+
+// Neighbors returns the sorted neighbor list of u.
+func (g *Graph) Neighbors(u int) []int {
+	var out []int
+	g.EachNeighbor(u, func(v int) { out = append(out, v) })
+	return out
+}
+
+// Equal reports whether two graphs are identical as labeled graphs.
+func (g *Graph) Equal(o *Graph) bool {
+	if g.N != o.N {
+		return false
+	}
+	for i := range g.adj {
+		for j := range g.adj[i] {
+			if g.adj[i][j] != o.adj[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Relabel returns the graph with vertex i renamed to perm[i].
+func (g *Graph) Relabel(perm []int) *Graph {
+	if len(perm) != g.N {
+		panic("graph: bad permutation length")
+	}
+	out := New(g.N)
+	for u := 0; u < g.N; u++ {
+		g.EachNeighbor(u, func(v int) {
+			if u < v {
+				out.AddEdge(perm[u], perm[v])
+			}
+		})
+	}
+	return out
+}
+
+// Gnp samples an Erdős–Rényi G(n, p) graph.
+func Gnp(n int, p float64, src *prng.Source) *Graph {
+	g := New(n)
+	if p <= 0 {
+		return g
+	}
+	if p >= 1 {
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				g.AddEdge(u, v)
+			}
+		}
+		return g
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if src.Float64() < p {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// Perturb returns a copy of g with exactly k distinct vertex pairs toggled
+// (the paper's "at most d/2 edge changes"), plus the list of toggled pairs.
+// It panics if k exceeds the number of vertex pairs.
+func Perturb(g *Graph, k int, src *prng.Source) (*Graph, [][2]int) {
+	if maxPairs := g.N * (g.N - 1) / 2; k > maxPairs {
+		panic(fmt.Sprintf("graph: cannot toggle %d distinct pairs on %d vertices (max %d)", k, g.N, maxPairs))
+	}
+	out := g.Clone()
+	seen := map[[2]int]bool{}
+	var flips [][2]int
+	for len(flips) < k {
+		u, v := src.Intn(g.N), src.Intn(g.N)
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		key := [2]int{u, v}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out.ToggleEdge(u, v)
+		flips = append(flips, key)
+	}
+	return out, flips
+}
+
+// EditDistanceLabeled returns the number of edge differences between two
+// labeled graphs on the same vertex set.
+func EditDistanceLabeled(a, b *Graph) int {
+	if a.N != b.N {
+		panic("graph: size mismatch")
+	}
+	d := 0
+	for i := range a.adj {
+		for j := range a.adj[i] {
+			d += bits.OnesCount64(a.adj[i][j] ^ b.adj[i][j])
+		}
+	}
+	return d / 2
+}
+
+// String returns a compact textual form (for diagnostics).
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph(n=%d, m=%d)", g.N, g.EdgeCount())
+}
+
+// IsIsomorphic decides graph isomorphism exactly via iterated degree
+// refinement plus backtracking. Intended for verification in tests and the
+// experiment harness (random graphs refine to discrete partitions almost
+// always, so this is fast in practice; worst case exponential, as it must
+// be).
+func IsIsomorphic(a, b *Graph) bool {
+	if a.N != b.N || a.EdgeCount() != b.EdgeCount() {
+		return false
+	}
+	n := a.N
+	colA := refine(a, nil)
+	colB := refine(b, nil)
+	if !sameColorHistogram(colA, colB) {
+		return false
+	}
+	// Backtracking on vertices in order of ascending color-class size.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	classSize := map[uint64]int{}
+	for _, c := range colA {
+		classSize[c]++
+	}
+	sort.Slice(order, func(i, j int) bool {
+		si, sj := classSize[colA[order[i]]], classSize[colA[order[j]]]
+		if si != sj {
+			return si < sj
+		}
+		return order[i] < order[j]
+	})
+	mapping := make([]int, n)
+	used := make([]bool, n)
+	for i := range mapping {
+		mapping[i] = -1
+	}
+	var try func(idx int) bool
+	try = func(idx int) bool {
+		if idx == n {
+			return true
+		}
+		u := order[idx]
+		for v := 0; v < n; v++ {
+			if used[v] || colB[v] != colA[u] {
+				continue
+			}
+			ok := true
+			for w := 0; w < n; w++ {
+				if mapping[w] >= 0 && a.HasEdge(u, w) != b.HasEdge(v, mapping[w]) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			mapping[u] = v
+			used[v] = true
+			if try(idx + 1) {
+				return true
+			}
+			mapping[u] = -1
+			used[v] = false
+		}
+		return false
+	}
+	return try(0)
+}
+
+// refine runs 1-dimensional Weisfeiler–Leman color refinement to a fixed
+// point and returns per-vertex colors.
+func refine(g *Graph, initial []uint64) []uint64 {
+	n := g.N
+	col := make([]uint64, n)
+	if initial != nil {
+		copy(col, initial)
+	} else {
+		for v := 0; v < n; v++ {
+			col[v] = uint64(g.Degree(v))
+		}
+	}
+	next := make([]uint64, n)
+	for round := 0; round < n; round++ {
+		changed := false
+		for v := 0; v < n; v++ {
+			var ms []uint64
+			g.EachNeighbor(v, func(w int) { ms = append(ms, col[w]) })
+			sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
+			h := col[v] ^ 0x9e3779b97f4a7c15
+			for _, m := range ms {
+				h = (h ^ prng.Mix64(m)) * 0x100000001b3
+			}
+			next[v] = prng.Mix64(h)
+		}
+		distinctBefore := countDistinct(col)
+		copy(col, next)
+		if countDistinct(col) == distinctBefore {
+			break
+		}
+		changed = true
+		_ = changed
+	}
+	return col
+}
+
+func countDistinct(xs []uint64) int {
+	m := map[uint64]bool{}
+	for _, x := range xs {
+		m[x] = true
+	}
+	return len(m)
+}
+
+func sameColorHistogram(a, b []uint64) bool {
+	m := map[uint64]int{}
+	for _, x := range a {
+		m[x]++
+	}
+	for _, x := range b {
+		m[x]--
+	}
+	for _, v := range m {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,221 @@
+package graph
+
+import "math/bits"
+
+// Tiny-graph canonical machinery for the unlimited-computation protocols of
+// §4 (Theorems 4.1 and 4.3) and the Figure 1 witness search. A graph on
+// n ≤ 11 vertices is a code: bit k of the code is edge (u,v) where k indexes
+// pairs in lexicographic order. The canonical code of a graph is the minimum
+// code over all vertex permutations — exactly the "first graph in increasing
+// lexicographical order which is isomorphic" used by the paper's folklore
+// protocol.
+
+// MaxTinyN bounds the tiny-graph helpers (C(11,2) = 55 bits fits a uint64).
+const MaxTinyN = 11
+
+// PairCount returns C(n, 2).
+func PairCount(n int) int { return n * (n - 1) / 2 }
+
+// pairIndex maps u < v to the lexicographic pair index.
+func pairIndex(n, u, v int) int {
+	// Pairs (0,1),(0,2),...,(0,n-1),(1,2),...
+	return u*n - u*(u+1)/2 + (v - u - 1)
+}
+
+// Code returns the edge-bit code of g (g.N must be ≤ MaxTinyN).
+func Code(g *Graph) uint64 {
+	if g.N > MaxTinyN {
+		panic("graph: too large for tiny code")
+	}
+	var code uint64
+	for u := 0; u < g.N; u++ {
+		for v := u + 1; v < g.N; v++ {
+			if g.HasEdge(u, v) {
+				code |= 1 << pairIndex(g.N, u, v)
+			}
+		}
+	}
+	return code
+}
+
+// FromCode builds the graph on n vertices with the given edge-bit code.
+func FromCode(n int, code uint64) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if code&(1<<pairIndex(n, u, v)) != 0 {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// CanonicalCode returns the minimum code over all vertex permutations: the
+// index of the lexicographically first graph isomorphic to g.
+func CanonicalCode(g *Graph) uint64 {
+	n := g.N
+	if n > 8 {
+		panic("graph: CanonicalCode limited to n <= 8 (n! permutations)")
+	}
+	best := ^uint64(0)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	// Heap's algorithm over perm; evaluate code of relabeled graph.
+	var visit func(k int)
+	eval := func() {
+		var code uint64
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if g.HasEdge(u, v) {
+					a, b := perm[u], perm[v]
+					if a > b {
+						a, b = b, a
+					}
+					code |= 1 << pairIndex(n, a, b)
+				}
+			}
+		}
+		if code < best {
+			best = code
+		}
+	}
+	visit = func(k int) {
+		if k == 1 {
+			eval()
+			return
+		}
+		for i := 0; i < k; i++ {
+			visit(k - 1)
+			if k%2 == 0 {
+				perm[i], perm[k-1] = perm[k-1], perm[i]
+			} else {
+				perm[0], perm[k-1] = perm[k-1], perm[0]
+			}
+		}
+	}
+	visit(n)
+	return best
+}
+
+// TinyIsomorphic is an exact isomorphism test for tiny graphs via canonical
+// codes.
+func TinyIsomorphic(a, b *Graph) bool {
+	if a.N != b.N {
+		return false
+	}
+	return CanonicalCode(a) == CanonicalCode(b)
+}
+
+// Figure1Witness is a concrete instance of the paper's Figure 1: two graphs
+// where no single-graph edge addition makes them isomorphic, but two
+// different one-edge-each additions produce two isomorphic pairs whose
+// results are not isomorphic to each other.
+type Figure1Witness struct {
+	N      int
+	G1, G2 *Graph
+	E1, F1 [2]int // G1+E1 ≅ G2+F1 =: X
+	E2, F2 [2]int // G1+E2 ≅ G2+F2 =: Y, X ≇ Y
+	MergeX *Graph
+	MergeY *Graph
+}
+
+// FindFigure1Witness searches all pairs of graphs on n vertices (n ≤ 6
+// recommended) for a Figure 1 witness, returning the first found.
+func FindFigure1Witness(n int) *Figure1Witness {
+	pairs := PairCount(n)
+	total := uint64(1) << pairs
+	// Group codes by canonical form; keep one representative per class.
+	reps := map[uint64]uint64{} // canonical -> min code
+	for code := uint64(0); code < total; code++ {
+		c := CanonicalCode(FromCode(n, code))
+		if _, ok := reps[c]; !ok {
+			reps[c] = code
+		}
+	}
+	type classInfo struct {
+		canon uint64
+		code  uint64
+		edges int
+	}
+	var classes []classInfo
+	for canon, code := range reps {
+		classes = append(classes, classInfo{canon, code, bits.OnesCount64(code)})
+	}
+	// Deterministic order.
+	for i := 0; i < len(classes); i++ {
+		for j := i + 1; j < len(classes); j++ {
+			if classes[j].canon < classes[i].canon {
+				classes[i], classes[j] = classes[j], classes[i]
+			}
+		}
+	}
+	// successors(code) = canonical forms reachable by adding one edge,
+	// with a representative (edge, result) per canonical form.
+	type succ struct {
+		edge [2]int
+		code uint64
+	}
+	successors := func(code uint64) map[uint64]succ {
+		out := map[uint64]succ{}
+		g := FromCode(n, code)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if g.HasEdge(u, v) {
+					continue
+				}
+				next := code | (1 << pairIndex(n, u, v))
+				c := CanonicalCode(FromCode(n, next))
+				if _, ok := out[c]; !ok {
+					out[c] = succ{edge: [2]int{u, v}, code: next}
+				}
+			}
+		}
+		return out
+	}
+	for i := range classes {
+		si := successors(classes[i].code)
+		for j := range classes {
+			if i == j || classes[i].edges != classes[j].edges {
+				continue
+			}
+			// Condition 1: adding an edge to only one graph cannot work
+			// (edge counts differ by one, so isomorphism is impossible by
+			// edge count — automatically satisfied for equal-size pairs;
+			// the interesting part is condition 2).
+			sj := successors(classes[j].code)
+			var common []uint64
+			for c := range si {
+				if _, ok := sj[c]; ok {
+					common = append(common, c)
+				}
+			}
+			if len(common) < 2 {
+				continue
+			}
+			// Deterministic pick of two distinct merge results.
+			a, b := common[0], common[1]
+			for _, c := range common {
+				if c < a {
+					b, a = a, c
+				} else if c != a && c < b {
+					b = c
+				}
+			}
+			return &Figure1Witness{
+				N:      n,
+				G1:     FromCode(n, classes[i].code),
+				G2:     FromCode(n, classes[j].code),
+				E1:     si[a].edge,
+				F1:     sj[a].edge,
+				E2:     si[b].edge,
+				F2:     sj[b].edge,
+				MergeX: FromCode(n, si[a].code),
+				MergeY: FromCode(n, si[b].code),
+			}
+		}
+	}
+	return nil
+}

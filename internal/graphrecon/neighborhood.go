@@ -1,0 +1,252 @@
+package graphrecon
+
+import (
+	"fmt"
+	"sort"
+
+	"sosr/internal/core"
+	"sosr/internal/graph"
+	"sosr/internal/hashing"
+	"sosr/internal/iblt"
+	"sosr/internal/setrecon"
+	"sosr/internal/setutil"
+	"sosr/internal/transport"
+)
+
+// The §5.2 degree-neighborhood scheme. A vertex's signature D_v is the
+// multiset of the degrees (at most m ≈ pn) of its neighbors. Signatures are
+// reconciled as a set of multisets; conforming vertices stay close while
+// non-conforming pairs stay far whenever the base graph's degree
+// neighborhoods are sufficiently disjoint (Definition 5.4, Theorem 5.5), so
+// closest-signature matching yields a conforming labeling and the labeled
+// edges reconcile as usual.
+//
+// Threshold note (documented deviation): the paper claims a conforming pair
+// satisfies |D_vA ⊕ D_vB| ≤ 2d, counting "one or two" element changes per
+// signature per edge flip. A vertex adjacent to both endpoints of a flipped
+// edge changes by up to 4 elements per flip, so this implementation uses the
+// conservative conforming threshold 4d and correspondingly requires the base
+// graph to be (m, 8d+1)-disjoint — the same protocol with safe constants.
+
+// NeighborhoodParams configures the §5.2 scheme.
+type NeighborhoodParams struct {
+	// M is the degree threshold (the paper's pn): only neighbor degrees ≤ M
+	// enter a signature.
+	M int
+	// D bounds the total number of edge changes between the two graphs.
+	D int
+	// SigBudget bounds the total packed-element changes across all
+	// signatures (the paper's O(d·pn)); 0 derives 10·D·M + 16.
+	SigBudget int
+}
+
+// DegreeSignature returns v's degree-neighborhood multiset (sorted).
+func DegreeSignature(g *graph.Graph, v, m int) []uint64 {
+	var out []uint64
+	g.EachNeighbor(v, func(w int) {
+		if deg := g.Degree(w); deg <= m {
+			out = append(out, uint64(deg))
+		}
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AllDegreeSignatures computes every vertex's signature.
+func AllDegreeSignatures(g *graph.Graph, m int) [][]uint64 {
+	degs := g.Degrees()
+	out := make([][]uint64, g.N)
+	for v := 0; v < g.N; v++ {
+		var sig []uint64
+		g.EachNeighbor(v, func(w int) {
+			if degs[w] <= m {
+				sig = append(sig, uint64(degs[w]))
+			}
+		})
+		sort.Slice(sig, func(i, j int) bool { return sig[i] < sig[j] })
+		out[v] = sig
+	}
+	return out
+}
+
+// AreNeighborhoodsDisjoint checks Definition 5.4 for all vertex pairs: every
+// two distinct vertices' degree neighborhoods (threshold m) differ in at
+// least k multiset elements.
+func AreNeighborhoodsDisjoint(g *graph.Graph, m, k int) bool {
+	sigs := AllDegreeSignatures(g, m)
+	for i := 0; i < g.N; i++ {
+		for j := i + 1; j < g.N; j++ {
+			if setrecon.MultisetSymDiff(sigs[i], sigs[j]) < k {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// NeighborhoodRecon runs the Theorem 5.6 protocol: signatures reconciled as
+// a set of multisets via the cascading protocol, closest-signature matching
+// with the 2d threshold, and labeled-edge reconciliation in the same round.
+// Returns Bob's copy of Alice's graph under Alice's labeling.
+func NeighborhoodRecon(sess *transport.Session, coins hashing.Coins, ga, gb *graph.Graph, p NeighborhoodParams) (*graph.Graph, transport.Stats, error) {
+	if ga.N != gb.N {
+		return nil, transport.Stats{}, fmt.Errorf("graphrecon: vertex count mismatch")
+	}
+	n, d := ga.N, p.D
+	budget := p.SigBudget
+	if budget <= 0 {
+		budget = 10*p.D*p.M + 16
+	}
+
+	// --- Alice ---
+	sigsA := AllDegreeSignatures(ga, p.M)
+	packedA, err := packSignatures(sigsA)
+	if err != nil {
+		return nil, transport.Stats{}, err
+	}
+	sortedA := setutil.CloneSets(packedA)
+	setutil.SortSets(sortedA)
+	labelA := packedLabeling(packedA, sortedA)
+	edgeSetA := labeledEdgeSet(ga, labelA)
+	edgeSeed := coins.Seed("graphrecon/nbr-edges", 0)
+	edgeT := iblt.NewUint64(iblt.CellsFor(d), 0, edgeSeed)
+	for _, e := range edgeSetA {
+		edgeT.InsertUint64(e)
+	}
+	edgePayload := append(edgeT.Marshal(), u64le(setutil.Hash(coins.Seed("graphrecon/nbr-edgeverify", 0), edgeSetA))...)
+
+	// --- Bob's signature side ---
+	sigsB := AllDegreeSignatures(gb, p.M)
+	packedB, err := packSignatures(sigsB)
+	if err != nil {
+		return nil, transport.Stats{}, err
+	}
+
+	parentA, err := signatureParent(asMap(packedA))
+	if err != nil {
+		return nil, transport.Stats{}, err
+	}
+	parentB, err := signatureParent(asMap(packedB))
+	if err != nil {
+		return nil, transport.Stats{}, err
+	}
+	sigParams := core.Params{S: n, H: maxChildSize(parentA, parentB) + 2*budget, U: 0}
+	res, err := core.CascadeKnownD(sess, coins.Sub("graphrecon/nbr-sig", 0), parentA, parentB, sigParams, budget)
+	if err != nil {
+		return nil, transport.Stats{}, fmt.Errorf("graphrecon: signature reconciliation: %w", err)
+	}
+	edgeMsg := sess.Send(transport.Alice, "edge-iblt", edgePayload)
+
+	// --- Bob: conforming labeling by closest signature. ---
+	aliceSorted := res.Recovered // canonical order from core
+	labelB := make([]int, n)
+	for v := 0; v < n; v++ {
+		sB := packedB[v]
+		r := sigRank(aliceSorted, sB)
+		if r < len(aliceSorted) && setutil.Equal(aliceSorted[r], sB) {
+			labelB[v] = r
+			continue
+		}
+		found := -1
+		for idx, sA := range aliceSorted {
+			if setrecon.MultisetSymDiff(setrecon.SetToMultiset(sA), sigsB[v]) <= 4*d {
+				if found >= 0 {
+					return nil, transport.Stats{}, fmt.Errorf("%w: ambiguous match for vertex %d", ErrNoConformingMatch, v)
+				}
+				found = idx
+			}
+		}
+		if found < 0 {
+			return nil, transport.Stats{}, fmt.Errorf("%w: vertex %d", ErrNoConformingMatch, v)
+		}
+		labelB[v] = found
+	}
+	recovered, err := applyNeighborhoodEdges(edgeMsg, gb, labelB, n, coins)
+	if err != nil {
+		return nil, transport.Stats{}, err
+	}
+	return recovered, sess.Stats(), nil
+}
+
+func applyNeighborhoodEdges(edgeMsg []byte, gb *graph.Graph, labelB []int, n int, coins hashing.Coins) (*graph.Graph, error) {
+	// Identical to applyEdgeRecon but under the nbr verification label.
+	if len(edgeMsg) < 8 {
+		return nil, fmt.Errorf("graphrecon: short edge message")
+	}
+	wantHash := leU64(edgeMsg[len(edgeMsg)-8:])
+	t, err := iblt.Unmarshal(edgeMsg[:len(edgeMsg)-8])
+	if err != nil {
+		return nil, err
+	}
+	edgeSetB := labeledEdgeSet(gb, labelB)
+	for _, e := range edgeSetB {
+		t.DeleteUint64(e)
+	}
+	add, rem, err := t.DecodeUint64()
+	if err != nil {
+		return nil, fmt.Errorf("graphrecon: edge IBLT decode: %w", err)
+	}
+	edgesA := setutil.ApplyDiff(edgeSetB, add, rem)
+	if setutil.Hash(coins.Seed("graphrecon/nbr-edgeverify", 0), edgesA) != wantHash {
+		return nil, ErrVerify
+	}
+	out := graph.New(n)
+	for _, k := range edgesA {
+		u, v := edgeFromKey(k)
+		if u == v || u >= n || v >= n {
+			return nil, fmt.Errorf("graphrecon: corrupt edge key %d", k)
+		}
+		out.AddEdge(u, v)
+	}
+	return out, nil
+}
+
+// packSignatures converts per-vertex degree multisets into packed sets.
+func packSignatures(sigs [][]uint64) ([][]uint64, error) {
+	out := make([][]uint64, len(sigs))
+	for v, s := range sigs {
+		packed, err := setrecon.MultisetToSet(s)
+		if err != nil {
+			return nil, fmt.Errorf("graphrecon: vertex %d signature: %w", v, err)
+		}
+		out[v] = packed
+	}
+	return out, nil
+}
+
+// packedLabeling labels vertex v by the rank of its packed signature.
+func packedLabeling(packed, sorted [][]uint64) []int {
+	label := make([]int, len(packed))
+	for v, s := range packed {
+		label[v] = sigRank(sorted, s)
+	}
+	return label
+}
+
+func asMap(packed [][]uint64) map[int][]uint64 {
+	m := make(map[int][]uint64, len(packed))
+	for v, s := range packed {
+		m[v] = s
+	}
+	return m
+}
+
+func maxChildSize(parents ...[][]uint64) int {
+	max := 1
+	for _, p := range parents {
+		for _, cs := range p {
+			if len(cs) > max {
+				max = len(cs)
+			}
+		}
+	}
+	return max
+}
+
+func leU64(b []byte) uint64 {
+	var x uint64
+	for i := 7; i >= 0; i-- {
+		x = x<<8 | uint64(b[i])
+	}
+	return x
+}

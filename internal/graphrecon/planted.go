@@ -1,0 +1,114 @@
+package graphrecon
+
+import (
+	"fmt"
+
+	"sosr/internal/graph"
+	"sosr/internal/prng"
+	"sosr/internal/setutil"
+)
+
+// PlantedSeparated generates a graph that is (h, a, b)-separated by
+// construction, with margins wide enough that the separation survives d
+// total edge perturbations, i.e. the returned graph satisfies
+// IsSeparated(g, h, 2(d+1), 4d+3).
+//
+// Why planted: Theorem 5.3 guarantees separation of G(n, p) with high
+// probability only at very large n — the top-h degree gaps of d+1 require
+// the extreme order statistics of Binomial(n, p) to spread out, which does
+// not happen below n ≈ 10^5..10^6 (experiment E11 measures this honestly).
+// To exercise the Theorem 5.2 *protocol* at laptop scale we plant the
+// separation: top-h anchor vertices receive forced degree gaps via exact
+// column sums, non-top signature rows are rejected until pairwise Hamming
+// distance is ample, and the non-anchor subgraph stays Erdős–Rényi. This is
+// a workload substitution, not a protocol change (see DESIGN.md).
+func PlantedSeparated(n, d int, p float64, src *prng.Source) (*graph.Graph, int, error) {
+	h := 12 * (d + 1)
+	if h < 48 {
+		h = 48
+	}
+	if n < 6*h {
+		return nil, 0, fmt.Errorf("graphrecon: n=%d too small for planted h=%d (need ≥ %d)", n, h, 6*h)
+	}
+	nonTop := n - h
+	// Anchor j gets exactly baseCol + (h-j)·gap non-top neighbors and no
+	// anchor-anchor edges, so anchor degrees are exact with gaps ≥ d+2.
+	gap := d + 2
+	colRange := h * gap
+	baseCol := (nonTop - colRange) / 2
+	if baseCol < nonTop/6 {
+		return nil, 0, fmt.Errorf("graphrecon: column sums exceed non-top count; raise n (n=%d, h=%d, d=%d)", n, h, d)
+	}
+	// Inner (non-anchor) edges stay sparse enough that every non-anchor
+	// degree sits below the smallest anchor degree with 6σ of margin.
+	minTopDeg := float64(baseCol + gap)
+	pInner := 0.5 * (minTopDeg - float64(h) - float64(4*(d+2))) / float64(nonTop)
+	if pInner < 0.005 {
+		return nil, 0, fmt.Errorf("graphrecon: no room for inner edges; raise n")
+	}
+	if pInner > p {
+		pInner = p
+	}
+
+	for attempt := 0; attempt < 60; attempt++ {
+		g := graph.New(n)
+		for j := 0; j < h; j++ {
+			size := baseCol + (h-j)*gap
+			perm := src.Perm(nonTop)
+			for _, v := range perm[:size] {
+				g.AddEdge(j, h+v)
+			}
+		}
+		for i := 0; i < nonTop; i++ {
+			for j := i + 1; j < nonTop; j++ {
+				if src.Float64() < pInner {
+					g.AddEdge(h+i, h+j)
+				}
+			}
+		}
+		// Shuffle labels so anchors are not positionally identifiable.
+		shuffled := g.Relabel(src.Perm(n))
+		if IsSeparated(shuffled, h, d+1, 2*d+1) {
+			return shuffled, h, nil
+		}
+	}
+	return nil, 0, fmt.Errorf("graphrecon: planted generation failed after retries (n=%d d=%d p=%v)", n, d, p)
+}
+
+// SeparationRate empirically measures how often G(n, p) is (h, a, b)-
+// separated for the best h ≤ hMax: the E11 experiment reporting the honest
+// gap between Theorem 5.3's asymptotics and laptop-scale n.
+func SeparationRate(n int, p float64, a, b, hMax, trials int, src *prng.Source) (rate float64, bestH int) {
+	hits := 0
+	for t := 0; t < trials; t++ {
+		g := graph.Gnp(n, p, src)
+		if h := MaxSeparatedH(g, a, b, hMax); h > 0 {
+			hits++
+			if h > bestH {
+				bestH = h
+			}
+		}
+	}
+	return float64(hits) / float64(trials), bestH
+}
+
+// MinNeighborhoodDisjointness returns the minimum pairwise degree-
+// neighborhood multiset distance at threshold m — the largest k for which
+// the graph is (m, k)-disjoint (Definition 5.4). Used by E12 and tests to
+// derive the supported d for a sampled graph.
+func MinNeighborhoodDisjointness(g *graph.Graph, m int) int {
+	sigs := AllDegreeSignatures(g, m)
+	min := 1 << 30
+	for i := 0; i < g.N; i++ {
+		for j := i + 1; j < g.N; j++ {
+			// The sorted-merge difference count is multiset-correct.
+			if d := setutil.SymmetricDiff(sigs[i], sigs[j]); d < min {
+				min = d
+			}
+		}
+	}
+	if min == 1<<30 {
+		return 0
+	}
+	return min
+}

@@ -1,0 +1,414 @@
+// Package iblt implements Invertible Bloom Lookup Tables (Goodrich &
+// Mitzenmacher; paper §2, Theorem 2.1) with the extensions the paper's
+// protocols need:
+//
+//   - signed counts, so a table can represent two disjoint sets (added keys
+//     with +1 counts and deleted keys with -1 counts) and a subtracted pair
+//     of tables decodes to the symmetric difference;
+//   - per-cell checksums to validate peels, since a ±1 count may hide several
+//     colliding keys from both sides;
+//   - vector-valued keys of a fixed byte width, so an entire child-set
+//     encoding (a serialized child IBLT plus a set hash) can itself be a key
+//     inside a parent IBLT — the "IBLTs of IBLTs" of §3.2;
+//   - deterministic construction from shared public coins, so Alice and Bob
+//     build structurally identical tables without communication;
+//   - compact serialization, so transmitted tables are measured in real
+//     bytes by the transport layer.
+package iblt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"sosr/internal/hashing"
+	"sosr/internal/prng"
+)
+
+// DefaultHashCount is the number of hash functions (k in the paper); 4 gives
+// a comfortable peeling threshold at the small table sizes reconciliation
+// uses.
+const DefaultHashCount = 4
+
+// WordWidth is the key width, in bytes, for ordinary uint64-keyed tables.
+const WordWidth = 8
+
+// ErrDecodeFailed indicates the peeling process stalled with keys left in
+// the table (a detectable failure per §2: "peeling failures ... are entirely
+// detectable as keys will remain in the IBLT").
+var ErrDecodeFailed = errors.New("iblt: decode failed (peeling stalled)")
+
+// ErrWidthMismatch indicates two tables with different key widths or cell
+// counts were combined.
+var ErrWidthMismatch = errors.New("iblt: incompatible table shapes")
+
+// Table is an invertible Bloom lookup table over fixed-width byte-string
+// keys. The zero value is not usable; construct with New.
+type Table struct {
+	k       int    // number of hash functions; cells are partitioned into k ranges
+	cells   int    // total number of cells (multiple of k)
+	width   int    // key width in bytes
+	seed    uint64 // base seed; hash i uses seed+i, checksum uses seed^checksumSalt
+	counts  []int32
+	keySums []byte // cells * width bytes
+	checks  []uint64
+}
+
+const checksumSalt = 0x635f73756d5f6b65
+
+// New creates a table with at least cells cells (rounded up to a multiple of
+// the hash count k) for keys of the given byte width, with hashes derived
+// from seed. cells and width must be positive; k defaults to
+// DefaultHashCount when 0.
+func New(cells, width, k int, seed uint64) *Table {
+	if k <= 0 {
+		k = DefaultHashCount
+	}
+	if cells < k {
+		cells = k
+	}
+	if rem := cells % k; rem != 0 {
+		cells += k - rem
+	}
+	if width <= 0 {
+		panic("iblt: non-positive key width")
+	}
+	return &Table{
+		k:       k,
+		cells:   cells,
+		width:   width,
+		seed:    seed,
+		counts:  make([]int32, cells),
+		keySums: make([]byte, cells*width),
+		checks:  make([]uint64, cells),
+	}
+}
+
+// NewUint64 creates a table for uint64 keys.
+func NewUint64(cells, k int, seed uint64) *Table {
+	return New(cells, WordWidth, k, seed)
+}
+
+// Cells returns the number of cells.
+func (t *Table) Cells() int { return t.cells }
+
+// Width returns the key width in bytes.
+func (t *Table) Width() int { return t.width }
+
+// HashCount returns k.
+func (t *Table) HashCount() int { return t.k }
+
+// Seed returns the seed the table was built with.
+func (t *Table) Seed() uint64 { return t.seed }
+
+// cellIndexes computes the k distinct cells for a key, one per partition
+// (the paper's "partitioned hash table, with each hash function having m/k
+// cells").
+func (t *Table) cellIndexes(key []byte, out []int) []int {
+	per := t.cells / t.k
+	out = out[:0]
+	for i := 0; i < t.k; i++ {
+		h := hashing.HashBytes(t.seed+uint64(i)*0x9e3779b97f4a7c15+1, key)
+		out = append(out, i*per+int(h%uint64(per)))
+	}
+	return out
+}
+
+func (t *Table) checksum(key []byte) uint64 {
+	return hashing.HashBytes(t.seed^checksumSalt, key)
+}
+
+func (t *Table) xorKey(cell int, key []byte) {
+	base := cell * t.width
+	for i, b := range key {
+		t.keySums[base+i] ^= b
+	}
+}
+
+func (t *Table) update(key []byte, delta int32) {
+	if len(key) != t.width {
+		panic(fmt.Sprintf("iblt: key width %d != table width %d", len(key), t.width))
+	}
+	var idxBuf [8]int
+	for _, c := range t.cellIndexes(key, idxBuf[:0]) {
+		t.counts[c] += delta
+		t.xorKey(c, key)
+		t.checks[c] ^= t.checksum(key)
+	}
+}
+
+// Insert adds a key to the table.
+func (t *Table) Insert(key []byte) { t.update(key, 1) }
+
+// Delete removes a key from the table; counts may go negative, which is how
+// a single table represents a difference of two sets (§2).
+func (t *Table) Delete(key []byte) { t.update(key, -1) }
+
+// InsertUint64 adds a word key (width must be WordWidth).
+func (t *Table) InsertUint64(x uint64) {
+	var buf [WordWidth]byte
+	binary.LittleEndian.PutUint64(buf[:], x)
+	t.Insert(buf[:])
+}
+
+// DeleteUint64 removes a word key.
+func (t *Table) DeleteUint64(x uint64) {
+	var buf [WordWidth]byte
+	binary.LittleEndian.PutUint64(buf[:], x)
+	t.Delete(buf[:])
+}
+
+// Clone returns a deep copy.
+func (t *Table) Clone() *Table {
+	out := &Table{
+		k: t.k, cells: t.cells, width: t.width, seed: t.seed,
+		counts:  append([]int32(nil), t.counts...),
+		keySums: append([]byte(nil), t.keySums...),
+		checks:  append([]uint64(nil), t.checks...),
+	}
+	return out
+}
+
+// Subtract folds other into t cell-by-cell (t -= other). After Alice's table
+// is subtracted by Bob's, decoding yields SA\SB as added keys and SB\SA as
+// removed keys. Tables must have identical shape and seed.
+func (t *Table) Subtract(other *Table) error {
+	if t.cells != other.cells || t.width != other.width || t.k != other.k || t.seed != other.seed {
+		return ErrWidthMismatch
+	}
+	for i := range t.counts {
+		t.counts[i] -= other.counts[i]
+		t.checks[i] ^= other.checks[i]
+	}
+	for i := range t.keySums {
+		t.keySums[i] ^= other.keySums[i]
+	}
+	return nil
+}
+
+// IsEmpty reports whether every cell is zeroed (a successful full peel).
+func (t *Table) IsEmpty() bool {
+	for i := range t.counts {
+		if t.counts[i] != 0 || t.checks[i] != 0 {
+			return false
+		}
+	}
+	for _, b := range t.keySums {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Decode runs the peeling process and returns the keys with net +1 counts
+// (added) and net -1 counts (removed). On a stall it returns what was peeled
+// so far along with ErrDecodeFailed; the table is consumed either way. Use
+// Clone first if the original must be preserved.
+func (t *Table) Decode() (added, removed [][]byte, err error) {
+	queue := make([]int, 0, t.cells)
+	for c := 0; c < t.cells; c++ {
+		if t.purable(c) {
+			queue = append(queue, c)
+		}
+	}
+	var idxBuf [8]int
+	for len(queue) > 0 {
+		c := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		if !t.purable(c) {
+			continue // cell changed since enqueued
+		}
+		key := append([]byte(nil), t.keySums[c*t.width:(c+1)*t.width]...)
+		sign := t.counts[c]
+		if sign == 1 {
+			added = append(added, key)
+		} else {
+			removed = append(removed, key)
+		}
+		// Remove the key from all its cells (adding it back when it was a
+		// deletion), which may create new pure cells.
+		for _, ci := range t.cellIndexes(key, idxBuf[:0]) {
+			t.counts[ci] -= sign
+			t.xorKey(ci, key)
+			t.checks[ci] ^= t.checksum(key)
+			if t.purable(ci) {
+				queue = append(queue, ci)
+			}
+		}
+	}
+	if !t.IsEmpty() {
+		return added, removed, ErrDecodeFailed
+	}
+	return added, removed, nil
+}
+
+// purable reports whether cell c holds exactly one key: |count| == 1 and the
+// checksum of the key sum matches the checksum sum (§2's guard against
+// mixed-sign collisions that net to ±1).
+func (t *Table) purable(c int) bool {
+	if t.counts[c] != 1 && t.counts[c] != -1 {
+		return false
+	}
+	return t.checksum(t.keySums[c*t.width:(c+1)*t.width]) == t.checks[c]
+}
+
+// DecodeUint64 decodes a word-keyed table into uint64 slices.
+func (t *Table) DecodeUint64() (added, removed []uint64, err error) {
+	a, r, err := t.Decode()
+	added = make([]uint64, len(a))
+	for i, k := range a {
+		added[i] = binary.LittleEndian.Uint64(k)
+	}
+	removed = make([]uint64, len(r))
+	for i, k := range r {
+		removed[i] = binary.LittleEndian.Uint64(k)
+	}
+	return added, removed, err
+}
+
+// SerializedSize returns the exact number of bytes Marshal produces for a
+// table of this shape: a fixed header plus (4 + width + 8) bytes per cell.
+func (t *Table) SerializedSize() int {
+	return headerSize + t.cells*(4+t.width+8)
+}
+
+// SerializedSizeFor computes the Marshal size for a hypothetical table, used
+// by protocols when budgeting communication.
+func SerializedSizeFor(cells, width, k int) int {
+	if k <= 0 {
+		k = DefaultHashCount
+	}
+	if cells < k {
+		cells = k
+	}
+	if rem := cells % k; rem != 0 {
+		cells += k - rem
+	}
+	return headerSize + cells*(4+width+8)
+}
+
+const headerSize = 4 + 4 + 4 + 8 // k, cells, width, seed
+
+// Marshal serializes the table. The layout is fixed-width so an encoding of
+// a child IBLT can be XORed inside a parent table: equal-shaped empty tables
+// serialize to equal bytes, and every field is position-stable.
+func (t *Table) Marshal() []byte {
+	buf := make([]byte, t.SerializedSize())
+	binary.LittleEndian.PutUint32(buf[0:], uint32(t.k))
+	binary.LittleEndian.PutUint32(buf[4:], uint32(t.cells))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(t.width))
+	binary.LittleEndian.PutUint64(buf[12:], t.seed)
+	off := headerSize
+	for c := 0; c < t.cells; c++ {
+		binary.LittleEndian.PutUint32(buf[off:], uint32(t.counts[c]))
+		off += 4
+		copy(buf[off:], t.keySums[c*t.width:(c+1)*t.width])
+		off += t.width
+		binary.LittleEndian.PutUint64(buf[off:], t.checks[c])
+		off += 8
+	}
+	return buf
+}
+
+// Unmarshal parses a table serialized by Marshal.
+func Unmarshal(buf []byte) (*Table, error) {
+	if len(buf) < headerSize {
+		return nil, fmt.Errorf("iblt: truncated header (%d bytes)", len(buf))
+	}
+	k := int(binary.LittleEndian.Uint32(buf[0:]))
+	cells := int(binary.LittleEndian.Uint32(buf[4:]))
+	width := int(binary.LittleEndian.Uint32(buf[8:]))
+	seed := binary.LittleEndian.Uint64(buf[12:])
+	if k <= 0 || cells <= 0 || width <= 0 || cells%k != 0 {
+		return nil, fmt.Errorf("iblt: malformed header k=%d cells=%d width=%d", k, cells, width)
+	}
+	// Validate the claimed shape against the actual buffer BEFORE any
+	// allocation, so a corrupt or hostile header cannot trigger a giant
+	// allocation (64-bit arithmetic avoids overflow games).
+	need64 := int64(headerSize) + int64(cells)*int64(4+width+8)
+	if int64(len(buf)) < need64 {
+		return nil, fmt.Errorf("iblt: truncated body (%d < %d bytes)", len(buf), need64)
+	}
+	t := New(cells, width, k, seed)
+	need := t.SerializedSize()
+	if len(buf) < need {
+		return nil, fmt.Errorf("iblt: truncated body (%d < %d bytes)", len(buf), need)
+	}
+	off := headerSize
+	for c := 0; c < cells; c++ {
+		t.counts[c] = int32(binary.LittleEndian.Uint32(buf[off:]))
+		off += 4
+		copy(t.keySums[c*width:(c+1)*width], buf[off:off+width])
+		off += width
+		t.checks[c] = binary.LittleEndian.Uint64(buf[off:])
+		off += 8
+	}
+	return t, nil
+}
+
+// CellsFor returns the recommended number of cells for decoding a set
+// difference of at most d keys with good probability at practical sizes.
+// Theorem 2.1 says O(d) cells suffice; the constant here (2 plus slack for
+// tiny d) is validated empirically by the E3 experiment rather than assumed —
+// peeling thresholds are asymptotic, and small tables need extra headroom.
+func CellsFor(d int) int {
+	if d < 1 {
+		d = 1
+	}
+	c := 2*d + 10
+	if c < 16 {
+		c = 16
+	}
+	return c
+}
+
+// CellsTight is a lower-slack variant of CellsFor used for the per-level
+// child IBLTs of Algorithm 2, where occasional decode failures at low levels
+// are by design recovered at higher levels (paper Thm 3.7's X_i/Y_i events),
+// so communication-optimal sizing wins over per-table reliability.
+func CellsTight(d int) int {
+	if d < 1 {
+		d = 1
+	}
+	c := (d*9 + 4) / 5 // 1.8 * d
+	if c < 8 {
+		c = 8
+	}
+	return c
+}
+
+// Entries returns the multiset of (count, key) currently visible per cell;
+// intended for diagnostics and tests only.
+func (t *Table) Entries() []CellView {
+	out := make([]CellView, t.cells)
+	for c := 0; c < t.cells; c++ {
+		out[c] = CellView{
+			Count:    t.counts[c],
+			KeySum:   append([]byte(nil), t.keySums[c*t.width:(c+1)*t.width]...),
+			Checksum: t.checks[c],
+		}
+	}
+	return out
+}
+
+// CellView is a read-only snapshot of one cell.
+type CellView struct {
+	Count    int32
+	KeySum   []byte
+	Checksum uint64
+}
+
+// FuzzSeededKey is a helper for property tests: produces a deterministic
+// pseudo-random key of the table's width from a word.
+func (t *Table) FuzzSeededKey(x uint64) []byte {
+	key := make([]byte, t.width)
+	s := x
+	for i := 0; i < t.width; i += 8 {
+		v := prng.SplitMix64(&s)
+		for j := 0; j < 8 && i+j < t.width; j++ {
+			key[i+j] = byte(v >> (8 * j))
+		}
+	}
+	return key
+}

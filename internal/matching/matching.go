@@ -1,0 +1,122 @@
+// Package matching implements minimum-cost bipartite matching (the Hungarian
+// algorithm in its Jonker–Volgenant shortest-augmenting-path form). The
+// paper defines d, the total number of differences between two sets of sets,
+// as "the value of the minimum cost matching between Alice and Bob's child
+// sets, where the cost of matching two sets is equal to their set
+// difference" (§3.1). This package computes that ground truth for workload
+// generation, test assertions and experiment reporting.
+package matching
+
+import "math"
+
+// Inf is the cost used for forbidden assignments.
+const Inf = math.MaxInt64 / 4
+
+// MinCost solves the rectangular assignment problem for the cost matrix
+// cost[i][j] (rows ≤ cols required; pad externally otherwise). It returns
+// the assignment (rowAssign[i] = chosen column) and the total cost.
+//
+// Complexity O(rows^2 · cols); exact.
+func MinCost(cost [][]int64) (rowAssign []int, total int64) {
+	n := len(cost)
+	if n == 0 {
+		return nil, 0
+	}
+	m := len(cost[0])
+	if n > m {
+		panic("matching: more rows than columns; pad the matrix")
+	}
+	// 1-indexed potentials, JV algorithm.
+	u := make([]int64, n+1)
+	v := make([]int64, m+1)
+	p := make([]int, m+1) // p[j] = row assigned to column j
+	way := make([]int, m+1)
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]int64, m+1)
+		used := make([]bool, m+1)
+		for j := range minv {
+			minv[j] = Inf
+		}
+		for {
+			used[j0] = true
+			i0, delta, j1 := p[j0], int64(Inf), -1
+			for j := 1; j <= m; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= m; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+			if j0 == 0 {
+				break
+			}
+		}
+	}
+	rowAssign = make([]int, n)
+	for j := 1; j <= m; j++ {
+		if p[j] > 0 {
+			rowAssign[p[j]-1] = j - 1
+		}
+	}
+	for i := 1; i <= n; i++ {
+		total += cost[i-1][rowAssign[i-1]]
+	}
+	return rowAssign, total
+}
+
+// SetOfSetsDistance computes the paper's d between two parent sets: the
+// minimum-cost matching between child sets where cost is the symmetric
+// difference, with unmatched child sets (when the parent sets have different
+// cardinality) matched against the empty set.
+func SetOfSetsDistance(a, b [][]uint64, symDiff func(x, y []uint64) int) int64 {
+	// Pad the smaller side with empty sets so the matrix is square.
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	if n == 0 {
+		return 0
+	}
+	cost := make([][]int64, n)
+	for i := range cost {
+		cost[i] = make([]int64, n)
+		for j := range cost[i] {
+			var x, y []uint64
+			if i < len(a) {
+				x = a[i]
+			}
+			if j < len(b) {
+				y = b[j]
+			}
+			cost[i][j] = int64(symDiff(x, y))
+		}
+	}
+	_, total := MinCost(cost)
+	return total
+}

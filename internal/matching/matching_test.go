@@ -1,0 +1,132 @@
+package matching
+
+import (
+	"testing"
+
+	"sosr/internal/prng"
+)
+
+func TestMinCostSimple(t *testing.T) {
+	cost := [][]int64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	assign, total := MinCost(cost)
+	if total != 5 { // 1 + 2 + 2
+		t.Fatalf("total = %d, want 5", total)
+	}
+	seen := map[int]bool{}
+	for _, j := range assign {
+		if seen[j] {
+			t.Fatal("column assigned twice")
+		}
+		seen[j] = true
+	}
+}
+
+func TestMinCostRectangular(t *testing.T) {
+	cost := [][]int64{
+		{10, 1, 10, 10},
+		{10, 10, 2, 10},
+	}
+	assign, total := MinCost(cost)
+	if total != 3 || assign[0] != 1 || assign[1] != 2 {
+		t.Fatalf("assign=%v total=%d", assign, total)
+	}
+}
+
+func TestMinCostEmpty(t *testing.T) {
+	if _, total := MinCost(nil); total != 0 {
+		t.Fatal("empty matrix nonzero cost")
+	}
+}
+
+func TestMinCostAgainstBruteForce(t *testing.T) {
+	src := prng.New(3)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + src.Intn(5)
+		cost := make([][]int64, n)
+		for i := range cost {
+			cost[i] = make([]int64, n)
+			for j := range cost[i] {
+				cost[i][j] = int64(src.Intn(20))
+			}
+		}
+		_, got := MinCost(cost)
+		want := bruteForce(cost)
+		if got != want {
+			t.Fatalf("trial %d: hungarian %d != brute force %d (%v)", trial, got, want, cost)
+		}
+	}
+}
+
+func bruteForce(cost [][]int64) int64 {
+	n := len(cost)
+	perm := make([]int, n)
+	used := make([]bool, n)
+	best := int64(1) << 60
+	var rec func(i int, acc int64)
+	rec = func(i int, acc int64) {
+		if acc >= best {
+			return
+		}
+		if i == n {
+			best = acc
+			return
+		}
+		for j := 0; j < n; j++ {
+			if !used[j] {
+				used[j] = true
+				perm[i] = j
+				rec(i+1, acc+cost[i][j])
+				used[j] = false
+			}
+		}
+	}
+	rec(0, 0)
+	return best
+}
+
+func TestSetOfSetsDistance(t *testing.T) {
+	symDiff := func(a, b []uint64) int {
+		m := map[uint64]int{}
+		for _, x := range a {
+			m[x]++
+		}
+		for _, x := range b {
+			m[x]--
+		}
+		d := 0
+		for _, v := range m {
+			if v < 0 {
+				v = -v
+			}
+			d += v
+		}
+		return d
+	}
+	a := [][]uint64{{1, 2}, {10}}
+	b := [][]uint64{{10}, {1, 3}}
+	if got := SetOfSetsDistance(a, b, symDiff); got != 2 {
+		t.Fatalf("distance = %d, want 2", got)
+	}
+	// Unequal sizes pad with empty sets.
+	c := [][]uint64{{1, 2}}
+	d := [][]uint64{{1, 2}, {5, 6, 7}}
+	if got := SetOfSetsDistance(c, d, symDiff); got != 3 {
+		t.Fatalf("distance = %d, want 3", got)
+	}
+	if got := SetOfSetsDistance(nil, nil, symDiff); got != 0 {
+		t.Fatalf("empty distance = %d", got)
+	}
+}
+
+func TestMinCostPanicsOnTallMatrix(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for rows > cols")
+		}
+	}()
+	MinCost([][]int64{{1}, {2}})
+}

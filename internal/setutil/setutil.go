@@ -1,0 +1,237 @@
+// Package setutil provides canonical-set helpers shared by every protocol:
+// sorting/deduplication, symmetric differences, applying a decoded difference
+// to a set, canonical serialization, and order-invariant set hashing.
+//
+// Throughout the repository a "set" is a []uint64 in canonical form: strictly
+// increasing, no duplicates. The paper's universe of size u maps to the
+// element range [0, 2^60) so that elements embed into GF(2^61-1) with room
+// for reserved evaluation points (see internal/field).
+package setutil
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"sosr/internal/hashing"
+)
+
+// MaxElement is the largest universe element supported by protocols that use
+// the characteristic-polynomial subroutine (elements must embed into
+// GF(2^61-1) below the reserved evaluation-point range).
+const MaxElement uint64 = 1<<60 - 1
+
+// Canonical returns a canonical (sorted, deduplicated) copy of xs.
+func Canonical(xs []uint64) []uint64 {
+	out := make([]uint64, len(xs))
+	copy(out, xs)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return dedupSorted(out)
+}
+
+// IsCanonical reports whether xs is strictly increasing.
+func IsCanonical(xs []uint64) bool {
+	for i := 1; i < len(xs); i++ {
+		if xs[i-1] >= xs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func dedupSorted(xs []uint64) []uint64 {
+	if len(xs) == 0 {
+		return xs
+	}
+	w := 1
+	for i := 1; i < len(xs); i++ {
+		if xs[i] != xs[w-1] {
+			xs[w] = xs[i]
+			w++
+		}
+	}
+	return xs[:w]
+}
+
+// SymmetricDiff returns |a ⊕ b| for canonical sets a and b.
+func SymmetricDiff(a, b []uint64) int {
+	i, j, d := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			d++
+			i++
+		case a[i] > b[j]:
+			d++
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	return d + (len(a) - i) + (len(b) - j)
+}
+
+// Diff returns a \ b and b \ a for canonical sets.
+func Diff(a, b []uint64) (onlyA, onlyB []uint64) {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			onlyA = append(onlyA, a[i])
+			i++
+		case a[i] > b[j]:
+			onlyB = append(onlyB, b[j])
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	onlyA = append(onlyA, a[i:]...)
+	onlyB = append(onlyB, b[j:]...)
+	return onlyA, onlyB
+}
+
+// ApplyDiff returns base with `remove` taken out and `add` put in, in
+// canonical form. It is how Bob turns his own child set plus a decoded
+// difference into Alice's child set. Elements of remove not present in base
+// are ignored; duplicates in add are deduplicated.
+func ApplyDiff(base, add, remove []uint64) []uint64 {
+	rm := make(map[uint64]struct{}, len(remove))
+	for _, x := range remove {
+		rm[x] = struct{}{}
+	}
+	out := make([]uint64, 0, len(base)+len(add))
+	for _, x := range base {
+		if _, ok := rm[x]; !ok {
+			out = append(out, x)
+		}
+	}
+	out = append(out, add...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return dedupSorted(out)
+}
+
+// Equal reports whether two canonical sets are equal.
+func Equal(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports whether canonical set a contains x.
+func Contains(a []uint64, x uint64) bool {
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= x })
+	return i < len(a) && a[i] == x
+}
+
+// Encode serializes a canonical set as a length-prefixed little-endian word
+// list. The inverse is Decode.
+func Encode(xs []uint64) []byte {
+	buf := make([]byte, 4+8*len(xs))
+	binary.LittleEndian.PutUint32(buf, uint32(len(xs)))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(buf[4+8*i:], x)
+	}
+	return buf
+}
+
+// Decode parses a set serialized by Encode. It returns the set and the number
+// of bytes consumed, or ok=false on malformed input.
+func Decode(buf []byte) (xs []uint64, n int, ok bool) {
+	if len(buf) < 4 {
+		return nil, 0, false
+	}
+	m := int(binary.LittleEndian.Uint32(buf))
+	need := 4 + 8*m
+	if m < 0 || len(buf) < need {
+		return nil, 0, false
+	}
+	xs = make([]uint64, m)
+	for i := 0; i < m; i++ {
+		xs[i] = binary.LittleEndian.Uint64(buf[4+8*i:])
+	}
+	return xs, need, true
+}
+
+// Hash returns an order-invariant hash of the canonical set under seed; it is
+// the per-child-set hash the protocols attach to encodings (paper §3.2).
+func Hash(seed uint64, xs []uint64) uint64 {
+	return hashing.HashUint64s(seed, xs)
+}
+
+// Clone returns a copy of xs.
+func Clone(xs []uint64) []uint64 {
+	out := make([]uint64, len(xs))
+	copy(out, xs)
+	return out
+}
+
+// CloneSets deep-copies a slice of sets.
+func CloneSets(ss [][]uint64) [][]uint64 {
+	out := make([][]uint64, len(ss))
+	for i, s := range ss {
+		out[i] = Clone(s)
+	}
+	return out
+}
+
+// SortSets orders a slice of canonical sets lexicographically; used to
+// canonicalize parent sets before hashing or comparing sets of sets.
+func SortSets(ss [][]uint64) {
+	sort.Slice(ss, func(i, j int) bool { return LessSets(ss[i], ss[j]) })
+}
+
+// LessSets is the lexicographic order on canonical sets.
+func LessSets(a, b []uint64) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// EqualSetOfSets reports whether two parent sets contain exactly the same
+// child sets (as multisets of canonical child sets).
+func EqualSetOfSets(a, b [][]uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	ac, bc := CloneSets(a), CloneSets(b)
+	SortSets(ac)
+	SortSets(bc)
+	for i := range ac {
+		if !Equal(ac[i], bc[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// HashSetOfSets returns an order-invariant hash of a whole parent set: the
+// hash Alice sends so Bob can verify a recovered set of sets (paper §3.2,
+// amplification discussion).
+func HashSetOfSets(seed uint64, ss [][]uint64) uint64 {
+	hs := make([]uint64, len(ss))
+	for i, s := range ss {
+		hs[i] = Hash(seed^0xa5a5a5a5a5a5a5a5, s)
+	}
+	sort.Slice(hs, func(i, j int) bool { return hs[i] < hs[j] })
+	return hashing.HashUint64s(seed, hs)
+}
+
+// TotalSize returns the sum of child set sizes (the paper's n).
+func TotalSize(ss [][]uint64) int {
+	n := 0
+	for _, s := range ss {
+		n += len(s)
+	}
+	return n
+}

@@ -1,0 +1,167 @@
+package setutil
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCanonical(t *testing.T) {
+	got := Canonical([]uint64{5, 1, 5, 3, 1})
+	want := []uint64{1, 3, 5}
+	if !Equal(got, want) {
+		t.Fatalf("canonical = %v", got)
+	}
+	if !IsCanonical(got) {
+		t.Fatal("IsCanonical rejects canonical output")
+	}
+	if IsCanonical([]uint64{2, 2}) || IsCanonical([]uint64{3, 1}) {
+		t.Fatal("IsCanonical accepts bad input")
+	}
+	if len(Canonical(nil)) != 0 {
+		t.Fatal("canonical of nil not empty")
+	}
+}
+
+func TestSymmetricDiffAndDiff(t *testing.T) {
+	a := []uint64{1, 2, 3, 10}
+	b := []uint64{2, 3, 4}
+	if SymmetricDiff(a, b) != 3 {
+		t.Fatalf("symdiff = %d", SymmetricDiff(a, b))
+	}
+	onlyA, onlyB := Diff(a, b)
+	if !Equal(onlyA, []uint64{1, 10}) || !Equal(onlyB, []uint64{4}) {
+		t.Fatalf("diff = %v / %v", onlyA, onlyB)
+	}
+}
+
+func TestSymmetricDiffProperties(t *testing.T) {
+	f := func(xs, ys []uint64) bool {
+		a, b := Canonical(xs), Canonical(ys)
+		// Symmetry and identity.
+		if SymmetricDiff(a, b) != SymmetricDiff(b, a) {
+			return false
+		}
+		if SymmetricDiff(a, a) != 0 {
+			return false
+		}
+		// Consistency with Diff.
+		onlyA, onlyB := Diff(a, b)
+		return SymmetricDiff(a, b) == len(onlyA)+len(onlyB)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyDiffRoundTrip(t *testing.T) {
+	f := func(xs, ys []uint64) bool {
+		a, b := Canonical(xs), Canonical(ys)
+		onlyA, onlyB := Diff(a, b)
+		// b + onlyA - onlyB == a.
+		return Equal(ApplyDiff(b, onlyA, onlyB), a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContains(t *testing.T) {
+	a := []uint64{1, 5, 9}
+	if !Contains(a, 5) || Contains(a, 4) || Contains(nil, 0) {
+		t.Fatal("Contains broken")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(xs []uint64) bool {
+		a := Canonical(xs)
+		buf := Encode(a)
+		back, n, ok := Decode(buf)
+		return ok && n == len(buf) && Equal(back, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := Decode([]byte{1, 2}); ok {
+		t.Fatal("truncated decode accepted")
+	}
+	if _, _, ok := Decode([]byte{255, 255, 255, 255}); ok {
+		t.Fatal("oversized count accepted")
+	}
+}
+
+func TestHashOrderInvariantViaCanonical(t *testing.T) {
+	a := Canonical([]uint64{3, 1, 2})
+	b := Canonical([]uint64{2, 3, 1})
+	if Hash(7, a) != Hash(7, b) {
+		t.Fatal("hash differs on equal canonical sets")
+	}
+	if Hash(7, a) == Hash(8, a) {
+		t.Fatal("seed ignored")
+	}
+	if Hash(7, []uint64{1}) == Hash(7, []uint64{2}) {
+		t.Fatal("trivial collision")
+	}
+}
+
+func TestSortAndLessSets(t *testing.T) {
+	ss := [][]uint64{{2}, {1, 5}, {1, 2}, {}}
+	SortSets(ss)
+	if len(ss[0]) != 0 || !Equal(ss[1], []uint64{1, 2}) || !Equal(ss[2], []uint64{1, 5}) || !Equal(ss[3], []uint64{2}) {
+		t.Fatalf("sorted = %v", ss)
+	}
+	if !LessSets([]uint64{1}, []uint64{1, 0}) {
+		t.Fatal("prefix not less")
+	}
+	if LessSets([]uint64{2}, []uint64{1, 9}) {
+		t.Fatal("ordering wrong")
+	}
+}
+
+func TestEqualSetOfSets(t *testing.T) {
+	a := [][]uint64{{1, 2}, {3}}
+	b := [][]uint64{{3}, {1, 2}}
+	if !EqualSetOfSets(a, b) {
+		t.Fatal("order of child sets should not matter")
+	}
+	c := [][]uint64{{3}, {1, 4}}
+	if EqualSetOfSets(a, c) {
+		t.Fatal("unequal sets match")
+	}
+	if EqualSetOfSets(a, [][]uint64{{1, 2}}) {
+		t.Fatal("different child counts match")
+	}
+}
+
+func TestHashSetOfSetsInvariance(t *testing.T) {
+	a := [][]uint64{{1, 2}, {3}}
+	b := [][]uint64{{3}, {1, 2}}
+	if HashSetOfSets(5, a) != HashSetOfSets(5, b) {
+		t.Fatal("parent hash order sensitive")
+	}
+	c := [][]uint64{{3}, {1, 2, 9}}
+	if HashSetOfSets(5, a) == HashSetOfSets(5, c) {
+		t.Fatal("parent hash collision")
+	}
+}
+
+func TestTotalSize(t *testing.T) {
+	if TotalSize([][]uint64{{1, 2}, {}, {3}}) != 3 {
+		t.Fatal("TotalSize wrong")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := []uint64{1, 2}
+	b := Clone(a)
+	b[0] = 99
+	if a[0] == 99 {
+		t.Fatal("clone aliases")
+	}
+	ss := [][]uint64{{1}, {2}}
+	cs := CloneSets(ss)
+	cs[0][0] = 42
+	if ss[0][0] == 42 {
+		t.Fatal("CloneSets aliases")
+	}
+}

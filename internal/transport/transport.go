@@ -1,0 +1,157 @@
+// Package transport simulates the two-party communication channel between
+// Alice and Bob. Every protocol in this repository moves cross-party data
+// exclusively through a Session, which forces full serialization to bytes
+// and records honest per-message sizes and round counts.
+//
+// Following the paper's convention (§2), the number of rounds is the number
+// of total messages sent, except that consecutive messages from the same
+// sender count as a single round ("in parallel" transmissions, e.g. the
+// signature tables and the edge IBLT of Theorem 5.2 travel together).
+package transport
+
+import "fmt"
+
+// Role identifies a protocol participant.
+type Role int
+
+// The two participants.
+const (
+	Alice Role = iota
+	Bob
+)
+
+// String returns the participant name.
+func (r Role) String() string {
+	if r == Alice {
+		return "alice"
+	}
+	return "bob"
+}
+
+// Msg records one transmitted message.
+type Msg struct {
+	From  Role
+	Label string
+	Bytes int
+}
+
+// Session records a protocol run's communication.
+type Session struct {
+	msgs      []Msg
+	rounds    int
+	last      Role
+	started   bool
+	keepBytes bool
+	payloads  [][]byte
+	tamper    func(label string, payload []byte) []byte
+}
+
+// SetTamper installs a function applied to every payload in transit,
+// simulating corruption or an adversarial channel. Testing aid: protocols
+// must either detect tampering (error) or still produce a correct result —
+// never a silently wrong one.
+func (s *Session) SetTamper(fn func(label string, payload []byte) []byte) {
+	s.tamper = fn
+}
+
+// New returns an empty session.
+func New() *Session { return &Session{} }
+
+// NewRecording returns a session that additionally retains payload copies
+// (for tests that inspect or tamper with the transcript).
+func NewRecording() *Session { return &Session{keepBytes: true} }
+
+// Send transmits payload from the given role and returns the bytes as the
+// receiving party sees them (a defensive copy, so a sender mutating its
+// buffer afterwards cannot leak state across the "wire").
+func (s *Session) Send(from Role, label string, payload []byte) []byte {
+	if !s.started || from != s.last {
+		s.rounds++
+		s.started = true
+		s.last = from
+	}
+	s.msgs = append(s.msgs, Msg{From: from, Label: label, Bytes: len(payload)})
+	recv := make([]byte, len(payload))
+	copy(recv, payload)
+	if s.tamper != nil {
+		recv = s.tamper(label, recv)
+	}
+	if s.keepBytes {
+		s.payloads = append(s.payloads, recv)
+		// Hand the receiver its own copy so transcript tampering in tests is
+		// explicit rather than accidental.
+		out := make([]byte, len(payload))
+		copy(out, payload)
+		return out
+	}
+	return recv
+}
+
+// Rounds returns the number of rounds so far.
+func (s *Session) Rounds() int { return s.rounds }
+
+// Messages returns the recorded message metadata.
+func (s *Session) Messages() []Msg { return append([]Msg(nil), s.msgs...) }
+
+// Payload returns the i-th recorded payload (only on recording sessions).
+func (s *Session) Payload(i int) []byte {
+	if !s.keepBytes {
+		panic("transport: payloads not recorded")
+	}
+	return s.payloads[i]
+}
+
+// TotalBytes returns the total bytes transmitted in both directions.
+func (s *Session) TotalBytes() int {
+	n := 0
+	for _, m := range s.msgs {
+		n += m.Bytes
+	}
+	return n
+}
+
+// BytesFrom returns total bytes sent by one role.
+func (s *Session) BytesFrom(r Role) int {
+	n := 0
+	for _, m := range s.msgs {
+		if m.From == r {
+			n += m.Bytes
+		}
+	}
+	return n
+}
+
+// Breakdown returns bytes per message label (for reporting).
+func (s *Session) Breakdown() map[string]int {
+	out := make(map[string]int)
+	for _, m := range s.msgs {
+		out[m.Label] += m.Bytes
+	}
+	return out
+}
+
+// Stats is a compact summary of a finished protocol run.
+type Stats struct {
+	Rounds     int
+	TotalBytes int
+	AliceBytes int
+	BobBytes   int
+	Messages   int
+}
+
+// Stats summarizes the session.
+func (s *Session) Stats() Stats {
+	return Stats{
+		Rounds:     s.rounds,
+		TotalBytes: s.TotalBytes(),
+		AliceBytes: s.BytesFrom(Alice),
+		BobBytes:   s.BytesFrom(Bob),
+		Messages:   len(s.msgs),
+	}
+}
+
+// String formats the stats for logs.
+func (st Stats) String() string {
+	return fmt.Sprintf("rounds=%d bytes=%d (alice=%d bob=%d) msgs=%d",
+		st.Rounds, st.TotalBytes, st.AliceBytes, st.BobBytes, st.Messages)
+}

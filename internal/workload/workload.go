@@ -1,0 +1,225 @@
+// Package workload generates the paper's motivating inputs (§1): planted
+// sets-of-sets instances with exact ground-truth distance, binary relational
+// databases whose unlabeled rows are sets of column indices, and shingled
+// document collections with exact/near/fresh duplicates. The experiment
+// harness and examples build on these.
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"sosr/internal/hashing"
+	"sosr/internal/prng"
+	"sosr/internal/setutil"
+)
+
+// PlantedSetsOfSets builds Bob's parent set of s child sets (~h/2..h
+// elements each from [0, u)) and Alice's copy with exactly d element edits
+// spread over random child sets. Child sets are disjoint random subsets of a
+// large universe, so the minimum-difference matching distance equals d.
+func PlantedSetsOfSets(seed uint64, s, h int, u uint64, d int) (alice, bob [][]uint64) {
+	src := prng.New(seed)
+	used := map[uint64]bool{}
+	next := func() uint64 {
+		for {
+			x := src.Uint64() % u
+			if !used[x] {
+				used[x] = true
+				return x
+			}
+		}
+	}
+	bob = make([][]uint64, s)
+	for i := range bob {
+		size := h/2 + src.Intn(h/2+1)
+		if size < 1 {
+			size = 1
+		}
+		cs := make([]uint64, 0, size)
+		for j := 0; j < size; j++ {
+			cs = append(cs, next())
+		}
+		bob[i] = setutil.Canonical(cs)
+	}
+	alice = setutil.CloneSets(bob)
+	removed := map[int]int{}
+	for e := 0; e < d; e++ {
+		i := src.Intn(s)
+		if e%2 == 0 || len(alice[i]) <= 1+removed[i] {
+			alice[i] = setutil.Canonical(append(setutil.Clone(alice[i]), next()))
+		} else {
+			idx := src.Intn(len(alice[i]))
+			cs := setutil.Clone(alice[i])
+			alice[i] = append(cs[:idx], cs[idx+1:]...)
+			removed[i]++
+		}
+	}
+	return alice, bob
+}
+
+// Database is a binary relational database with labeled columns and
+// unlabeled rows: row i is the set of column indices holding a 1 (§1's
+// "a row database entry can equivalently be thought of as a set of elements
+// from the universe of columns").
+type Database struct {
+	Columns int
+	Rows    [][]uint64 // canonical column-index sets
+}
+
+// RandomDatabase samples rows with the given 1-density. Duplicate rows are
+// rejected and resampled (parent sets must be sets).
+func RandomDatabase(seed uint64, rows, columns int, density float64, src *prng.Source) *Database {
+	if src == nil {
+		src = prng.New(seed)
+	}
+	db := &Database{Columns: columns}
+	seen := map[uint64]bool{}
+	for len(db.Rows) < rows {
+		var row []uint64
+		for c := 0; c < columns; c++ {
+			if src.Float64() < density {
+				row = append(row, uint64(c))
+			}
+		}
+		row = setutil.Canonical(row)
+		h := setutil.Hash(0xdb, row)
+		if seen[h] {
+			continue
+		}
+		seen[h] = true
+		db.Rows = append(db.Rows, row)
+	}
+	return db
+}
+
+// FlipBits returns a copy of db with exactly k random bit flips applied to
+// random rows (the §1 database reconciliation model: "two databases in
+// which a total of d bits have been flipped"). Flips that would create a
+// duplicate row are re-drawn.
+func FlipBits(db *Database, k int, src *prng.Source) *Database {
+	out := &Database{Columns: db.Columns, Rows: setutil.CloneSets(db.Rows)}
+	hashes := map[uint64]int{}
+	for i, row := range out.Rows {
+		hashes[setutil.Hash(0xdb, row)] = i
+	}
+	for done := 0; done < k; {
+		i := src.Intn(len(out.Rows))
+		c := uint64(src.Intn(db.Columns))
+		row := out.Rows[i]
+		var flipped []uint64
+		if setutil.Contains(row, c) {
+			flipped = setutil.ApplyDiff(row, nil, []uint64{c})
+		} else {
+			flipped = setutil.ApplyDiff(row, []uint64{c}, nil)
+		}
+		h := setutil.Hash(0xdb, flipped)
+		if j, dup := hashes[h]; dup && j != i {
+			continue
+		}
+		delete(hashes, setutil.Hash(0xdb, row))
+		hashes[h] = i
+		out.Rows[i] = flipped
+		done++
+	}
+	return out
+}
+
+// SetsOfSets exposes the database as a parent set for reconciliation.
+func (db *Database) SetsOfSets() [][]uint64 { return db.Rows }
+
+// Document is a text whose reconciliation signature is its shingle set.
+type Document struct {
+	ID   string
+	Text string
+}
+
+// Shingles returns the k-word shingle hash set of a document (§1's "blocks
+// of k words of a document are hashed into numbers"), with hashes confined
+// to the 2^60 universe so every protocol applies.
+func Shingles(text string, k int, seed uint64) []uint64 {
+	words := strings.Fields(text)
+	if len(words) == 0 {
+		return nil
+	}
+	if k < 1 {
+		k = 1
+	}
+	var out []uint64
+	if len(words) < k {
+		out = append(out, hashing.HashBytes(seed, []byte(strings.Join(words, " ")))%(1<<60))
+	}
+	for i := 0; i+k <= len(words); i++ {
+		sh := strings.Join(words[i:i+k], " ")
+		out = append(out, hashing.HashBytes(seed, []byte(sh))%(1<<60))
+	}
+	return setutil.Canonical(out)
+}
+
+// Corpus is a collection of documents.
+type Corpus struct {
+	Docs    []Document
+	Shingle int
+	Seed    uint64
+}
+
+// SetsOfSets returns the shingle sets of all documents; duplicate shingle
+// sets (exact duplicate documents) are deduplicated, matching the paper's
+// set-of-sets model.
+func (c *Corpus) SetsOfSets() [][]uint64 {
+	var out [][]uint64
+	seen := map[uint64]bool{}
+	for _, d := range c.Docs {
+		s := Shingles(d.Text, c.Shingle, c.Seed)
+		h := setutil.Hash(0xd0c, s)
+		if seen[h] {
+			continue
+		}
+		seen[h] = true
+		out = append(out, s)
+	}
+	return out
+}
+
+// RandomCorpus generates docCount pseudo-text documents of ~wordsPer words.
+func RandomCorpus(seed uint64, docCount, wordsPer, shingle int) *Corpus {
+	src := prng.New(seed)
+	c := &Corpus{Shingle: shingle, Seed: seed ^ 0x5417}
+	for i := 0; i < docCount; i++ {
+		c.Docs = append(c.Docs, Document{
+			ID:   fmt.Sprintf("doc-%03d", i),
+			Text: randomText(src, wordsPer),
+		})
+	}
+	return c
+}
+
+// EditDocument returns a near-duplicate: `edits` random word substitutions.
+func EditDocument(d Document, edits int, src *prng.Source) Document {
+	words := strings.Fields(d.Text)
+	for e := 0; e < edits && len(words) > 0; e++ {
+		words[src.Intn(len(words))] = randomWord(src)
+	}
+	return Document{ID: d.ID + "'", Text: strings.Join(words, " ")}
+}
+
+func randomText(src *prng.Source, n int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(randomWord(src))
+	}
+	return b.String()
+}
+
+func randomWord(src *prng.Source) string {
+	const letters = "abcdefghijklmnopqrstuvwxyz"
+	n := 3 + src.Intn(6)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteByte(letters[src.Intn(len(letters))])
+	}
+	return b.String()
+}

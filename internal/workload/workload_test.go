@@ -1,0 +1,131 @@
+package workload
+
+import (
+	"testing"
+
+	"sosr/internal/core"
+	"sosr/internal/prng"
+	"sosr/internal/setutil"
+)
+
+func TestPlantedDistanceExact(t *testing.T) {
+	for _, d := range []int{0, 1, 7, 20} {
+		alice, bob := PlantedSetsOfSets(uint64(d)*3+1, 16, 24, 1<<40, d)
+		if got := core.Distance(alice, bob); got != d {
+			t.Fatalf("planted d=%d, measured %d", d, got)
+		}
+		for _, cs := range alice {
+			if !setutil.IsCanonical(cs) {
+				t.Fatal("non-canonical child")
+			}
+		}
+	}
+}
+
+func TestRandomDatabaseShape(t *testing.T) {
+	db := RandomDatabase(1, 50, 64, 0.3, nil)
+	if len(db.Rows) != 50 || db.Columns != 64 {
+		t.Fatal("shape wrong")
+	}
+	seen := map[uint64]bool{}
+	ones := 0
+	for _, row := range db.Rows {
+		ones += len(row)
+		h := setutil.Hash(1, row)
+		if seen[h] {
+			t.Fatal("duplicate row")
+		}
+		seen[h] = true
+		for _, c := range row {
+			if c >= 64 {
+				t.Fatal("column out of range")
+			}
+		}
+	}
+	density := float64(ones) / float64(50*64)
+	if density < 0.2 || density > 0.4 {
+		t.Fatalf("density %.2f far from 0.3", density)
+	}
+}
+
+func TestFlipBitsDistance(t *testing.T) {
+	src := prng.New(2)
+	db := RandomDatabase(3, 40, 128, 0.25, nil)
+	for _, k := range []int{1, 5, 12} {
+		flipped := FlipBits(db, k, src)
+		got := core.Distance(flipped.SetsOfSets(), db.SetsOfSets())
+		if got != k {
+			t.Fatalf("k=%d flips, distance %d", k, got)
+		}
+	}
+}
+
+func TestFlipBitsAvoidsDuplicateRows(t *testing.T) {
+	src := prng.New(5)
+	db := RandomDatabase(7, 30, 16, 0.4, nil)
+	flipped := FlipBits(db, 25, src)
+	seen := map[uint64]bool{}
+	for _, row := range flipped.Rows {
+		h := setutil.Hash(1, row)
+		if seen[h] {
+			t.Fatal("flip created duplicate row")
+		}
+		seen[h] = true
+	}
+}
+
+func TestShingles(t *testing.T) {
+	s := Shingles("the quick brown fox", 2, 9)
+	if len(s) != 3 { // 3 bigrams
+		t.Fatalf("shingle count %d", len(s))
+	}
+	if !setutil.IsCanonical(s) {
+		t.Fatal("not canonical")
+	}
+	for _, x := range s {
+		if x >= 1<<60 {
+			t.Fatal("shingle outside universe")
+		}
+	}
+	// Same text, same seed → same shingles.
+	if !setutil.Equal(s, Shingles("the quick brown fox", 2, 9)) {
+		t.Fatal("not deterministic")
+	}
+	// Short text still yields a signature.
+	if len(Shingles("single", 4, 9)) != 1 {
+		t.Fatal("short doc shingle missing")
+	}
+	if len(Shingles("", 3, 9)) != 0 {
+		t.Fatal("empty doc nonempty shingles")
+	}
+}
+
+func TestCorpusNearDuplicates(t *testing.T) {
+	src := prng.New(11)
+	c := RandomCorpus(7, 10, 60, 3)
+	base := c.SetsOfSets()
+	if len(base) != 10 {
+		t.Fatalf("corpus size %d", len(base))
+	}
+	// Edit one document slightly: the set-of-sets distance should be small
+	// relative to the document's shingle count.
+	edited := &Corpus{Docs: append([]Document(nil), c.Docs...), Shingle: c.Shingle, Seed: c.Seed}
+	edited.Docs[0] = EditDocument(edited.Docs[0], 2, src)
+	d := core.Distance(edited.SetsOfSets(), base)
+	if d == 0 {
+		t.Fatal("edit changed nothing")
+	}
+	// Two word edits touch at most 2·shingle window positions each.
+	if d > 2*2*3 {
+		t.Fatalf("edit distance %d too large", d)
+	}
+}
+
+func TestEditDocumentPreservesLength(t *testing.T) {
+	src := prng.New(13)
+	d := Document{ID: "x", Text: "a b c d e"}
+	e := EditDocument(d, 1, src)
+	if len(e.Text) == 0 || e.ID != "x'" {
+		t.Fatal("edit broken")
+	}
+}

@@ -1,0 +1,218 @@
+package sosr
+
+import (
+	"fmt"
+
+	"sosr/internal/core"
+	"sosr/internal/hashing"
+	"sosr/internal/transport"
+)
+
+// Protocol selects a sets-of-sets reconciliation algorithm (§3, Table 1).
+type Protocol int
+
+// The four protocol families of the paper.
+const (
+	// ProtocolAuto picks Cascade for known d and MultiRound for unknown d —
+	// the communication-optimal defaults from Table 1.
+	ProtocolAuto Protocol = iota
+	// ProtocolNaive treats child sets as opaque items (Theorems 3.3/3.4):
+	// simplest and fastest, O(d̂·min(h log u, u)) bits.
+	ProtocolNaive
+	// ProtocolNested is Algorithm 1, IBLTs of IBLTs (Theorem 3.5 /
+	// Corollary 3.6): O(d̂·d log u + d̂ log s) bits in one round.
+	ProtocolNested
+	// ProtocolCascade is Algorithm 2, cascading IBLTs of IBLTs (Theorem 3.7
+	// / Corollary 3.8): O(d log min(d,h) log u + d log s) bits in one round.
+	ProtocolCascade
+	// ProtocolMultiRound is the 3/4-round protocol (Theorems 3.9/3.10):
+	// least communication for large h, at the cost of extra rounds.
+	ProtocolMultiRound
+)
+
+// String names the protocol.
+func (p Protocol) String() string {
+	switch p {
+	case ProtocolAuto:
+		return "auto"
+	case ProtocolNaive:
+		return "naive"
+	case ProtocolNested:
+		return "nested"
+	case ProtocolCascade:
+		return "cascade"
+	case ProtocolMultiRound:
+		return "multiround"
+	}
+	return fmt.Sprintf("protocol(%d)", int(p))
+}
+
+// Config configures sets-of-sets reconciliation. MaxChildSets (s) and
+// MaxChildSize (h) describe the instance shape both parties agree on.
+type Config struct {
+	// Seed seeds the shared public coins.
+	Seed uint64
+	// MaxChildSets is s, the maximum number of child sets per parent.
+	MaxChildSets int
+	// MaxChildSize is h, the maximum elements per child set.
+	MaxChildSize int
+	// Universe is u; elements lie in [0, Universe). 0 means the full 2^60
+	// range. Small universes let the naive protocol use bitmap encodings.
+	Universe uint64
+	// Protocol selects the algorithm; see the Protocol constants.
+	Protocol Protocol
+	// KnownDiff bounds d, the total element differences under the minimum
+	// difference matching. 0 runs the unknown-d variant (estimators or
+	// repeated doubling, per protocol).
+	KnownDiff int
+	// KnownChildDiff optionally bounds d̂, the number of differing child
+	// sets; 0 derives min(d, s).
+	KnownChildDiff int
+	// Replicas amplifies known-d runs by replication with fresh coins
+	// (§3.2); 0 means 3. Each failed attempt re-transmits, and all attempts
+	// count toward Stats.
+	Replicas int
+	// Validate rejects malformed inputs (non-canonical or duplicate child
+	// sets, bound violations) before running. Costs one pass over the data.
+	Validate bool
+}
+
+// Result reports a one-way sets-of-sets reconciliation.
+type Result struct {
+	// Recovered is Bob's reconstruction of Alice's parent set, child sets in
+	// canonical order.
+	Recovered [][]uint64
+	// Added are Alice's child sets Bob lacked; Removed are Bob's child sets
+	// Alice lacked.
+	Added, Removed [][]uint64
+	// Stats covers all attempts, including retries.
+	Stats Stats
+	// Attempts counts protocol attempts (replication or doubling).
+	Attempts int
+	// Protocol is the algorithm that actually ran.
+	Protocol Protocol
+}
+
+// ReconcileSetsOfSets runs the paper's primary contribution: Bob (second
+// argument) recovers Alice's parent set of child sets. Child sets may be
+// passed unsorted; each must be duplicate-free within the parent.
+func ReconcileSetsOfSets(alice, bob [][]uint64, cfg Config) (*Result, error) {
+	p := core.Params{S: cfg.MaxChildSets, H: cfg.MaxChildSize, U: cfg.Universe}
+	if p.S <= 0 {
+		p.S = maxLen(len(alice), len(bob))
+	}
+	if p.H <= 0 {
+		p.H = maxChildLen(alice, bob)
+	}
+	if cfg.Validate {
+		if err := core.Validate(alice, p); err != nil {
+			return nil, err
+		}
+		if err := core.Validate(bob, p); err != nil {
+			return nil, err
+		}
+	}
+	coins := hashing.NewCoins(cfg.Seed)
+	proto := cfg.Protocol
+	if proto == ProtocolAuto {
+		if cfg.KnownDiff > 0 {
+			proto = ProtocolCascade
+		} else {
+			proto = ProtocolMultiRound
+		}
+	}
+	replicas := cfg.Replicas
+	if replicas <= 0 {
+		replicas = 3
+	}
+	d := cfg.KnownDiff
+	dHat := cfg.KnownChildDiff
+	if dHat <= 0 {
+		dHat = core.DHat(maxInt(d, 1), p.S)
+	}
+
+	sess := transport.New()
+	var res *core.Result
+	var err error
+	switch proto {
+	case ProtocolNaive:
+		if d > 0 {
+			res, err = core.Replicated(sess, coins, replicas, func(sess *transport.Session, c hashing.Coins) (*core.Result, error) {
+				return core.NaiveKnownD(sess, c, alice, bob, p, dHat)
+			})
+		} else {
+			res, err = core.NaiveUnknownD(sess, coins, alice, bob, p)
+		}
+	case ProtocolNested:
+		if d > 0 {
+			res, err = core.Replicated(sess, coins, replicas, func(sess *transport.Session, c hashing.Coins) (*core.Result, error) {
+				return core.NestedKnownD(sess, c, alice, bob, p, d, dHat)
+			})
+		} else {
+			res, err = core.NestedUnknownD(sess, coins, alice, bob, p)
+		}
+	case ProtocolCascade:
+		if d > 0 {
+			res, err = core.Replicated(sess, coins, replicas, func(sess *transport.Session, c hashing.Coins) (*core.Result, error) {
+				return core.CascadeKnownD(sess, c, alice, bob, p, d)
+			})
+		} else {
+			res, err = core.CascadeUnknownD(sess, coins, alice, bob, p)
+		}
+	case ProtocolMultiRound:
+		if d > 0 {
+			res, err = core.Replicated(sess, coins, replicas, func(sess *transport.Session, c hashing.Coins) (*core.Result, error) {
+				return core.MultiRoundKnownD(sess, c, alice, bob, p, d)
+			})
+		} else {
+			res, err = core.MultiRoundUnknownD(sess, coins, alice, bob, p)
+		}
+	default:
+		return nil, fmt.Errorf("sosr: unknown protocol %v", proto)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Recovered: res.Recovered,
+		Added:     res.Added,
+		Removed:   res.Removed,
+		Stats:     statsFrom(res.Stats),
+		Attempts:  res.Attempts,
+		Protocol:  proto,
+	}, nil
+}
+
+// SetsOfSetsDistance computes the paper's ground-truth d between two parent
+// sets: the minimum-cost child matching under symmetric-difference costs
+// (§3.1). Local computation, O(s³) — for sizing, testing and experiments.
+func SetsOfSetsDistance(a, b [][]uint64) int { return core.Distance(a, b) }
+
+func maxLen(a, b int) int {
+	if a > b {
+		return a
+	}
+	if b < 1 {
+		return 1
+	}
+	return b
+}
+
+func maxChildLen(ps ...[][]uint64) int {
+	m := 1
+	for _, p := range ps {
+		for _, cs := range p {
+			if len(cs) > m {
+				m = len(cs)
+			}
+		}
+	}
+	return m
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,98 @@
+package sosr
+
+import (
+	"testing"
+
+	"sosr/internal/workload"
+)
+
+// Large-scale stress tests (skipped under -short): realistic instance sizes
+// exercising allocation paths, level schedules and matching at scale.
+
+func TestLargeScaleSetsOfSets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-scale test")
+	}
+	const (
+		s = 512
+		h = 256
+		d = 64
+	)
+	alice, bob := workload.PlantedSetsOfSets(1001, s, h, 1<<50, d)
+	for _, proto := range []Protocol{ProtocolCascade, ProtocolMultiRound} {
+		res, err := ReconcileSetsOfSets(alice, bob, Config{
+			Seed: 2002, MaxChildSets: s, MaxChildSize: h, Protocol: proto, KnownDiff: d,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", proto, err)
+		}
+		if SetsOfSetsDistance(res.Recovered, alice) != 0 {
+			t.Fatalf("%v: wrong recovery at scale", proto)
+		}
+		// n ≈ s·h·0.75·8 bytes of data; communication must be far below it.
+		rawBytes := 8 * s * h * 3 / 4
+		if res.Stats.TotalBytes >= rawBytes {
+			t.Fatalf("%v: %d bytes ≥ raw %d", proto, res.Stats.TotalBytes, rawBytes)
+		}
+	}
+}
+
+func TestLargeScaleSetReconciliation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-scale test")
+	}
+	const n = 1 << 18
+	var alice, bob []uint64
+	for x := uint64(0); x < n; x++ {
+		v := x * 2654435761 % (1 << 59)
+		alice = append(alice, v)
+		bob = append(bob, v)
+	}
+	for x := uint64(0); x < 200; x++ {
+		alice = append(alice, (1<<59)+x)
+	}
+	res, err := ReconcileSets(alice, bob, SetConfig{Seed: 5, KnownDiff: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.OnlyA) != 200 || len(res.OnlyB) != 0 {
+		t.Fatalf("diff %d/%d", len(res.OnlyA), len(res.OnlyB))
+	}
+	// O(d log u) communication: must be a few KB regardless of the 256k
+	// shared elements.
+	if res.Stats.TotalBytes > 64*1024 {
+		t.Fatalf("communication %d bytes too large", res.Stats.TotalBytes)
+	}
+}
+
+func TestLargeScaleForest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-scale test")
+	}
+	fa := RandomForest(20000, 0.1, 7)
+	fb := PerturbForest(fa, 5, 8)
+	res, err := ReconcileForests(fa, fb, ForestConfig{Seed: 9, MaxEdits: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ForestsIsomorphic(res.Recovered, fa) {
+		t.Fatal("large forest recovery wrong")
+	}
+}
+
+func TestLargeScaleDatabase(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-scale test")
+	}
+	db := workload.RandomDatabase(31, 2000, 256, 0.3, nil)
+	flipped := workload.FlipBits(db, 24, prngFor(32))
+	res, err := ReconcileSetsOfSets(flipped.SetsOfSets(), db.SetsOfSets(), Config{
+		Seed: 33, MaxChildSets: 2000, MaxChildSize: 256, Universe: 256, KnownDiff: 24,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if SetsOfSetsDistance(res.Recovered, flipped.SetsOfSets()) != 0 {
+		t.Fatal("large database recovery wrong")
+	}
+}
