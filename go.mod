@@ -1,0 +1,3 @@
+module sosr
+
+go 1.24

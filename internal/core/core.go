@@ -43,6 +43,12 @@ type Params struct {
 	U uint64
 }
 
+// Normalized returns p with defaults filled and bounds sanity-checked — the
+// same normalization every engine applies internally, exported so split-party
+// callers (e.g. the sosrnet handshake) resolve the exact shape the engines
+// will use.
+func (p Params) Normalized() (Params, error) { return p.normalized() }
+
 // normalized fills defaults and sanity-checks.
 func (p Params) normalized() (Params, error) {
 	if p.U == 0 {

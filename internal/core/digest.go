@@ -48,16 +48,9 @@ func BuildDigest(kind DigestKind, coins hashing.Coins, alice [][]uint64, p Param
 	if dHat <= 0 {
 		dHat = DHat(d, p.S)
 	}
-	var body []byte
-	switch kind {
-	case DigestNaive:
-		body = naiveAliceMsg(coins, alice, p, dHat)
-	case DigestNested:
-		body = nestedAliceMsg(coins, alice, p, d, dHat)
-	case DigestCascade:
-		body = cascadeAliceMsg(newCascadePlan(coins, p, d), coins, alice)
-	default:
-		return nil, fmt.Errorf("%w: unknown kind %d", ErrBadDigest, kind)
+	body, err := AliceMsg(kind, coins, alice, p, d, dHat)
+	if err != nil {
+		return nil, err
 	}
 	hdr := make([]byte, 4+1+8+8+8+8+8)
 	copy(hdr, digestMagic[:])
@@ -93,8 +86,38 @@ func ApplyDigest(digest []byte, coins hashing.Coins, bob [][]uint64) (*Result, e
 	if d < 1 || dHat < 1 || d > 1<<40 || dHat > 1<<40 {
 		return nil, fmt.Errorf("%w: implausible bounds d=%d d̂=%d", ErrBadDigest, d, dHat)
 	}
-	body := digest[hdrLen:]
+	res, err := ApplyMsg(kind, coins, digest[hdrLen:], bob, p, d, dHat)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// AliceMsg builds the raw one-round payload for kind — exactly the bytes the
+// in-process protocol sends under its transport label, without BuildDigest's
+// self-describing header. Split deployments that negotiate (p, d, d̂) out of
+// band (e.g. the sosrnet handshake) ship this and apply it with ApplyMsg; the
+// payload length therefore equals the simulated run's recorded message size.
+// p must be normalized and the bounds resolved (d ≥ 1; dHat is ignored by the
+// cascade kind, which derives its own level plan from d).
+func AliceMsg(kind DigestKind, coins hashing.Coins, alice [][]uint64, p Params, d, dHat int) ([]byte, error) {
+	switch kind {
+	case DigestNaive:
+		return naiveAliceMsg(coins, alice, p, dHat), nil
+	case DigestNested:
+		return nestedAliceMsg(coins, alice, p, d, dHat), nil
+	case DigestCascade:
+		return cascadeAliceMsg(newCascadePlan(coins, p, d), coins, alice), nil
+	}
+	return nil, fmt.Errorf("%w: unknown kind %d", ErrBadDigest, kind)
+}
+
+// ApplyMsg runs Bob's side of an AliceMsg payload built under the same
+// (coins, p, d, dHat). The Result carries zero Stats; the caller owns
+// communication accounting.
+func ApplyMsg(kind DigestKind, coins hashing.Coins, body []byte, bob [][]uint64, p Params, d, dHat int) (*Result, error) {
 	var res *Result
+	var err error
 	switch kind {
 	case DigestNaive:
 		res, err = naiveBob(coins, body, bob, newNaiveCodec(p))

@@ -15,7 +15,7 @@ import (
 // all possible child sets, and the parent sets are reconciled with a single
 // vector-keyed IBLT of O(d̂) cells. One round, O(d̂ · min(h log u, u)) bits,
 // O(n) time, success probability 1 - 1/poly(d̂).
-func NaiveKnownD(sess *transport.Session, coins hashing.Coins, alice, bob [][]uint64, p Params, dHat int) (*Result, error) {
+func NaiveKnownD(sess transport.Channel, coins hashing.Coins, alice, bob [][]uint64, p Params, dHat int) (*Result, error) {
 	p, err := p.normalized()
 	if err != nil {
 		return nil, err
@@ -86,7 +86,7 @@ func naiveBob(coins hashing.Coins, msg []byte, bob [][]uint64, codec naiveCodec)
 // set-difference estimator over his child-set hashes; Alice uses the merged
 // estimate (scaled for safety) as d̂ and runs the Theorem 3.3 protocol. Two
 // rounds.
-func NaiveUnknownD(sess *transport.Session, coins hashing.Coins, alice, bob [][]uint64, p Params) (*Result, error) {
+func NaiveUnknownD(sess transport.Channel, coins hashing.Coins, alice, bob [][]uint64, p Params) (*Result, error) {
 	p, err := p.normalized()
 	if err != nil {
 		return nil, err
@@ -103,7 +103,7 @@ func NaiveUnknownD(sess *transport.Session, coins hashing.Coins, alice, bob [][]
 // estimateChildDiff runs the shared round-0 exchange: Bob sends an estimator
 // over his child-set hashes; Alice merges her own and returns a safe bound
 // on the number of differing child sets.
-func estimateChildDiff(sess *transport.Session, coins hashing.Coins, alice, bob [][]uint64, p Params) int {
+func estimateChildDiff(sess transport.Channel, coins hashing.Coins, alice, bob [][]uint64, p Params) int {
 	msg := sess.Send(transport.Bob, "childdiff-estimator", BuildChildDiffProbe(coins, bob, p))
 	return EstimateChildDiff(msg, coins, alice, p)
 }

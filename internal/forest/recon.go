@@ -68,75 +68,137 @@ func VertexMultisets(f *Forest, sigs []uint64) [][]uint64 {
 // Recon runs the Theorem 6.1 protocol: one round (plus the shared
 // sets-of-sets transmission), O(dσ log dσ log n) bits. Bob ends with a
 // forest isomorphic to Alice's.
-func Recon(sess *transport.Session, coins hashing.Coins, fa, fb *Forest, p ReconParams) (*Forest, transport.Stats, error) {
-	if p.D < 1 {
-		p.D = 1
-	}
-	if p.Sigma < 1 {
-		s := fa.Depth()
-		if sb := fb.Depth(); sb > s {
-			s = sb
-		}
-		p.Sigma = s + 1
-	}
-	budget := p.Budget
-	if budget <= 0 {
-		// Each edit re-signs at most σ ancestors; each re-signed vertex
-		// changes its own M_v and its parent's, costing ≲4 packed elements
-		// plus multiplicity-tag churn. Callers wanting certainty can pass a
-		// larger Budget or use ReconAuto's verified doubling.
-		budget = 4*p.D*(p.Sigma+2) + 16
-	}
-	sigSeed := coins.Seed("forest/ahu", 0)
+func Recon(sess transport.Channel, coins hashing.Coins, fa, fb *Forest, p ReconParams) (*Forest, transport.Stats, error) {
+	p, params := Plan(Measure(fa), Measure(fb), p)
 
 	// --- Alice ---
-	sigsA := HashSignatures(fa, sigSeed)
-	parentA, err := core.EncodeMultisetParent(VertexMultisets(fa, sigsA))
+	sigMsgA, meta, err := AliceMsg(coins, fa, p, params)
 	if err != nil {
 		return nil, transport.Stats{}, err
 	}
-	// n travels alongside so Bob can verify the rebuilt vertex count.
-	var meta [8]byte
-	binary.LittleEndian.PutUint64(meta[:], uint64(fa.N()))
+	sigMsg := sess.Send(transport.Alice, "cascade-iblts", sigMsgA)
+	metaMsg := sess.Send(transport.Alice, "forest-meta", meta)
 
-	// --- Bob's encoding ---
-	sigsB := HashSignatures(fb, sigSeed)
-	parentB, err := core.EncodeMultisetParent(VertexMultisets(fb, sigsB))
-	if err != nil {
-		return nil, transport.Stats{}, err
-	}
-
-	maxChild := 2
-	for _, cs := range parentA {
-		if len(cs) > maxChild {
-			maxChild = len(cs)
-		}
-	}
-	for _, cs := range parentB {
-		if len(cs) > maxChild {
-			maxChild = len(cs)
-		}
-	}
-	params := core.Params{S: fa.N() + fb.N(), H: maxChild + 2*budget, U: 0}
-	res, err := core.CascadeKnownD(sess, coins.Sub("forest/sig", 0), parentA, parentB, params, budget)
-	if err != nil {
-		return nil, transport.Stats{}, fmt.Errorf("%w: %v", ErrBudget, err)
-	}
-	metaMsg := sess.Send(transport.Alice, "forest-meta", meta[:])
-
-	// --- Bob: rebuild. ---
-	wantN := int(binary.LittleEndian.Uint64(metaMsg))
-	rebuilt, err := Rebuild(res.Recovered, wantN)
+	// --- Bob: reconcile the signature collection and rebuild. ---
+	rebuilt, err := Apply(coins, fb, p, params, sigMsg, metaMsg)
 	if err != nil {
 		return nil, transport.Stats{}, err
 	}
 	return rebuilt, sess.Stats(), nil
 }
 
+// SideInfo is one party's contribution to the shared instance shape; both
+// parties combine their infos (via Plan) before any bytes flow, in-process or
+// through a handshake. All fields are structural — independent of the
+// signature seed — so repeated attempts with fresh coins reuse them.
+type SideInfo struct {
+	// N is the vertex count.
+	N int
+	// Depth is the maximum vertices on a root-to-leaf path.
+	Depth int
+	// MaxChild bounds any encoded M_v child set: one marked parent entry,
+	// one entry per child, one multiplicity tag.
+	MaxChild int
+}
+
+// Measure computes f's SideInfo.
+func Measure(f *Forest) SideInfo {
+	maxKids := 0
+	for _, kids := range f.Children() {
+		if len(kids) > maxKids {
+			maxKids = len(kids)
+		}
+	}
+	mc := maxKids + 2
+	if mc < 2 {
+		mc = 2
+	}
+	return SideInfo{N: f.N(), Depth: f.Depth(), MaxChild: mc}
+}
+
+// Plan resolves the shared reconciliation parameters from both parties'
+// infos: defaulted ReconParams plus the sets-of-sets shape the signature
+// collections reconcile under.
+func Plan(a, b SideInfo, p ReconParams) (ReconParams, core.Params) {
+	if p.D < 1 {
+		p.D = 1
+	}
+	if p.Sigma < 1 {
+		s := a.Depth
+		if b.Depth > s {
+			s = b.Depth
+		}
+		p.Sigma = s + 1
+	}
+	if p.Budget <= 0 {
+		// Each edit re-signs at most σ ancestors; each re-signed vertex
+		// changes its own M_v and its parent's, costing ≲4 packed elements
+		// plus multiplicity-tag churn. Callers wanting certainty can pass a
+		// larger Budget or use ReconAuto's verified doubling.
+		p.Budget = 4*p.D*(p.Sigma+2) + 16
+	}
+	maxChild := a.MaxChild
+	if b.MaxChild > maxChild {
+		maxChild = b.MaxChild
+	}
+	return p, core.Params{S: a.N + b.N, H: maxChild + 2*p.Budget, U: 0}
+}
+
+// encodeSide computes a party's signature-collection parent set under the
+// shared coins.
+func encodeSide(coins hashing.Coins, f *Forest) ([][]uint64, error) {
+	sigs := HashSignatures(f, coins.Seed("forest/ahu", 0))
+	return core.EncodeMultisetParent(VertexMultisets(f, sigs))
+}
+
+// AliceMsg builds Alice's Theorem 6.1 transmission — the cascaded signature
+// payload plus the vertex-count meta frame — from her forest and the planned
+// parameters. Split deployments ship both and apply them with Apply.
+func AliceMsg(coins hashing.Coins, fa *Forest, p ReconParams, params core.Params) (sig, meta []byte, err error) {
+	parentA, err := encodeSide(coins, fa)
+	if err != nil {
+		return nil, nil, err
+	}
+	params, err = params.Normalized()
+	if err != nil {
+		return nil, nil, err
+	}
+	sig, err = core.AliceMsg(core.DigestCascade, coins.Sub("forest/sig", 0), parentA, params, p.Budget, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	// n travels alongside so Bob can verify the rebuilt vertex count.
+	var m [8]byte
+	binary.LittleEndian.PutUint64(m[:], uint64(fa.N()))
+	return sig, m[:], nil
+}
+
+// Apply runs Bob's Theorem 6.1 half: reconcile the signature collections and
+// rebuild a forest isomorphic to Alice's.
+func Apply(coins hashing.Coins, fb *Forest, p ReconParams, params core.Params, sigMsg, metaMsg []byte) (*Forest, error) {
+	parentB, err := encodeSide(coins, fb)
+	if err != nil {
+		return nil, err
+	}
+	params, err = params.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.ApplyMsg(core.DigestCascade, coins.Sub("forest/sig", 0), sigMsg, parentB, params, p.Budget, 0)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBudget, err)
+	}
+	if len(metaMsg) < 8 {
+		return nil, fmt.Errorf("%w: short meta message", ErrRebuild)
+	}
+	wantN := int(binary.LittleEndian.Uint64(metaMsg))
+	return Rebuild(res.Recovered, wantN)
+}
+
 // ReconAuto retries Recon with doubling budgets until Bob verifies, for
 // callers without a good d·σ bound (the Corollary 3.8 doubling applied to
 // forests). Bob acknowledges each attempt.
-func ReconAuto(sess *transport.Session, coins hashing.Coins, fa, fb *Forest, maxBudget int) (*Forest, transport.Stats, error) {
+func ReconAuto(sess transport.Channel, coins hashing.Coins, fa, fb *Forest, maxBudget int) (*Forest, transport.Stats, error) {
 	if maxBudget <= 0 {
 		maxBudget = 1 << 20
 	}

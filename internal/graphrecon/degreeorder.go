@@ -137,57 +137,87 @@ func MaxSeparatedH(g *graph.Graph, a, b, hMax int) int {
 // signature tables and the labeled-edge IBLT together; Bob recovers Alice's
 // signatures, derives the conforming labeling, and reconciles the labeled
 // edges. Returns Bob's copy of Alice's graph under Alice's labeling.
-func DegreeOrderingRecon(sess *transport.Session, coins hashing.Coins, ga, gb *graph.Graph, p DegreeOrderParams) (*graph.Graph, transport.Stats, error) {
+func DegreeOrderingRecon(sess transport.Channel, coins hashing.Coins, ga, gb *graph.Graph, p DegreeOrderParams) (*graph.Graph, transport.Stats, error) {
 	if ga.N != gb.N {
 		return nil, transport.Stats{}, fmt.Errorf("graphrecon: vertex count mismatch")
 	}
-	n, h, d := ga.N, p.H, p.D
-	if h < 1 || h >= n {
-		return nil, transport.Stats{}, fmt.Errorf("graphrecon: invalid h=%d", h)
-	}
 
-	// --- Alice: signatures, labeling, edge IBLT. ---
-	topA, sigsA := DegreeOrderSignatures(ga, h)
-	parentA, err := signatureParent(sigsA)
+	// --- Alice: signatures, labeling, edge IBLT. Signature sets-of-sets
+	// reconciliation (Theorem 3.7), then the edge IBLT in the same round
+	// (consecutive Alice sends = one round). ---
+	msgs, err := DegreeOrderAlice(coins, ga, p)
 	if err != nil {
 		return nil, transport.Stats{}, err
 	}
-	labelA := degreeOrderLabeling(ga, topA, sigsA, parentA)
-	edgeSetA := labeledEdgeSet(ga, labelA)
-	edgeSeed := coins.Seed("graphrecon/edges", 0)
-	edgeT := iblt.NewUint64(iblt.CellsFor(d), 0, edgeSeed)
-	for _, e := range edgeSetA {
-		edgeT.InsertUint64(e)
-	}
-	edgePayload := append(edgeT.Marshal(), u64le(setutil.Hash(coins.Seed("graphrecon/edgeverify", 0), edgeSetA))...)
-
-	// --- Bob's inputs for the signature sub-protocol. ---
-	topB, sigsB := DegreeOrderSignatures(gb, h)
-	parentB, err := signatureParent(sigsB)
-	if err != nil {
-		return nil, transport.Stats{}, err
-	}
-
-	// Signature sets-of-sets reconciliation (Theorem 3.7), then the edge
-	// IBLT in the same round (consecutive Alice sends = one round).
-	sigParams := core.Params{S: n, H: h, U: uint64(h)}
-	res, err := core.CascadeKnownD(sess, coins.Sub("graphrecon/sig", 0), parentA, parentB, sigParams, d)
-	if err != nil {
-		return nil, transport.Stats{}, fmt.Errorf("graphrecon: signature reconciliation: %w", err)
-	}
-	edgeMsg := sess.Send(transport.Alice, "edge-iblt", edgePayload)
+	sigMsg := sess.Send(transport.Alice, "cascade-iblts", msgs.Sig)
+	edgeMsg := sess.Send(transport.Alice, "edge-iblt", msgs.Edges)
 
 	// --- Bob: conforming labeling from Alice's recovered signatures. ---
-	aliceSigs := res.Recovered
-	labelB, err := bobDegreeOrderLabeling(gb, topB, sigsB, aliceSigs, d)
-	if err != nil {
-		return nil, transport.Stats{}, err
-	}
-	recovered, err := applyEdgeRecon(edgeMsg, gb, labelB, n, coins)
+	recovered, err := DegreeOrderApply(coins, gb, p, sigMsg, edgeMsg)
 	if err != nil {
 		return nil, transport.Stats{}, err
 	}
 	return recovered, sess.Stats(), nil
+}
+
+// GraphMsgs holds Alice's two parallel one-round payloads: the cascaded
+// signature tables (sent under "cascade-iblts") and the labeled-edge IBLT
+// (sent under "edge-iblt").
+type GraphMsgs struct {
+	Sig   []byte
+	Edges []byte
+}
+
+// DegreeOrderAlice builds Alice's Theorem 5.2 transmission from her graph
+// alone, for split-party deployments; DegreeOrderApply is Bob's half. The
+// payloads are byte-identical to what the in-process protocol sends.
+func DegreeOrderAlice(coins hashing.Coins, ga *graph.Graph, p DegreeOrderParams) (*GraphMsgs, error) {
+	n, h, d := ga.N, p.H, p.D
+	if h < 1 || h >= n {
+		return nil, fmt.Errorf("graphrecon: invalid h=%d", h)
+	}
+	topA, sigsA := DegreeOrderSignatures(ga, h)
+	parentA, err := signatureParent(sigsA)
+	if err != nil {
+		return nil, err
+	}
+	labelA := degreeOrderLabeling(ga, topA, sigsA, parentA)
+	edgeSetA := labeledEdgeSet(ga, labelA)
+	edgeT := iblt.NewUint64(iblt.CellsFor(d), 0, coins.Seed("graphrecon/edges", 0))
+	for _, e := range edgeSetA {
+		edgeT.InsertUint64(e)
+	}
+	edgePayload := append(edgeT.Marshal(), u64le(setutil.Hash(coins.Seed("graphrecon/edgeverify", 0), edgeSetA))...)
+	sigParams := core.Params{S: n, H: h, U: uint64(h)}
+	sigMsg, err := core.AliceMsg(core.DigestCascade, coins.Sub("graphrecon/sig", 0), parentA, sigParams, max(d, 1), 0)
+	if err != nil {
+		return nil, err
+	}
+	return &GraphMsgs{Sig: sigMsg, Edges: edgePayload}, nil
+}
+
+// DegreeOrderApply runs Bob's Theorem 5.2 half against Alice's received
+// payloads, returning his copy of Alice's graph under Alice's labeling.
+func DegreeOrderApply(coins hashing.Coins, gb *graph.Graph, p DegreeOrderParams, sigMsg, edgeMsg []byte) (*graph.Graph, error) {
+	n, h, d := gb.N, p.H, p.D
+	if h < 1 || h >= n {
+		return nil, fmt.Errorf("graphrecon: invalid h=%d", h)
+	}
+	topB, sigsB := DegreeOrderSignatures(gb, h)
+	parentB, err := signatureParent(sigsB)
+	if err != nil {
+		return nil, err
+	}
+	sigParams := core.Params{S: n, H: h, U: uint64(h)}
+	res, err := core.ApplyMsg(core.DigestCascade, coins.Sub("graphrecon/sig", 0), sigMsg, parentB, sigParams, max(d, 1), 0)
+	if err != nil {
+		return nil, fmt.Errorf("graphrecon: signature reconciliation: %w", err)
+	}
+	labelB, err := bobDegreeOrderLabeling(gb, topB, sigsB, res.Recovered, d)
+	if err != nil {
+		return nil, err
+	}
+	return applyEdgeRecon(edgeMsg, gb, labelB, n, coins)
 }
 
 // signatureParent converts a vertex→signature map into a canonical parent

@@ -88,56 +88,130 @@ func AreNeighborhoodsDisjoint(g *graph.Graph, m, k int) bool {
 // a set of multisets via the cascading protocol, closest-signature matching
 // with the 2d threshold, and labeled-edge reconciliation in the same round.
 // Returns Bob's copy of Alice's graph under Alice's labeling.
-func NeighborhoodRecon(sess *transport.Session, coins hashing.Coins, ga, gb *graph.Graph, p NeighborhoodParams) (*graph.Graph, transport.Stats, error) {
+func NeighborhoodRecon(sess transport.Channel, coins hashing.Coins, ga, gb *graph.Graph, p NeighborhoodParams) (*graph.Graph, transport.Stats, error) {
 	if ga.N != gb.N {
 		return nil, transport.Stats{}, fmt.Errorf("graphrecon: vertex count mismatch")
 	}
-	n, d := ga.N, p.D
-	budget := p.SigBudget
-	if budget <= 0 {
-		budget = 10*p.D*p.M + 16
-	}
-
-	// --- Alice ---
-	sigsA := AllDegreeSignatures(ga, p.M)
-	packedA, err := packSignatures(sigsA)
+	// Both parties contribute their largest packed signature to the shared
+	// instance shape (a split deployment negotiates this in its handshake);
+	// each side encodes its signatures exactly once.
+	sideA, err := NeighborhoodEncode(ga, p.M)
 	if err != nil {
 		return nil, transport.Stats{}, err
 	}
+	sideB, err := NeighborhoodEncode(gb, p.M)
+	if err != nil {
+		return nil, transport.Stats{}, err
+	}
+	maxSig := sideA.MaxSig
+	if sideB.MaxSig > maxSig {
+		maxSig = sideB.MaxSig
+	}
+
+	// --- Alice ---
+	msgs, err := NeighborhoodAlice(coins, ga, p, sideA, maxSig)
+	if err != nil {
+		return nil, transport.Stats{}, err
+	}
+	sigMsg := sess.Send(transport.Alice, "cascade-iblts", msgs.Sig)
+	edgeMsg := sess.Send(transport.Alice, "edge-iblt", msgs.Edges)
+
+	// --- Bob ---
+	recovered, err := NeighborhoodApply(coins, gb, p, sideB, maxSig, sigMsg, edgeMsg)
+	if err != nil {
+		return nil, transport.Stats{}, err
+	}
+	return recovered, sess.Stats(), nil
+}
+
+// NbrSide is one party's encoded degree-neighborhood signatures: the raw
+// multisets, their packed-set forms, and the largest packed size (the
+// quantity both sides combine by max to agree on the instance shape).
+type NbrSide struct {
+	Sigs   [][]uint64
+	Packed [][]uint64
+	MaxSig int
+}
+
+// NeighborhoodEncode computes a party's NbrSide once; NeighborhoodAlice and
+// NeighborhoodApply reuse it so no path encodes a graph twice.
+func NeighborhoodEncode(g *graph.Graph, m int) (*NbrSide, error) {
+	sigs := AllDegreeSignatures(g, m)
+	packed, err := packSignatures(sigs)
+	if err != nil {
+		return nil, err
+	}
+	return &NbrSide{Sigs: sigs, Packed: packed, MaxSig: maxChildSize(packed)}, nil
+}
+
+// neighborhoodSigParams derives the shared signature-reconciliation shape
+// from the negotiated maximum packed signature size.
+func neighborhoodSigParams(n, maxSig, budget int) core.Params {
+	return core.Params{S: n, H: maxSig + 2*budget, U: 0}
+}
+
+// NeighborhoodBudget resolves the signature-reconciliation budget (SigBudget
+// or the 10·d·m + 16 default) — exported so the sosrnet server can bound it
+// before building payloads.
+func NeighborhoodBudget(p NeighborhoodParams) int {
+	if p.SigBudget > 0 {
+		return p.SigBudget
+	}
+	return 10*p.D*p.M + 16
+}
+
+// NeighborhoodAlice builds Alice's Theorem 5.6 transmission from her
+// encoded side plus the negotiated maxSig; NeighborhoodApply is Bob's half.
+// The payloads are byte-identical to what the in-process protocol sends.
+func NeighborhoodAlice(coins hashing.Coins, ga *graph.Graph, p NeighborhoodParams, side *NbrSide, maxSig int) (*GraphMsgs, error) {
+	n, d := ga.N, p.D
+	budget := NeighborhoodBudget(p)
+	packedA := side.Packed
 	sortedA := setutil.CloneSets(packedA)
 	setutil.SortSets(sortedA)
 	labelA := packedLabeling(packedA, sortedA)
 	edgeSetA := labeledEdgeSet(ga, labelA)
-	edgeSeed := coins.Seed("graphrecon/nbr-edges", 0)
-	edgeT := iblt.NewUint64(iblt.CellsFor(d), 0, edgeSeed)
+	edgeT := iblt.NewUint64(iblt.CellsFor(d), 0, coins.Seed("graphrecon/nbr-edges", 0))
 	for _, e := range edgeSetA {
 		edgeT.InsertUint64(e)
 	}
 	edgePayload := append(edgeT.Marshal(), u64le(setutil.Hash(coins.Seed("graphrecon/nbr-edgeverify", 0), edgeSetA))...)
-
-	// --- Bob's signature side ---
-	sigsB := AllDegreeSignatures(gb, p.M)
-	packedB, err := packSignatures(sigsB)
-	if err != nil {
-		return nil, transport.Stats{}, err
-	}
-
 	parentA, err := signatureParent(asMap(packedA))
 	if err != nil {
-		return nil, transport.Stats{}, err
+		return nil, err
 	}
+	sigParams, err := neighborhoodSigParams(n, maxSig, budget).Normalized()
+	if err != nil {
+		return nil, err
+	}
+	sigMsg, err := core.AliceMsg(core.DigestCascade, coins.Sub("graphrecon/nbr-sig", 0), parentA, sigParams, budget, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &GraphMsgs{Sig: sigMsg, Edges: edgePayload}, nil
+}
+
+// NeighborhoodApply runs Bob's Theorem 5.6 half against Alice's received
+// payloads: conforming labeling by closest signature, then labeled-edge
+// reconciliation.
+func NeighborhoodApply(coins hashing.Coins, gb *graph.Graph, p NeighborhoodParams, side *NbrSide, maxSig int, sigMsg, edgeMsg []byte) (*graph.Graph, error) {
+	n, d := gb.N, p.D
+	budget := NeighborhoodBudget(p)
+	sigsB, packedB := side.Sigs, side.Packed
 	parentB, err := signatureParent(asMap(packedB))
 	if err != nil {
-		return nil, transport.Stats{}, err
+		return nil, err
 	}
-	sigParams := core.Params{S: n, H: maxChildSize(parentA, parentB) + 2*budget, U: 0}
-	res, err := core.CascadeKnownD(sess, coins.Sub("graphrecon/nbr-sig", 0), parentA, parentB, sigParams, budget)
+	sigParams, err := neighborhoodSigParams(n, maxSig, budget).Normalized()
 	if err != nil {
-		return nil, transport.Stats{}, fmt.Errorf("graphrecon: signature reconciliation: %w", err)
+		return nil, err
 	}
-	edgeMsg := sess.Send(transport.Alice, "edge-iblt", edgePayload)
+	res, err := core.ApplyMsg(core.DigestCascade, coins.Sub("graphrecon/nbr-sig", 0), sigMsg, parentB, sigParams, budget, 0)
+	if err != nil {
+		return nil, fmt.Errorf("graphrecon: signature reconciliation: %w", err)
+	}
 
-	// --- Bob: conforming labeling by closest signature. ---
+	// Conforming labeling by closest signature.
 	aliceSorted := res.Recovered // canonical order from core
 	labelB := make([]int, n)
 	for v := 0; v < n; v++ {
@@ -151,21 +225,17 @@ func NeighborhoodRecon(sess *transport.Session, coins hashing.Coins, ga, gb *gra
 		for idx, sA := range aliceSorted {
 			if setrecon.MultisetSymDiff(setrecon.SetToMultiset(sA), sigsB[v]) <= 4*d {
 				if found >= 0 {
-					return nil, transport.Stats{}, fmt.Errorf("%w: ambiguous match for vertex %d", ErrNoConformingMatch, v)
+					return nil, fmt.Errorf("%w: ambiguous match for vertex %d", ErrNoConformingMatch, v)
 				}
 				found = idx
 			}
 		}
 		if found < 0 {
-			return nil, transport.Stats{}, fmt.Errorf("%w: vertex %d", ErrNoConformingMatch, v)
+			return nil, fmt.Errorf("%w: vertex %d", ErrNoConformingMatch, v)
 		}
 		labelB[v] = found
 	}
-	recovered, err := applyNeighborhoodEdges(edgeMsg, gb, labelB, n, coins)
-	if err != nil {
-		return nil, transport.Stats{}, err
-	}
-	return recovered, sess.Stats(), nil
+	return applyNeighborhoodEdges(edgeMsg, gb, labelB, n, coins)
 }
 
 func applyNeighborhoodEdges(edgeMsg []byte, gb *graph.Graph, labelB []int, n int, coins hashing.Coins) (*graph.Graph, error) {

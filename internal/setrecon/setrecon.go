@@ -58,24 +58,36 @@ const verifySeedLabel = "setrecon/verify"
 // IBLTKnownD runs Corollary 2.2: Alice encodes her set into an O(d)-cell
 // IBLT plus a verification hash and sends it; Bob deletes his elements,
 // peels, and applies the difference. alice and bob must be canonical sets.
-func IBLTKnownD(sess *transport.Session, coins hashing.Coins, alice, bob []uint64, d int) (*Result, error) {
-	cells := iblt.CellsFor(d)
-
+func IBLTKnownD(sess transport.Channel, coins hashing.Coins, alice, bob []uint64, d int) (*Result, error) {
 	// --- Alice ---
-	seed := coins.Seed("setrecon/iblt", 0)
-	ta := iblt.NewUint64(cells, 0, seed)
+	msg := sess.Send(transport.Alice, "iblt", BuildIBLTMsg(coins, alice, d))
+
+	// --- Bob ---
+	res, err := ApplyIBLTMsg(coins, msg, bob)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats = sess.Stats()
+	return res, nil
+}
+
+// BuildIBLTMsg computes Alice's Corollary 2.2 payload — an O(d)-cell IBLT of
+// her set plus the whole-set verification hash — for split-party deployments
+// that ship it over their own channel (the in-process protocol sends exactly
+// these bytes under the "iblt" label). ApplyIBLTMsg is the receiving half.
+func BuildIBLTMsg(coins hashing.Coins, alice []uint64, d int) []byte {
+	ta := iblt.NewUint64(iblt.CellsFor(d), 0, coins.Seed("setrecon/iblt", 0))
 	for _, x := range alice {
 		ta.InsertUint64(x)
 	}
 	vh := setutil.Hash(coins.Seed(verifySeedLabel, 0), alice)
-	payload := append(ta.Marshal(), u64le(vh)...)
-	msg := sess.Send(transport.Alice, "iblt", payload)
-
-	// --- Bob ---
-	return bobIBLTRecover(sess, coins, msg, bob)
+	return append(ta.Marshal(), u64le(vh)...)
 }
 
-func bobIBLTRecover(sess *transport.Session, coins hashing.Coins, msg []byte, bob []uint64) (*Result, error) {
+// ApplyIBLTMsg runs Bob's half of the Corollary 2.2 protocol against a
+// received BuildIBLTMsg payload. The returned Result carries zero Stats; the
+// caller owns communication accounting.
+func ApplyIBLTMsg(coins hashing.Coins, msg []byte, bob []uint64) (*Result, error) {
 	if len(msg) < 8 {
 		return nil, fmt.Errorf("setrecon: short message (%d bytes)", len(msg))
 	}
@@ -100,7 +112,6 @@ func bobIBLTRecover(sess *transport.Session, coins hashing.Coins, msg []byte, bo
 		Recovered: recovered,
 		OnlyA:     setutil.Canonical(onlyA),
 		OnlyB:     setutil.Canonical(onlyB),
-		Stats:     sess.Stats(),
 	}, nil
 }
 
@@ -111,31 +122,46 @@ const EstimatorSafety = 4
 // IBLTUnknownD runs Corollary 3.2: Bob sends a set-difference estimator,
 // Alice queries the merged estimator to bound d, then the Corollary 2.2
 // protocol runs with that bound. Two rounds.
-func IBLTUnknownD(sess *transport.Session, coins hashing.Coins, alice, bob []uint64) (*Result, error) {
-	params := estimator.Params{}
-
+func IBLTUnknownD(sess transport.Channel, coins hashing.Coins, alice, bob []uint64) (*Result, error) {
 	// --- Bob: round 1 ---
-	eseed := coins.Seed("setrecon/estimator", 0)
-	eb := estimator.New(params, eseed)
-	for _, x := range bob {
-		eb.Add(x, estimator.SideB)
-	}
-	msg := sess.Send(transport.Bob, "estimator", eb.Marshal())
+	msg := sess.Send(transport.Bob, "estimator", BuildDiffEstimator(coins, bob))
 
 	// --- Alice: round 2 ---
-	ebRecv, err := estimator.Unmarshal(msg)
+	d, err := DiffBoundFromEstimator(coins, msg, alice)
 	if err != nil {
 		return nil, err
 	}
-	ea := estimator.New(params, eseed)
+	return IBLTKnownD(sess, coins, alice, bob, d)
+}
+
+// BuildDiffEstimator computes Bob's Theorem 3.1 round-1 message: a
+// set-difference estimator over his elements (the in-process protocol sends
+// exactly these bytes under the "estimator" label). Split-party callers feed
+// it to DiffBoundFromEstimator on Alice's side.
+func BuildDiffEstimator(coins hashing.Coins, bob []uint64) []byte {
+	eb := estimator.New(estimator.Params{}, coins.Seed("setrecon/estimator", 0))
+	for _, x := range bob {
+		eb.Add(x, estimator.SideB)
+	}
+	return eb.Marshal()
+}
+
+// DiffBoundFromEstimator is Alice's half of the unknown-d estimation: merge
+// the received probe with her own elements and return the safety-scaled
+// difference bound used to size the Corollary 2.2 transmission.
+func DiffBoundFromEstimator(coins hashing.Coins, probe []byte, alice []uint64) (int, error) {
+	ebRecv, err := estimator.Unmarshal(probe)
+	if err != nil {
+		return 0, err
+	}
+	ea := estimator.New(estimator.Params{}, coins.Seed("setrecon/estimator", 0))
 	for _, x := range alice {
 		ea.Add(x, estimator.SideA)
 	}
 	if err := ea.Merge(ebRecv); err != nil {
-		return nil, err
+		return 0, err
 	}
-	d := int(ea.Estimate())*EstimatorSafety + 4
-	return IBLTKnownD(sess, coins, alice, bob, d)
+	return int(ea.Estimate())*EstimatorSafety + 4, nil
 }
 
 // CharPoly runs Theorem 2.3: Alice sends her set size and d+1 evaluations of
@@ -143,7 +169,7 @@ func IBLTUnknownD(sess *transport.Session, coins hashing.Coins, alice, bob []uin
 // rational function χA/χB, factors numerator and denominator, and applies
 // the difference. Succeeds with probability 1 whenever the true difference
 // is at most d. Elements must be < 2^60.
-func CharPoly(sess *transport.Session, coins hashing.Coins, alice, bob []uint64, d int) (*Result, error) {
+func CharPoly(sess transport.Channel, coins hashing.Coins, alice, bob []uint64, d int) (*Result, error) {
 	if d < 0 {
 		d = 0
 	}
@@ -155,6 +181,18 @@ func CharPoly(sess *transport.Session, coins hashing.Coins, alice, bob []uint64,
 	msg := sess.Send(transport.Alice, "charpoly", EncodeCharPoly(alice, d+1))
 
 	// --- Bob ---
+	res, err := ApplyCharPolyMsg(coins, msg, bob, d)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats = sess.Stats()
+	return res, nil
+}
+
+// ApplyCharPolyMsg runs Bob's Theorem 2.3 half against a received
+// EncodeCharPoly payload built with `points = d+1`. The Result carries zero
+// Stats; the caller owns communication accounting.
+func ApplyCharPolyMsg(coins hashing.Coins, msg []byte, bob []uint64, d int) (*Result, error) {
 	if err := checkRange(bob); err != nil {
 		return nil, err
 	}
@@ -162,14 +200,16 @@ func CharPoly(sess *transport.Session, coins hashing.Coins, alice, bob []uint64,
 	if err != nil {
 		return nil, err
 	}
-	recovered := setutil.ApplyDiff(bob, onlyA, onlyB)
 	return &Result{
-		Recovered: recovered,
+		Recovered: setutil.ApplyDiff(bob, onlyA, onlyB),
 		OnlyA:     setutil.Canonical(onlyA),
 		OnlyB:     setutil.Canonical(onlyB),
-		Stats:     sess.Stats(),
 	}, nil
 }
+
+// CheckRange verifies every element fits the 2^60 universe the
+// characteristic-polynomial protocols embed into.
+func CheckRange(xs []uint64) error { return checkRange(xs) }
 
 // EncodeCharPoly builds Alice's Theorem 2.3 message: her set size followed
 // by `points` evaluations of her characteristic polynomial at the reserved

@@ -35,6 +35,28 @@ type Msg struct {
 	Bytes int
 }
 
+// Channel abstracts the two-party link every protocol engine writes to: a
+// sequence of labeled frames, each attributed to a sender, with honest byte
+// and round accounting. Two implementations exist:
+//
+//   - *Session (this package): both parties co-simulated in one process; Send
+//     returns the receiver's copy immediately.
+//   - wire.Endpoint (internal/wire): one party per machine over a framed
+//     net.Conn; Send with the local role writes a frame, Send with the remote
+//     role reads the peer's authoritative frame off the socket.
+//
+// Protocol engines must treat the returned bytes — not sender-local state —
+// as what the receiving party observed.
+type Channel interface {
+	// Send transmits a labeled payload from the given role and returns the
+	// bytes as the receiving party sees them.
+	Send(from Role, label string, payload []byte) []byte
+	// Stats summarizes the traffic so far.
+	Stats() Stats
+	// Rounds returns the paper-convention round count so far.
+	Rounds() int
+}
+
 // Session records a protocol run's communication.
 type Session struct {
 	msgs      []Msg
@@ -61,28 +83,35 @@ func New() *Session { return &Session{} }
 // (for tests that inspect or tamper with the transcript).
 func NewRecording() *Session { return &Session{keepBytes: true} }
 
-// Send transmits payload from the given role and returns the bytes as the
-// receiving party sees them (a defensive copy, so a sender mutating its
-// buffer afterwards cannot leak state across the "wire").
-func (s *Session) Send(from Role, label string, payload []byte) []byte {
+// Record notes a transmitted message's metadata without carrying its bytes.
+// Wire endpoints mirror their frames through this so Stats/Rounds match the
+// in-process accounting with no payload copy.
+func (s *Session) Record(from Role, label string, size int) {
 	if !s.started || from != s.last {
 		s.rounds++
 		s.started = true
 		s.last = from
 	}
-	s.msgs = append(s.msgs, Msg{From: from, Label: label, Bytes: len(payload)})
+	s.msgs = append(s.msgs, Msg{From: from, Label: label, Bytes: size})
+}
+
+// Send transmits payload from the given role and returns the bytes as the
+// receiving party sees them (a defensive copy, so a sender mutating its
+// buffer afterwards cannot leak state across the "wire").
+func (s *Session) Send(from Role, label string, payload []byte) []byte {
+	s.Record(from, label, len(payload))
 	recv := make([]byte, len(payload))
 	copy(recv, payload)
 	if s.tamper != nil {
 		recv = s.tamper(label, recv)
 	}
 	if s.keepBytes {
-		s.payloads = append(s.payloads, recv)
-		// Hand the receiver its own copy so transcript tampering in tests is
-		// explicit rather than accidental.
-		out := make([]byte, len(payload))
-		copy(out, payload)
-		return out
+		// Record a separate copy of the transmitted (post-tamper) bytes so a
+		// test mutating Payload(i) cannot retroactively change what the
+		// receiver saw — but the receiver still gets the tampered payload.
+		stored := make([]byte, len(recv))
+		copy(stored, recv)
+		s.payloads = append(s.payloads, stored)
 	}
 	return recv
 }

@@ -85,3 +85,26 @@ func TestRoleString(t *testing.T) {
 		t.Fatal("role names wrong")
 	}
 }
+
+// Session must satisfy the Channel interface engines are written against.
+var _ Channel = (*Session)(nil)
+
+func TestRecordingSessionDeliversTamperedBytes(t *testing.T) {
+	s := NewRecording()
+	s.SetTamper(func(label string, payload []byte) []byte {
+		payload[0] ^= 0xff
+		return payload
+	})
+	recv := s.Send(Alice, "x", []byte{0x0f, 2})
+	if recv[0] != 0xf0 {
+		t.Fatalf("receiver got pristine bytes %v; tamper was dropped on a recording session", recv)
+	}
+	if got := s.Payload(0); got[0] != 0xf0 {
+		t.Fatalf("transcript holds %v, want the transmitted (tampered) bytes", got)
+	}
+	// Mutating the recorded transcript must not alias the receiver's copy.
+	s.Payload(0)[1] = 77
+	if recv[1] != 2 {
+		t.Fatal("transcript mutation leaked into the receiver's payload")
+	}
+}

@@ -1,0 +1,152 @@
+package wire
+
+import (
+	"fmt"
+	"io"
+
+	"sosr/internal/transport"
+)
+
+// Endpoint is one party's end of a framed connection, adapting it to
+// transport.Channel: Send with the local role writes a frame; Send with the
+// remote role reads the peer's next frame (the payload argument must be nil —
+// a real deployment cannot fabricate the remote party's bytes) and verifies
+// its label. Protocol frames are mirrored into an embedded Session so
+// Stats()/Rounds() report exactly what the in-process simulation would;
+// control frames ("ctl/...") count only toward WireBytes.
+//
+// transport.Channel has no error returns, so I/O failures follow the
+// bufio.Writer model: the first error sticks, subsequent operations are
+// no-ops returning empty payloads, and callers check Err() (the
+// error-returning SendFrame/RecvFrame API is preferred for drivers). An
+// Endpoint is not safe for concurrent use; each session owns one.
+type Endpoint struct {
+	rw         io.ReadWriter
+	local      transport.Role
+	rec        *transport.Session
+	maxPayload int
+	err        error
+	bytesIn    int64
+	bytesOut   int64
+}
+
+// NewEndpoint wraps one side of a framed connection. local is the role this
+// process plays (the sosrnet server is Alice, the client Bob).
+func NewEndpoint(rw io.ReadWriter, local transport.Role) *Endpoint {
+	return &Endpoint{rw: rw, local: local, rec: transport.New(), maxPayload: DefaultMaxPayload}
+}
+
+// SetMaxPayload bounds accepted frame payloads (≤ 0 restores the default).
+func (e *Endpoint) SetMaxPayload(n int) {
+	if n <= 0 {
+		n = DefaultMaxPayload
+	}
+	e.maxPayload = n
+}
+
+// Local returns the role this endpoint plays.
+func (e *Endpoint) Local() transport.Role { return e.local }
+
+// remote returns the peer's role.
+func (e *Endpoint) remote() transport.Role {
+	if e.local == transport.Alice {
+		return transport.Bob
+	}
+	return transport.Alice
+}
+
+// Err returns the first I/O or framing error, if any.
+func (e *Endpoint) Err() error { return e.err }
+
+// fail records the first error.
+func (e *Endpoint) fail(err error) error {
+	if e.err == nil && err != nil {
+		e.err = err
+	}
+	return err
+}
+
+// WireBytes returns the total bytes read from and written to the connection,
+// framing included.
+func (e *Endpoint) WireBytes() (in, out int64) { return e.bytesIn, e.bytesOut }
+
+// SendFrame writes a labeled frame from the local party, recording protocol
+// frames in the stats mirror.
+func (e *Endpoint) SendFrame(label string, payload []byte) error {
+	if e.err != nil {
+		return e.err
+	}
+	n, err := WriteFrame(e.rw, label, payload)
+	e.bytesOut += int64(n)
+	if err != nil {
+		return e.fail(err)
+	}
+	if !IsControl(label) {
+		e.rec.Record(e.local, label, len(payload))
+	}
+	return nil
+}
+
+// RecvFrame reads the peer's next frame, recording protocol frames in the
+// stats mirror.
+func (e *Endpoint) RecvFrame() (label string, payload []byte, err error) {
+	if e.err != nil {
+		return "", nil, e.err
+	}
+	label, payload, n, err := ReadFrame(e.rw, e.maxPayload)
+	e.bytesIn += int64(n)
+	if err != nil {
+		return "", nil, e.fail(err)
+	}
+	if !IsControl(label) {
+		e.rec.Record(e.remote(), label, len(payload))
+	}
+	return label, payload, nil
+}
+
+// RecvExpect reads the peer's next frame and requires the given label.
+func (e *Endpoint) RecvExpect(label string) ([]byte, error) {
+	got, payload, err := e.RecvFrame()
+	if err != nil {
+		return nil, err
+	}
+	if got != label {
+		return nil, e.fail(fmt.Errorf("wire: expected frame %q, got %q", label, got))
+	}
+	return payload, nil
+}
+
+// Send implements transport.Channel. from == Local() transmits payload;
+// any other role receives the peer's next frame under the given label (pass
+// payload == nil — the remote party's bytes come off the socket, not from
+// this process).
+func (e *Endpoint) Send(from transport.Role, label string, payload []byte) []byte {
+	if from == e.local {
+		if e.SendFrame(label, payload) != nil {
+			return nil
+		}
+		return payload
+	}
+	if payload != nil {
+		e.fail(fmt.Errorf("wire: Send(%v, %q) with non-nil payload on a %v endpoint", from, label, e.local))
+		return nil
+	}
+	body, err := e.RecvExpect(label)
+	if err != nil {
+		return nil
+	}
+	return body
+}
+
+// Stats implements transport.Channel: the protocol-frame traffic, matching
+// the in-process Session accounting frame-for-frame.
+func (e *Endpoint) Stats() transport.Stats { return e.rec.Stats() }
+
+// Rounds implements transport.Channel.
+func (e *Endpoint) Rounds() int { return e.rec.Rounds() }
+
+// Messages exposes the recorded protocol frames (label/size/sender), for
+// overhead audits and logs.
+func (e *Endpoint) Messages() []transport.Msg { return e.rec.Messages() }
+
+var _ transport.Channel = (*Endpoint)(nil)

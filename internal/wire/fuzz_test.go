@@ -1,0 +1,61 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"sosr/internal/prng"
+)
+
+// Robustness tests mirroring internal/iblt's: corrupted or hostile frame
+// bytes must never panic or over-allocate — they either parse back to the
+// original content or fail with a framing error.
+
+func FuzzReadFrame(f *testing.F) {
+	seed1, _ := AppendFrame(nil, "iblt", []byte{1, 2, 3})
+	seed2, _ := AppendFrame(nil, "ctl/hello", []byte(`{"v":1}`))
+	f.Add(seed1)
+	f.Add(seed2)
+	f.Add([]byte("SOSW"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		label, payload, n, err := ReadFrame(bytes.NewReader(data), 1<<20)
+		if err != nil {
+			return
+		}
+		if n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		// Whatever parsed must re-encode to exactly the consumed bytes.
+		re, err := AppendFrame(nil, label, payload)
+		if err != nil {
+			t.Fatalf("parsed frame does not re-encode: %v", err)
+		}
+		if !bytes.Equal(re, data[:n]) {
+			t.Fatal("parse/encode round trip diverged")
+		}
+	})
+}
+
+func TestReadFrameRandomCorruptionNeverPanics(t *testing.T) {
+	src := prng.New(7)
+	base, _ := AppendFrame(nil, "cascade-iblts", bytes.Repeat([]byte{0xAB}, 300))
+	for trial := 0; trial < 500; trial++ {
+		corrupt := append([]byte(nil), base...)
+		for f := 0; f <= src.Intn(8); f++ {
+			corrupt[src.Intn(len(corrupt))] ^= byte(1 + src.Intn(255))
+		}
+		_, _, _, _ = ReadFrame(bytes.NewReader(corrupt), 1<<20)
+	}
+}
+
+func TestReadFrameRandomGarbageNeverPanics(t *testing.T) {
+	src := prng.New(8)
+	for trial := 0; trial < 500; trial++ {
+		buf := make([]byte, src.Intn(512))
+		for i := range buf {
+			buf[i] = byte(src.Uint64())
+		}
+		_, _, _, _ = ReadFrame(bytes.NewReader(buf), 1<<20)
+	}
+}

@@ -137,7 +137,7 @@ func ReconcileSetsOfSets(alice, bob [][]uint64, cfg Config) (*Result, error) {
 	switch proto {
 	case ProtocolNaive:
 		if d > 0 {
-			res, err = core.Replicated(sess, coins, replicas, func(sess *transport.Session, c hashing.Coins) (*core.Result, error) {
+			res, err = core.Replicated(sess, coins, replicas, func(sess transport.Channel, c hashing.Coins) (*core.Result, error) {
 				return core.NaiveKnownD(sess, c, alice, bob, p, dHat)
 			})
 		} else {
@@ -145,7 +145,7 @@ func ReconcileSetsOfSets(alice, bob [][]uint64, cfg Config) (*Result, error) {
 		}
 	case ProtocolNested:
 		if d > 0 {
-			res, err = core.Replicated(sess, coins, replicas, func(sess *transport.Session, c hashing.Coins) (*core.Result, error) {
+			res, err = core.Replicated(sess, coins, replicas, func(sess transport.Channel, c hashing.Coins) (*core.Result, error) {
 				return core.NestedKnownD(sess, c, alice, bob, p, d, dHat)
 			})
 		} else {
@@ -153,7 +153,7 @@ func ReconcileSetsOfSets(alice, bob [][]uint64, cfg Config) (*Result, error) {
 		}
 	case ProtocolCascade:
 		if d > 0 {
-			res, err = core.Replicated(sess, coins, replicas, func(sess *transport.Session, c hashing.Coins) (*core.Result, error) {
+			res, err = core.Replicated(sess, coins, replicas, func(sess transport.Channel, c hashing.Coins) (*core.Result, error) {
 				return core.CascadeKnownD(sess, c, alice, bob, p, d)
 			})
 		} else {
@@ -161,7 +161,7 @@ func ReconcileSetsOfSets(alice, bob [][]uint64, cfg Config) (*Result, error) {
 		}
 	case ProtocolMultiRound:
 		if d > 0 {
-			res, err = core.Replicated(sess, coins, replicas, func(sess *transport.Session, c hashing.Coins) (*core.Result, error) {
+			res, err = core.Replicated(sess, coins, replicas, func(sess transport.Channel, c hashing.Coins) (*core.Result, error) {
 				return core.MultiRoundKnownD(sess, c, alice, bob, p, d)
 			})
 		} else {

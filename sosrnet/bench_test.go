@@ -1,0 +1,90 @@
+package sosrnet
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"sosr"
+	"sosr/internal/workload"
+)
+
+// BenchmarkServerReconcile compares the in-process simulation against the
+// loopback-TCP wire path (same configuration, same bytes) and measures
+// sessions/sec at 8–64 concurrent clients.
+func BenchmarkServerReconcile(b *testing.B) {
+	alice, bob := workload.PlantedSetsOfSets(17, 200, 10, 1<<32, 16)
+	cfg := sosr.Config{Seed: 7, Protocol: sosr.ProtocolCascade, KnownDiff: 32}
+
+	b.Run("inprocess", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := sosr.ReconcileSetsOfSets(alice, bob, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.ReportMetric(float64(res.Stats.TotalBytes), "payload-B")
+			}
+		}
+	})
+
+	srv := NewServer()
+	if err := srv.HostSetsOfSets("docs", alice); err != nil {
+		b.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+	addr := ln.Addr().String()
+
+	b.Run("wire", func(b *testing.B) {
+		b.ReportAllocs()
+		c := Dial(addr)
+		for i := 0; i < b.N; i++ {
+			_, ns, err := c.SetsOfSets("docs", bob, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				// The wire payload equals the in-process Stats.TotalBytes;
+				// the overhead metric is the full framing+handshake cost.
+				b.ReportMetric(float64(ns.Protocol.TotalBytes), "payload-B")
+				b.ReportMetric(float64(ns.Overhead), "overhead-B")
+			}
+		}
+	})
+
+	for _, workers := range []int{8, 16, 64} {
+		b.Run(fmt.Sprintf("wire-concurrent-%d", workers), func(b *testing.B) {
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			var failed atomic.Int64
+			b.ResetTimer()
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					c := Dial(addr)
+					for next.Add(1) <= int64(b.N) {
+						if _, _, err := c.SetsOfSets("docs", bob, cfg); err != nil {
+							failed.Add(1)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			b.StopTimer()
+			if failed.Load() != 0 {
+				b.Fatalf("%d sessions failed", failed.Load())
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "sessions/sec")
+		})
+	}
+}

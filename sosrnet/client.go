@@ -1,0 +1,578 @@
+package sosrnet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"sosr"
+	"sosr/internal/core"
+	"sosr/internal/forest"
+	"sosr/internal/graphrecon"
+	"sosr/internal/hashing"
+	"sosr/internal/setrecon"
+	"sosr/internal/setutil"
+	"sosr/internal/transport"
+	"sosr/internal/wire"
+)
+
+// NetStats reports one wire session's communication.
+type NetStats struct {
+	// Protocol is the reconciliation traffic: frame for frame, byte for
+	// byte, what the in-process simulation's Stats report for the same
+	// configuration and data.
+	Protocol sosr.Stats
+	// WireIn and WireOut are the total connection bytes this client read and
+	// wrote, framing and handshake included.
+	WireIn, WireOut int64
+	// Overhead is WireIn+WireOut − Protocol.TotalBytes: the deterministic
+	// cost of framing plus the control frames (hello/accept/done/retry).
+	Overhead int64
+	// Attempts counts protocol attempts (replication or doubling).
+	Attempts int
+}
+
+// Client reconciles local replicas against a sosrd server. Each method runs
+// one session on its own TCP connection; the zero Timeout means no deadline.
+// A Client is safe for concurrent use.
+type Client struct {
+	// Addr is the server's "host:port".
+	Addr string
+	// Timeout bounds each whole session (dial through close) when positive.
+	Timeout time.Duration
+	// MaxFrame bounds accepted frame payloads (0 = wire.DefaultMaxPayload).
+	MaxFrame int
+}
+
+// Dial returns a client for the given server address. No connection is made
+// until a reconcile method runs.
+func Dial(addr string) *Client { return &Client{Addr: addr} }
+
+// session opens one connection and wraps it as Bob's endpoint.
+func (c *Client) session() (net.Conn, *wire.Endpoint, error) {
+	conn, err := net.DialTimeout("tcp", c.Addr, c.Timeout)
+	if err != nil {
+		return nil, nil, err
+	}
+	if c.Timeout > 0 {
+		_ = conn.SetDeadline(time.Now().Add(c.Timeout))
+	}
+	ep := wire.NewEndpoint(conn, transport.Bob)
+	ep.SetMaxPayload(c.MaxFrame)
+	return conn, ep, nil
+}
+
+func (c *Client) hello(ep *wire.Endpoint, h *helloMsg) (*acceptMsg, error) {
+	h.V = protoVersion
+	if err := ep.SendFrame(lblHello, marshalCtl(h)); err != nil {
+		return nil, err
+	}
+	payload, err := recvOrServerError(ep, lblAccept)
+	if err != nil {
+		return nil, err
+	}
+	var acc acceptMsg
+	if err := json.Unmarshal(payload, &acc); err != nil {
+		return nil, fmt.Errorf("sosrnet: malformed accept frame: %v", err)
+	}
+	return &acc, nil
+}
+
+// sendDone reports the client's view; the protocol stats mirror the
+// endpoint's recorder.
+func sendDone(ep *wire.Endpoint, ok bool, cause error, attempts int) {
+	st := ep.Stats()
+	d := doneMsg{OK: ok, Rounds: st.Rounds, Bytes: st.TotalBytes, Messages: st.Messages, Attempts: attempts}
+	if cause != nil {
+		d.Error = cause.Error()
+	}
+	_ = ep.SendFrame(lblDone, marshalCtl(&d))
+}
+
+func netStats(ep *wire.Endpoint, attempts int) *NetStats {
+	st := ep.Stats()
+	in, out := ep.WireBytes()
+	return &NetStats{
+		Protocol: sosr.Stats{
+			Rounds:     st.Rounds,
+			TotalBytes: st.TotalBytes,
+			AliceBytes: st.AliceBytes,
+			BobBytes:   st.BobBytes,
+			Messages:   st.Messages,
+		},
+		WireIn:   in,
+		WireOut:  out,
+		Overhead: in + out - int64(st.TotalBytes),
+		Attempts: attempts,
+	}
+}
+
+// Sets reconciles a local set against the hosted set `name`: the client ends
+// up with the server's set. cfg mirrors sosr.ReconcileSets.
+func (c *Client) Sets(name string, local []uint64, cfg sosr.SetConfig) (*sosr.SetResult, *NetStats, error) {
+	if cfg.UseCharPoly && cfg.KnownDiff <= 0 {
+		return nil, nil, errors.New("sosrnet: UseCharPoly requires KnownDiff > 0")
+	}
+	bob := setutil.Canonical(local)
+	conn, ep, err := c.session()
+	if err != nil {
+		return nil, nil, err
+	}
+	defer conn.Close()
+	_, err = c.hello(ep, &helloMsg{
+		Dataset: name, Kind: KindSet, Seed: cfg.Seed,
+		D: cfg.KnownDiff, CharPoly: cfg.UseCharPoly,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	coins := hashing.NewCoins(cfg.Seed)
+	var res *setrecon.Result
+	if cfg.UseCharPoly {
+		msg, err := recvOrServerError(ep, "charpoly")
+		if err != nil {
+			return nil, nil, err
+		}
+		res, err = setrecon.ApplyCharPolyMsg(coins, msg, bob, cfg.KnownDiff)
+		if err != nil {
+			sendDone(ep, false, err, 1)
+			return nil, nil, err
+		}
+	} else {
+		if cfg.KnownDiff <= 0 {
+			if err := ep.SendFrame("estimator", setrecon.BuildDiffEstimator(coins, bob)); err != nil {
+				return nil, nil, err
+			}
+		}
+		msg, err := recvOrServerError(ep, "iblt")
+		if err != nil {
+			return nil, nil, err
+		}
+		res, err = setrecon.ApplyIBLTMsg(coins, msg, bob)
+		if err != nil {
+			sendDone(ep, false, err, 1)
+			return nil, nil, err
+		}
+	}
+	sendDone(ep, true, nil, 1)
+	ns := netStats(ep, 1)
+	return &sosr.SetResult{
+		Recovered: res.Recovered,
+		OnlyA:     res.OnlyA,
+		OnlyB:     res.OnlyB,
+		Stats:     ns.Protocol,
+	}, ns, nil
+}
+
+// Multiset reconciles a local multiset against the hosted multiset `name`
+// via the §3.4 packing; diffBound bounds the packed-set difference (pass 2×
+// the multiset edit distance), mirroring sosr.ReconcileMultisets. diffBound
+// ≤ 0 runs the estimator variant over the packed sets (a wire-only
+// extension; the in-process API requires a known bound).
+func (c *Client) Multiset(name string, local []uint64, diffBound int, seed uint64) ([]uint64, *NetStats, error) {
+	packed, err := setrecon.MultisetToSet(local)
+	if err != nil {
+		return nil, nil, err
+	}
+	conn, ep, err := c.session()
+	if err != nil {
+		return nil, nil, err
+	}
+	defer conn.Close()
+	if _, err = c.hello(ep, &helloMsg{Dataset: name, Kind: KindMultiset, Seed: seed, D: diffBound}); err != nil {
+		return nil, nil, err
+	}
+	coins := hashing.NewCoins(seed)
+	if diffBound <= 0 {
+		// The server's unknown-d flow waits for the probe; packed multisets
+		// estimate exactly like plain sets.
+		if err := ep.SendFrame("estimator", setrecon.BuildDiffEstimator(coins, packed)); err != nil {
+			return nil, nil, err
+		}
+	}
+	msg, err := recvOrServerError(ep, "iblt")
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := setrecon.ApplyIBLTMsg(coins, msg, packed)
+	if err != nil {
+		sendDone(ep, false, err, 1)
+		return nil, nil, err
+	}
+	sendDone(ep, true, nil, 1)
+	return setrecon.SetToMultiset(res.Recovered), netStats(ep, 1), nil
+}
+
+// SetsOfSets reconciles a local parent set against the hosted sets-of-sets
+// `name`, mirroring sosr.ReconcileSetsOfSets (all four protocol families,
+// known- and unknown-d variants).
+func (c *Client) SetsOfSets(name string, local [][]uint64, cfg sosr.Config) (*sosr.Result, *NetStats, error) {
+	bob := make([][]uint64, len(local))
+	for i, cs := range local {
+		bob[i] = setutil.Canonical(cs)
+	}
+	conn, ep, err := c.session()
+	if err != nil {
+		return nil, nil, err
+	}
+	defer conn.Close()
+	acc, err := c.hello(ep, &helloMsg{
+		Dataset: name, Kind: KindSetsOfSets, Seed: cfg.Seed,
+		D: cfg.KnownDiff, Protocol: cfg.Protocol.String(), DHat: cfg.KnownChildDiff,
+		Replicas: cfg.Replicas, S: cfg.MaxChildSets, H: cfg.MaxChildSize, U: cfg.Universe,
+		CS: len(bob), CH: maxChildLen(bob), Validate: cfg.Validate,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	p, err := core.Params{S: acc.S, H: acc.H, U: acc.U}.Normalized()
+	if err != nil {
+		return nil, nil, err
+	}
+	if cfg.Validate {
+		if err := core.Validate(bob, p); err != nil {
+			sendDone(ep, false, err, 0)
+			return nil, nil, err
+		}
+	}
+	coins := hashing.NewCoins(cfg.Seed)
+	var res *core.Result
+	var attempts int
+	switch acc.Protocol {
+	case "naive":
+		if acc.D > 0 {
+			res, attempts, err = applyReplicatedOneShot(ep, coins, bob, p, acc, core.DigestNaive, "naive-iblt")
+		} else {
+			if err = ep.SendFrame("childdiff-estimator", core.BuildChildDiffProbe(coins, bob, p)); err != nil {
+				return nil, nil, err
+			}
+			res, attempts, err = applyOneShot(ep, coins, bob, p, 1, 0, core.DigestNaive, "naive-iblt")
+		}
+	case "nested":
+		if acc.D > 0 {
+			res, attempts, err = applyReplicatedOneShot(ep, coins, bob, p, acc, core.DigestNested, "nested-iblt")
+		} else {
+			res, attempts, err = applyDoubling(ep, coins, bob, p, core.DigestNested, "nested-iblt")
+		}
+	case "cascade":
+		if acc.D > 0 {
+			res, attempts, err = applyReplicatedOneShot(ep, coins, bob, p, acc, core.DigestCascade, "cascade-iblts")
+		} else {
+			res, attempts, err = applyDoubling(ep, coins, bob, p, core.DigestCascade, "cascade-iblts")
+		}
+	case "multiround":
+		res, attempts, err = applyMultiRound(ep, coins, bob, p, acc)
+	default:
+		err = fmt.Errorf("%w: server resolved protocol %q", ErrUnsupported, acc.Protocol)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	ns := netStats(ep, attempts)
+	return &sosr.Result{
+		Recovered: res.Recovered,
+		Added:     res.Added,
+		Removed:   res.Removed,
+		Stats:     ns.Protocol,
+		Attempts:  attempts,
+		Protocol:  parseProtocol(acc.Protocol),
+	}, ns, nil
+}
+
+func parseProtocol(s string) sosr.Protocol {
+	switch s {
+	case "naive":
+		return sosr.ProtocolNaive
+	case "nested":
+		return sosr.ProtocolNested
+	case "cascade":
+		return sosr.ProtocolCascade
+	case "multiround":
+		return sosr.ProtocolMultiRound
+	}
+	return sosr.ProtocolAuto
+}
+
+// applyOneShot consumes a single one-round payload.
+func applyOneShot(ep *wire.Endpoint, coins hashing.Coins, bob [][]uint64, p core.Params, d, dHat int, kind core.DigestKind, label string) (*core.Result, int, error) {
+	body, err := recvOrServerError(ep, label)
+	if err != nil {
+		return nil, 0, err
+	}
+	res, err := core.ApplyMsg(kind, coins, body, bob, p, d, dHat)
+	if err != nil {
+		sendDone(ep, false, err, 1)
+		return nil, 0, err
+	}
+	sendDone(ep, true, nil, 1)
+	return res, 1, nil
+}
+
+// applyReplicatedOneShot mirrors core.Replicated: up to Replicas attempts
+// with fresh per-attempt coins, requesting each retry with a control frame.
+func applyReplicatedOneShot(ep *wire.Endpoint, coins hashing.Coins, bob [][]uint64, p core.Params, acc *acceptMsg, kind core.DigestKind, label string) (*core.Result, int, error) {
+	var lastErr error
+	for r := 0; r < acc.Replicas; r++ {
+		body, err := recvOrServerError(ep, label)
+		if err != nil {
+			return nil, 0, err
+		}
+		res, err := core.ApplyMsg(kind, coins.Sub("replica", r), body, bob, p, acc.D, acc.DHat)
+		if err == nil {
+			sendDone(ep, true, nil, r+1)
+			return res, r + 1, nil
+		}
+		lastErr = err
+		if r+1 < acc.Replicas {
+			if err := ep.SendFrame(lblRetry, nil); err != nil {
+				return nil, 0, err
+			}
+		}
+	}
+	err := fmt.Errorf("%w: %v", ErrGaveUp, lastErr)
+	sendDone(ep, false, err, acc.Replicas)
+	return nil, 0, err
+}
+
+// applyDoubling mirrors core's doublingLoop: attempt k applies the d = 2^k
+// payload, answering with the protocol "ack"/"retry" frames the in-process
+// run records.
+func applyDoubling(ep *wire.Endpoint, coins hashing.Coins, bob [][]uint64, p core.Params, kind core.DigestKind, label string) (*core.Result, int, error) {
+	var lastErr error
+	for k := 0; k < maxDoublingAttempts; k++ {
+		d := 1 << k
+		body, err := recvOrServerError(ep, label)
+		if err != nil {
+			if lastErr != nil {
+				return nil, 0, fmt.Errorf("%w (last attempt: %v)", err, lastErr)
+			}
+			return nil, 0, err
+		}
+		res, err := core.ApplyMsg(kind, coins.Sub("doubling-attempt", k), body, bob, p, d, core.DHat(d, p.S))
+		if err == nil {
+			if err := ep.SendFrame("ack", []byte{1}); err != nil {
+				return nil, 0, err
+			}
+			sendDone(ep, true, nil, k+1)
+			return res, k + 1, nil
+		}
+		lastErr = err
+		if err := ep.SendFrame("retry", []byte{0}); err != nil {
+			return nil, 0, err
+		}
+	}
+	return nil, 0, fmt.Errorf("%w: %v", ErrGaveUp, lastErr)
+}
+
+// applyMultiRound mirrors the Theorem 3.9/3.10 client side, with the §3.2
+// replication loop when d is known.
+func applyMultiRound(ep *wire.Endpoint, coins hashing.Coins, bob [][]uint64, p core.Params, acc *acceptMsg) (*core.Result, int, error) {
+	attempts := acc.Replicas
+	if acc.D <= 0 {
+		attempts = 1
+		if err := ep.SendFrame("childdiff-estimator", core.BuildChildDiffProbe(coins, bob, p)); err != nil {
+			return nil, 0, err
+		}
+	}
+	var lastErr error
+	for r := 0; r < attempts; r++ {
+		c := coins
+		if acc.D > 0 {
+			c = coins.Sub("replica", r)
+		}
+		retryOrFail := func(cause error) error {
+			lastErr = cause
+			if r+1 < attempts {
+				return ep.SendFrame(lblRetry, nil)
+			}
+			err := fmt.Errorf("%w: %v", ErrGaveUp, cause)
+			sendDone(ep, false, err, attempts)
+			return nil
+		}
+		msg1, err := recvOrServerError(ep, "hash-iblt")
+		if err != nil {
+			return nil, 0, err
+		}
+		round2, st, err := core.MRBob2(c, bob, p, msg1)
+		if err != nil {
+			if ferr := retryOrFail(err); ferr != nil {
+				return nil, 0, ferr
+			}
+			continue
+		}
+		if err := ep.SendFrame("hash-iblt+estimators", round2); err != nil {
+			return nil, 0, err
+		}
+		msg3, err := recvOrServerError(ep, "pair-payloads")
+		if err != nil {
+			return nil, 0, err
+		}
+		res, err := core.MRBobFinish(c, bob, st, msg3)
+		if err != nil {
+			if ferr := retryOrFail(err); ferr != nil {
+				return nil, 0, ferr
+			}
+			continue
+		}
+		sendDone(ep, true, nil, r+1)
+		return res, r + 1, nil
+	}
+	return nil, 0, fmt.Errorf("%w: %v", ErrGaveUp, lastErr)
+}
+
+// Graph reconciles a local graph against the hosted graph `name`: the client
+// ends up with a graph isomorphic to the server's. cfg mirrors
+// sosr.ReconcileGraphs (degree-ordering and degree-neighborhood schemes).
+func (c *Client) Graph(name string, local sosr.Graph, cfg sosr.GraphConfig) (*sosr.GraphResult, *NetStats, error) {
+	gb := toGraph(local)
+	d := cfg.MaxEdits
+	if d < 1 {
+		d = 1
+	}
+	h := &helloMsg{Dataset: name, Kind: KindGraph, Seed: cfg.Seed, D: d, N: gb.N}
+	switch cfg.Scheme {
+	case sosr.SchemeDegreeOrdering:
+		if cfg.TopDegrees < 1 {
+			return nil, nil, errors.New("sosrnet: SchemeDegreeOrdering requires TopDegrees (h)")
+		}
+		h.Scheme = "degree"
+		h.TopH = cfg.TopDegrees
+	case sosr.SchemeDegreeNeighborhood:
+		if cfg.DegreeThreshold < 1 {
+			return nil, nil, errors.New("sosrnet: SchemeDegreeNeighborhood requires DegreeThreshold (m)")
+		}
+		h.Scheme = "neighborhood"
+		h.M = cfg.DegreeThreshold
+	default:
+		return nil, nil, fmt.Errorf("%w: graph scheme %d has no wire protocol (use the in-process API)", ErrUnsupported, cfg.Scheme)
+	}
+	var side *graphrecon.NbrSide
+	if h.Scheme == "neighborhood" {
+		var err error
+		if side, err = graphrecon.NeighborhoodEncode(gb, cfg.DegreeThreshold); err != nil {
+			return nil, nil, err
+		}
+		h.MaxSig = side.MaxSig
+	}
+	conn, ep, err := c.session()
+	if err != nil {
+		return nil, nil, err
+	}
+	defer conn.Close()
+	acc, err := c.hello(ep, h)
+	if err != nil {
+		return nil, nil, err
+	}
+	coins := hashing.NewCoins(cfg.Seed)
+	sig, err := recvOrServerError(ep, "cascade-iblts")
+	if err != nil {
+		return nil, nil, err
+	}
+	edges, err := recvOrServerError(ep, "edge-iblt")
+	if err != nil {
+		return nil, nil, err
+	}
+	var recovered *sosr.GraphResult
+	switch h.Scheme {
+	case "degree":
+		g, err := graphrecon.DegreeOrderApply(coins, gb, graphrecon.DegreeOrderParams{H: h.TopH, D: d}, sig, edges)
+		if err != nil {
+			sendDone(ep, false, err, 1)
+			return nil, nil, err
+		}
+		recovered = &sosr.GraphResult{Recovered: fromGraph(g)}
+	case "neighborhood":
+		g, err := graphrecon.NeighborhoodApply(coins, gb, graphrecon.NeighborhoodParams{M: h.M, D: d}, side, acc.MaxSig, sig, edges)
+		if err != nil {
+			sendDone(ep, false, err, 1)
+			return nil, nil, err
+		}
+		recovered = &sosr.GraphResult{Recovered: fromGraph(g)}
+	}
+	sendDone(ep, true, nil, 1)
+	ns := netStats(ep, 1)
+	recovered.Stats = ns.Protocol
+	return recovered, ns, nil
+}
+
+// Forest reconciles a local rooted forest against the hosted forest `name`:
+// the client ends up with a forest isomorphic to the server's. cfg mirrors
+// sosr.ReconcileForests (known-budget and auto-doubling variants).
+func (c *Client) Forest(name string, local sosr.Forest, cfg sosr.ForestConfig) (*sosr.ForestResult, *NetStats, error) {
+	fb := toForest(local)
+	if err := fb.Validate(); err != nil {
+		return nil, nil, err
+	}
+	info := forest.Measure(fb)
+	conn, ep, err := c.session()
+	if err != nil {
+		return nil, nil, err
+	}
+	defer conn.Close()
+	acc, err := c.hello(ep, &helloMsg{
+		Dataset: name, Kind: KindForest, Seed: cfg.Seed,
+		D: cfg.MaxEdits, Sigma: cfg.Depth,
+		N: info.N, Depth: info.Depth, MaxChild: info.MaxChild,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	infoA := forest.SideInfo{N: acc.N, Depth: acc.Depth, MaxChild: acc.MaxChild}
+	coins := hashing.NewCoins(cfg.Seed)
+	// recvAttempt separates connection failures (commErr, which end the
+	// session) from reconciliation failures (applyErr, which drive the
+	// doubling retry loop).
+	recvAttempt := func(att hashing.Coins, rp forest.ReconParams, params core.Params) (rec *forest.Forest, applyErr, commErr error) {
+		sig, err := recvOrServerError(ep, "cascade-iblts")
+		if err != nil {
+			return nil, nil, err
+		}
+		meta, err := recvOrServerError(ep, "forest-meta")
+		if err != nil {
+			return nil, nil, err
+		}
+		rec, applyErr = forest.Apply(att, fb, rp, params, sig, meta)
+		return rec, applyErr, nil
+	}
+	if cfg.MaxEdits > 0 {
+		rp, params := forest.Plan(infoA, info, forest.ReconParams{Sigma: cfg.Depth, D: cfg.MaxEdits})
+		rec, applyErr, commErr := recvAttempt(coins, rp, params)
+		if commErr != nil {
+			return nil, nil, commErr
+		}
+		if applyErr != nil {
+			sendDone(ep, false, applyErr, 1)
+			return nil, nil, applyErr
+		}
+		sendDone(ep, true, nil, 1)
+		ns := netStats(ep, 1)
+		return &sosr.ForestResult{Recovered: sosr.Forest{Parent: rec.Parent}, Stats: ns.Protocol}, ns, nil
+	}
+	var lastErr error
+	for budget, k := 16, 0; budget <= acc.MaxBudget; budget, k = budget*2, k+1 {
+		att := coins.Sub("forest-attempt", k)
+		rp, params := forest.Plan(infoA, info, forest.ReconParams{Sigma: 1, D: 1, Budget: budget})
+		rec, applyErr, commErr := recvAttempt(att, rp, params)
+		if commErr != nil {
+			if lastErr != nil {
+				return nil, nil, fmt.Errorf("%w (last attempt: %v)", commErr, lastErr)
+			}
+			return nil, nil, commErr
+		}
+		if applyErr == nil {
+			if err := ep.SendFrame("ack", []byte{1}); err != nil {
+				return nil, nil, err
+			}
+			sendDone(ep, true, nil, k+1)
+			ns := netStats(ep, k+1)
+			return &sosr.ForestResult{Recovered: sosr.Forest{Parent: rec.Parent}, Stats: ns.Protocol}, ns, nil
+		}
+		lastErr = applyErr
+		if err := ep.SendFrame("retry", []byte{0}); err != nil {
+			return nil, nil, err
+		}
+	}
+	return nil, nil, fmt.Errorf("%w: %v", ErrGaveUp, lastErr)
+}

@@ -1,0 +1,857 @@
+package sosrnet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"sosr"
+	"sosr/internal/core"
+	"sosr/internal/forest"
+	"sosr/internal/graph"
+	"sosr/internal/graphrecon"
+	"sosr/internal/hashing"
+	"sosr/internal/setrecon"
+	"sosr/internal/setutil"
+	"sosr/internal/transport"
+	"sosr/internal/wire"
+)
+
+// Server hosts named datasets and serves concurrent one-way reconciliation
+// sessions: every connection is one session, handled on its own goroutine,
+// with the server playing Alice (the client ends up with the server's data).
+// Datasets are immutable once hosted, so sessions share them without locks.
+type Server struct {
+	// Logf, when non-nil, receives one line per finished session carrying
+	// both parties' stats. Safe for concurrent use by sessions.
+	Logf func(format string, args ...any)
+	// MaxFrame bounds accepted frame payloads (0 = wire.DefaultMaxPayload).
+	MaxFrame int
+	// MaxBound caps every client-supplied size and difference bound before
+	// any allocation happens — a hostile hello cannot make the server build
+	// structures for a fabricated d or instance shape. 0 means
+	// DefaultMaxBound; raise it for sessions that legitimately reconcile
+	// enormous differences.
+	MaxBound int
+	// SessionTimeout bounds a whole session from accept to close, severing
+	// stalled or malicious connections that would otherwise pin a goroutine
+	// forever. 0 means DefaultSessionTimeout; negative disables the
+	// deadline.
+	SessionTimeout time.Duration
+
+	mu       sync.Mutex
+	datasets map[string]*dataset
+	conns    map[net.Conn]struct{}
+	ln       net.Listener
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// dataset is one hosted, immutable dataset.
+type dataset struct {
+	kind Kind
+	set  []uint64   // KindSet: canonical; KindMultiset: canonical packed form
+	sos  [][]uint64 // KindSetsOfSets: canonical child sets
+	g    *graph.Graph
+	f    *forest.Forest
+	fi   forest.SideInfo
+}
+
+// DefaultMaxBound is the default cap on client-supplied bounds (difference
+// bounds, instance shape, budgets).
+const DefaultMaxBound = 1 << 20
+
+// DefaultSessionTimeout is the default whole-session deadline.
+const DefaultSessionTimeout = 5 * time.Minute
+
+// maxHelloReplicas caps the client-requested replication factor (each
+// replica is one server-built payload).
+const maxHelloReplicas = 64
+
+// NewServer returns an empty server.
+func NewServer() *Server {
+	return &Server{
+		datasets: make(map[string]*dataset),
+		conns:    make(map[net.Conn]struct{}),
+	}
+}
+
+func (s *Server) maxBound() int {
+	if s.MaxBound > 0 {
+		return s.MaxBound
+	}
+	return DefaultMaxBound
+}
+
+// checkHello rejects hellos whose numeric parameters are negative or exceed
+// the server's bound, before any of them can size an allocation.
+func (s *Server) checkHello(h *helloMsg) error {
+	bound := s.maxBound()
+	for _, f := range []struct {
+		name string
+		v    int
+	}{
+		{"d", h.D}, {"dhat", h.DHat}, {"s", h.S}, {"h", h.H},
+		{"cs", h.CS}, {"ch", h.CH}, {"toph", h.TopH}, {"m", h.M},
+		{"n", h.N}, {"sigbudget", h.SigBudget}, {"maxsig", h.MaxSig},
+		{"sigma", h.Sigma}, {"budget", h.Budget}, {"maxbudget", h.MaxBudget},
+		{"depth", h.Depth}, {"maxchild", h.MaxChild},
+	} {
+		if f.v < 0 || f.v > bound {
+			return fmt.Errorf("%w: hello field %s=%d outside [0, %d]", ErrUnsupported, f.name, f.v, bound)
+		}
+	}
+	if h.Replicas < 0 || h.Replicas > maxHelloReplicas {
+		return fmt.Errorf("%w: replicas=%d outside [0, %d]", ErrUnsupported, h.Replicas, maxHelloReplicas)
+	}
+	return nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+func (s *Server) host(name string, ds *dataset) error {
+	if name == "" {
+		return errors.New("sosrnet: empty dataset name")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.datasets[name]; dup {
+		return fmt.Errorf("sosrnet: dataset %q already hosted", name)
+	}
+	s.datasets[name] = ds
+	return nil
+}
+
+// HostSets hosts a set (any order, duplicates ignored). Elements must fit
+// the 2^60 universe so every protocol variant can serve it.
+func (s *Server) HostSets(name string, elems []uint64) error {
+	canon := setutil.Canonical(elems)
+	if err := setrecon.CheckRange(canon); err != nil {
+		return err
+	}
+	return s.host(name, &dataset{kind: KindSet, set: canon})
+}
+
+// HostMultiset hosts a multiset (slice with repeats). Elements must be
+// < 2^48 with per-element multiplicity < 2^12 (the §3.4 packing).
+func (s *Server) HostMultiset(name string, elems []uint64) error {
+	packed, err := setrecon.MultisetToSet(elems)
+	if err != nil {
+		return err
+	}
+	return s.host(name, &dataset{kind: KindMultiset, set: packed})
+}
+
+// HostSetsOfSets hosts a parent set of child sets. Child sets may be passed
+// unsorted; each is stored in canonical order.
+func (s *Server) HostSetsOfSets(name string, parent [][]uint64) error {
+	canon := make([][]uint64, len(parent))
+	for i, cs := range parent {
+		canon[i] = setutil.Canonical(cs)
+	}
+	return s.host(name, &dataset{kind: KindSetsOfSets, sos: canon})
+}
+
+// HostGraph hosts an undirected simple graph.
+func (s *Server) HostGraph(name string, g sosr.Graph) error {
+	return s.host(name, &dataset{kind: KindGraph, g: toGraph(g)})
+}
+
+// HostForest hosts a rooted forest.
+func (s *Server) HostForest(name string, f sosr.Forest) error {
+	inner := toForest(f)
+	if err := inner.Validate(); err != nil {
+		return err
+	}
+	return s.host(name, &dataset{kind: KindForest, f: inner, fi: forest.Measure(inner)})
+}
+
+func (s *Server) lookup(name string, kind Kind) (*dataset, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ds, ok := s.datasets[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownDataset, name)
+	}
+	if ds.kind != kind {
+		return nil, fmt.Errorf("%w: %q is %s, not %s", ErrUnknownDataset, name, ds.kind, kind)
+	}
+	return ds, nil
+}
+
+// ListenAndServe listens on addr ("host:port") and serves until Close or
+// Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts sessions on ln until Close or Shutdown. It returns nil after
+// a clean shutdown.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("sosrnet: server closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				conn.Close()
+			}()
+			defer func() {
+				if r := recover(); r != nil {
+					s.logf("session %s: panic: %v", conn.RemoteAddr(), r)
+				}
+			}()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Addr returns the listening address (nil before Serve).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops accepting, severs active sessions, and waits for their
+// goroutines to exit.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// Shutdown stops accepting and waits for in-flight sessions to finish; when
+// ctx expires first, remaining sessions are severed.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// handle runs one session.
+func (s *Server) handle(conn net.Conn) {
+	start := time.Now()
+	timeout := s.SessionTimeout
+	if timeout == 0 {
+		timeout = DefaultSessionTimeout
+	}
+	if timeout > 0 {
+		_ = conn.SetDeadline(start.Add(timeout))
+	}
+	ep := wire.NewEndpoint(conn, transport.Alice)
+	ep.SetMaxPayload(s.MaxFrame)
+	payload, err := ep.RecvExpect(lblHello)
+	if err != nil {
+		s.logf("session %s: handshake: %v", conn.RemoteAddr(), err)
+		return
+	}
+	var h helloMsg
+	if err := json.Unmarshal(payload, &h); err != nil {
+		sendErrorFrame(ep, fmt.Errorf("malformed hello: %v", err))
+		return
+	}
+	if h.V != protoVersion {
+		sendErrorFrame(ep, fmt.Errorf("protocol version %d unsupported (want %d)", h.V, protoVersion))
+		return
+	}
+	if err := s.checkHello(&h); err != nil {
+		sendErrorFrame(ep, err)
+		return
+	}
+	ds, err := s.lookup(h.Dataset, h.Kind)
+	if err != nil {
+		sendErrorFrame(ep, err)
+		return
+	}
+	coins := hashing.NewCoins(h.Seed)
+	var done *doneMsg
+	var detail string
+	switch h.Kind {
+	case KindSet, KindMultiset:
+		done, detail, err = s.serveSet(ep, coins, ds.set, &h)
+	case KindSetsOfSets:
+		done, detail, err = s.serveSOS(ep, coins, ds.sos, &h)
+	case KindGraph:
+		done, detail, err = s.serveGraph(ep, coins, ds.g, &h)
+	case KindForest:
+		done, detail, err = s.serveForest(ep, coins, ds, &h)
+	default:
+		err = fmt.Errorf("%w: kind %q", ErrUnsupported, h.Kind)
+		sendErrorFrame(ep, err)
+	}
+	st := ep.Stats()
+	in, out := ep.WireBytes()
+	status := "ok"
+	switch {
+	case err != nil:
+		status = fmt.Sprintf("error(%v)", err)
+	case done != nil && !done.OK:
+		status = fmt.Sprintf("client-failed(%s)", done.Error)
+	}
+	clientView := "-"
+	if done != nil {
+		clientView = fmt.Sprintf("rounds=%d bytes=%d msgs=%d attempts=%d", done.Rounds, done.Bytes, done.Messages, done.Attempts)
+	}
+	s.logf("session %s: dataset=%q kind=%s %s %s server={%v} client={%s} wire_in=%d wire_out=%d dur=%s",
+		conn.RemoteAddr(), h.Dataset, h.Kind, detail, status, st, clientView, in, out, time.Since(start).Round(time.Microsecond))
+}
+
+// accept sends the resolved parameters.
+func (s *Server) accept(ep *wire.Endpoint, acc *acceptMsg) error {
+	acc.V = protoVersion
+	return ep.SendFrame(lblAccept, marshalCtl(acc))
+}
+
+// recvDone consumes the client's closing report.
+func recvDone(ep *wire.Endpoint) (*doneMsg, error) {
+	payload, err := ep.RecvExpect(lblDone)
+	if err != nil {
+		return nil, err
+	}
+	return parseDone(payload)
+}
+
+// parseDone decodes an already-received done payload.
+func parseDone(payload []byte) (*doneMsg, error) {
+	var d doneMsg
+	if err := json.Unmarshal(payload, &d); err != nil {
+		return nil, fmt.Errorf("sosrnet: malformed done frame: %v", err)
+	}
+	return &d, nil
+}
+
+// ---- set / multiset ----
+
+func (s *Server) serveSet(ep *wire.Endpoint, coins hashing.Coins, alice []uint64, h *helloMsg) (*doneMsg, string, error) {
+	variant := "iblt"
+	switch {
+	case h.CharPoly:
+		variant = "charpoly"
+		if h.D <= 0 {
+			err := errors.New("charpoly requires a positive difference bound")
+			sendErrorFrame(ep, err)
+			return nil, variant, err
+		}
+		// Encoding costs O(n·d) field evaluations before any byte is sent;
+		// bound the work by the hosted set, not just MaxBound — a difference
+		// beyond this is cheaper over the IBLT path anyway.
+		if limit := 4*len(alice) + 1024; h.D > limit {
+			err := fmt.Errorf("%w: charpoly bound %d exceeds work limit %d for this dataset (use the IBLT variant)", ErrUnsupported, h.D, limit)
+			sendErrorFrame(ep, err)
+			return nil, variant, err
+		}
+	case h.D <= 0:
+		variant = "iblt-unknown"
+	}
+	if err := s.accept(ep, &acceptMsg{Kind: h.Kind, D: h.D}); err != nil {
+		return nil, variant, err
+	}
+	switch variant {
+	case "charpoly":
+		if err := ep.SendFrame("charpoly", setrecon.EncodeCharPoly(alice, h.D+1)); err != nil {
+			return nil, variant, err
+		}
+	case "iblt-unknown":
+		probe, err := ep.RecvExpect("estimator")
+		if err != nil {
+			return nil, variant, err
+		}
+		d, err := setrecon.DiffBoundFromEstimator(coins, probe, alice)
+		if err != nil {
+			sendErrorFrame(ep, err)
+			return nil, variant, err
+		}
+		if err := ep.SendFrame("iblt", setrecon.BuildIBLTMsg(coins, alice, d)); err != nil {
+			return nil, variant, err
+		}
+	default:
+		if err := ep.SendFrame("iblt", setrecon.BuildIBLTMsg(coins, alice, h.D)); err != nil {
+			return nil, variant, err
+		}
+	}
+	done, err := recvDone(ep)
+	return done, variant, err
+}
+
+// ---- sets of sets ----
+
+// sosPlan is the server-resolved sets-of-sets session shape.
+type sosPlan struct {
+	proto    string
+	p        core.Params
+	d        int
+	dHat     int
+	replicas int
+}
+
+func resolveSOS(h *helloMsg, alice [][]uint64) (*sosPlan, error) {
+	pl := &sosPlan{d: h.D}
+	pl.proto = h.Protocol
+	if pl.proto == "" || pl.proto == "auto" {
+		if pl.d > 0 {
+			pl.proto = "cascade"
+		} else {
+			pl.proto = "multiround"
+		}
+	}
+	switch pl.proto {
+	case "naive", "nested", "cascade", "multiround":
+	default:
+		return nil, fmt.Errorf("%w: protocol %q", ErrUnsupported, h.Protocol)
+	}
+	S := h.S
+	if S <= 0 {
+		S = max(len(alice), h.CS, 1)
+	}
+	H := h.H
+	if H <= 0 {
+		H = max(maxChildLen(alice), h.CH, 1)
+	}
+	p, err := core.Params{S: S, H: H, U: h.U}.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	pl.p = p
+	pl.replicas = h.Replicas
+	if pl.replicas <= 0 {
+		pl.replicas = 3
+	}
+	pl.dHat = h.DHat
+	if pl.dHat <= 0 {
+		pl.dHat = core.DHat(max(pl.d, 1, 1), p.S)
+	}
+	return pl, nil
+}
+
+func (s *Server) serveSOS(ep *wire.Endpoint, coins hashing.Coins, alice [][]uint64, h *helloMsg) (*doneMsg, string, error) {
+	pl, err := resolveSOS(h, alice)
+	if err != nil {
+		sendErrorFrame(ep, err)
+		return nil, "sos", err
+	}
+	detail := fmt.Sprintf("proto=%s d=%d d̂=%d s=%d h=%d", pl.proto, pl.d, pl.dHat, pl.p.S, pl.p.H)
+	if h.Validate {
+		if err := core.Validate(alice, pl.p); err != nil {
+			sendErrorFrame(ep, err)
+			return nil, detail, err
+		}
+	}
+	acc := &acceptMsg{
+		Kind: KindSetsOfSets, Protocol: pl.proto, D: pl.d, DHat: pl.dHat,
+		Replicas: pl.replicas, S: pl.p.S, H: pl.p.H, U: pl.p.U,
+	}
+	if err := s.accept(ep, acc); err != nil {
+		return nil, detail, err
+	}
+	var done *doneMsg
+	switch pl.proto {
+	case "naive":
+		if pl.d > 0 {
+			done, err = s.serveReplicatedOneShot(ep, coins, alice, pl, core.DigestNaive, "naive-iblt")
+		} else {
+			// Theorem 3.4: probe, then a single Theorem 3.3 shot.
+			var probe []byte
+			if probe, err = ep.RecvExpect("childdiff-estimator"); err != nil {
+				break
+			}
+			dHat := core.EstimateChildDiff(probe, coins, alice, pl.p)
+			var body []byte
+			if body, err = core.AliceMsg(core.DigestNaive, coins, alice, pl.p, 1, dHat); err != nil {
+				sendErrorFrame(ep, err)
+				break
+			}
+			if err = ep.SendFrame("naive-iblt", body); err != nil {
+				break
+			}
+			done, err = recvDone(ep)
+		}
+	case "nested":
+		if pl.d > 0 {
+			done, err = s.serveReplicatedOneShot(ep, coins, alice, pl, core.DigestNested, "nested-iblt")
+		} else {
+			done, err = s.serveDoubling(ep, coins, alice, pl.p, core.DigestNested, "nested-iblt")
+		}
+	case "cascade":
+		if pl.d > 0 {
+			done, err = s.serveReplicatedOneShot(ep, coins, alice, pl, core.DigestCascade, "cascade-iblts")
+		} else {
+			done, err = s.serveDoubling(ep, coins, alice, pl.p, core.DigestCascade, "cascade-iblts")
+		}
+	case "multiround":
+		done, err = s.serveMultiRound(ep, coins, alice, pl)
+	}
+	return done, detail, err
+}
+
+// serveReplicatedOneShot runs the §3.2 replication loop for a one-round
+// protocol: each attempt r uses fresh coins; the client answers ctl/done on
+// success (or final failure) and ctl/retry to request the next attempt.
+func (s *Server) serveReplicatedOneShot(ep *wire.Endpoint, coins hashing.Coins, alice [][]uint64, pl *sosPlan, kind core.DigestKind, label string) (*doneMsg, error) {
+	for r := 0; r < pl.replicas; r++ {
+		c := coins.Sub("replica", r)
+		body, err := core.AliceMsg(kind, c, alice, pl.p, pl.d, pl.dHat)
+		if err != nil {
+			sendErrorFrame(ep, err)
+			return nil, err
+		}
+		if err := ep.SendFrame(label, body); err != nil {
+			return nil, err
+		}
+		got, payload, err := ep.RecvFrame()
+		if err != nil {
+			return nil, err
+		}
+		switch got {
+		case lblDone:
+			return parseDone(payload)
+		case lblRetry:
+			continue
+		default:
+			return nil, fmt.Errorf("sosrnet: unexpected frame %q", got)
+		}
+	}
+	err := fmt.Errorf("%w: %d replicas", ErrGaveUp, pl.replicas)
+	sendErrorFrame(ep, err)
+	return nil, err
+}
+
+// serveDoubling runs the Corollary 3.6/3.8 repeated-doubling loop: attempt k
+// uses d = 2^k with fresh coins; the client acknowledges each attempt with a
+// protocol "ack"/"retry" frame (the same 1-byte messages the in-process run
+// records) and closes with ctl/done.
+func (s *Server) serveDoubling(ep *wire.Endpoint, coins hashing.Coins, alice [][]uint64, p core.Params, kind core.DigestKind, label string) (*doneMsg, error) {
+	for k := 0; k < maxDoublingAttempts; k++ {
+		d := 1 << k
+		att := coins.Sub("doubling-attempt", k)
+		body, err := core.AliceMsg(kind, att, alice, p, d, core.DHat(d, p.S))
+		if err != nil {
+			sendErrorFrame(ep, err)
+			return nil, err
+		}
+		if err := ep.SendFrame(label, body); err != nil {
+			return nil, err
+		}
+		got, _, err := ep.RecvFrame()
+		if err != nil {
+			return nil, err
+		}
+		switch got {
+		case "ack":
+			return recvDone(ep)
+		case "retry":
+			// Give up when the bound outgrows the instance — or the server's
+			// own cap, so endless client retries cannot inflate allocations.
+			if tooBigDoubling(d, p.S, p.H) || d > s.maxBound() {
+				err := fmt.Errorf("%w: doubling bound %d exceeds instance size", ErrGaveUp, d)
+				sendErrorFrame(ep, err)
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("sosrnet: unexpected frame %q", got)
+		}
+	}
+	err := fmt.Errorf("%w: doubling attempts exhausted", ErrGaveUp)
+	sendErrorFrame(ep, err)
+	return nil, err
+}
+
+// serveMultiRound runs Theorem 3.9 (known d, replicated) or 3.10 (unknown d,
+// probe first) over the wire, the only genuinely multi-round flow.
+func (s *Server) serveMultiRound(ep *wire.Endpoint, coins hashing.Coins, alice [][]uint64, pl *sosPlan) (*doneMsg, error) {
+	attempts := pl.replicas
+	dHat := pl.dHat
+	if pl.d <= 0 {
+		attempts = 1
+		probe, err := ep.RecvExpect("childdiff-estimator")
+		if err != nil {
+			return nil, err
+		}
+		dHat = core.EstimateChildDiff(probe, coins, alice, pl.p)
+	}
+	for r := 0; r < attempts; r++ {
+		c := coins
+		if pl.d > 0 {
+			c = coins.Sub("replica", r)
+			dHat = core.DHat(pl.d, pl.p.S)
+		}
+		if err := ep.SendFrame("hash-iblt", core.MRAlice1(c, alice, dHat)); err != nil {
+			return nil, err
+		}
+		got, payload, err := ep.RecvFrame()
+		if err != nil {
+			return nil, err
+		}
+		switch got {
+		case lblRetry:
+			continue
+		case lblDone:
+			return parseDone(payload)
+		case "hash-iblt+estimators":
+		default:
+			return nil, fmt.Errorf("sosrnet: unexpected frame %q", got)
+		}
+		round3, _, err := core.MRAlice3(c, alice, pl.p, pl.d, payload)
+		if err != nil {
+			sendErrorFrame(ep, err)
+			return nil, err
+		}
+		if err := ep.SendFrame("pair-payloads", round3); err != nil {
+			return nil, err
+		}
+		got, payload, err = ep.RecvFrame()
+		if err != nil {
+			return nil, err
+		}
+		switch got {
+		case lblDone:
+			return parseDone(payload)
+		case lblRetry:
+			continue
+		default:
+			return nil, fmt.Errorf("sosrnet: unexpected frame %q", got)
+		}
+	}
+	err := fmt.Errorf("%w: %d attempts", ErrGaveUp, attempts)
+	sendErrorFrame(ep, err)
+	return nil, err
+}
+
+// ---- graph ----
+
+func (s *Server) serveGraph(ep *wire.Endpoint, coins hashing.Coins, ga *graph.Graph, h *helloMsg) (*doneMsg, string, error) {
+	detail := fmt.Sprintf("scheme=%s d=%d", h.Scheme, h.D)
+	if h.N != ga.N {
+		err := fmt.Errorf("vertex count mismatch: client %d, dataset %d", h.N, ga.N)
+		sendErrorFrame(ep, err)
+		return nil, detail, err
+	}
+	d := h.D
+	if d < 1 {
+		d = 1
+	}
+	switch h.Scheme {
+	case "degree":
+		msgs, err := graphrecon.DegreeOrderAlice(coins, ga, graphrecon.DegreeOrderParams{H: h.TopH, D: d})
+		if err != nil {
+			sendErrorFrame(ep, err)
+			return nil, detail, err
+		}
+		if err := s.accept(ep, &acceptMsg{Kind: KindGraph, D: d}); err != nil {
+			return nil, detail, err
+		}
+		if err := ep.SendFrame("cascade-iblts", msgs.Sig); err != nil {
+			return nil, detail, err
+		}
+		if err := ep.SendFrame("edge-iblt", msgs.Edges); err != nil {
+			return nil, detail, err
+		}
+	case "neighborhood":
+		sideA, err := graphrecon.NeighborhoodEncode(ga, h.M)
+		if err != nil {
+			sendErrorFrame(ep, err)
+			return nil, detail, err
+		}
+		maxSig := max(sideA.MaxSig, h.MaxSig, 1)
+		p := graphrecon.NeighborhoodParams{M: h.M, D: d, SigBudget: h.SigBudget}
+		if budget := graphrecon.NeighborhoodBudget(p); budget > s.maxBound() {
+			err := fmt.Errorf("%w: signature budget %d exceeds server bound %d", ErrUnsupported, budget, s.maxBound())
+			sendErrorFrame(ep, err)
+			return nil, detail, err
+		}
+		msgs, err := graphrecon.NeighborhoodAlice(coins, ga, p, sideA, maxSig)
+		if err != nil {
+			sendErrorFrame(ep, err)
+			return nil, detail, err
+		}
+		if err := s.accept(ep, &acceptMsg{Kind: KindGraph, D: d, MaxSig: maxSig}); err != nil {
+			return nil, detail, err
+		}
+		if err := ep.SendFrame("cascade-iblts", msgs.Sig); err != nil {
+			return nil, detail, err
+		}
+		if err := ep.SendFrame("edge-iblt", msgs.Edges); err != nil {
+			return nil, detail, err
+		}
+	default:
+		err := fmt.Errorf("%w: graph scheme %q", ErrUnsupported, h.Scheme)
+		sendErrorFrame(ep, err)
+		return nil, detail, err
+	}
+	done, err := recvDone(ep)
+	return done, detail, err
+}
+
+// ---- forest ----
+
+func (s *Server) serveForest(ep *wire.Endpoint, coins hashing.Coins, ds *dataset, h *helloMsg) (*doneMsg, string, error) {
+	infoB := forest.SideInfo{N: h.N, Depth: h.Depth, MaxChild: h.MaxChild}
+	maxBudget := h.MaxBudget
+	if maxBudget <= 0 || maxBudget > s.maxBound() {
+		maxBudget = min(1<<20, s.maxBound())
+	}
+	detail := fmt.Sprintf("d=%d sigma=%d", h.D, h.Sigma)
+	acc := &acceptMsg{
+		Kind: KindForest, D: h.D,
+		N: ds.fi.N, Depth: ds.fi.Depth, MaxChild: ds.fi.MaxChild, MaxBudget: maxBudget,
+	}
+	if err := s.accept(ep, acc); err != nil {
+		return nil, detail, err
+	}
+	if h.D > 0 {
+		rp, params := forest.Plan(ds.fi, infoB, forest.ReconParams{Sigma: h.Sigma, D: h.D, Budget: h.Budget})
+		if rp.Budget > s.maxBound() {
+			err := fmt.Errorf("%w: forest budget %d exceeds server bound %d", ErrUnsupported, rp.Budget, s.maxBound())
+			sendErrorFrame(ep, err)
+			return nil, detail, err
+		}
+		sig, meta, err := forest.AliceMsg(coins, ds.f, rp, params)
+		if err != nil {
+			sendErrorFrame(ep, err)
+			return nil, detail, err
+		}
+		if err := ep.SendFrame("cascade-iblts", sig); err != nil {
+			return nil, detail, err
+		}
+		if err := ep.SendFrame("forest-meta", meta); err != nil {
+			return nil, detail, err
+		}
+		done, err := recvDone(ep)
+		return done, detail, err
+	}
+	// Auto: verified doubling over the budget (Corollary 3.8 applied to
+	// forests), with per-attempt coins and protocol ack/retry frames.
+	for budget, k := 16, 0; budget <= maxBudget; budget, k = budget*2, k+1 {
+		att := coins.Sub("forest-attempt", k)
+		rp, params := forest.Plan(ds.fi, infoB, forest.ReconParams{Sigma: 1, D: 1, Budget: budget})
+		sig, meta, err := forest.AliceMsg(att, ds.f, rp, params)
+		if err != nil {
+			sendErrorFrame(ep, err)
+			return nil, detail, err
+		}
+		if err := ep.SendFrame("cascade-iblts", sig); err != nil {
+			return nil, detail, err
+		}
+		if err := ep.SendFrame("forest-meta", meta); err != nil {
+			return nil, detail, err
+		}
+		got, _, err := ep.RecvFrame()
+		if err != nil {
+			return nil, detail, err
+		}
+		switch got {
+		case "ack":
+			done, err := recvDone(ep)
+			return done, detail, err
+		case "retry":
+		default:
+			return nil, detail, fmt.Errorf("sosrnet: unexpected frame %q", got)
+		}
+	}
+	err := fmt.Errorf("%w: forest budget exceeded %d", ErrGaveUp, maxBudget)
+	sendErrorFrame(ep, err)
+	return nil, detail, err
+}
+
+// ---- helpers ----
+
+func maxChildLen(parent [][]uint64) int {
+	m := 1
+	for _, cs := range parent {
+		if len(cs) > m {
+			m = len(cs)
+		}
+	}
+	return m
+}
+
+// toGraph converts the public edge-list form into the internal bitset graph
+// (mirrors sosr.Graph's own conversion).
+func toGraph(g sosr.Graph) *graph.Graph {
+	out := graph.New(g.N)
+	for _, e := range g.Edges {
+		if e[0] != e[1] {
+			out.AddEdge(e[0], e[1])
+		}
+	}
+	return out
+}
+
+func fromGraph(g *graph.Graph) sosr.Graph {
+	return sosr.Graph{N: g.N, Edges: g.Edges()}
+}
+
+func toForest(f sosr.Forest) *forest.Forest {
+	return &forest.Forest{Parent: append([]int32(nil), f.Parent...)}
+}
