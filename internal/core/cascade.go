@@ -7,6 +7,7 @@ import (
 
 	"sosr/internal/hashing"
 	"sosr/internal/iblt"
+	"sosr/internal/setutil"
 	"sosr/internal/transport"
 )
 
@@ -141,17 +142,19 @@ func cascadeBob(coins hashing.Coins, plan *cascadePlan, msg []byte, bob [][]uint
 	}
 	wantParent := binary.LittleEndian.Uint64(msg[off:])
 
+	chs := childSeed(coins)
 	byHash := make(map[uint64][]uint64, len(bob))
 	for _, cs := range bob {
-		byHash[childHash(coins, cs)] = cs
+		byHash[setutil.Hash(chs, cs)] = cs
 	}
 
 	// --- Level 1: delete all of Bob's encodings, find D_B and the full set
 	// of Alice's differing encodings. ---
 	codec1 := plan.level[0]
+	enc1 := codec1.encoder()
 	t1 := tables[0]
 	for _, cs := range bob {
-		t1.Delete(codec1.encode(cs))
+		t1.Delete(enc1.encode(cs))
 	}
 	addedEnc, removedEnc, err := t1.Decode()
 	if err != nil {
@@ -169,7 +172,7 @@ func cascadeBob(coins hashing.Coins, plan *cascadePlan, msg []byte, bob [][]uint
 			return nil, fmt.Errorf("%w: level 1 removed hash unknown", ErrChildDecode)
 		}
 		dB = append(dB, cs)
-		removedHashes[childHash(coins, cs)] = true
+		removedHashes[setutil.Hash(chs, cs)] = true
 	}
 	// outstanding: Alice's differing child-set hashes not yet recovered.
 	outstanding := make(map[uint64]bool, len(addedEnc))
@@ -209,14 +212,15 @@ func cascadeBob(coins hashing.Coins, plan *cascadePlan, msg []byte, bob [][]uint
 	// --- Levels 2..t: delete everything known, extract the remainder. ---
 	for i := 2; i <= t; i++ {
 		codec := plan.level[i-1]
+		enc := codec.encoder()
 		ti := tables[i-1]
 		for _, cs := range bob {
-			if !removedHashes[childHash(coins, cs)] { // all except D_B
-				ti.Delete(codec.encode(cs))
+			if !removedHashes[setutil.Hash(chs, cs)] { // all except D_B
+				ti.Delete(enc.encode(cs))
 			}
 		}
 		for _, rec := range recovered { // all of D_A so far
-			ti.Delete(codec.encode(rec))
+			ti.Delete(enc.encode(rec))
 		}
 		added, removed, err := ti.Decode()
 		if err != nil {
@@ -236,13 +240,14 @@ func cascadeBob(coins hashing.Coins, plan *cascadePlan, msg []byte, bob [][]uint
 
 	// --- T*: full encodings for anything still outstanding. ---
 	if starTable != nil {
+		starEnc := plan.starCodec.encoder()
 		for _, cs := range bob {
-			if !removedHashes[childHash(coins, cs)] {
-				starTable.Delete(plan.starCodec.encode(cs))
+			if !removedHashes[setutil.Hash(chs, cs)] {
+				starTable.Delete(starEnc.encode(cs))
 			}
 		}
 		for _, rec := range recovered {
-			starTable.Delete(plan.starCodec.encode(rec))
+			starTable.Delete(starEnc.encode(rec))
 		}
 		added, removed, err := starTable.Decode()
 		if err != nil {
@@ -256,7 +261,7 @@ func cascadeBob(coins hashing.Coins, plan *cascadePlan, msg []byte, bob [][]uint
 			if err != nil {
 				return nil, fmt.Errorf("%w: T*: %v", ErrChildDecode, err)
 			}
-			h := childHash(coins, cs)
+			h := setutil.Hash(chs, cs)
 			if _, done := recovered[h]; done {
 				continue
 			}

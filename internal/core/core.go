@@ -150,9 +150,11 @@ const childHashLabel = "core/childhash"
 // parentVerifyLabel names the whole-parent verification hash role.
 const parentVerifyLabel = "core/parentverify"
 
-func childHash(coins hashing.Coins, cs []uint64) uint64 {
-	return setutil.Hash(coins.Seed(childHashLabel, 0), cs)
-}
+// childSeed derives the per-child-set hash role; the hash of a child set is
+// setutil.Hash(childSeed(coins), cs). Callers hoist the seed and hash
+// directly instead of re-deriving the role from coins for every child
+// (Coins.Seed hashes its label string on each call).
+func childSeed(coins hashing.Coins) uint64 { return coins.Seed(childHashLabel, 0) }
 
 func parentHash(coins hashing.Coins, parent [][]uint64) uint64 {
 	return setutil.HashSetOfSets(coins.Seed(parentVerifyLabel, 0), parent)
@@ -161,9 +163,10 @@ func parentHash(coins hashing.Coins, parent [][]uint64) uint64 {
 // assemble computes Bob's final parent set: his own children minus the
 // removed ones, plus Alice's recovered children; result in canonical order.
 func assemble(bob [][]uint64, added [][]uint64, removedHashes map[uint64]bool, coins hashing.Coins) [][]uint64 {
+	chs := childSeed(coins)
 	out := make([][]uint64, 0, len(bob)+len(added))
 	for _, cs := range bob {
-		if !removedHashes[childHash(coins, cs)] {
+		if !removedHashes[setutil.Hash(chs, cs)] {
 			out = append(out, setutil.Clone(cs))
 		}
 	}

@@ -139,9 +139,10 @@ func ApplyMsg(kind DigestKind, coins hashing.Coins, body []byte, bob [][]uint64,
 // naiveAliceMsg builds the Theorem 3.3 payload.
 func naiveAliceMsg(coins hashing.Coins, alice [][]uint64, p Params, dHat int) []byte {
 	codec := newNaiveCodec(p)
+	enc := codec.encoder()
 	t := iblt.New(iblt.CellsFor(2*dHat), codec.width, 0, coins.Seed("naive/parent", 0))
 	for _, cs := range alice {
-		t.Insert(codec.encode(cs))
+		t.Insert(enc.encode(cs))
 	}
 	return append(t.Marshal(), u64le(parentHash(coins, alice))...)
 }
@@ -149,9 +150,10 @@ func naiveAliceMsg(coins hashing.Coins, alice [][]uint64, p Params, dHat int) []
 // nestedAliceMsg builds the Algorithm 1 payload.
 func nestedAliceMsg(coins hashing.Coins, alice [][]uint64, p Params, d, dHat int) []byte {
 	codec := newChildCodec(coins, "nested/child", 0, iblt.CellsFor(d))
+	enc := codec.encoder()
 	parent := iblt.New(iblt.CellsFor(2*dHat), codec.width, 0, coins.Seed("nested/parent", 0))
 	for _, cs := range alice {
-		parent.Insert(codec.encode(cs))
+		parent.Insert(enc.encode(cs))
 	}
 	return append(parent.Marshal(), u64le(parentHash(coins, alice))...)
 }
@@ -163,16 +165,18 @@ func cascadeAliceMsg(plan *cascadePlan, coins hashing.Coins, alice [][]uint64) [
 	binary.LittleEndian.PutUint32(hdr[:], uint32(plan.t))
 	payload = append(payload, hdr[:]...)
 	for i := 1; i <= plan.t; i++ {
+		enc := plan.level[i-1].encoder()
 		ti := iblt.New(plan.parentCells(i), plan.level[i-1].width, 0, plan.parentSeed(i))
 		for _, cs := range alice {
-			ti.Insert(plan.level[i-1].encode(cs))
+			ti.Insert(enc.encode(cs))
 		}
 		payload = appendFramed(payload, ti.Marshal())
 	}
 	if plan.star {
+		enc := plan.starCodec.encoder()
 		tStar := iblt.New(plan.starCells(), plan.starCodec.width, 0, plan.starSeed())
 		for _, cs := range alice {
-			tStar.Insert(plan.starCodec.encode(cs))
+			tStar.Insert(enc.encode(cs))
 		}
 		payload = append(payload, 1)
 		payload = appendFramed(payload, tStar.Marshal())

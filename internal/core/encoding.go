@@ -36,7 +36,13 @@ func newNaiveCodec(p Params) naiveCodec {
 }
 
 func (c naiveCodec) encode(cs []uint64) []byte {
-	buf := make([]byte, c.width)
+	return c.encodeInto(make([]byte, c.width), cs)
+}
+
+// encodeInto writes the encoding into buf (len must be c.width; contents are
+// overwritten), so encode loops can reuse one buffer.
+func (c naiveCodec) encodeInto(buf []byte, cs []uint64) []byte {
+	clear(buf)
 	if c.bitmap {
 		for _, x := range cs {
 			buf[x/8] |= 1 << (x % 8)
@@ -49,6 +55,19 @@ func (c naiveCodec) encode(cs []uint64) []byte {
 	}
 	return buf
 }
+
+// naiveEncoder amortizes naiveCodec.encode's buffer across a loop; the
+// returned slice is valid until the next call.
+type naiveEncoder struct {
+	c   naiveCodec
+	buf []byte
+}
+
+func (c naiveCodec) encoder() *naiveEncoder {
+	return &naiveEncoder{c: c, buf: make([]byte, c.width)}
+}
+
+func (e *naiveEncoder) encode(cs []uint64) []byte { return e.c.encodeInto(e.buf, cs) }
 
 func (c naiveCodec) decode(buf []byte) ([]uint64, error) {
 	if len(buf) != c.width {
@@ -107,14 +126,36 @@ func (c childCodec) table() *iblt.Table {
 
 // encode returns the fixed-width encoding of a child set.
 func (c childCodec) encode(cs []uint64) []byte {
-	t := c.table()
+	e := childEncoder{c: c, t: c.table()}
+	return append([]byte(nil), e.encode(cs)...)
+}
+
+// childEncoder amortizes childCodec.encode's allocations across a loop: one
+// scratch child IBLT and one output buffer serve every call (encoding a
+// parent set is the dominant CPU cost of the one-round protocols, so the
+// per-child table/buffer churn matters). The returned slice is valid until
+// the next call.
+type childEncoder struct {
+	c   childCodec
+	t   *iblt.Table
+	buf []byte
+}
+
+func (c childCodec) encoder() *childEncoder {
+	return &childEncoder{c: c, t: c.table(), buf: make([]byte, 0, c.width)}
+}
+
+func (e *childEncoder) encode(cs []uint64) []byte {
+	e.t.Reset()
 	for _, x := range cs {
-		t.InsertUint64(x)
+		e.t.InsertUint64(x)
 	}
-	buf := t.Marshal()
+	buf := e.t.AppendMarshal(e.buf[:0])
 	var h [8]byte
-	binary.LittleEndian.PutUint64(h[:], setutil.Hash(c.hash, cs))
-	return append(buf, h[:]...)
+	binary.LittleEndian.PutUint64(h[:], setutil.Hash(e.c.hash, cs))
+	buf = append(buf, h[:]...)
+	e.buf = buf
+	return buf
 }
 
 // decode splits an encoding into its child IBLT and hash.

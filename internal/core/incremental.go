@@ -30,6 +30,16 @@ type IncrementalDigest struct {
 	naiveCodec naiveCodec
 	childCdc   childCodec
 	plan       *cascadePlan
+	// enc holds one reusable encoder per table, so updates encode each child
+	// set without per-call table/buffer allocations.
+	naiveEnc *naiveEncoder
+	childEnc []*childEncoder
+
+	// chSeed/verSeed/parSeed are the hash-role seeds hoisted out of the
+	// per-update path (Coins.Seed hashes its label per call).
+	chSeed  uint64
+	verSeed uint64
+	parSeed uint64
 
 	tables []*iblt.Table // naive/nested: [0]; cascade: levels then optional star
 	// hashes tracks child identity (dedup); vHashes tracks the
@@ -58,22 +68,29 @@ func NewIncrementalDigest(kind DigestKind, coins hashing.Coins, p Params, d, dHa
 		p:       p,
 		d:       d,
 		dHat:    dHat,
+		chSeed:  childSeed(coins),
+		parSeed: coins.Seed(parentVerifyLabel, 0),
 		hashes:  map[uint64]int{},
 		vHashes: map[uint64]int{},
 	}
+	b.verSeed = b.parSeed ^ 0xa5a5a5a5a5a5a5a5
 	switch kind {
 	case DigestNaive:
 		b.naiveCodec = newNaiveCodec(p)
+		b.naiveEnc = b.naiveCodec.encoder()
 		b.tables = []*iblt.Table{iblt.New(iblt.CellsFor(2*dHat), b.naiveCodec.width, 0, coins.Seed("naive/parent", 0))}
 	case DigestNested:
 		b.childCdc = newChildCodec(coins, "nested/child", 0, iblt.CellsFor(d))
+		b.childEnc = []*childEncoder{b.childCdc.encoder()}
 		b.tables = []*iblt.Table{iblt.New(iblt.CellsFor(2*dHat), b.childCdc.width, 0, coins.Seed("nested/parent", 0))}
 	case DigestCascade:
 		b.plan = newCascadePlan(coins, p, d)
 		for i := 1; i <= b.plan.t; i++ {
+			b.childEnc = append(b.childEnc, b.plan.level[i-1].encoder())
 			b.tables = append(b.tables, iblt.New(b.plan.parentCells(i), b.plan.level[i-1].width, 0, b.plan.parentSeed(i)))
 		}
 		if b.plan.star {
+			b.naiveEnc = b.plan.starCodec.encoder()
 			b.tables = append(b.tables, iblt.New(b.plan.starCells(), b.plan.starCodec.width, 0, b.plan.starSeed()))
 		}
 	default:
@@ -88,7 +105,7 @@ func (b *IncrementalDigest) Add(cs []uint64) error {
 	if err := b.checkChild(cs); err != nil {
 		return err
 	}
-	h := childHash(b.coins, cs)
+	h := setutil.Hash(b.chSeed, cs)
 	if b.hashes[h] > 0 {
 		return fmt.Errorf("%w: child set already present", ErrInvalidInstance)
 	}
@@ -101,7 +118,7 @@ func (b *IncrementalDigest) Add(cs []uint64) error {
 
 // verifyHash mirrors setutil.HashSetOfSets's per-child hashing role.
 func (b *IncrementalDigest) verifyHash(cs []uint64) uint64 {
-	return setutil.Hash(b.coins.Seed(parentVerifyLabel, 0)^0xa5a5a5a5a5a5a5a5, cs)
+	return setutil.Hash(b.verSeed, cs)
 }
 
 // Remove deletes a previously added child set.
@@ -109,7 +126,7 @@ func (b *IncrementalDigest) Remove(cs []uint64) error {
 	if err := b.checkChild(cs); err != nil {
 		return err
 	}
-	h := childHash(b.coins, cs)
+	h := setutil.Hash(b.chSeed, cs)
 	if b.hashes[h] == 0 {
 		return fmt.Errorf("%w: child set not present", ErrInvalidInstance)
 	}
@@ -155,15 +172,15 @@ func (b *IncrementalDigest) update(cs []uint64, insert bool) {
 	}
 	switch b.kind {
 	case DigestNaive:
-		apply(b.tables[0], b.naiveCodec.encode(cs))
+		apply(b.tables[0], b.naiveEnc.encode(cs))
 	case DigestNested:
-		apply(b.tables[0], b.childCdc.encode(cs))
+		apply(b.tables[0], b.childEnc[0].encode(cs))
 	case DigestCascade:
 		for i := 1; i <= b.plan.t; i++ {
-			apply(b.tables[i-1], b.plan.level[i-1].encode(cs))
+			apply(b.tables[i-1], b.childEnc[i-1].encode(cs))
 		}
 		if b.plan.star {
-			apply(b.tables[len(b.tables)-1], b.plan.starCodec.encode(cs))
+			apply(b.tables[len(b.tables)-1], b.naiveEnc.encode(cs))
 		}
 	}
 }
@@ -179,12 +196,14 @@ func (b *IncrementalDigest) parentHashNow() uint64 {
 		}
 	}
 	sort.Slice(hs, func(i, j int) bool { return hs[i] < hs[j] })
-	return hashing.HashUint64s(b.coins.Seed(parentVerifyLabel, 0), hs)
+	return hashing.HashUint64s(b.parSeed, hs)
 }
 
-// Snapshot emits the current digest, byte-identical to
-// BuildDigest(kind, coins, currentParent, p, d, dHat).
-func (b *IncrementalDigest) Snapshot() []byte {
+// SnapshotMsg emits the current raw one-round payload, byte-identical to
+// AliceMsg(kind, coins, currentParent, p, d, dHat) — the form split-party
+// servers ship under the protocol's transport label. Snapshot adds the
+// self-describing digest header around exactly these bytes.
+func (b *IncrementalDigest) SnapshotMsg() []byte {
 	var body []byte
 	switch b.kind {
 	case DigestNaive, DigestNested:
@@ -204,6 +223,12 @@ func (b *IncrementalDigest) Snapshot() []byte {
 		}
 		body = append(body, u64le(b.parentHashNow())...)
 	}
+	return body
+}
+
+// Snapshot emits the current digest, byte-identical to
+// BuildDigest(kind, coins, currentParent, p, d, dHat).
+func (b *IncrementalDigest) Snapshot() []byte {
 	hdr := make([]byte, 4+1+8+8+8+8+8)
 	copy(hdr, digestMagic[:])
 	hdr[4] = byte(b.kind)
@@ -212,5 +237,5 @@ func (b *IncrementalDigest) Snapshot() []byte {
 	binary.LittleEndian.PutUint64(hdr[21:], b.p.U)
 	binary.LittleEndian.PutUint64(hdr[29:], uint64(b.d))
 	binary.LittleEndian.PutUint64(hdr[37:], uint64(b.dHat))
-	return append(hdr, body...)
+	return append(hdr, b.SnapshotMsg()...)
 }

@@ -133,3 +133,64 @@ func TestIncrementalRejectsInvalid(t *testing.T) {
 		t.Fatal("unknown kind accepted")
 	}
 }
+
+// TestSnapshotMsgMatchesAliceMsg: SnapshotMsg must be byte-identical to the
+// raw one-round payload AliceMsg produces (the form sosrnet ships), both on
+// the initial build and after incremental mutations — this is the invariant
+// that lets the daemon patch cached encodings instead of re-encoding.
+func TestSnapshotMsgMatchesAliceMsg(t *testing.T) {
+	p := Params{S: 16, H: 16, U: 1 << 40}
+	p, err := p.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice, _ := makeInstance(81, p.S-2, 12, p.U, 0)
+	for _, kind := range []DigestKind{DigestNaive, DigestNested, DigestCascade} {
+		coins := hashing.NewCoins(21)
+		const d = 4
+		dHat := DHat(d, p.S)
+		b, err := NewIncrementalDigest(kind, coins, p, d, dHat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cs := range alice {
+			if err := b.Add(cs); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want, err := AliceMsg(kind, coins, alice, p, d, dHat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b.SnapshotMsg(), want) {
+			t.Fatalf("kind %d: SnapshotMsg differs from AliceMsg", kind)
+		}
+
+		// Mutate: remove one child, add a fresh one; parity must hold against
+		// a from-scratch encode of the updated parent.
+		if err := b.Remove(alice[2]); err != nil {
+			t.Fatal(err)
+		}
+		fresh := []uint64{3, 999, 4321}
+		if err := b.Add(fresh); err != nil {
+			t.Fatal(err)
+		}
+		updated := make([][]uint64, 0, len(alice))
+		for i, cs := range alice {
+			if i != 2 {
+				updated = append(updated, cs)
+			}
+		}
+		updated = append(updated, fresh)
+		want2, err := AliceMsg(kind, coins, updated, p, d, dHat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b.SnapshotMsg(), want2) {
+			t.Fatalf("kind %d: post-mutation SnapshotMsg differs from fresh AliceMsg", kind)
+		}
+		if !bytes.Equal(b.Snapshot()[len(b.Snapshot())-len(want2):], want2) {
+			t.Fatalf("kind %d: Snapshot does not embed SnapshotMsg", kind)
+		}
+	}
+}

@@ -67,9 +67,10 @@ func estParamsFor(p Params) estimator.Params { return estimator.CompactParams(2 
 // hash→child-set index rounds 1 and 3 both need.
 func mrHashIBLT(coins hashing.Coins, parent [][]uint64, cells int) (*iblt.Table, map[uint64][]uint64) {
 	t := iblt.NewUint64(cells, 0, coins.Seed("multiround/hash-iblt", 0))
+	chs := childSeed(coins)
 	byHash := make(map[uint64][]uint64, len(parent))
 	for _, cs := range parent {
-		h := childHash(coins, cs)
+		h := setutil.Hash(chs, cs)
 		byHash[h] = cs
 		t.InsertUint64(h)
 	}
@@ -277,9 +278,10 @@ func MRBobFinish(coins hashing.Coins, bob [][]uint64, st *MRBobState, msg3 []byt
 	}
 	count := int(binary.LittleEndian.Uint32(msg3))
 	rest := msg3[4:]
+	chs := childSeed(coins)
 	removedHashes := make(map[uint64]bool, len(st.DB))
 	for _, cs := range st.DB {
-		removedHashes[childHash(coins, cs)] = true
+		removedHashes[setutil.Hash(chs, cs)] = true
 	}
 	var dA [][]uint64
 	for i := 0; i < count; i++ {
@@ -331,7 +333,7 @@ func MRBobFinish(coins hashing.Coins, bob [][]uint64, st *MRBobState, msg3 []byt
 		default:
 			return nil, fmt.Errorf("core: unknown round 3 kind %d", kind)
 		}
-		if childHash(coins, rec) != wantHash {
+		if setutil.Hash(chs, rec) != wantHash {
 			return nil, fmt.Errorf("%w: pair recovery hash mismatch", ErrChildDecode)
 		}
 		dA = append(dA, rec)

@@ -7,6 +7,7 @@ import (
 	"sosr/internal/estimator"
 	"sosr/internal/hashing"
 	"sosr/internal/iblt"
+	"sosr/internal/setutil"
 	"sosr/internal/transport"
 )
 
@@ -46,8 +47,9 @@ func naiveBob(coins hashing.Coins, msg []byte, bob [][]uint64, codec naiveCodec)
 	if err != nil {
 		return nil, err
 	}
+	enc := codec.encoder()
 	for _, cs := range bob {
-		t.Delete(codec.encode(cs))
+		t.Delete(enc.encode(cs))
 	}
 	addedEnc, removedEnc, err := t.Decode()
 	if err != nil {
@@ -61,6 +63,7 @@ func naiveBob(coins hashing.Coins, msg []byte, bob [][]uint64, codec naiveCodec)
 		}
 		added = append(added, cs)
 	}
+	chs := childSeed(coins)
 	removedHashes := make(map[uint64]bool, len(removedEnc))
 	removed := make([][]uint64, 0, len(removedEnc))
 	for _, enc := range removedEnc {
@@ -69,7 +72,7 @@ func naiveBob(coins hashing.Coins, msg []byte, bob [][]uint64, codec naiveCodec)
 			return nil, fmt.Errorf("%w: %v", ErrChildDecode, err)
 		}
 		removed = append(removed, cs)
-		removedHashes[childHash(coins, cs)] = true
+		removedHashes[setutil.Hash(chs, cs)] = true
 	}
 	recovered := assemble(bob, added, removedHashes, coins)
 	if parentHash(coins, recovered) != wantParent {
@@ -114,8 +117,9 @@ func estimateChildDiff(sess transport.Channel, coins hashing.Coins, alice, bob [
 func BuildChildDiffProbe(coins hashing.Coins, bob [][]uint64, p Params) []byte {
 	params := estimator.CompactParams(2 * p.S)
 	eb := estimator.New(params, coins.Seed("sos/childdiff-est", 0))
+	chs := childSeed(coins)
 	for _, cs := range bob {
-		eb.Add(childHash(coins, cs), estimator.SideB)
+		eb.Add(setutil.Hash(chs, cs), estimator.SideB)
 	}
 	return eb.Marshal()
 }
@@ -131,8 +135,9 @@ func EstimateChildDiff(probe []byte, coins hashing.Coins, alice [][]uint64, p Pa
 		return p.S
 	}
 	ea := estimator.New(params, seed)
+	chs := childSeed(coins)
 	for _, cs := range alice {
-		ea.Add(childHash(coins, cs), estimator.SideA)
+		ea.Add(setutil.Hash(chs, cs), estimator.SideA)
 	}
 	if err := ea.Merge(ebRecv); err != nil {
 		return p.S

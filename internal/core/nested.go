@@ -50,8 +50,9 @@ func nestedBob(coins hashing.Coins, msg []byte, bob [][]uint64, codec childCodec
 		return nil, err
 	}
 	// Delete EB, decode to find EA \ EB (added) and EB \ EA (removed).
+	benc := codec.encoder()
 	for _, cs := range bob {
-		parent.Delete(codec.encode(cs))
+		parent.Delete(benc.encode(cs))
 	}
 	addedEnc, removedEnc, err := parent.Decode()
 	if err != nil {
@@ -75,7 +76,7 @@ func nestedBob(coins hashing.Coins, msg []byte, bob [][]uint64, codec childCodec
 			return nil, fmt.Errorf("%w: removed encoding matches none of Bob's child sets", ErrChildDecode)
 		}
 		dB = append(dB, cs)
-		removedHashes[childHash(coins, cs)] = true
+		removedHashes[codec.setHash(cs)] = true
 	}
 
 	// For each of Alice's child IBLTs, attempt decoding against each IBLT in

@@ -128,8 +128,9 @@ func (gc groupCodec) hashGroup(group [][]uint64) uint64 {
 
 func (gc groupCodec) encode(group [][]uint64) []byte {
 	t := gc.table()
+	enc := gc.child.encoder()
 	for _, cs := range group {
-		t.Insert(gc.child.encode(cs))
+		t.Insert(enc.encode(cs))
 	}
 	buf := t.Marshal()
 	var h [8]byte
@@ -156,8 +157,9 @@ func (gc groupCodec) decode(buf []byte) (*iblt.Table, uint64, error) {
 func (gc groupCodec) recoverGroupAgainst(ta *iblt.Table, wantHash uint64, candidate [][]uint64) ([][]uint64, bool) {
 	diff := ta.Clone()
 	tb := gc.table()
+	enc := gc.child.encoder()
 	for _, cs := range candidate {
-		tb.Insert(gc.child.encode(cs))
+		tb.Insert(enc.encode(cs))
 	}
 	if err := diff.Subtract(tb); err != nil {
 		return nil, false

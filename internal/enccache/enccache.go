@@ -1,0 +1,195 @@
+// Package enccache memoizes Alice-side protocol encodings for servers that
+// reconcile the same hosted dataset against many clients. An encoding is a
+// pure function of (dataset contents, protocol kind, shared seed, instance
+// parameters, difference bounds) — the public-coin model guarantees it — so
+// a server may compute it once and replay the exact bytes to every session
+// that asks with the same key.
+//
+// The cache is a byte-bounded LRU with request coalescing: concurrent
+// lookups of one missing key run the builder once and share its result, so a
+// thundering herd against a cold hot-spot encodes a single time. Dataset
+// mutations are handled by versioning, not explicit invalidation: the
+// dataset's current version is part of every key, so stale entries simply
+// stop being referenced and age out of the LRU.
+package enccache
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// Key identifies one exact Alice-side encoding. Seed must already encode any
+// per-attempt derivation (replica index, doubling step) — callers pass the
+// derived coins' master seed, not the session seed.
+type Key struct {
+	// Dataset and Version pin the exact data snapshot that was encoded.
+	Dataset string
+	Version uint64
+	// Proto names the payload flavor ("cascade", "nested", "naive",
+	// "set-iblt", "charpoly", "mr1", ...).
+	Proto string
+	// Seed is the derived public-coin master for this attempt.
+	Seed uint64
+	// S, H, U, D, DHat pin the instance shape and difference bounds.
+	S, H    int
+	U       uint64
+	D, DHat int
+}
+
+// Stats reports cache effectiveness counters.
+type Stats struct {
+	Hits    uint64 // lookups served from memory
+	Misses  uint64 // lookups that ran the builder
+	Shared  uint64 // lookups that piggybacked on an in-flight build
+	Entries int    // resident entries
+	Bytes   int64  // resident payload bytes
+}
+
+// Cache is a byte-bounded LRU of encoded payloads, safe for concurrent use.
+type Cache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	ll       *list.List // front = most recently used; values are *entry
+	entries  map[Key]*list.Element
+	inflight map[Key]*call
+	hits     uint64
+	misses   uint64
+	shared   uint64
+}
+
+type entry struct {
+	key Key
+	val []byte
+}
+
+// call is one in-flight build other lookups can wait on.
+type call struct {
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+// DefaultMaxBytes bounds the cache when New is given a non-positive limit:
+// enough for dozens of hot cascade payloads without threatening a small
+// server's heap.
+const DefaultMaxBytes = 64 << 20
+
+// New returns an empty cache holding at most maxBytes of payload bytes
+// (<= 0 selects DefaultMaxBytes).
+func New(maxBytes int64) *Cache {
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	return &Cache{
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		entries:  make(map[Key]*list.Element),
+		inflight: make(map[Key]*call),
+	}
+}
+
+// GetOrCompute returns the payload for k, running build at most once per key
+// across concurrent callers. The returned slice is shared — callers must not
+// mutate it. Build errors are returned to every waiter and nothing is cached.
+func (c *Cache) GetOrCompute(k Key, build func() ([]byte, error)) ([]byte, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[k]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		val := el.Value.(*entry).val
+		c.mu.Unlock()
+		return val, nil
+	}
+	if cl, ok := c.inflight[k]; ok {
+		c.shared++
+		c.mu.Unlock()
+		<-cl.done
+		return cl.val, cl.err
+	}
+	cl := &call{done: make(chan struct{})}
+	c.inflight[k] = cl
+	c.misses++
+	c.mu.Unlock()
+
+	// The builder runs untrusted-ish protocol code; if it panics, the call
+	// MUST still be completed and deregistered or every waiter (and every
+	// future lookup of this key) would block on done forever — a permanent
+	// wedge no connection deadline can sever. The panic itself propagates to
+	// the session's recover after cleanup.
+	completed := false
+	defer func() {
+		if !completed {
+			cl.err = fmt.Errorf("enccache: builder panicked for %q/%s", k.Dataset, k.Proto)
+			close(cl.done)
+			c.mu.Lock()
+			delete(c.inflight, k)
+			c.mu.Unlock()
+		}
+	}()
+	cl.val, cl.err = build()
+	completed = true
+	close(cl.done)
+
+	c.mu.Lock()
+	delete(c.inflight, k)
+	if cl.err == nil {
+		c.insert(k, cl.val)
+	}
+	c.mu.Unlock()
+	return cl.val, cl.err
+}
+
+// Get returns the cached payload for k without computing anything.
+func (c *Cache) Get(k Key) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[k]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits++
+	return el.Value.(*entry).val, true
+}
+
+// insert stores val under k and evicts from the LRU tail until the byte
+// bound holds. Oversized payloads (> half the bound) are not retained — one
+// giant value must not flush the whole working set. Caller holds mu.
+func (c *Cache) insert(k Key, val []byte) {
+	if int64(len(val)) > c.maxBytes/2 {
+		return
+	}
+	if el, ok := c.entries[k]; ok { // lost a race with an identical build
+		c.bytes += int64(len(val)) - int64(len(el.Value.(*entry).val))
+		el.Value.(*entry).val = val
+		c.ll.MoveToFront(el)
+	} else {
+		c.entries[k] = c.ll.PushFront(&entry{key: k, val: val})
+		c.bytes += int64(len(val))
+	}
+	for c.bytes > c.maxBytes {
+		tail := c.ll.Back()
+		if tail == nil {
+			break
+		}
+		e := tail.Value.(*entry)
+		c.ll.Remove(tail)
+		delete(c.entries, e.key)
+		c.bytes -= int64(len(e.val))
+	}
+}
+
+// Stats returns a snapshot of the effectiveness counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:    c.hits,
+		Misses:  c.misses,
+		Shared:  c.shared,
+		Entries: c.ll.Len(),
+		Bytes:   c.bytes,
+	}
+}

@@ -1,0 +1,219 @@
+package enccache
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func key(i int) Key {
+	return Key{Dataset: "ds", Version: 1, Proto: "cascade", Seed: uint64(i), S: 10, H: 10, U: 100, D: 4, DHat: 4}
+}
+
+func TestGetOrComputeCachesAndHits(t *testing.T) {
+	c := New(1 << 20)
+	builds := 0
+	build := func() ([]byte, error) { builds++; return []byte("payload"), nil }
+	for i := 0; i < 5; i++ {
+		got, err := c.GetOrCompute(key(1), build)
+		if err != nil || !bytes.Equal(got, []byte("payload")) {
+			t.Fatalf("lookup %d: %q, %v", i, got, err)
+		}
+	}
+	if builds != 1 {
+		t.Fatalf("builder ran %d times, want 1", builds)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != 4 || st.Entries != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestVersionChangeMissesWithoutInvalidation(t *testing.T) {
+	c := New(1 << 20)
+	k1 := key(1)
+	k2 := k1
+	k2.Version = 2
+	if _, err := c.GetOrCompute(k1, func() ([]byte, error) { return []byte("v1"), nil }); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.GetOrCompute(k2, func() ([]byte, error) { return []byte("v2"), nil })
+	if err != nil || string(got) != "v2" {
+		t.Fatalf("post-update lookup: %q, %v", got, err)
+	}
+	// The stale v1 entry is still resident (bounded by LRU), never served
+	// for the new version.
+	if got, ok := c.Get(k1); !ok || string(got) != "v1" {
+		t.Fatal("old version entry lost prematurely")
+	}
+}
+
+func TestLRUEvictionBoundsBytes(t *testing.T) {
+	c := New(1024)
+	payload := make([]byte, 100)
+	for i := 0; i < 50; i++ {
+		if _, err := c.GetOrCompute(key(i), func() ([]byte, error) {
+			return append([]byte(nil), payload...), nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Bytes > 1024 {
+		t.Fatalf("cache holds %d bytes, bound 1024", st.Bytes)
+	}
+	if st.Entries == 0 || st.Entries > 10 {
+		t.Fatalf("entries %d outside (0, 10]", st.Entries)
+	}
+	// Most recent keys survive; the earliest were evicted.
+	if _, ok := c.Get(key(49)); !ok {
+		t.Fatal("most recent entry evicted")
+	}
+	if _, ok := c.Get(key(0)); ok {
+		t.Fatal("oldest entry survived a full wrap")
+	}
+}
+
+func TestOversizedPayloadNotRetained(t *testing.T) {
+	c := New(1024)
+	big := make([]byte, 600) // > maxBytes/2
+	got, err := c.GetOrCompute(key(1), func() ([]byte, error) { return big, nil })
+	if err != nil || len(got) != 600 {
+		t.Fatalf("oversized build: %d bytes, %v", len(got), err)
+	}
+	if st := c.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("oversized payload retained: %+v", st)
+	}
+}
+
+func TestSingleflightCoalescesConcurrentBuilds(t *testing.T) {
+	c := New(1 << 20)
+	var builds atomic.Int64
+	release := make(chan struct{})
+	build := func() ([]byte, error) {
+		builds.Add(1)
+		<-release
+		return []byte("once"), nil
+	}
+	const workers = 16
+	var wg sync.WaitGroup
+	results := make([][]byte, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			got, err := c.GetOrCompute(key(7), build)
+			if err != nil {
+				t.Errorf("worker %d: %v", w, err)
+			}
+			results[w] = got
+		}(w)
+	}
+	time.Sleep(20 * time.Millisecond) // let the herd pile onto the in-flight call
+	close(release)
+	wg.Wait()
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("builder ran %d times under contention, want 1", n)
+	}
+	for w, got := range results {
+		if string(got) != "once" {
+			t.Fatalf("worker %d got %q", w, got)
+		}
+	}
+}
+
+func TestBuildErrorNotCached(t *testing.T) {
+	c := New(1 << 20)
+	boom := errors.New("boom")
+	calls := 0
+	if _, err := c.GetOrCompute(key(3), func() ([]byte, error) { calls++; return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err %v", err)
+	}
+	if got, err := c.GetOrCompute(key(3), func() ([]byte, error) { calls++; return []byte("ok"), nil }); err != nil || string(got) != "ok" {
+		t.Fatalf("retry after error: %q, %v", got, err)
+	}
+	if calls != 2 {
+		t.Fatalf("builder ran %d times, want 2 (error must not be cached)", calls)
+	}
+	if st := c.Stats(); st.Entries != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestConcurrentMixedKeys(t *testing.T) {
+	c := New(1 << 16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := key(i % 20)
+				want := fmt.Sprintf("payload-%d", i%20)
+				got, err := c.GetOrCompute(k, func() ([]byte, error) { return []byte(want), nil })
+				if err != nil || string(got) != want {
+					t.Errorf("worker %d: key %d -> %q, %v", w, i%20, got, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestBuilderPanicDoesNotWedgeKey: a panicking builder must complete the
+// in-flight call (waiters get an error, the panic propagates to the caller)
+// and deregister the key so later lookups run a fresh build.
+func TestBuilderPanicDoesNotWedgeKey(t *testing.T) {
+	c := New(1 << 20)
+	release := make(chan struct{})
+	waiterErr := make(chan error, 1)
+	go func() {
+		// Piggyback on the in-flight panicking build.
+		<-release
+		_, err := c.GetOrCompute(key(9), func() ([]byte, error) { return []byte("waiter"), nil })
+		waiterErr <- err
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("builder panic did not propagate")
+			}
+		}()
+		_, _ = c.GetOrCompute(key(9), func() ([]byte, error) {
+			close(release)
+			// Panic only after the waiter has registered on this in-flight
+			// call, so the assertion below is deterministic.
+			for i := 0; i < 5000 && c.Stats().Shared == 0; i++ {
+				time.Sleep(time.Millisecond)
+			}
+			panic("builder exploded")
+		})
+	}()
+	select {
+	case err := <-waiterErr:
+		if err == nil {
+			t.Fatal("waiter piggybacked on a panicked build without an error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter wedged on the panicked key")
+	}
+	// The key is free again: a fresh lookup builds normally.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		got, err := c.GetOrCompute(key(9), func() ([]byte, error) { return []byte("recovered"), nil })
+		if err != nil || string(got) != "recovered" {
+			t.Errorf("post-panic lookup: %q, %v", got, err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("key remained wedged after builder panic")
+	}
+}

@@ -165,7 +165,9 @@ func (e *Estimator) Add(x uint64, side Side) {
 	for r := 0; r < p.Replicas; r++ {
 		l := e.level(r, x)
 		for s := 0; s < p.Subreplicas; s++ {
-			h := hashing.HashBytes(e.seed^uint64(r*1000003+l*1009+s*31+7), u64bytes(x))
+			// HashWord equals HashBytes over x's LE encoding, so sketches stay
+			// mergeable with any previously serialized counterpart.
+			h := hashing.HashWord(e.seed^uint64(r*1000003+l*1009+s*31+7), x)
 			g := int(h % uint64(p.Buckets))
 			w := e.subWords(r, l, s)
 			wi, shift := g/groupsPerWord, uint(groupBits*(g%groupsPerWord))
@@ -174,12 +176,6 @@ func (e *Estimator) Add(x uint64, side Side) {
 			w[wi] = (w[wi] &^ (7 << shift)) | (val << shift)
 		}
 	}
-}
-
-func u64bytes(x uint64) []byte {
-	var b [8]byte
-	binary.LittleEndian.PutUint64(b[:], x)
-	return b[:]
 }
 
 // ErrIncompatible indicates a merge between estimators with different

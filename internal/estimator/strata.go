@@ -94,20 +94,8 @@ func (s *Strata) Merge(other *Strata) error {
 // negated returns a copy of t with all counts negated (keySums and checksums
 // are XOR-based and therefore unchanged).
 func negated(t *iblt.Table) *iblt.Table {
-	// Round-trip through serialization to flip counts without poking at
-	// internals: decode the raw layout, negate count fields.
-	buf := t.Marshal()
-	const header = 4 + 4 + 4 + 8
-	cellBytes := 4 + t.Width() + 8
-	for c := 0; c < t.Cells(); c++ {
-		off := header + c*cellBytes
-		v := int32(binary.LittleEndian.Uint32(buf[off:]))
-		binary.LittleEndian.PutUint32(buf[off:], uint32(-v))
-	}
-	nt, err := iblt.Unmarshal(buf)
-	if err != nil {
-		panic("estimator: internal negate round-trip failed: " + err.Error())
-	}
+	nt := t.Clone()
+	nt.Negate()
 	return nt
 }
 

@@ -75,6 +75,18 @@ func HashBytes(seed uint64, data []byte) uint64 {
 	return prng.Mix64(h ^ uint64(len(data)))
 }
 
+// HashWord hashes a single 64-bit word to 64 bits with the given seed. It is
+// defined to equal HashBytes(seed, b) where b is x's 8-byte little-endian
+// encoding, so word-keyed fast paths (IBLT InsertUint64, estimator updates)
+// produce byte-identical structures to the generic byte-string path without
+// materializing the encoding.
+func HashWord(seed, x uint64) uint64 {
+	h := seed ^ 0xcbf29ce484222325
+	h = (h ^ x) * 0x100000001b3
+	h = bits.RotateLeft64(h, 29)
+	return prng.Mix64(h)
+}
+
 // HashUint64s hashes a sequence of words (order matters). Used for hashing
 // canonical (sorted) sets and signature lists.
 func HashUint64s(seed uint64, xs []uint64) uint64 {

@@ -52,6 +52,7 @@ type Table struct {
 	counts  []int32
 	keySums []byte // cells * width bytes
 	checks  []uint64
+	idx     []int // per-table cell-index scratch, reused across updates/peels
 }
 
 const checksumSalt = 0x635f73756d5f6b65
@@ -81,6 +82,7 @@ func New(cells, width, k int, seed uint64) *Table {
 		counts:  make([]int32, cells),
 		keySums: make([]byte, cells*width),
 		checks:  make([]uint64, cells),
+		idx:     make([]int, 0, k),
 	}
 }
 
@@ -103,19 +105,39 @@ func (t *Table) Seed() uint64 { return t.seed }
 
 // cellIndexes computes the k distinct cells for a key, one per partition
 // (the paper's "partitioned hash table, with each hash function having m/k
-// cells").
-func (t *Table) cellIndexes(key []byte, out []int) []int {
+// cells"). The result lives in the table's reusable scratch buffer and is
+// valid until the next cellIndexes/cellIndexesWord call.
+func (t *Table) cellIndexes(key []byte) []int {
 	per := t.cells / t.k
-	out = out[:0]
+	out := t.idx[:0]
 	for i := 0; i < t.k; i++ {
 		h := hashing.HashBytes(t.seed+uint64(i)*0x9e3779b97f4a7c15+1, key)
 		out = append(out, i*per+int(h%uint64(per)))
 	}
+	t.idx = out
+	return out
+}
+
+// cellIndexesWord is cellIndexes for a word key, hashing the 8-byte value
+// directly (identical output to cellIndexes on the key's LE encoding).
+func (t *Table) cellIndexesWord(x uint64) []int {
+	per := t.cells / t.k
+	out := t.idx[:0]
+	for i := 0; i < t.k; i++ {
+		h := hashing.HashWord(t.seed+uint64(i)*0x9e3779b97f4a7c15+1, x)
+		out = append(out, i*per+int(h%uint64(per)))
+	}
+	t.idx = out
 	return out
 }
 
 func (t *Table) checksum(key []byte) uint64 {
 	return hashing.HashBytes(t.seed^checksumSalt, key)
+}
+
+// checksumWord equals checksum on the word's LE encoding.
+func (t *Table) checksumWord(x uint64) uint64 {
+	return hashing.HashWord(t.seed^checksumSalt, x)
 }
 
 func (t *Table) xorKey(cell int, key []byte) {
@@ -129,11 +151,29 @@ func (t *Table) update(key []byte, delta int32) {
 	if len(key) != t.width {
 		panic(fmt.Sprintf("iblt: key width %d != table width %d", len(key), t.width))
 	}
-	var idxBuf [8]int
-	for _, c := range t.cellIndexes(key, idxBuf[:0]) {
+	cs := t.checksum(key) // one checksum per update, not one per hash copy
+	for _, c := range t.cellIndexes(key) {
 		t.counts[c] += delta
 		t.xorKey(c, key)
-		t.checks[c] ^= t.checksum(key)
+		t.checks[c] ^= cs
+	}
+}
+
+// updateWord is the allocation-free word-key path: the 8-byte value is hashed
+// and XORed directly into cells, never materialized as a byte slice. Tables
+// built through it are byte-identical to ones built through update on the
+// key's LE encoding.
+func (t *Table) updateWord(x uint64, delta int32) {
+	if t.width != WordWidth {
+		panic(fmt.Sprintf("iblt: key width %d != table width %d", WordWidth, t.width))
+	}
+	cs := t.checksumWord(x)
+	for _, c := range t.cellIndexesWord(x) {
+		t.counts[c] += delta
+		base := c * WordWidth
+		binary.LittleEndian.PutUint64(t.keySums[base:],
+			binary.LittleEndian.Uint64(t.keySums[base:])^x)
+		t.checks[c] ^= cs
 	}
 }
 
@@ -145,18 +185,13 @@ func (t *Table) Insert(key []byte) { t.update(key, 1) }
 func (t *Table) Delete(key []byte) { t.update(key, -1) }
 
 // InsertUint64 adds a word key (width must be WordWidth).
-func (t *Table) InsertUint64(x uint64) {
-	var buf [WordWidth]byte
-	binary.LittleEndian.PutUint64(buf[:], x)
-	t.Insert(buf[:])
-}
+func (t *Table) InsertUint64(x uint64) { t.updateWord(x, 1) }
 
 // DeleteUint64 removes a word key.
-func (t *Table) DeleteUint64(x uint64) {
-	var buf [WordWidth]byte
-	binary.LittleEndian.PutUint64(buf[:], x)
-	t.Delete(buf[:])
-}
+func (t *Table) DeleteUint64(x uint64) { t.updateWord(x, -1) }
+
+// RemoveUint64 is an alias for DeleteUint64.
+func (t *Table) RemoveUint64(x uint64) { t.DeleteUint64(x) }
 
 // Clone returns a deep copy.
 func (t *Table) Clone() *Table {
@@ -165,8 +200,27 @@ func (t *Table) Clone() *Table {
 		counts:  append([]int32(nil), t.counts...),
 		keySums: append([]byte(nil), t.keySums...),
 		checks:  append([]uint64(nil), t.checks...),
+		idx:     make([]int, 0, t.k),
 	}
 	return out
+}
+
+// Reset zeroes every cell while retaining allocations, so one table can
+// encode many keys-or-key-sets in sequence without reallocating (the child
+// codec encode loops of §3.2 reuse a single scratch table this way).
+func (t *Table) Reset() {
+	clear(t.counts)
+	clear(t.keySums)
+	clear(t.checks)
+}
+
+// Negate flips the sign of every count in place (keySums and checksums are
+// XOR-based and unchanged). Subtracting a negated table is cell-wise
+// addition, which is how two halves of one logical difference merge.
+func (t *Table) Negate() {
+	for i := range t.counts {
+		t.counts[i] = -t.counts[i]
+	}
 }
 
 // Subtract folds other into t cell-by-cell (t -= other). After Alice's table
@@ -212,7 +266,6 @@ func (t *Table) Decode() (added, removed [][]byte, err error) {
 			queue = append(queue, c)
 		}
 	}
-	var idxBuf [8]int
 	for len(queue) > 0 {
 		c := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
@@ -228,10 +281,11 @@ func (t *Table) Decode() (added, removed [][]byte, err error) {
 		}
 		// Remove the key from all its cells (adding it back when it was a
 		// deletion), which may create new pure cells.
-		for _, ci := range t.cellIndexes(key, idxBuf[:0]) {
+		cs := t.checksum(key)
+		for _, ci := range t.cellIndexes(key) {
 			t.counts[ci] -= sign
 			t.xorKey(ci, key)
-			t.checks[ci] ^= t.checksum(key)
+			t.checks[ci] ^= cs
 			if t.purable(ci) {
 				queue = append(queue, ci)
 			}
@@ -250,21 +304,63 @@ func (t *Table) purable(c int) bool {
 	if t.counts[c] != 1 && t.counts[c] != -1 {
 		return false
 	}
+	if t.width == WordWidth {
+		return t.checksumWord(binary.LittleEndian.Uint64(t.keySums[c*WordWidth:])) == t.checks[c]
+	}
 	return t.checksum(t.keySums[c*t.width:(c+1)*t.width]) == t.checks[c]
 }
 
-// DecodeUint64 decodes a word-keyed table into uint64 slices.
+// DecodeUint64 decodes a word-keyed table into uint64 slices. For WordWidth
+// tables it peels natively over uint64 keys, allocating only the result
+// slices; other widths fall back to the generic byte peel.
 func (t *Table) DecodeUint64() (added, removed []uint64, err error) {
-	a, r, err := t.Decode()
-	added = make([]uint64, len(a))
-	for i, k := range a {
-		added[i] = binary.LittleEndian.Uint64(k)
+	if t.width != WordWidth {
+		a, r, err := t.Decode()
+		added = make([]uint64, len(a))
+		for i, k := range a {
+			added[i] = binary.LittleEndian.Uint64(k)
+		}
+		removed = make([]uint64, len(r))
+		for i, k := range r {
+			removed[i] = binary.LittleEndian.Uint64(k)
+		}
+		return added, removed, err
 	}
-	removed = make([]uint64, len(r))
-	for i, k := range r {
-		removed[i] = binary.LittleEndian.Uint64(k)
+	queue := make([]int, 0, t.cells)
+	for c := 0; c < t.cells; c++ {
+		if t.purable(c) {
+			queue = append(queue, c)
+		}
 	}
-	return added, removed, err
+	for len(queue) > 0 {
+		c := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		if !t.purable(c) {
+			continue
+		}
+		x := binary.LittleEndian.Uint64(t.keySums[c*WordWidth:])
+		sign := t.counts[c]
+		if sign == 1 {
+			added = append(added, x)
+		} else {
+			removed = append(removed, x)
+		}
+		cs := t.checksumWord(x)
+		for _, ci := range t.cellIndexesWord(x) {
+			t.counts[ci] -= sign
+			base := ci * WordWidth
+			binary.LittleEndian.PutUint64(t.keySums[base:],
+				binary.LittleEndian.Uint64(t.keySums[base:])^x)
+			t.checks[ci] ^= cs
+			if t.purable(ci) {
+				queue = append(queue, ci)
+			}
+		}
+	}
+	if !t.IsEmpty() {
+		return added, removed, ErrDecodeFailed
+	}
+	return added, removed, nil
 }
 
 // SerializedSize returns the exact number of bytes Marshal produces for a
@@ -294,7 +390,21 @@ const headerSize = 4 + 4 + 4 + 8 // k, cells, width, seed
 // a child IBLT can be XORed inside a parent table: equal-shaped empty tables
 // serialize to equal bytes, and every field is position-stable.
 func (t *Table) Marshal() []byte {
-	buf := make([]byte, t.SerializedSize())
+	return t.AppendMarshal(make([]byte, 0, t.SerializedSize()))
+}
+
+// AppendMarshal appends the Marshal encoding to dst and returns the extended
+// slice, letting encode loops reuse one buffer across many tables.
+func (t *Table) AppendMarshal(dst []byte) []byte {
+	start, need := len(dst), t.SerializedSize()
+	if cap(dst)-start < need {
+		grown := make([]byte, start+need, (start+need)*2)
+		copy(grown, dst)
+		dst = grown
+	} else {
+		dst = dst[:start+need]
+	}
+	buf := dst[start:] // every byte below is overwritten; no clearing needed
 	binary.LittleEndian.PutUint32(buf[0:], uint32(t.k))
 	binary.LittleEndian.PutUint32(buf[4:], uint32(t.cells))
 	binary.LittleEndian.PutUint32(buf[8:], uint32(t.width))
@@ -308,7 +418,7 @@ func (t *Table) Marshal() []byte {
 		binary.LittleEndian.PutUint64(buf[off:], t.checks[c])
 		off += 8
 	}
-	return buf
+	return dst
 }
 
 // Unmarshal parses a table serialized by Marshal.

@@ -80,8 +80,9 @@ func BuildIBLTMsg(coins hashing.Coins, alice []uint64, d int) []byte {
 	for _, x := range alice {
 		ta.InsertUint64(x)
 	}
+	buf := ta.AppendMarshal(make([]byte, 0, ta.SerializedSize()+8))
 	vh := setutil.Hash(coins.Seed(verifySeedLabel, 0), alice)
-	return append(ta.Marshal(), u64le(vh)...)
+	return binary.LittleEndian.AppendUint64(buf, vh)
 }
 
 // ApplyIBLTMsg runs Bob's half of the Corollary 2.2 protocol against a
@@ -303,8 +304,3 @@ func checkRange(xs []uint64) error {
 	return nil
 }
 
-func u64le(x uint64) []byte {
-	var b [8]byte
-	binary.LittleEndian.PutUint64(b[:], x)
-	return b[:]
-}

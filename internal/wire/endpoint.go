@@ -28,7 +28,12 @@ type Endpoint struct {
 	err        error
 	bytesIn    int64
 	bytesOut   int64
+	wbuf       []byte // reusable frame-encode scratch (SendFrame)
 }
+
+// maxRetainedWriteBuf caps the scratch kept between frames; a single huge
+// payload must not pin its buffer for the connection's lifetime.
+const maxRetainedWriteBuf = 1 << 20
 
 // NewEndpoint wraps one side of a framed connection. local is the role this
 // process plays (the sosrnet server is Alice, the client Bob).
@@ -71,12 +76,26 @@ func (e *Endpoint) fail(err error) error {
 func (e *Endpoint) WireBytes() (in, out int64) { return e.bytesIn, e.bytesOut }
 
 // SendFrame writes a labeled frame from the local party, recording protocol
-// frames in the stats mirror.
+// frames in the stats mirror. The frame is encoded into a per-endpoint
+// scratch buffer, so steady-state sends do not allocate per frame.
 func (e *Endpoint) SendFrame(label string, payload []byte) error {
 	if e.err != nil {
 		return e.err
 	}
-	n, err := WriteFrame(e.rw, label, payload)
+	scratch := e.wbuf
+	if need := FrameSize(label, len(payload)); cap(scratch) < need {
+		scratch = make([]byte, 0, need)
+	}
+	buf, err := AppendFrame(scratch[:0], label, payload)
+	if err != nil {
+		return e.fail(err)
+	}
+	if cap(buf) <= maxRetainedWriteBuf {
+		e.wbuf = buf[:0]
+	} else {
+		e.wbuf = nil
+	}
+	n, err := e.rw.Write(buf)
 	e.bytesOut += int64(n)
 	if err != nil {
 		return e.fail(err)

@@ -1,0 +1,345 @@
+package sosrnet
+
+import (
+	"fmt"
+
+	"sosr/internal/core"
+	"sosr/internal/enccache"
+	"sosr/internal/hashing"
+	"sosr/internal/setrecon"
+	"sosr/internal/setutil"
+)
+
+// Server-side encoding memoization and live dataset updates.
+//
+// Every Alice payload the server sends is a pure function of (dataset
+// contents, protocol kind, derived seed, instance params, bounds) — the
+// public-coin model of §2 guarantees it. The server therefore keys payloads
+// by exactly that tuple plus the dataset version and replays cached bytes to
+// every session that asks again. Mutating a dataset bumps its version, so a
+// stale payload can never be served; for the one-round sets-of-sets kinds
+// the mutation additionally patches live core.IncrementalDigest builders in
+// O(update), so the first session after an update snapshots the new payload
+// without a full re-encode (IBLT linearity makes the patched bytes identical
+// to a from-scratch build).
+
+// liveKey identifies one incrementally maintained one-round digest.
+type liveKey struct {
+	kind    core.DigestKind
+	seed    uint64 // derived coins master
+	s, h    int
+	u       uint64
+	d, dHat int
+}
+
+// maxLiveDigests bounds the per-dataset incremental builders. Each retains
+// its parent tables plus O(|parent|) bookkeeping maps, so admission is
+// deliberately conservative: a key must be requested twice (see wanted)
+// before it earns a builder, and evicted builders simply fall back to a full
+// re-encode on next use.
+const maxLiveDigests = 8
+
+// maxWantedKeys bounds the second-use tracker; when full it resets, which
+// only delays admission by one more request.
+const maxWantedKeys = 256
+
+// encCache lazily constructs the shared payload cache, honoring CacheBytes
+// at first use (fields are set between NewServer and Serve).
+func (s *Server) encCache() *enccache.Cache {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cacheOff {
+		return nil
+	}
+	if s.cache == nil {
+		if s.CacheBytes < 0 {
+			s.cacheOff = true
+			return nil
+		}
+		s.cache = enccache.New(s.CacheBytes)
+	}
+	return s.cache
+}
+
+// CacheStats reports the encoding cache counters (zero value when caching is
+// disabled or no session has run yet).
+func (s *Server) CacheStats() enccache.Stats {
+	s.mu.Lock()
+	c := s.cache
+	s.mu.Unlock()
+	if c == nil {
+		return enccache.Stats{}
+	}
+	return c.Stats()
+}
+
+// cachedMsg memoizes a seed+bound-keyed payload whose builder cannot fail
+// (set IBLTs, charpoly evaluations, multiround round 1).
+func (s *Server) cachedMsg(view dsView, proto string, seed uint64, d int, build func() []byte) []byte {
+	cache := s.encCache()
+	if cache == nil {
+		return build()
+	}
+	body, _ := cache.GetOrCompute(enccache.Key{
+		Dataset: view.name, Version: view.version, Proto: proto, Seed: seed, D: d,
+	}, func() ([]byte, error) { return build(), nil })
+	return body
+}
+
+// sosProtoName maps a digest kind to its cache-key protocol name.
+func sosProtoName(kind core.DigestKind) string {
+	switch kind {
+	case core.DigestNaive:
+		return "naive"
+	case core.DigestNested:
+		return "nested"
+	case core.DigestCascade:
+		return "cascade"
+	}
+	return fmt.Sprintf("kind-%d", kind)
+}
+
+// sosAliceMsg returns the one-round sets-of-sets payload for the session's
+// snapshot, memoized and incrementally maintained.
+func (s *Server) sosAliceMsg(view dsView, kind core.DigestKind, coins hashing.Coins, p core.Params, d, dHat int) ([]byte, error) {
+	cache := s.encCache()
+	if cache == nil {
+		return core.AliceMsg(kind, coins, view.sos, p, d, dHat)
+	}
+	k := enccache.Key{
+		Dataset: view.name, Version: view.version, Proto: sosProtoName(kind),
+		Seed: coins.Master(), S: p.S, H: p.H, U: p.U, D: d, DHat: dHat,
+	}
+	return cache.GetOrCompute(k, func() ([]byte, error) {
+		return view.ds.oneRoundBody(kind, coins, view, p, d, dHat)
+	})
+}
+
+// oneRoundBody builds the payload for a cache miss. When the session's
+// snapshot is still the dataset's current version it routes through a live
+// IncrementalDigest (creating one on first need), so subsequent mutations
+// patch this encoding instead of invalidating it; snapshots of older
+// versions, and instances the incremental builder rejects (e.g. duplicate
+// child sets), fall back to a plain one-shot encode of the snapshot. The
+// encode itself always runs against the immutable snapshot WITHOUT holding
+// d.mu — distinct keys (e.g. per-client seeds) must encode concurrently and
+// must not block other sessions' view() — so only the live-digest lookup,
+// admission, and snapshot marshal take the lock.
+func (d *dataset) oneRoundBody(kind core.DigestKind, coins hashing.Coins, view dsView, p core.Params, dd, dHat int) ([]byte, error) {
+	lk := liveKey{kind: kind, seed: coins.Master(), s: p.S, h: p.H, u: p.U, d: dd, dHat: dHat}
+	d.mu.Lock()
+	if dig, ok := d.live[lk]; ok && d.version == view.version {
+		d.touchLive(lk)
+		body := dig.SnapshotMsg()
+		d.mu.Unlock()
+		return body, nil
+	}
+	current := d.version == view.version
+	promote := false
+	if current {
+		// Admit a live digest only on the second request for this key (the
+		// payload cache absorbs same-version repeats, so a second miss means
+		// the key survived an update or an eviction — a genuinely hot one).
+		// One-shot client seeds therefore never pin an O(|parent|) builder.
+		if _, seen := d.wanted[lk]; seen {
+			promote = true
+			delete(d.wanted, lk)
+		} else {
+			if d.wanted == nil || len(d.wanted) >= maxWantedKeys {
+				d.wanted = make(map[liveKey]struct{}, 16)
+			}
+			d.wanted[lk] = struct{}{}
+		}
+	}
+	d.mu.Unlock()
+
+	if !current || !promote {
+		return core.AliceMsg(kind, coins, view.sos, p, dd, dHat)
+	}
+	dig, err := core.NewIncrementalDigest(kind, coins, p, dd, dHat)
+	if err == nil {
+		for _, cs := range view.sos {
+			if err = dig.Add(cs); err != nil {
+				break
+			}
+		}
+	}
+	if err != nil {
+		return core.AliceMsg(kind, coins, view.sos, p, dd, dHat)
+	}
+	d.mu.Lock()
+	if d.version == view.version {
+		// Still current: future updates will patch this digest. A concurrent
+		// update while we built means the digest is already stale — drop it
+		// (its snapshot below is still correct for the session's version).
+		d.admitLive(lk, dig)
+	}
+	body := dig.SnapshotMsg()
+	d.mu.Unlock()
+	return body, nil
+}
+
+// admitLive registers a live digest, evicting the least recently used one
+// past the bound. Caller holds d.mu.
+func (d *dataset) admitLive(lk liveKey, dig *core.IncrementalDigest) {
+	if d.live == nil {
+		d.live = make(map[liveKey]*core.IncrementalDigest)
+	}
+	if _, ok := d.live[lk]; !ok {
+		d.liveOrder = append(d.liveOrder, lk)
+	}
+	d.live[lk] = dig
+	for len(d.liveOrder) > maxLiveDigests {
+		old := d.liveOrder[0]
+		d.liveOrder = d.liveOrder[1:]
+		delete(d.live, old)
+	}
+}
+
+// touchLive moves lk to the most recently used position. Caller holds d.mu.
+func (d *dataset) touchLive(lk liveKey) {
+	for i, k := range d.liveOrder {
+		if k == lk {
+			copy(d.liveOrder[i:], d.liveOrder[i+1:])
+			d.liveOrder[len(d.liveOrder)-1] = lk
+			return
+		}
+	}
+}
+
+// dropLive removes a live digest that failed to patch. Caller holds d.mu.
+func (d *dataset) dropLive(lk liveKey) {
+	delete(d.live, lk)
+	for i, k := range d.liveOrder {
+		if k == lk {
+			d.liveOrder = append(d.liveOrder[:i], d.liveOrder[i+1:]...)
+			return
+		}
+	}
+}
+
+// ---- live dataset updates ----
+
+// UpdateSetsOfSets applies a live mutation to a hosted sets-of-sets dataset:
+// every child set in remove must currently be hosted, every child set in add
+// must not be (parents are sets). Child sets may be passed unsorted. The
+// dataset version is bumped, so cached payloads for the old contents are
+// never served again, and every live one-round digest is patched in
+// O(|add| + |remove|) child encodes rather than re-encoding the parent.
+func (s *Server) UpdateSetsOfSets(name string, add, remove [][]uint64) error {
+	ds, err := s.lookup(name, KindSetsOfSets)
+	if err != nil {
+		return err
+	}
+	addC := make([][]uint64, len(add))
+	for i, cs := range add {
+		addC[i] = setutil.Canonical(cs)
+	}
+	removeC := make([][]uint64, len(remove))
+	for i, cs := range remove {
+		removeC[i] = setutil.Canonical(cs)
+	}
+
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	// Copy-on-write rebuild with membership validation before any state or
+	// digest is touched. Hash-index the mutation lists so the pass over a
+	// large hosted parent is O(|sos| + |update|), not O(|sos| x |update|)
+	// (this all runs under ds.mu, which gates session starts).
+	const memberSeed = 0xd15717c7 // same salt Validate uses for dedup
+	rmByHash := make(map[uint64][]int, len(removeC))
+	for i, cs := range removeC {
+		h := setutil.Hash(memberSeed, cs)
+		rmByHash[h] = append(rmByHash[h], i)
+	}
+	taken := make([]bool, len(removeC))
+	next := make([][]uint64, 0, len(ds.sos)+len(addC))
+	nextHashes := make(map[uint64][]int, len(ds.sos)+len(addC))
+outer:
+	for _, cs := range ds.sos {
+		h := setutil.Hash(memberSeed, cs)
+		for _, i := range rmByHash[h] {
+			if !taken[i] && setutil.Equal(cs, removeC[i]) {
+				taken[i] = true
+				continue outer
+			}
+		}
+		nextHashes[h] = append(nextHashes[h], len(next))
+		next = append(next, cs)
+	}
+	for i, ok := range taken {
+		if !ok {
+			return fmt.Errorf("sosrnet: remove[%d] is not hosted in %q", i, name)
+		}
+	}
+	for i, cs := range addC {
+		h := setutil.Hash(memberSeed, cs)
+		for _, j := range nextHashes[h] {
+			if setutil.Equal(next[j], cs) {
+				return fmt.Errorf("sosrnet: add[%d] already hosted in %q", i, name)
+			}
+		}
+		nextHashes[h] = append(nextHashes[h], len(next))
+		next = append(next, cs)
+	}
+
+	// Patch every live digest; a patch failure (which validation above should
+	// preclude) drops that digest rather than serving corrupt bytes.
+	for lk, dig := range ds.live {
+		ok := true
+		for _, cs := range removeC {
+			if dig.Remove(cs) != nil {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			for _, cs := range addC {
+				if dig.Add(cs) != nil {
+					ok = false
+					break
+				}
+			}
+		}
+		if !ok {
+			ds.dropLive(lk)
+		}
+	}
+	ds.sos = next
+	ds.version++
+	return nil
+}
+
+// UpdateSets applies a live mutation to a hosted set dataset (KindSet):
+// elements in add are inserted, elements in remove are dropped (removing an
+// absent element is a no-op, matching set semantics). The version bump
+// retires all cached payloads for the old contents.
+func (s *Server) UpdateSets(name string, add, remove []uint64) error {
+	ds, err := s.lookup(name, KindSet)
+	if err != nil {
+		return err
+	}
+	if err := setrecon.CheckRange(add); err != nil {
+		return err
+	}
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	ds.set = setutil.ApplyDiff(ds.set, add, remove)
+	ds.version++
+	return nil
+}
+
+// DatasetVersion reports the current version of a hosted dataset (0 until
+// the first update).
+func (s *Server) DatasetVersion(name string) (uint64, error) {
+	s.mu.Lock()
+	ds, ok := s.datasets[name]
+	s.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownDataset, name)
+	}
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	return ds.version, nil
+}
+

@@ -1,0 +1,284 @@
+package sosrnet
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"sosr"
+	"sosr/internal/setutil"
+)
+
+// TestCacheConcurrentSessionsEncodeOnce: many concurrent sessions against
+// one hot dataset with identical (seed, protocol, params) must each receive
+// a payload byte-identical to the in-process run (checkNetStats equality is
+// byte-level: the decoded result is hash-verified and the payload sizes
+// match frame-for-frame) while the server encodes exactly once.
+func TestCacheConcurrentSessionsEncodeOnce(t *testing.T) {
+	alice, bob := sosPair()
+	srv, addr, _ := startServer(t, func(s *Server) {
+		if err := s.HostSetsOfSets("docs", alice); err != nil {
+			t.Fatal(err)
+		}
+	})
+	cfg := sosr.Config{Seed: 77, Protocol: sosr.ProtocolCascade, KnownDiff: 24}
+	want, err := sosr.ReconcileSetsOfSets(alice, bob, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 12
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := Dial(addr)
+			c.Timeout = 60 * time.Second
+			got, ns, err := c.SetsOfSets("docs", bob, cfg)
+			if err != nil {
+				errs <- fmt.Errorf("worker %d: %w", w, err)
+				return
+			}
+			if !reflect.DeepEqual(got.Recovered, want.Recovered) {
+				errs <- fmt.Errorf("worker %d: recovered parent diverges", w)
+				return
+			}
+			if ns.Protocol != want.Stats {
+				errs <- fmt.Errorf("worker %d: stats %+v != in-process %+v", w, ns.Protocol, want.Stats)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	cs := srv.CacheStats()
+	if cs.Misses != 1 {
+		t.Fatalf("hot dataset encoded %d times across %d sessions, want 1 (%+v)", cs.Misses, workers, cs)
+	}
+	if cs.Hits+cs.Shared != workers-1 {
+		t.Fatalf("cache served %d sessions, want %d (%+v)", cs.Hits+cs.Shared, workers-1, cs)
+	}
+}
+
+// TestUpdateSetsOfSetsServesFreshDigest: a mutation between two sessions
+// must yield the post-update payload — never a stale one — and the updated
+// bytes must equal a from-scratch in-process run over the updated parent
+// (the IncrementalDigest patch path is byte-exact).
+func TestUpdateSetsOfSetsServesFreshDigest(t *testing.T) {
+	alice, bob := sosPair()
+	srv, addr, _ := startServer(t, func(s *Server) {
+		if err := s.HostSetsOfSets("docs", alice); err != nil {
+			t.Fatal(err)
+		}
+	})
+	cfg := sosr.Config{Seed: 9, Protocol: sosr.ProtocolCascade, KnownDiff: 24,
+		MaxChildSets: len(alice) + 2, MaxChildSize: maxChildLen(alice) + 2}
+	c := Dial(addr)
+	c.Timeout = 60 * time.Second
+
+	want1, err := sosr.ReconcileSetsOfSets(alice, bob, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got1, ns1, err := c.SetsOfSets("docs", bob, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got1.Recovered, want1.Recovered) {
+		t.Fatal("pre-update recovery diverges")
+	}
+	checkNetStats(t, ns1, want1.Stats)
+
+	// Mutate: drop one hosted child set, add a brand-new one.
+	removed := alice[3]
+	added := []uint64{90_000_001, 90_000_005, 90_000_009}
+	if err := srv.UpdateSetsOfSets("docs", [][]uint64{added}, [][]uint64{removed}); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := srv.DatasetVersion("docs"); err != nil || v != 1 {
+		t.Fatalf("version %d, %v; want 1", v, err)
+	}
+	updated := make([][]uint64, 0, len(alice))
+	for i, cs := range alice {
+		if i != 3 {
+			updated = append(updated, cs)
+		}
+	}
+	updated = append(updated, setutil.Canonical(added))
+
+	want2, err := sosr.ReconcileSetsOfSets(updated, bob, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, ns2, err := c.SetsOfSets("docs", bob, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got2.Recovered, want2.Recovered) {
+		t.Fatal("post-update recovery diverges from in-process run over updated parent")
+	}
+	if reflect.DeepEqual(got2.Recovered, want1.Recovered) {
+		t.Fatal("post-update session served the stale parent set")
+	}
+	checkNetStats(t, ns2, want2.Stats)
+
+	// Both sessions were cache misses (different versions).
+	if cs := srv.CacheStats(); cs.Misses != 2 {
+		t.Fatalf("expected 2 cache misses across the update, got %+v", cs)
+	}
+
+	// The second miss promoted the key to a live digest (second use). A
+	// further mutation now patches that digest in place; the third session
+	// must be byte-par with a from-scratch run over the twice-updated
+	// parent — this is the incremental patch path over the wire.
+	added2 := []uint64{91_000_002, 91_000_006}
+	if err := srv.UpdateSetsOfSets("docs", [][]uint64{added2}, [][]uint64{updated[0]}); err != nil {
+		t.Fatal(err)
+	}
+	updated2 := append(setutil.CloneSets(updated[1:]), setutil.Canonical(added2))
+	want3, err := sosr.ReconcileSetsOfSets(updated2, bob, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got3, ns3, err := c.SetsOfSets("docs", bob, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got3.Recovered, want3.Recovered) {
+		t.Fatal("patched-digest session diverges from in-process run")
+	}
+	checkNetStats(t, ns3, want3.Stats)
+	if v, err := srv.DatasetVersion("docs"); err != nil || v != 2 {
+		t.Fatalf("version %d, %v; want 2", v, err)
+	}
+}
+
+// TestUpdateSetsOfSetsValidation: bad mutations are rejected atomically.
+func TestUpdateSetsOfSetsValidation(t *testing.T) {
+	alice, bob := sosPair()
+	srv, addr, _ := startServer(t, func(s *Server) {
+		if err := s.HostSetsOfSets("docs", alice); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if err := srv.UpdateSetsOfSets("docs", nil, [][]uint64{{1, 2, 3_333_333}}); err == nil {
+		t.Fatal("removing a non-hosted child set succeeded")
+	}
+	if err := srv.UpdateSetsOfSets("docs", [][]uint64{alice[0]}, nil); err == nil {
+		t.Fatal("adding an already-hosted child set succeeded")
+	}
+	if err := srv.UpdateSetsOfSets("nope", nil, nil); !errors.Is(err, ErrUnknownDataset) {
+		t.Fatalf("unknown dataset: %v", err)
+	}
+	if v, err := srv.DatasetVersion("docs"); err != nil || v != 0 {
+		t.Fatalf("failed updates bumped version to %d (%v)", v, err)
+	}
+	// The dataset still serves.
+	cfg := sosr.Config{Seed: 3, Protocol: sosr.ProtocolCascade, KnownDiff: 24}
+	if _, _, err := Dial(addr).SetsOfSets("docs", bob, cfg); err != nil {
+		t.Fatalf("session after rejected updates: %v", err)
+	}
+}
+
+// TestUpdateSetsOverTCP: plain-set updates are visible to the next session
+// and byte-par with an in-process run over the updated set.
+func TestUpdateSetsOverTCP(t *testing.T) {
+	alice, bob := setPair()
+	srv, addr, _ := startServer(t, func(s *Server) {
+		if err := s.HostSets("ids", alice); err != nil {
+			t.Fatal(err)
+		}
+	})
+	cfg := sosr.SetConfig{Seed: 5, KnownDiff: 24}
+	c := Dial(addr)
+	if _, _, err := c.Sets("ids", bob, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.UpdateSets("ids", []uint64{70_000_001, 70_000_002}, []uint64{alice[0]}); err != nil {
+		t.Fatal(err)
+	}
+	updated := setutil.ApplyDiff(alice, []uint64{70_000_001, 70_000_002}, []uint64{alice[0]})
+	want, err := sosr.ReconcileSets(updated, bob, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ns, err := c.Sets("ids", bob, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Recovered, updated) {
+		t.Fatal("post-update session did not serve the updated set")
+	}
+	checkNetStats(t, ns, want.Stats)
+}
+
+// TestConcurrentSessionsDuringUpdates: reconciliations racing live mutations
+// must always succeed against a consistent snapshot (run under -race in CI).
+func TestConcurrentSessionsDuringUpdates(t *testing.T) {
+	alice, bob := sosPair()
+	srv, addr, _ := startServer(t, func(s *Server) {
+		if err := s.HostSetsOfSets("docs", alice); err != nil {
+			t.Fatal(err)
+		}
+	})
+	stop := make(chan struct{})
+	var updaterWg sync.WaitGroup
+	updaterWg.Add(1)
+	go func() {
+		defer updaterWg.Done()
+		extra := [][]uint64{{80_000_001, 80_000_002}}
+		present := false
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var err error
+			if present {
+				err = srv.UpdateSetsOfSets("docs", nil, extra)
+			} else {
+				err = srv.UpdateSetsOfSets("docs", extra, nil)
+			}
+			if err != nil {
+				t.Errorf("update %d: %v", i, err)
+				return
+			}
+			present = !present
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	const workers = 6
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := Dial(addr)
+			c.Timeout = 60 * time.Second
+			for i := 0; i < 6; i++ {
+				cfg := sosr.Config{Seed: uint64(w*100 + i), Protocol: sosr.ProtocolCascade, KnownDiff: 32}
+				got, _, err := c.SetsOfSets("docs", bob, cfg)
+				if err != nil {
+					t.Errorf("worker %d session %d: %v", w, i, err)
+					return
+				}
+				// The recovered parent is hash-verified against whichever
+				// snapshot the server used; it must be one of the two states.
+				if n := len(got.Recovered); n != len(alice) && n != len(alice)+1 {
+					t.Errorf("worker %d session %d: recovered %d child sets", w, i, n)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	updaterWg.Wait()
+}

@@ -239,11 +239,19 @@ func TestSetsOfSetsOverTCPAllProtocols(t *testing.T) {
 // TestEndToEndWireBytes is the acceptance check: a set-of-sets reconciles
 // over real TCP, the client recovers the server's data exactly, and the
 // measured TCP bytes equal the in-process Stats.TotalBytes plus the
-// deterministic framing overhead, reconstructed frame by frame.
+// deterministic framing overhead, reconstructed frame by frame. It runs with
+// the encode cache enabled (the default) and disabled, since cached payloads
+// must be byte-identical to freshly encoded ones.
 func TestEndToEndWireBytes(t *testing.T) {
+	t.Run("cache-on", func(t *testing.T) { endToEndWireBytes(t, 0) })
+	t.Run("cache-off", func(t *testing.T) { endToEndWireBytes(t, -1) })
+}
+
+func endToEndWireBytes(t *testing.T, cacheBytes int64) {
 	alice, bob := sosPair()
 	sessionDone := make(chan struct{}, 1)
-	_, addr, cl := startServer(t, func(s *Server) {
+	srv, addr, cl := startServer(t, func(s *Server) {
+		s.CacheBytes = cacheBytes
 		if err := s.HostSetsOfSets("docs", alice); err != nil {
 			t.Fatal(err)
 		}
@@ -306,6 +314,14 @@ func TestEndToEndWireBytes(t *testing.T) {
 	if tcp := cl.n.Load(); tcp != int64(want.Stats.TotalBytes)+expectedOverhead {
 		t.Fatalf("TCP bytes %d != in-process payload %d + overhead %d",
 			tcp, want.Stats.TotalBytes, expectedOverhead)
+	}
+	cs := srv.CacheStats()
+	if cacheBytes < 0 {
+		if cs.Misses != 0 || cs.Hits != 0 {
+			t.Fatalf("disabled cache recorded traffic: %+v", cs)
+		}
+	} else if cs.Misses == 0 {
+		t.Fatalf("enabled cache never consulted: %+v", cs)
 	}
 }
 

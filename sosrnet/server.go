@@ -11,6 +11,7 @@ import (
 
 	"sosr"
 	"sosr/internal/core"
+	"sosr/internal/enccache"
 	"sosr/internal/forest"
 	"sosr/internal/graph"
 	"sosr/internal/graphrecon"
@@ -24,7 +25,16 @@ import (
 // Server hosts named datasets and serves concurrent one-way reconciliation
 // sessions: every connection is one session, handled on its own goroutine,
 // with the server playing Alice (the client ends up with the server's data).
-// Datasets are immutable once hosted, so sessions share them without locks.
+// Datasets take live updates (UpdateSets/UpdateSetsOfSets); sessions work
+// off an immutable copy-on-write snapshot taken at session start.
+//
+// Alice-side encodings are memoized in a bounded, versioned cache (see
+// internal/enccache), so concurrent sessions against a hot dataset with the
+// same (seed, protocol, params, bounds) encode once and replay identical
+// bytes — the public-coin model makes the payload a pure function of that
+// key. Dataset mutations bump the version (never serving a stale payload)
+// and patch the live one-round digests incrementally via
+// core.IncrementalDigest instead of forcing a full re-encode.
 type Server struct {
 	// Logf, when non-nil, receives one line per finished session carrying
 	// both parties' stats. Safe for concurrent use by sessions.
@@ -42,6 +52,11 @@ type Server struct {
 	// forever. 0 means DefaultSessionTimeout; negative disables the
 	// deadline.
 	SessionTimeout time.Duration
+	// CacheBytes bounds the Alice-side encoding cache: 0 selects
+	// enccache.DefaultMaxBytes, negative disables caching entirely (every
+	// session re-encodes, the pre-PR-4 behavior). Set before the first
+	// session.
+	CacheBytes int64
 
 	mu       sync.Mutex
 	datasets map[string]*dataset
@@ -49,16 +64,54 @@ type Server struct {
 	ln       net.Listener
 	closed   bool
 	wg       sync.WaitGroup
+	cache    *enccache.Cache
+	cacheOff bool
 }
 
-// dataset is one hosted, immutable dataset.
+// dataset is one hosted dataset. The data fields are copy-on-write: sessions
+// snapshot them (with the version) under mu at session start, updates swap
+// in fresh slices, so in-flight sessions keep a consistent view.
 type dataset struct {
 	kind Kind
-	set  []uint64   // KindSet: canonical; KindMultiset: canonical packed form
-	sos  [][]uint64 // KindSetsOfSets: canonical child sets
-	g    *graph.Graph
-	f    *forest.Forest
-	fi   forest.SideInfo
+
+	mu      sync.Mutex
+	version uint64
+	set     []uint64   // KindSet: canonical; KindMultiset: canonical packed form
+	sos     [][]uint64 // KindSetsOfSets: canonical child sets
+	g       *graph.Graph
+	f       *forest.Forest
+	fi      forest.SideInfo
+	// live holds the incrementally maintained one-round digests for this
+	// dataset, keyed by the exact encoding parameters; dataset updates patch
+	// each in O(update) so the next session snapshots the new encoding
+	// without a full rebuild. wanted tracks keys seen once: only a repeated
+	// key is promoted to a live digest, so one-shot client seeds never pin
+	// an O(|parent|) builder.
+	live      map[liveKey]*core.IncrementalDigest
+	liveOrder []liveKey // LRU order, oldest first
+	wanted    map[liveKey]struct{}
+}
+
+// dsView is the immutable per-session snapshot of a dataset.
+type dsView struct {
+	name    string
+	version uint64
+	ds      *dataset
+	set     []uint64
+	sos     [][]uint64
+	g       *graph.Graph
+	f       *forest.Forest
+	fi      forest.SideInfo
+}
+
+// view snapshots the dataset's current contents and version.
+func (d *dataset) view(name string) dsView {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return dsView{
+		name: name, version: d.version, ds: d,
+		set: d.set, sos: d.sos, g: d.g, f: d.f, fi: d.fi,
+	}
 }
 
 // DefaultMaxBound is the default cap on client-supplied bounds (difference
@@ -335,18 +388,19 @@ func (s *Server) handle(conn net.Conn) {
 		sendErrorFrame(ep, err)
 		return
 	}
+	view := ds.view(h.Dataset)
 	coins := hashing.NewCoins(h.Seed)
 	var done *doneMsg
 	var detail string
 	switch h.Kind {
 	case KindSet, KindMultiset:
-		done, detail, err = s.serveSet(ep, coins, ds.set, &h)
+		done, detail, err = s.serveSet(ep, coins, view, &h)
 	case KindSetsOfSets:
-		done, detail, err = s.serveSOS(ep, coins, ds.sos, &h)
+		done, detail, err = s.serveSOS(ep, coins, view, &h)
 	case KindGraph:
-		done, detail, err = s.serveGraph(ep, coins, ds.g, &h)
+		done, detail, err = s.serveGraph(ep, coins, view.g, &h)
 	case KindForest:
-		done, detail, err = s.serveForest(ep, coins, ds, &h)
+		done, detail, err = s.serveForest(ep, coins, view, &h)
 	default:
 		err = fmt.Errorf("%w: kind %q", ErrUnsupported, h.Kind)
 		sendErrorFrame(ep, err)
@@ -394,7 +448,8 @@ func parseDone(payload []byte) (*doneMsg, error) {
 
 // ---- set / multiset ----
 
-func (s *Server) serveSet(ep *wire.Endpoint, coins hashing.Coins, alice []uint64, h *helloMsg) (*doneMsg, string, error) {
+func (s *Server) serveSet(ep *wire.Endpoint, coins hashing.Coins, view dsView, h *helloMsg) (*doneMsg, string, error) {
+	alice := view.set
 	variant := "iblt"
 	switch {
 	case h.CharPoly:
@@ -420,7 +475,11 @@ func (s *Server) serveSet(ep *wire.Endpoint, coins hashing.Coins, alice []uint64
 	}
 	switch variant {
 	case "charpoly":
-		if err := ep.SendFrame("charpoly", setrecon.EncodeCharPoly(alice, h.D+1)); err != nil {
+		// EncodeCharPoly is seed-independent: memoize on (dataset, d) only.
+		body := s.cachedMsg(view, "charpoly", 0, h.D, func() []byte {
+			return setrecon.EncodeCharPoly(alice, h.D+1)
+		})
+		if err := ep.SendFrame("charpoly", body); err != nil {
 			return nil, variant, err
 		}
 	case "iblt-unknown":
@@ -433,11 +492,17 @@ func (s *Server) serveSet(ep *wire.Endpoint, coins hashing.Coins, alice []uint64
 			sendErrorFrame(ep, err)
 			return nil, variant, err
 		}
-		if err := ep.SendFrame("iblt", setrecon.BuildIBLTMsg(coins, alice, d)); err != nil {
+		body := s.cachedMsg(view, "set-iblt", coins.Master(), d, func() []byte {
+			return setrecon.BuildIBLTMsg(coins, alice, d)
+		})
+		if err := ep.SendFrame("iblt", body); err != nil {
 			return nil, variant, err
 		}
 	default:
-		if err := ep.SendFrame("iblt", setrecon.BuildIBLTMsg(coins, alice, h.D)); err != nil {
+		body := s.cachedMsg(view, "set-iblt", coins.Master(), h.D, func() []byte {
+			return setrecon.BuildIBLTMsg(coins, alice, h.D)
+		})
+		if err := ep.SendFrame("iblt", body); err != nil {
 			return nil, variant, err
 		}
 	}
@@ -495,7 +560,8 @@ func resolveSOS(h *helloMsg, alice [][]uint64) (*sosPlan, error) {
 	return pl, nil
 }
 
-func (s *Server) serveSOS(ep *wire.Endpoint, coins hashing.Coins, alice [][]uint64, h *helloMsg) (*doneMsg, string, error) {
+func (s *Server) serveSOS(ep *wire.Endpoint, coins hashing.Coins, view dsView, h *helloMsg) (*doneMsg, string, error) {
+	alice := view.sos
 	pl, err := resolveSOS(h, alice)
 	if err != nil {
 		sendErrorFrame(ep, err)
@@ -519,7 +585,7 @@ func (s *Server) serveSOS(ep *wire.Endpoint, coins hashing.Coins, alice [][]uint
 	switch pl.proto {
 	case "naive":
 		if pl.d > 0 {
-			done, err = s.serveReplicatedOneShot(ep, coins, alice, pl, core.DigestNaive, "naive-iblt")
+			done, err = s.serveReplicatedOneShot(ep, coins, view, pl, core.DigestNaive, "naive-iblt")
 		} else {
 			// Theorem 3.4: probe, then a single Theorem 3.3 shot.
 			var probe []byte
@@ -528,7 +594,7 @@ func (s *Server) serveSOS(ep *wire.Endpoint, coins hashing.Coins, alice [][]uint
 			}
 			dHat := core.EstimateChildDiff(probe, coins, alice, pl.p)
 			var body []byte
-			if body, err = core.AliceMsg(core.DigestNaive, coins, alice, pl.p, 1, dHat); err != nil {
+			if body, err = s.sosAliceMsg(view, core.DigestNaive, coins, pl.p, 1, dHat); err != nil {
 				sendErrorFrame(ep, err)
 				break
 			}
@@ -539,18 +605,18 @@ func (s *Server) serveSOS(ep *wire.Endpoint, coins hashing.Coins, alice [][]uint
 		}
 	case "nested":
 		if pl.d > 0 {
-			done, err = s.serveReplicatedOneShot(ep, coins, alice, pl, core.DigestNested, "nested-iblt")
+			done, err = s.serveReplicatedOneShot(ep, coins, view, pl, core.DigestNested, "nested-iblt")
 		} else {
-			done, err = s.serveDoubling(ep, coins, alice, pl.p, core.DigestNested, "nested-iblt")
+			done, err = s.serveDoubling(ep, coins, view, pl.p, core.DigestNested, "nested-iblt")
 		}
 	case "cascade":
 		if pl.d > 0 {
-			done, err = s.serveReplicatedOneShot(ep, coins, alice, pl, core.DigestCascade, "cascade-iblts")
+			done, err = s.serveReplicatedOneShot(ep, coins, view, pl, core.DigestCascade, "cascade-iblts")
 		} else {
-			done, err = s.serveDoubling(ep, coins, alice, pl.p, core.DigestCascade, "cascade-iblts")
+			done, err = s.serveDoubling(ep, coins, view, pl.p, core.DigestCascade, "cascade-iblts")
 		}
 	case "multiround":
-		done, err = s.serveMultiRound(ep, coins, alice, pl)
+		done, err = s.serveMultiRound(ep, coins, view, pl)
 	}
 	return done, detail, err
 }
@@ -558,10 +624,10 @@ func (s *Server) serveSOS(ep *wire.Endpoint, coins hashing.Coins, alice [][]uint
 // serveReplicatedOneShot runs the §3.2 replication loop for a one-round
 // protocol: each attempt r uses fresh coins; the client answers ctl/done on
 // success (or final failure) and ctl/retry to request the next attempt.
-func (s *Server) serveReplicatedOneShot(ep *wire.Endpoint, coins hashing.Coins, alice [][]uint64, pl *sosPlan, kind core.DigestKind, label string) (*doneMsg, error) {
+func (s *Server) serveReplicatedOneShot(ep *wire.Endpoint, coins hashing.Coins, view dsView, pl *sosPlan, kind core.DigestKind, label string) (*doneMsg, error) {
 	for r := 0; r < pl.replicas; r++ {
 		c := coins.Sub("replica", r)
-		body, err := core.AliceMsg(kind, c, alice, pl.p, pl.d, pl.dHat)
+		body, err := s.sosAliceMsg(view, kind, c, pl.p, pl.d, pl.dHat)
 		if err != nil {
 			sendErrorFrame(ep, err)
 			return nil, err
@@ -591,11 +657,11 @@ func (s *Server) serveReplicatedOneShot(ep *wire.Endpoint, coins hashing.Coins, 
 // uses d = 2^k with fresh coins; the client acknowledges each attempt with a
 // protocol "ack"/"retry" frame (the same 1-byte messages the in-process run
 // records) and closes with ctl/done.
-func (s *Server) serveDoubling(ep *wire.Endpoint, coins hashing.Coins, alice [][]uint64, p core.Params, kind core.DigestKind, label string) (*doneMsg, error) {
+func (s *Server) serveDoubling(ep *wire.Endpoint, coins hashing.Coins, view dsView, p core.Params, kind core.DigestKind, label string) (*doneMsg, error) {
 	for k := 0; k < maxDoublingAttempts; k++ {
 		d := 1 << k
 		att := coins.Sub("doubling-attempt", k)
-		body, err := core.AliceMsg(kind, att, alice, p, d, core.DHat(d, p.S))
+		body, err := s.sosAliceMsg(view, kind, att, p, d, core.DHat(d, p.S))
 		if err != nil {
 			sendErrorFrame(ep, err)
 			return nil, err
@@ -629,7 +695,8 @@ func (s *Server) serveDoubling(ep *wire.Endpoint, coins hashing.Coins, alice [][
 
 // serveMultiRound runs Theorem 3.9 (known d, replicated) or 3.10 (unknown d,
 // probe first) over the wire, the only genuinely multi-round flow.
-func (s *Server) serveMultiRound(ep *wire.Endpoint, coins hashing.Coins, alice [][]uint64, pl *sosPlan) (*doneMsg, error) {
+func (s *Server) serveMultiRound(ep *wire.Endpoint, coins hashing.Coins, view dsView, pl *sosPlan) (*doneMsg, error) {
+	alice := view.sos
 	attempts := pl.replicas
 	dHat := pl.dHat
 	if pl.d <= 0 {
@@ -646,7 +713,10 @@ func (s *Server) serveMultiRound(ep *wire.Endpoint, coins hashing.Coins, alice [
 			c = coins.Sub("replica", r)
 			dHat = core.DHat(pl.d, pl.p.S)
 		}
-		if err := ep.SendFrame("hash-iblt", core.MRAlice1(c, alice, dHat)); err != nil {
+		round1 := s.cachedMsg(view, "mr1", c.Master(), dHat, func() []byte {
+			return core.MRAlice1(c, alice, dHat)
+		})
+		if err := ep.SendFrame("hash-iblt", round1); err != nil {
 			return nil, err
 		}
 		got, payload, err := ep.RecvFrame()
@@ -755,7 +825,7 @@ func (s *Server) serveGraph(ep *wire.Endpoint, coins hashing.Coins, ga *graph.Gr
 
 // ---- forest ----
 
-func (s *Server) serveForest(ep *wire.Endpoint, coins hashing.Coins, ds *dataset, h *helloMsg) (*doneMsg, string, error) {
+func (s *Server) serveForest(ep *wire.Endpoint, coins hashing.Coins, ds dsView, h *helloMsg) (*doneMsg, string, error) {
 	infoB := forest.SideInfo{N: h.N, Depth: h.Depth, MaxChild: h.MaxChild}
 	maxBudget := h.MaxBudget
 	if maxBudget <= 0 || maxBudget > s.maxBound() {
