@@ -23,6 +23,7 @@ import (
 	"sosr/internal/setrecon"
 	"sosr/internal/workload"
 	"sosr/sosrnet"
+	"sosr/sosrshard"
 )
 
 // The -json perf suite measures the compute hot paths (encode and decode for
@@ -226,6 +227,15 @@ func perfJSON(w io.Writer) error {
 		report.Benchmarks = append(report.Benchmarks, row)
 	}
 
+	// --- sharded fan-out throughput (3 loopback shards per reconcile) ---
+	for _, clients := range []int{1, 8} {
+		row, err := shardedSessions(sosAlice, sosBob, 3, clients, 3*time.Second)
+		if err != nil {
+			return err
+		}
+		report.Benchmarks = append(report.Benchmarks, row)
+	}
+
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(&report)
@@ -281,6 +291,70 @@ func netSessions(alice, bob [][]uint64, clients int, dur time.Duration) (perfBen
 	n := sessions.Load()
 	return perfBench{
 		Name:           fmt.Sprintf("net/sessions-%dclients", clients),
+		N:              int(n),
+		NsPerOp:        float64(elapsed.Nanoseconds()) / float64(max(n, 1)),
+		SessionsPerSec: float64(n) / elapsed.Seconds(),
+	}, nil
+}
+
+// shardedSessions measures whole fan-out reconciles/sec: `clients`
+// concurrent logical clients, each reconciling the sharded hosted dataset
+// across `shards` loopback sosrd shard instances per operation.
+func shardedSessions(alice, bob [][]uint64, shards, clients int, dur time.Duration) (perfBench, error) {
+	addrs := make([]string, shards)
+	servers := make([]*sosrnet.Server, shards)
+	for i := range servers {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return perfBench{}, err
+		}
+		servers[i] = sosrnet.NewServer()
+		addrs[i] = ln.Addr().String()
+		go servers[i].Serve(ln)
+		defer servers[i].Close()
+	}
+	co, err := sosrshard.NewCoordinator(addrs, servers)
+	if err != nil {
+		return perfBench{}, err
+	}
+	if err := co.HostSetsOfSets("docs", alice); err != nil {
+		return perfBench{}, err
+	}
+	c, err := sosrshard.Dial(addrs)
+	if err != nil {
+		return perfBench{}, err
+	}
+	cfg := sosr.Config{Seed: 7, Protocol: sosr.ProtocolCascade, KnownDiff: 32}
+	if _, _, err := c.SetsOfSets("docs", bob, cfg); err != nil {
+		return perfBench{}, fmt.Errorf("sharded warmup: %w", err)
+	}
+
+	var fanouts atomic.Int64
+	var failed atomic.Int64
+	deadline := time.Now().Add(dur)
+	var wg sync.WaitGroup
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				if _, _, err := c.SetsOfSets("docs", bob, cfg); err != nil {
+					failed.Add(1)
+					return
+				}
+				fanouts.Add(1)
+			}
+		}()
+	}
+	start := time.Now()
+	wg.Wait()
+	elapsed := time.Since(start)
+	if failed.Load() != 0 {
+		return perfBench{}, fmt.Errorf("shard/reconcile-%dshards-%dclients: %d fan-outs failed", shards, clients, failed.Load())
+	}
+	n := fanouts.Load()
+	return perfBench{
+		Name:           fmt.Sprintf("shard/reconcile-%dshards-%dclients", shards, clients),
 		N:              int(n),
 		NsPerOp:        float64(elapsed.Nanoseconds()) / float64(max(n, 1)),
 		SessionsPerSec: float64(n) / elapsed.Seconds(),

@@ -10,6 +10,22 @@
 //	sosrd sync  -addr host:7075 -name docs -kind sos -protocol cascade -d 24 -replica replica.json
 //	sosrd demo                                    # serve+sync in one process over loopback
 //
+// Sharded deployments partition every hosted dataset across N instances with
+// a deterministic shard map over the address list (internal/shardmap): each
+// shard-serve instance keeps only the slice it owns, and shard-sync fans one
+// logical reconcile out over all instances and merges the recovered shards:
+//
+//	sosrd shard-serve -shards h1:7075,h2:7075,h3:7075 -index 0 -data datasets.json
+//	sosrd shard-serve -shards h1:7075,h2:7075,h3:7075 -index 1 -data datasets.json
+//	sosrd shard-serve -shards h1:7075,h2:7075,h3:7075 -index 2 -data datasets.json
+//	sosrd shard-sync  -shards h1:7075,h2:7075,h3:7075 -name docs -kind sos -d 24 -replica replica.json
+//
+// Every instance receives the same -shards list (order matters: it fixes the
+// shard indices) and the full logical datasets; ownership filtering is
+// deterministic, so the instances agree on the partition without talking to
+// each other, and sessions carrying wrong shard coordinates are rejected at
+// the handshake.
+//
 // The datasets file maps names to data:
 //
 //	{"datasets": [
@@ -30,12 +46,15 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"sosr"
+	"sosr/internal/shardmap"
 	"sosr/internal/workload"
 	"sosr/sosrnet"
+	"sosr/sosrshard"
 )
 
 func main() {
@@ -48,6 +67,10 @@ func main() {
 		cmdServe(os.Args[2:])
 	case "sync":
 		cmdSync(os.Args[2:])
+	case "shard-serve":
+		cmdShardServe(os.Args[2:])
+	case "shard-sync":
+		cmdShardSync(os.Args[2:])
 	case "demo":
 		cmdDemo()
 	default:
@@ -57,8 +80,10 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  sosrd serve -addr :7075 [-demo | -data file.json]
-  sosrd sync  -addr host:7075 -name NAME -kind set|multiset|sos [flags]
+  sosrd serve       -addr :7075 [-demo | -data file.json]
+  sosrd sync        -addr host:7075 -name NAME -kind set|multiset|sos [flags]
+  sosrd shard-serve -shards a:7075,b:7075,... -index I [-listen addr] [-demo | -data file.json]
+  sosrd shard-sync  -shards a:7075,b:7075,... -name NAME -kind set|multiset|sos [flags]
   sosrd demo`)
 	os.Exit(2)
 }
@@ -139,7 +164,12 @@ func cmdServe(args []string) {
 		log.Fatal("serve: pass -demo or -data file.json")
 	}
 
-	ln, err := net.Listen("tcp", *addr)
+	runServer(srv, *addr)
+}
+
+// runServer listens on addr and serves until SIGINT/SIGTERM.
+func runServer(srv *sosrnet.Server, addr string) {
+	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -153,6 +183,161 @@ func cmdServe(args []string) {
 	}()
 	if err := srv.Serve(ln); err != nil {
 		log.Fatal(err)
+	}
+}
+
+// cmdShardServe hosts one shard's slice of every dataset: the instance at
+// -index in the -shards list keeps the elements / child sets the shard map
+// assigns to it and rejects sessions routed for any other slice.
+func cmdShardServe(args []string) {
+	fs := flag.NewFlagSet("shard-serve", flag.ExitOnError)
+	shards := fs.String("shards", "", "comma-separated shard address list (same order on every instance)")
+	index := fs.Int("index", -1, "this instance's position in -shards")
+	listen := fs.String("listen", "", "listen address override (default: the -shards entry at -index)")
+	data := fs.String("data", "", "datasets JSON file (full logical datasets; the owned slice is kept)")
+	demo := fs.Bool("demo", false, "host the generated demo dataset's owned slice")
+	fs.Parse(args)
+
+	addrs := splitShards(*shards)
+	m, err := shardmap.New(addrs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *index < 0 || *index >= m.N() {
+		log.Fatalf("shard-serve: -index %d outside [0, %d)", *index, m.N())
+	}
+	srv := sosrnet.NewServer()
+	srv.Logf = log.Printf
+	var sets []fileDataset
+	switch {
+	case *demo:
+		hosted, _ := demoData()
+		sets = []fileDataset{hosted}
+	case *data != "":
+		if sets, err = loadDatasets(*data); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatal("shard-serve: pass -demo or -data file.json")
+	}
+	for _, d := range sets {
+		if err := hostDatasetShard(srv, d, m, *index); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("hosting %q kind=%s as shard %d/%d", d.Name, d.Kind, *index, m.N())
+	}
+	addr := addrs[*index]
+	if *listen != "" {
+		addr = *listen
+	}
+	runServer(srv, addr)
+}
+
+func hostDatasetShard(srv *sosrnet.Server, d fileDataset, m *shardmap.Map, index int) error {
+	switch sosrnet.Kind(d.Kind) {
+	case sosrnet.KindSet:
+		return srv.HostSetsShard(d.Name, d.Elems, m, index)
+	case sosrnet.KindMultiset:
+		return srv.HostMultisetShard(d.Name, d.Elems, m, index)
+	case sosrnet.KindSetsOfSets:
+		return srv.HostSetsOfSetsShard(d.Name, d.Parents, m, index)
+	default:
+		return fmt.Errorf("dataset %q: unsupported sharded kind %q", d.Name, d.Kind)
+	}
+}
+
+func splitShards(list string) []string {
+	var out []string
+	for _, a := range strings.Split(list, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// cmdShardSync fans one logical reconcile out over every shard instance and
+// merges the recovered slices, printing the aggregated byte report plus the
+// per-shard itemization.
+func cmdShardSync(args []string) {
+	fs := flag.NewFlagSet("shard-sync", flag.ExitOnError)
+	shards := fs.String("shards", "", "comma-separated shard address list (deployment order)")
+	name := fs.String("name", "", "dataset name")
+	kind := fs.String("kind", "sos", "dataset kind: set, multiset or sos")
+	replica := fs.String("replica", "", "local replica JSON file (omit with -demo-replica)")
+	demoReplica := fs.Bool("demo-replica", false, "use the generated demo replica (pairs with shard-serve -demo)")
+	protocol := fs.String("protocol", "auto", "sets-of-sets protocol: auto, naive, nested, cascade, multiround")
+	seed := fs.Uint64("seed", 42, "shared public-coin seed")
+	d := fs.Int("d", 0, "known difference bound for the whole logical dataset (0 = unknown-d variant)")
+	fs.Parse(args)
+	if *name == "" {
+		log.Fatal("shard-sync: -name is required")
+	}
+	c, err := sosrshard.Dial(splitShards(*shards))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var local fileDataset
+	switch {
+	case *demoReplica:
+		_, local = demoData()
+	case *replica != "":
+		sets, err := loadDatasets(*replica)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, ds := range sets {
+			if ds.Name == *name {
+				local = ds
+			}
+		}
+		if local.Name == "" {
+			log.Fatalf("shard-sync: replica file has no dataset %q", *name)
+		}
+	default:
+		log.Fatal("shard-sync: pass -replica file.json or -demo-replica")
+	}
+
+	switch sosrnet.Kind(*kind) {
+	case sosrnet.KindSet:
+		res, st, err := c.Sets(*name, local.Elems, sosr.SetConfig{Seed: *seed, KnownDiff: *d})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("recovered %d elements (+%d -%d) across %d shards\n",
+			len(res.Recovered), len(res.OnlyA), len(res.OnlyB), c.Map().N())
+		printShardStats(st)
+	case sosrnet.KindMultiset:
+		rec, st, err := c.Multiset(*name, local.Elems, *d, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("recovered %d multiset elements across %d shards\n", len(rec), c.Map().N())
+		printShardStats(st)
+	case sosrnet.KindSetsOfSets:
+		res, st, err := c.SetsOfSets(*name, local.Parents, sosr.Config{
+			Seed: *seed, Protocol: parseProtocolFlag(*protocol), KnownDiff: *d,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("recovered %d child sets (+%d -%d) via %v across %d shards\n",
+			len(res.Recovered), len(res.Added), len(res.Removed), res.Protocol, c.Map().N())
+		printShardStats(st)
+	default:
+		log.Fatalf("shard-sync: unsupported kind %q", *kind)
+	}
+}
+
+func printShardStats(st *sosrshard.Stats) {
+	fmt.Printf("protocol: bytes=%d (server=%d client=%d) msgs=%d attempts=%d\n",
+		st.Protocol.TotalBytes, st.Protocol.AliceBytes, st.Protocol.BobBytes, st.Protocol.Messages, st.Attempts)
+	fmt.Printf("wire:     in=%dB out=%dB overhead=%dB (TCP total %dB = protocol + framing)\n",
+		st.WireIn, st.WireOut, st.Overhead, st.WireIn+st.WireOut)
+	for _, sh := range st.Shards {
+		fmt.Printf("  shard %d %-21s bytes=%-6d overhead=%-4d attempts=%d\n",
+			sh.Index, sh.ID, sh.Net.Protocol.TotalBytes, sh.Net.Overhead, sh.Net.Attempts)
 	}
 }
 

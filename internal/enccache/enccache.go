@@ -35,6 +35,11 @@ type Key struct {
 	S, H    int
 	U       uint64
 	D, DHat int
+	// Extra pins any remaining builder inputs that have no dedicated field
+	// (e.g. the client-supplied side info a forest plan depends on). Callers
+	// must render every such input into this string; two sessions whose
+	// payloads could differ must never share a key.
+	Extra string
 }
 
 // Stats reports cache effectiveness counters.
@@ -59,16 +64,29 @@ type Cache struct {
 	shared   uint64
 }
 
+// entry is one resident value: a payload of one or more frames. Single-frame
+// payloads (sets, one-round sos digests) and composite payloads (graph sig +
+// edge frames, forest sig + meta frames) share the same storage; the frame
+// count is part of what the builder produced, not of the key.
 type entry struct {
-	key Key
-	val []byte
+	key    Key
+	frames [][]byte
+	size   int64
 }
 
 // call is one in-flight build other lookups can wait on.
 type call struct {
-	done chan struct{}
-	val  []byte
-	err  error
+	done   chan struct{}
+	frames [][]byte
+	err    error
+}
+
+func framesSize(frames [][]byte) int64 {
+	var n int64
+	for _, f := range frames {
+		n += int64(len(f))
+	}
+	return n
 }
 
 // DefaultMaxBytes bounds the cache when New is given a non-positive limit:
@@ -90,23 +108,49 @@ func New(maxBytes int64) *Cache {
 	}
 }
 
-// GetOrCompute returns the payload for k, running build at most once per key
-// across concurrent callers. The returned slice is shared — callers must not
-// mutate it. Build errors are returned to every waiter and nothing is cached.
+// GetOrCompute returns the single-frame payload for k, running build at most
+// once per key across concurrent callers. The returned slice is shared —
+// callers must not mutate it. Build errors are returned to every waiter and
+// nothing is cached.
 func (c *Cache) GetOrCompute(k Key, build func() ([]byte, error)) ([]byte, error) {
+	frames, err := c.GetOrComputeFrames(k, func() ([][]byte, error) {
+		val, err := build()
+		if err != nil {
+			return nil, err
+		}
+		return [][]byte{val}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(frames) != 1 {
+		// A key must always map to one payload shape; mixing GetOrCompute and
+		// GetOrComputeFrames on the same key is a caller bug.
+		return nil, fmt.Errorf("enccache: key %q/%s holds %d frames, want 1", k.Dataset, k.Proto, len(frames))
+	}
+	return frames[0], nil
+}
+
+// GetOrComputeFrames returns the composite (multi-frame) payload for k,
+// running build at most once per key across concurrent callers. Builders that
+// produce several wire frames from one encode pass (graph signature + edge
+// IBLTs, forest signature + metadata) cache the whole ordered frame list
+// under one key so a hit replays the entire Alice side of the session. The
+// returned slices are shared — callers must not mutate them.
+func (c *Cache) GetOrComputeFrames(k Key, build func() ([][]byte, error)) ([][]byte, error) {
 	c.mu.Lock()
 	if el, ok := c.entries[k]; ok {
 		c.ll.MoveToFront(el)
 		c.hits++
-		val := el.Value.(*entry).val
+		frames := el.Value.(*entry).frames
 		c.mu.Unlock()
-		return val, nil
+		return frames, nil
 	}
 	if cl, ok := c.inflight[k]; ok {
 		c.shared++
 		c.mu.Unlock()
 		<-cl.done
-		return cl.val, cl.err
+		return cl.frames, cl.err
 	}
 	cl := &call{done: make(chan struct{})}
 	c.inflight[k] = cl
@@ -128,21 +172,37 @@ func (c *Cache) GetOrCompute(k Key, build func() ([]byte, error)) ([]byte, error
 			c.mu.Unlock()
 		}
 	}()
-	cl.val, cl.err = build()
+	cl.frames, cl.err = build()
 	completed = true
 	close(cl.done)
 
 	c.mu.Lock()
 	delete(c.inflight, k)
 	if cl.err == nil {
-		c.insert(k, cl.val)
+		c.insert(k, cl.frames)
 	}
 	c.mu.Unlock()
-	return cl.val, cl.err
+	return cl.frames, cl.err
 }
 
-// Get returns the cached payload for k without computing anything.
+// Get returns the cached single-frame payload for k without computing
+// anything. Multi-frame entries report a miss (use GetFrames) without
+// counting a hit or refreshing their LRU position.
 func (c *Cache) Get(k Key) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[k]
+	if !ok || len(el.Value.(*entry).frames) != 1 {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits++
+	return el.Value.(*entry).frames[0], true
+}
+
+// GetFrames returns the cached payload frames for k without computing
+// anything.
+func (c *Cache) GetFrames(k Key) ([][]byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.entries[k]
@@ -151,23 +211,25 @@ func (c *Cache) Get(k Key) ([]byte, bool) {
 	}
 	c.ll.MoveToFront(el)
 	c.hits++
-	return el.Value.(*entry).val, true
+	return el.Value.(*entry).frames, true
 }
 
-// insert stores val under k and evicts from the LRU tail until the byte
+// insert stores frames under k and evicts from the LRU tail until the byte
 // bound holds. Oversized payloads (> half the bound) are not retained — one
 // giant value must not flush the whole working set. Caller holds mu.
-func (c *Cache) insert(k Key, val []byte) {
-	if int64(len(val)) > c.maxBytes/2 {
+func (c *Cache) insert(k Key, frames [][]byte) {
+	size := framesSize(frames)
+	if size > c.maxBytes/2 {
 		return
 	}
 	if el, ok := c.entries[k]; ok { // lost a race with an identical build
-		c.bytes += int64(len(val)) - int64(len(el.Value.(*entry).val))
-		el.Value.(*entry).val = val
+		e := el.Value.(*entry)
+		c.bytes += size - e.size
+		e.frames, e.size = frames, size
 		c.ll.MoveToFront(el)
 	} else {
-		c.entries[k] = c.ll.PushFront(&entry{key: k, val: val})
-		c.bytes += int64(len(val))
+		c.entries[k] = c.ll.PushFront(&entry{key: k, frames: frames, size: size})
+		c.bytes += size
 	}
 	for c.bytes > c.maxBytes {
 		tail := c.ll.Back()
@@ -177,7 +239,7 @@ func (c *Cache) insert(k Key, val []byte) {
 		e := tail.Value.(*entry)
 		c.ll.Remove(tail)
 		delete(c.entries, e.key)
-		c.bytes -= int64(len(e.val))
+		c.bytes -= e.size
 	}
 }
 

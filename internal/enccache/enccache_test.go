@@ -217,3 +217,94 @@ func TestBuilderPanicDoesNotWedgeKey(t *testing.T) {
 		t.Fatal("key remained wedged after builder panic")
 	}
 }
+
+func TestGetOrComputeFramesCachesCompositeValues(t *testing.T) {
+	c := New(1 << 20)
+	builds := 0
+	want := [][]byte{[]byte("sig-frame"), []byte("edge-frame"), []byte("meta")}
+	build := func() ([][]byte, error) { builds++; return want, nil }
+	k := Key{Dataset: "g", Version: 2, Proto: "graph-degree", Seed: 9, D: 2}
+	for i := 0; i < 4; i++ {
+		got, err := c.GetOrComputeFrames(k, build)
+		if err != nil || len(got) != len(want) {
+			t.Fatalf("lookup %d: %d frames, %v", i, len(got), err)
+		}
+		for j := range want {
+			if !bytes.Equal(got[j], want[j]) {
+				t.Fatalf("lookup %d frame %d diverges", i, j)
+			}
+		}
+	}
+	if builds != 1 {
+		t.Fatalf("builder ran %d times, want 1", builds)
+	}
+	st := c.Stats()
+	if st.Entries != 1 || st.Bytes != int64(len("sig-frame")+len("edge-frame")+len("meta")) {
+		t.Fatalf("composite size accounting wrong: %+v", st)
+	}
+	if frames, ok := c.GetFrames(k); !ok || len(frames) != 3 {
+		t.Fatalf("GetFrames miss for resident composite entry")
+	}
+	// The single-frame Get must not hand back a composite value.
+	if _, ok := c.Get(k); ok {
+		t.Fatal("Get returned a multi-frame entry as a single payload")
+	}
+}
+
+func TestExtraFieldSeparatesKeys(t *testing.T) {
+	c := New(1 << 20)
+	base := Key{Dataset: "f", Version: 0, Proto: "forest", Seed: 3, D: 2}
+	ka, kb := base, base
+	ka.Extra = "n=100,depth=4"
+	kb.Extra = "n=100,depth=5"
+	va, err := c.GetOrCompute(ka, func() ([]byte, error) { return []byte("plan-a"), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	vb, err := c.GetOrCompute(kb, func() ([]byte, error) { return []byte("plan-b"), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(va, vb) {
+		t.Fatal("distinct Extra strings shared one cache entry")
+	}
+	if st := c.Stats(); st.Misses != 2 || st.Entries != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestCompositeEvictionUsesTotalSize(t *testing.T) {
+	c := New(100)
+	big := [][]byte{make([]byte, 30), make([]byte, 31)} // 61 bytes > maxBytes/2
+	if _, err := c.GetOrComputeFrames(Key{Proto: "big"}, func() ([][]byte, error) { return big, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("oversized composite retained: %+v", st)
+	}
+	// Two 40-byte composites exceed the bound; the older one must be evicted.
+	mk := func(i int) Key { return Key{Proto: "c", Seed: uint64(i)} }
+	for i := 0; i < 2; i++ {
+		if _, err := c.GetOrComputeFrames(mk(i), func() ([][]byte, error) {
+			return [][]byte{make([]byte, 20), make([]byte, 20)}, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Entries != 2 || st.Bytes != 80 {
+		t.Fatalf("two composites should fit: %+v", st)
+	}
+	if _, err := c.GetOrComputeFrames(mk(2), func() ([][]byte, error) {
+		return [][]byte{make([]byte, 40)}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st = c.Stats()
+	if st.Bytes > 100 || st.Entries != 2 {
+		t.Fatalf("eviction did not bound composite bytes: %+v", st)
+	}
+	if _, ok := c.GetFrames(mk(0)); ok {
+		t.Fatal("LRU tail survived eviction")
+	}
+}

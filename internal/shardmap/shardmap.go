@@ -1,0 +1,176 @@
+// Package shardmap deterministically assigns reconciliation keys to shards
+// with rendezvous (highest-random-weight) hashing. The sets-of-sets protocols
+// decompose a parent set into independent child-set reconciliations, so a
+// hosted dataset partitions cleanly: every top-level element (for sets and
+// multisets) or child-set identity (for sets of sets) is owned by exactly one
+// shard, both parties compute the same owner without communication, and each
+// shard pair reconciles its slice with the paper's per-shard communication
+// bounds intact.
+//
+// Assignment is a pure function of (shard identity string, key): the owner of
+// a key is the shard whose hashed (identity, key) weight is largest. That
+// gives the two properties a sharded deployment needs:
+//
+//   - Stability under reordering: permuting the shard list never changes
+//     which shard identity owns a key (indices follow the caller's order, but
+//     OwnerID is order-invariant).
+//   - Minimal movement: adding or removing one shard from a list of n moves
+//     only the ~1/n of keys whose new/old maximum was that shard.
+package shardmap
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"sosr/internal/hashing"
+)
+
+// childSalt seeds the canonical child-set identity hash. Both parties of a
+// sharded reconciliation must derive the same child owner, so the salt is a
+// protocol constant, not a configuration knob.
+const childSalt uint64 = 0xc41d5e7a551671d5
+
+// Map assigns keys to a fixed list of shards. The zero value is unusable;
+// construct with New. A Map is immutable and safe for concurrent use.
+type Map struct {
+	ids   []string
+	seeds []uint64 // per-shard weight seed, derived from the identity string
+}
+
+// New builds a map over the given shard identities (typically "host:port"
+// addresses). Identities must be non-empty and distinct; order is preserved
+// (Index positions follow it) but does not affect ownership.
+func New(ids []string) (*Map, error) {
+	if len(ids) == 0 {
+		return nil, errors.New("shardmap: no shards")
+	}
+	m := &Map{
+		ids:   append([]string(nil), ids...),
+		seeds: make([]uint64, len(ids)),
+	}
+	seen := make(map[string]struct{}, len(ids))
+	for i, id := range m.ids {
+		if id == "" {
+			return nil, fmt.Errorf("shardmap: shard %d has an empty identity", i)
+		}
+		if _, dup := seen[id]; dup {
+			return nil, fmt.Errorf("shardmap: duplicate shard identity %q", id)
+		}
+		seen[id] = struct{}{}
+		m.seeds[i] = hashing.HashBytes(weightSalt, []byte(id))
+	}
+	return m, nil
+}
+
+// weightSalt seeds the per-shard identity hash feeding the HRW weights.
+const weightSalt uint64 = 0x73a4d3a95eedf00d
+
+// fingerprintSalt seeds the shard-list digest.
+const fingerprintSalt uint64 = 0xf19e4b21d15c0de5
+
+// Fingerprint returns an order-sensitive digest of the identity list. Two
+// parties can agree on (index, count) yet hold different lists — e.g.
+// "localhost:7075" vs "127.0.0.1:7075" spellings that dial the same servers
+// but hash to different owners — and would then partition keys differently;
+// exchanging the fingerprint catches that at the handshake.
+func (m *Map) Fingerprint() uint64 {
+	return hashing.HashBytes(fingerprintSalt, []byte(strings.Join(m.ids, "\x00")))
+}
+
+// N returns the shard count.
+func (m *Map) N() int { return len(m.ids) }
+
+// IDs returns the shard identities in the caller's original order. The
+// returned slice is shared; do not mutate it.
+func (m *Map) IDs() []string { return m.ids }
+
+// ID returns the identity of shard index.
+func (m *Map) ID(index int) string { return m.ids[index] }
+
+// Index returns the position of the given shard identity, or -1.
+func (m *Map) Index(id string) int {
+	for i, s := range m.ids {
+		if s == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// Owner returns the index of the shard owning key: the shard with the
+// highest hashed (identity, key) weight, ties broken by the lexicographically
+// smaller identity so assignment stays a pure function of the identity set.
+func (m *Map) Owner(key uint64) int {
+	best := 0
+	bestW := hashing.HashWord(m.seeds[0], key)
+	for i := 1; i < len(m.seeds); i++ {
+		w := hashing.HashWord(m.seeds[i], key)
+		if w > bestW || (w == bestW && m.ids[i] < m.ids[best]) {
+			best, bestW = i, w
+		}
+	}
+	return best
+}
+
+// OwnerID returns the identity of the shard owning key; unlike Owner's index
+// it is invariant under reordering of the shard list.
+func (m *Map) OwnerID(key uint64) string { return m.ids[m.Owner(key)] }
+
+// ChildKey maps a canonical child set to its shard-assignment key: the
+// order-invariant set hash under a fixed protocol salt. Both parties of a
+// sharded sets-of-sets reconciliation derive the same key for the same child
+// set without communication.
+func ChildKey(cs []uint64) uint64 {
+	return hashing.HashUint64s(childSalt, cs)
+}
+
+// OwnerOfSet returns the index of the shard owning a canonical child set.
+func (m *Map) OwnerOfSet(cs []uint64) int { return m.Owner(ChildKey(cs)) }
+
+// SplitElems partitions elements by ownership: out[i] holds, in input order,
+// the elements shard i owns. Used to split sets and multisets (a multiset
+// occurrence follows its element value, so all copies land on one shard).
+func (m *Map) SplitElems(xs []uint64) [][]uint64 {
+	out := make([][]uint64, len(m.ids))
+	for _, x := range xs {
+		i := m.Owner(x)
+		out[i] = append(out[i], x)
+	}
+	return out
+}
+
+// OwnedElems filters xs down to the elements shard index owns, preserving
+// input order.
+func (m *Map) OwnedElems(index int, xs []uint64) []uint64 {
+	var out []uint64
+	for _, x := range xs {
+		if m.Owner(x) == index {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// SplitSets partitions child sets by child-identity ownership: out[i] holds,
+// in input order, the child sets shard i owns.
+func (m *Map) SplitSets(parent [][]uint64) [][][]uint64 {
+	out := make([][][]uint64, len(m.ids))
+	for _, cs := range parent {
+		i := m.OwnerOfSet(cs)
+		out[i] = append(out[i], cs)
+	}
+	return out
+}
+
+// OwnedSets filters parent down to the child sets shard index owns,
+// preserving input order.
+func (m *Map) OwnedSets(index int, parent [][]uint64) [][]uint64 {
+	var out [][]uint64
+	for _, cs := range parent {
+		if m.OwnerOfSet(cs) == index {
+			out = append(out, cs)
+		}
+	}
+	return out
+}

@@ -2,6 +2,7 @@ package sosrnet
 
 import (
 	"fmt"
+	"sort"
 
 	"sosr/internal/core"
 	"sosr/internal/enccache"
@@ -84,6 +85,20 @@ func (s *Server) cachedMsg(view dsView, proto string, seed uint64, d int, build 
 		Dataset: view.name, Version: view.version, Proto: proto, Seed: seed, D: d,
 	}, func() ([]byte, error) { return build(), nil })
 	return body
+}
+
+// cachedFrames memoizes a composite (multi-frame) payload whose builder may
+// fail (graph and forest Alice sides, which emit signature + edge/meta frames
+// from one encode pass). extra pins builder inputs with no dedicated key
+// field.
+func (s *Server) cachedFrames(view dsView, proto string, seed uint64, d int, extra string, build func() ([][]byte, error)) ([][]byte, error) {
+	cache := s.encCache()
+	if cache == nil {
+		return build()
+	}
+	return cache.GetOrComputeFrames(enccache.Key{
+		Dataset: view.name, Version: view.version, Proto: proto, Seed: seed, D: d, Extra: extra,
+	}, build)
 }
 
 // sosProtoName maps a digest kind to its cache-key protocol name.
@@ -226,6 +241,12 @@ func (d *dataset) dropLive(lk liveKey) {
 // dataset version is bumped, so cached payloads for the old contents are
 // never served again, and every live one-round digest is patched in
 // O(|add| + |remove|) child encodes rather than re-encoding the parent.
+//
+// On a sharded dataset the mutation routes through the shard map first: only
+// child sets this shard owns are applied (and validated), so one logical
+// update can be broadcast verbatim to every shard server and each applies
+// exactly its slice. A mutation that owns nothing here is a no-op (no
+// version bump, caches stay warm).
 func (s *Server) UpdateSetsOfSets(name string, add, remove [][]uint64) error {
 	ds, err := s.lookup(name, KindSetsOfSets)
 	if err != nil {
@@ -238,6 +259,13 @@ func (s *Server) UpdateSetsOfSets(name string, add, remove [][]uint64) error {
 	removeC := make([][]uint64, len(remove))
 	for i, cs := range remove {
 		removeC[i] = setutil.Canonical(cs)
+	}
+	if ds.shard != nil {
+		addC = ds.shard.m.OwnedSets(ds.shard.index, addC)
+		removeC = ds.shard.m.OwnedSets(ds.shard.index, removeC)
+		if len(addC) == 0 && len(removeC) == 0 {
+			return nil
+		}
 	}
 
 	ds.mu.Lock()
@@ -313,7 +341,10 @@ outer:
 // UpdateSets applies a live mutation to a hosted set dataset (KindSet):
 // elements in add are inserted, elements in remove are dropped (removing an
 // absent element is a no-op, matching set semantics). The version bump
-// retires all cached payloads for the old contents.
+// retires all cached payloads for the old contents. On a sharded dataset only
+// the elements this shard owns are applied (broadcast one logical update to
+// every shard server; each takes its slice), and an update owning nothing
+// here is a no-op.
 func (s *Server) UpdateSets(name string, add, remove []uint64) error {
 	ds, err := s.lookup(name, KindSet)
 	if err != nil {
@@ -322,9 +353,90 @@ func (s *Server) UpdateSets(name string, add, remove []uint64) error {
 	if err := setrecon.CheckRange(add); err != nil {
 		return err
 	}
+	if ds.shard != nil {
+		add = ds.shard.m.OwnedElems(ds.shard.index, add)
+		remove = ds.shard.m.OwnedElems(ds.shard.index, remove)
+		if len(add) == 0 && len(remove) == 0 {
+			return nil
+		}
+	}
 	ds.mu.Lock()
 	defer ds.mu.Unlock()
 	ds.set = setutil.ApplyDiff(ds.set, add, remove)
+	ds.version++
+	return nil
+}
+
+// UpdateMultisets applies a live mutation to a hosted multiset dataset
+// (KindMultiset): each occurrence in add raises its element's multiplicity by
+// one, each occurrence in remove lowers it by one. Removing an occurrence the
+// dataset does not hold — or pushing a multiplicity past the §3.4 packing
+// limit — rejects the whole mutation atomically. The version bump retires all
+// cached payloads for the old contents; the next session re-packs and serves
+// the fresh multiset. On a sharded dataset ownership follows the element
+// value (matching HostMultisetShard), broadcast updates apply per-shard
+// slices, and an update owning nothing here is a no-op.
+func (s *Server) UpdateMultisets(name string, add, remove []uint64) error {
+	ds, err := s.lookup(name, KindMultiset)
+	if err != nil {
+		return err
+	}
+	// Range-check before ownership filtering (mirroring UpdateSets), so a
+	// malformed broadcast mutation is rejected identically on every shard
+	// instead of applying on the shards that happen not to own the bad
+	// element.
+	for _, x := range add {
+		if x > setrecon.MaxMultisetElement {
+			return fmt.Errorf("%w: element %d", setrecon.ErrMultisetRange, x)
+		}
+	}
+	if ds.shard != nil {
+		add = ds.shard.m.OwnedElems(ds.shard.index, add)
+		remove = ds.shard.m.OwnedElems(ds.shard.index, remove)
+	}
+	if len(add) == 0 && len(remove) == 0 {
+		return nil
+	}
+
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	// Unpack the hosted (element, count) words, stage the mutation on the
+	// counts, and validate everything before any state is touched.
+	counts := make(map[uint64]uint64, len(ds.set))
+	for _, w := range ds.set {
+		x, k := setrecon.UnpackCounted(w)
+		counts[x] = k
+	}
+	staged := make(map[uint64]int64, len(add)+len(remove))
+	for _, x := range remove {
+		staged[x]--
+	}
+	for _, x := range add {
+		staged[x]++
+	}
+	for x, delta := range staged {
+		next := int64(counts[x]) + delta
+		if next < 0 {
+			return fmt.Errorf("sosrnet: remove of element %d exceeds its multiplicity %d in %q", x, counts[x], name)
+		}
+		if next > int64(setrecon.MaxMultiplicity) {
+			return fmt.Errorf("%w: element %d would reach multiplicity %d", setrecon.ErrMultisetRange, x, next)
+		}
+	}
+	for x, delta := range staged {
+		next := int64(counts[x]) + delta
+		if next == 0 {
+			delete(counts, x)
+		} else {
+			counts[x] = uint64(next)
+		}
+	}
+	packed := make([]uint64, 0, len(counts))
+	for x, k := range counts {
+		packed = append(packed, setrecon.PackCounted(x, k))
+	}
+	sort.Slice(packed, func(i, j int) bool { return packed[i] < packed[j] })
+	ds.set = packed
 	ds.version++
 	return nil
 }

@@ -282,3 +282,223 @@ func TestConcurrentSessionsDuringUpdates(t *testing.T) {
 	close(stop)
 	updaterWg.Wait()
 }
+
+// TestUpdateMultisetsOverTCP: live multiset mutations bump the version, are
+// served to the next session byte-par with an in-process run over the
+// updated multiset, and invalid mutations are rejected atomically.
+func TestUpdateMultisetsOverTCP(t *testing.T) {
+	alice := []uint64{1, 1, 1, 2, 5, 5, 9, 9, 9, 9, 40}
+	bob := []uint64{1, 1, 2, 2, 5, 9, 9, 9, 9, 40, 41}
+	srv, addr, _ := startServer(t, func(s *Server) {
+		if err := s.HostMultiset("bag", alice); err != nil {
+			t.Fatal(err)
+		}
+	})
+	c := Dial(addr)
+	c.Timeout = 30 * time.Second
+	if _, _, err := c.Multiset("bag", bob, 16, 3); err != nil {
+		t.Fatal(err)
+	}
+	// Add one new element and one extra copy of 1; remove one 9 and one 5.
+	if err := srv.UpdateMultisets("bag", []uint64{41, 1}, []uint64{9, 5}); err != nil {
+		t.Fatal(err)
+	}
+	updated := []uint64{1, 1, 1, 1, 2, 5, 9, 9, 9, 40, 41}
+	if v, err := srv.DatasetVersion("bag"); err != nil || v != 1 {
+		t.Fatalf("version %d (%v), want 1", v, err)
+	}
+	wantRec, wantStats, err := sosr.ReconcileMultisets(updated, bob, 16, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ns, err := c.Multiset("bag", bob, 16, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, wantRec) {
+		t.Fatalf("post-update recovered %v, want %v", got, wantRec)
+	}
+	checkNetStats(t, ns, wantStats)
+
+	// Removing an occurrence the dataset does not hold is rejected whole.
+	if err := srv.UpdateMultisets("bag", []uint64{123}, []uint64{777}); err == nil {
+		t.Fatal("removing an absent occurrence succeeded")
+	}
+	// Removing more copies than present (updated holds exactly one 2).
+	if err := srv.UpdateMultisets("bag", nil, []uint64{2, 2}); err == nil {
+		t.Fatal("removing beyond the multiplicity succeeded")
+	}
+	// Overflowing the packable multiplicity.
+	over := make([]uint64, 4096)
+	for i := range over {
+		over[i] = 40
+	}
+	if err := srv.UpdateMultisets("bag", over, nil); err == nil {
+		t.Fatal("multiplicity overflow accepted")
+	}
+	// Unpackable element value.
+	if err := srv.UpdateMultisets("bag", []uint64{1 << 50}, nil); err == nil {
+		t.Fatal("out-of-range element accepted")
+	}
+	// Kind mismatch and unknown dataset.
+	if err := srv.UpdateMultisets("nope", []uint64{1}, nil); !errors.Is(err, ErrUnknownDataset) {
+		t.Fatalf("unknown dataset: %v", err)
+	}
+	// None of the rejected mutations changed anything.
+	if v, _ := srv.DatasetVersion("bag"); v != 1 {
+		t.Fatalf("rejected updates bumped version to %d", v)
+	}
+	// An empty mutation is a no-op, keeping caches warm.
+	if err := srv.UpdateMultisets("bag", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := srv.DatasetVersion("bag"); v != 1 {
+		t.Fatal("empty update bumped the version")
+	}
+	got2, _, err := c.Multiset("bag", bob, 16, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRec2, _, err := sosr.ReconcileMultisets(updated, bob, 16, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got2, wantRec2) {
+		t.Fatal("dataset changed despite rejected/empty updates")
+	}
+}
+
+// TestConcurrentMultisetSessionsDuringUpdates: sessions racing live multiset
+// mutations always reconcile a consistent copy-on-write snapshot — one of the
+// two alternating states, never a torn mix (run under -race in CI).
+func TestConcurrentMultisetSessionsDuringUpdates(t *testing.T) {
+	alice := []uint64{1, 1, 1, 2, 5, 5, 9, 9, 9, 9, 40}
+	bob := []uint64{1, 1, 2, 2, 5, 9, 9, 9, 9, 40, 41}
+	srv, addr, _ := startServer(t, func(s *Server) {
+		if err := s.HostMultiset("bag", alice); err != nil {
+			t.Fatal(err)
+		}
+	})
+	stop := make(chan struct{})
+	var updaterWg sync.WaitGroup
+	updaterWg.Add(1)
+	go func() {
+		defer updaterWg.Done()
+		present := false
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var err error
+			if present {
+				err = srv.UpdateMultisets("bag", nil, []uint64{77})
+			} else {
+				err = srv.UpdateMultisets("bag", []uint64{77}, nil)
+			}
+			if err != nil {
+				t.Errorf("update %d: %v", i, err)
+				return
+			}
+			present = !present
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	const workers = 6
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := Dial(addr)
+			c.Timeout = 60 * time.Second
+			for i := 0; i < 6; i++ {
+				got, _, err := c.Multiset("bag", bob, 24, uint64(w*100+i))
+				if err != nil {
+					t.Errorf("worker %d session %d: %v", w, i, err)
+					return
+				}
+				if n := len(got); n != len(alice) && n != len(alice)+1 {
+					t.Errorf("worker %d session %d: recovered %d occurrences (torn snapshot?)", w, i, n)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	updaterWg.Wait()
+}
+
+// TestGraphForestCacheParity: graph and forest Alice payloads flow through
+// the composite (multi-frame) cache; sessions must be byte-par with the
+// in-process run whether the cache is on or off, and with the cache on a
+// repeat session replays both frames without re-encoding.
+func TestGraphForestCacheParity(t *testing.T) {
+	base, h, err := sosr.PlantedSeparatedGraph(400, 2, 0.4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ga := sosr.PerturbGraph(base, 1, 12)
+	gb := sosr.PerturbGraph(base, 1, 13)
+	gcfg := sosr.GraphConfig{Seed: 14, Scheme: sosr.SchemeDegreeOrdering, MaxEdits: 2, TopDegrees: h}
+	wantG, err := sosr.ReconcileGraphs(ga, gb, gcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa := sosr.RandomForest(120, 0.15, 51)
+	fb := sosr.PerturbForest(fa, 3, 52)
+	fcfg := sosr.ForestConfig{Seed: 53, MaxEdits: 3}
+	wantF, err := sosr.ReconcileForests(fa, fb, fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name       string
+		cacheBytes int64
+	}{{"cache-on", 0}, {"cache-off", -1}} {
+		t.Run(tc.name, func(t *testing.T) {
+			srv, addr, _ := startServer(t, func(s *Server) {
+				s.CacheBytes = tc.cacheBytes
+				if err := s.HostGraph("net", ga); err != nil {
+					t.Fatal(err)
+				}
+				if err := s.HostForest("tree", fa); err != nil {
+					t.Fatal(err)
+				}
+			})
+			c := Dial(addr)
+			c.Timeout = 60 * time.Second
+			for i := 0; i < 2; i++ {
+				gotG, nsG, err := c.Graph("net", gb, gcfg)
+				if err != nil {
+					t.Fatalf("graph session %d: %v", i, err)
+				}
+				if !sosr.GraphsExactlyIsomorphic(gotG.Recovered, ga) {
+					t.Fatalf("graph session %d: not isomorphic", i)
+				}
+				checkNetStats(t, nsG, wantG.Stats)
+				gotF, nsF, err := c.Forest("tree", fb, fcfg)
+				if err != nil {
+					t.Fatalf("forest session %d: %v", i, err)
+				}
+				if !sosr.ForestsIsomorphic(gotF.Recovered, fa) {
+					t.Fatalf("forest session %d: not isomorphic", i)
+				}
+				checkNetStats(t, nsF, wantF.Stats)
+			}
+			cs := srv.CacheStats()
+			if tc.cacheBytes < 0 {
+				if cs.Misses != 0 || cs.Hits != 0 {
+					t.Fatalf("disabled cache recorded traffic: %+v", cs)
+				}
+			} else {
+				// One composite key per dataset, hit on each repeat session.
+				if cs.Misses != 2 || cs.Hits+cs.Shared != 2 {
+					t.Fatalf("composite cache counters %+v, want 2 misses + 2 hits", cs)
+				}
+			}
+		})
+	}
+}

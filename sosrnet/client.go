@@ -44,6 +44,16 @@ type Client struct {
 	Timeout time.Duration
 	// MaxFrame bounds accepted frame payloads (0 = wire.DefaultMaxPayload).
 	MaxFrame int
+	// ShardIndex/ShardCount/ShardFingerprint are sent with every hello when
+	// ShardCount > 0: the shard slice the client believes Addr hosts, plus
+	// the shard map's identity-list fingerprint (shardmap.Map.Fingerprint).
+	// A mismatch with the server's configuration fails the handshake
+	// (ErrMisrouted on the server, surfaced here as ErrServer). The
+	// sosrshard fan-out client sets these; leave zero for unsharded
+	// datasets.
+	ShardIndex       int
+	ShardCount       int
+	ShardFingerprint uint64
 }
 
 // Dial returns a client for the given server address. No connection is made
@@ -66,6 +76,7 @@ func (c *Client) session() (net.Conn, *wire.Endpoint, error) {
 
 func (c *Client) hello(ep *wire.Endpoint, h *helloMsg) (*acceptMsg, error) {
 	h.V = protoVersion
+	h.ShardIndex, h.ShardCount, h.ShardSet = c.ShardIndex, c.ShardCount, c.ShardFingerprint
 	if err := ep.SendFrame(lblHello, marshalCtl(h)); err != nil {
 		return nil, err
 	}

@@ -365,19 +365,26 @@ func TestGraphOverTCPNeighborhood(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		_, addr, _ := startServer(t, func(s *Server) {
-			if err := s.HostGraph("soc", ga); err != nil {
-				t.Fatal(err)
+		// Byte parity must hold with the composite payload cache on (two
+		// sessions, second replayed from memory) and off.
+		for _, cacheBytes := range []int64{0, -1} {
+			_, addr, _ := startServer(t, func(s *Server) {
+				s.CacheBytes = cacheBytes
+				if err := s.HostGraph("soc", ga); err != nil {
+					t.Fatal(err)
+				}
+			})
+			for i := 0; i < 2; i++ {
+				got, ns, err := Dial(addr).Graph("soc", base, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !sosr.GraphsExactlyIsomorphic(got.Recovered, ga) {
+					t.Fatal("recovered graph not isomorphic to the server's")
+				}
+				checkNetStats(t, ns, want.Stats)
 			}
-		})
-		got, ns, err := Dial(addr).Graph("soc", base, cfg)
-		if err != nil {
-			t.Fatal(err)
 		}
-		if !sosr.GraphsExactlyIsomorphic(got.Recovered, ga) {
-			t.Fatal("recovered graph not isomorphic to the server's")
-		}
-		checkNetStats(t, ns, want.Stats)
 		return
 	}
 	t.Fatal("no disjoint base graph found")
@@ -689,5 +696,44 @@ func TestGracefulShutdown(t *testing.T) {
 	c.Timeout = 2 * time.Second
 	if _, _, err := c.Sets("ids", bob, sosr.SetConfig{Seed: 5, KnownDiff: 16}); err == nil {
 		t.Fatal("session accepted after shutdown")
+	}
+}
+
+// TestHelloDeadlineSeversSlowLoris: a connection that dribbles its handshake
+// must be severed by the hello deadline — long before the session deadline —
+// so slow-loris clients cannot hold session slots for minutes.
+func TestHelloDeadlineSeversSlowLoris(t *testing.T) {
+	alice, bob := setPair()
+	_, addr, _ := startServer(t, func(s *Server) {
+		s.SessionTimeout = 30 * time.Second
+		s.HelloTimeout = 150 * time.Millisecond
+		if err := s.HostSets("ids", alice); err != nil {
+			t.Fatal(err)
+		}
+	})
+	start := time.Now()
+	loris, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loris.Close()
+	// One byte of a would-be frame, then silence.
+	if _, err := loris.Write([]byte{0x53}); err != nil {
+		t.Fatal(err)
+	}
+	loris.SetReadDeadline(time.Now().Add(10 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := loris.Read(buf); err == nil {
+		t.Fatal("server answered a half-sent hello")
+	} else if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.Fatal("server never severed the stalled handshake")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("stalled handshake lived %s — severed by the session deadline, not the hello deadline", elapsed)
+	}
+	// A prompt client is unaffected, including its post-hello frames, which
+	// must run under the restored session deadline (not the hello one).
+	if _, _, err := Dial(addr).Sets("ids", bob, sosr.SetConfig{Seed: 6, KnownDiff: 16}); err != nil {
+		t.Fatalf("session after slow-loris: %v", err)
 	}
 }

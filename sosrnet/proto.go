@@ -66,6 +66,9 @@ var (
 	ErrUnsupported = errors.New("sosrnet: unsupported configuration")
 	// ErrGaveUp indicates the session exhausted its retry attempts.
 	ErrGaveUp = errors.New("sosrnet: exhausted retry attempts")
+	// ErrMisrouted indicates the client's shard coordinates (index/count) do
+	// not match the slice this server hosts.
+	ErrMisrouted = errors.New("sosrnet: misrouted shard session")
 )
 
 // helloMsg opens a session. Zero fields are omitted; kind-specific fields
@@ -75,6 +78,19 @@ type helloMsg struct {
 	Dataset string `json:"dataset"`
 	Kind    Kind   `json:"kind"`
 	Seed    uint64 `json:"seed"`
+
+	// ShardIndex/ShardCount identify which slice of a sharded logical
+	// dataset the client believes this server hosts (0 count = unsharded).
+	// The server rejects a session whose shard coordinates do not match the
+	// hosted dataset's, so a fan-out client that dials the wrong instance
+	// fails loudly at the handshake instead of reconciling a wrong slice.
+	// ShardSet is the shard map's identity-list fingerprint: index and count
+	// can match while the lists differ in spelling ("localhost" vs
+	// "127.0.0.1" dialing the same servers) and therefore in how they
+	// partition keys; the fingerprint catches that too.
+	ShardIndex int    `json:"shardidx,omitempty"`
+	ShardCount int    `json:"shardcnt,omitempty"`
+	ShardSet   uint64 `json:"shardset,omitempty"`
 
 	// D is the known difference bound (kind-specific meaning: set/multiset
 	// symmetric-difference bound, sets-of-sets total element differences,

@@ -18,6 +18,7 @@ import (
 	"sosr/internal/hashing"
 	"sosr/internal/setrecon"
 	"sosr/internal/setutil"
+	"sosr/internal/shardmap"
 	"sosr/internal/transport"
 	"sosr/internal/wire"
 )
@@ -52,6 +53,12 @@ type Server struct {
 	// forever. 0 means DefaultSessionTimeout; negative disables the
 	// deadline.
 	SessionTimeout time.Duration
+	// HelloTimeout bounds the wait for the opening hello frame. A connection
+	// that dribbles (or never sends) its handshake is severed after this
+	// long instead of holding a session slot for the whole SessionTimeout —
+	// the slow-loris guard. 0 means DefaultHelloTimeout; negative disables
+	// the tighter deadline (the session deadline still applies).
+	HelloTimeout time.Duration
 	// CacheBytes bounds the Alice-side encoding cache: 0 selects
 	// enccache.DefaultMaxBytes, negative disables caching entirely (every
 	// session re-encodes, the pre-PR-4 behavior). Set before the first
@@ -68,11 +75,23 @@ type Server struct {
 	cacheOff bool
 }
 
+// shardState pins a hosted dataset to one shard of a partitioned logical
+// dataset: the shard map every party shares and this server's index in it.
+// Immutable after hosting.
+type shardState struct {
+	m     *shardmap.Map
+	index int
+}
+
+// owns reports whether this shard owns a top-level element key.
+func (ss *shardState) owns(x uint64) bool { return ss.m.Owner(x) == ss.index }
+
 // dataset is one hosted dataset. The data fields are copy-on-write: sessions
 // snapshot them (with the version) under mu at session start, updates swap
 // in fresh slices, so in-flight sessions keep a consistent view.
 type dataset struct {
-	kind Kind
+	kind  Kind
+	shard *shardState // nil for unsharded datasets
 
 	mu      sync.Mutex
 	version uint64
@@ -104,6 +123,32 @@ type dsView struct {
 	fi      forest.SideInfo
 }
 
+// checkRoute rejects sessions whose shard coordinates do not match the slice
+// this server hosts: a sharded dataset demands the exact (index, count) pair
+// it was hosted with, an unsharded dataset demands none.
+func (d *dataset) checkRoute(h *helloMsg) error {
+	if d.shard == nil {
+		if h.ShardCount != 0 {
+			return fmt.Errorf("%w: dataset %q is not sharded (client sent shard %d/%d)",
+				ErrMisrouted, h.Dataset, h.ShardIndex, h.ShardCount)
+		}
+		return nil
+	}
+	if h.ShardCount == 0 {
+		return fmt.Errorf("%w: dataset %q is shard %d of %d (client sent no shard coordinates)",
+			ErrMisrouted, h.Dataset, d.shard.index, d.shard.m.N())
+	}
+	if h.ShardCount != d.shard.m.N() || h.ShardIndex != d.shard.index {
+		return fmt.Errorf("%w: dataset %q is shard %d of %d, client asked for shard %d of %d",
+			ErrMisrouted, h.Dataset, d.shard.index, d.shard.m.N(), h.ShardIndex, h.ShardCount)
+	}
+	if h.ShardSet != d.shard.m.Fingerprint() {
+		return fmt.Errorf("%w: dataset %q shard map fingerprint mismatch (the address lists differ, so the partitions would too)",
+			ErrMisrouted, h.Dataset)
+	}
+	return nil
+}
+
 // view snapshots the dataset's current contents and version.
 func (d *dataset) view(name string) dsView {
 	d.mu.Lock()
@@ -120,6 +165,9 @@ const DefaultMaxBound = 1 << 20
 
 // DefaultSessionTimeout is the default whole-session deadline.
 const DefaultSessionTimeout = 5 * time.Minute
+
+// DefaultHelloTimeout is the default deadline for the opening hello frame.
+const DefaultHelloTimeout = 10 * time.Second
 
 // maxHelloReplicas caps the client-requested replication factor (each
 // replica is one server-built payload).
@@ -153,6 +201,7 @@ func (s *Server) checkHello(h *helloMsg) error {
 		{"n", h.N}, {"sigbudget", h.SigBudget}, {"maxsig", h.MaxSig},
 		{"sigma", h.Sigma}, {"budget", h.Budget}, {"maxbudget", h.MaxBudget},
 		{"depth", h.Depth}, {"maxchild", h.MaxChild},
+		{"shardidx", h.ShardIndex}, {"shardcnt", h.ShardCount},
 	} {
 		if f.v < 0 || f.v > bound {
 			return fmt.Errorf("%w: hello field %s=%d outside [0, %d]", ErrUnsupported, f.name, f.v, bound)
@@ -160,6 +209,12 @@ func (s *Server) checkHello(h *helloMsg) error {
 	}
 	if h.Replicas < 0 || h.Replicas > maxHelloReplicas {
 		return fmt.Errorf("%w: replicas=%d outside [0, %d]", ErrUnsupported, h.Replicas, maxHelloReplicas)
+	}
+	if h.ShardCount > 0 && h.ShardIndex >= h.ShardCount {
+		return fmt.Errorf("%w: shard index %d outside [0, %d)", ErrUnsupported, h.ShardIndex, h.ShardCount)
+	}
+	if h.ShardCount == 0 && h.ShardIndex != 0 {
+		return fmt.Errorf("%w: shard index %d without a shard count", ErrUnsupported, h.ShardIndex)
 	}
 	return nil
 }
@@ -211,6 +266,68 @@ func (s *Server) HostSetsOfSets(name string, parent [][]uint64) error {
 		canon[i] = setutil.Canonical(cs)
 	}
 	return s.host(name, &dataset{kind: KindSetsOfSets, sos: canon})
+}
+
+// checkShard validates a shard-hosting request.
+func checkShard(m *shardmap.Map, index int) (*shardState, error) {
+	if m == nil {
+		return nil, errors.New("sosrnet: nil shard map")
+	}
+	if index < 0 || index >= m.N() {
+		return nil, fmt.Errorf("sosrnet: shard index %d outside [0, %d)", index, m.N())
+	}
+	return &shardState{m: m, index: index}, nil
+}
+
+// HostSetsShard hosts shard index's slice of a logical set dataset: the
+// elements of elems that the shard map assigns to this index (passing the
+// full logical set and the owned slice are equivalent — ownership filtering
+// is idempotent). Sessions must present matching shard coordinates in their
+// hello, so a fan-out client dialing the wrong instance is rejected at the
+// handshake, and live UpdateSets calls apply only the owned slice of a
+// broadcast mutation.
+func (s *Server) HostSetsShard(name string, elems []uint64, m *shardmap.Map, index int) error {
+	ss, err := checkShard(m, index)
+	if err != nil {
+		return err
+	}
+	canon := setutil.Canonical(m.OwnedElems(index, elems))
+	if err := setrecon.CheckRange(canon); err != nil {
+		return err
+	}
+	return s.host(name, &dataset{kind: KindSet, set: canon, shard: ss})
+}
+
+// HostMultisetShard hosts shard index's slice of a logical multiset dataset.
+// Ownership follows the element value, so every occurrence of one element
+// lands on the same shard and the §3.4 packing stays shard-local.
+func (s *Server) HostMultisetShard(name string, elems []uint64, m *shardmap.Map, index int) error {
+	ss, err := checkShard(m, index)
+	if err != nil {
+		return err
+	}
+	packed, err := setrecon.MultisetToSet(m.OwnedElems(index, elems))
+	if err != nil {
+		return err
+	}
+	return s.host(name, &dataset{kind: KindMultiset, set: packed, shard: ss})
+}
+
+// HostSetsOfSetsShard hosts shard index's slice of a logical sets-of-sets
+// dataset: the child sets whose canonical identity hash the shard map assigns
+// to this index. Both parties derive the same owner for the same child set
+// (shardmap.ChildKey is a protocol constant), so each shard pair reconciles
+// an exact partition of the parent-level difference.
+func (s *Server) HostSetsOfSetsShard(name string, parent [][]uint64, m *shardmap.Map, index int) error {
+	ss, err := checkShard(m, index)
+	if err != nil {
+		return err
+	}
+	canon := make([][]uint64, len(parent))
+	for i, cs := range parent {
+		canon[i] = setutil.Canonical(cs)
+	}
+	return s.host(name, &dataset{kind: KindSetsOfSets, sos: m.OwnedSets(index, canon), shard: ss})
 }
 
 // HostGraph hosts an undirected simple graph.
@@ -363,12 +480,30 @@ func (s *Server) handle(conn net.Conn) {
 	if timeout > 0 {
 		_ = conn.SetDeadline(start.Add(timeout))
 	}
+	// The hello gets a much tighter read deadline than the session: a
+	// slow-loris connection that never completes its handshake must release
+	// its session slot in seconds, not minutes.
+	helloTimeout := s.HelloTimeout
+	if helloTimeout == 0 {
+		helloTimeout = DefaultHelloTimeout
+	}
+	if helloTimeout > 0 && (timeout <= 0 || helloTimeout < timeout) {
+		_ = conn.SetReadDeadline(start.Add(helloTimeout))
+	}
 	ep := wire.NewEndpoint(conn, transport.Alice)
 	ep.SetMaxPayload(s.MaxFrame)
 	payload, err := ep.RecvExpect(lblHello)
 	if err != nil {
 		s.logf("session %s: handshake: %v", conn.RemoteAddr(), err)
 		return
+	}
+	// Handshake complete: restore the session-wide read deadline.
+	if helloTimeout > 0 && (timeout <= 0 || helloTimeout < timeout) {
+		if timeout > 0 {
+			_ = conn.SetReadDeadline(start.Add(timeout))
+		} else {
+			_ = conn.SetReadDeadline(time.Time{})
+		}
 	}
 	var h helloMsg
 	if err := json.Unmarshal(payload, &h); err != nil {
@@ -388,6 +523,10 @@ func (s *Server) handle(conn net.Conn) {
 		sendErrorFrame(ep, err)
 		return
 	}
+	if err := ds.checkRoute(&h); err != nil {
+		sendErrorFrame(ep, err)
+		return
+	}
 	view := ds.view(h.Dataset)
 	coins := hashing.NewCoins(h.Seed)
 	var done *doneMsg
@@ -398,7 +537,7 @@ func (s *Server) handle(conn net.Conn) {
 	case KindSetsOfSets:
 		done, detail, err = s.serveSOS(ep, coins, view, &h)
 	case KindGraph:
-		done, detail, err = s.serveGraph(ep, coins, view.g, &h)
+		done, detail, err = s.serveGraph(ep, coins, view, &h)
 	case KindForest:
 		done, detail, err = s.serveForest(ep, coins, view, &h)
 	default:
@@ -760,7 +899,8 @@ func (s *Server) serveMultiRound(ep *wire.Endpoint, coins hashing.Coins, view ds
 
 // ---- graph ----
 
-func (s *Server) serveGraph(ep *wire.Endpoint, coins hashing.Coins, ga *graph.Graph, h *helloMsg) (*doneMsg, string, error) {
+func (s *Server) serveGraph(ep *wire.Endpoint, coins hashing.Coins, view dsView, h *helloMsg) (*doneMsg, string, error) {
+	ga := view.g
 	detail := fmt.Sprintf("scheme=%s d=%d", h.Scheme, h.D)
 	if h.N != ga.N {
 		err := fmt.Errorf("vertex count mismatch: client %d, dataset %d", h.N, ga.N)
@@ -773,7 +913,15 @@ func (s *Server) serveGraph(ep *wire.Endpoint, coins hashing.Coins, ga *graph.Gr
 	}
 	switch h.Scheme {
 	case "degree":
-		msgs, err := graphrecon.DegreeOrderAlice(coins, ga, graphrecon.DegreeOrderParams{H: h.TopH, D: d})
+		// Both frames come from one encode pass; memoize them together.
+		frames, err := s.cachedFrames(view, "graph-degree", coins.Master(), d,
+			fmt.Sprintf("h=%d", h.TopH), func() ([][]byte, error) {
+				msgs, err := graphrecon.DegreeOrderAlice(coins, ga, graphrecon.DegreeOrderParams{H: h.TopH, D: d})
+				if err != nil {
+					return nil, err
+				}
+				return [][]byte{msgs.Sig, msgs.Edges}, nil
+			})
 		if err != nil {
 			sendErrorFrame(ep, err)
 			return nil, detail, err
@@ -781,13 +929,16 @@ func (s *Server) serveGraph(ep *wire.Endpoint, coins hashing.Coins, ga *graph.Gr
 		if err := s.accept(ep, &acceptMsg{Kind: KindGraph, D: d}); err != nil {
 			return nil, detail, err
 		}
-		if err := ep.SendFrame("cascade-iblts", msgs.Sig); err != nil {
+		if err := ep.SendFrame("cascade-iblts", frames[0]); err != nil {
 			return nil, detail, err
 		}
-		if err := ep.SendFrame("edge-iblt", msgs.Edges); err != nil {
+		if err := ep.SendFrame("edge-iblt", frames[1]); err != nil {
 			return nil, detail, err
 		}
 	case "neighborhood":
+		// The side encoding fixes maxSig (part of the accept message and the
+		// cache key), so it runs uncached; the expensive IBLT frames behind
+		// it are memoized.
 		sideA, err := graphrecon.NeighborhoodEncode(ga, h.M)
 		if err != nil {
 			sendErrorFrame(ep, err)
@@ -800,7 +951,14 @@ func (s *Server) serveGraph(ep *wire.Endpoint, coins hashing.Coins, ga *graph.Gr
 			sendErrorFrame(ep, err)
 			return nil, detail, err
 		}
-		msgs, err := graphrecon.NeighborhoodAlice(coins, ga, p, sideA, maxSig)
+		frames, err := s.cachedFrames(view, "graph-nbr", coins.Master(), d,
+			fmt.Sprintf("m=%d,sig=%d,budget=%d", h.M, maxSig, h.SigBudget), func() ([][]byte, error) {
+				msgs, err := graphrecon.NeighborhoodAlice(coins, ga, p, sideA, maxSig)
+				if err != nil {
+					return nil, err
+				}
+				return [][]byte{msgs.Sig, msgs.Edges}, nil
+			})
 		if err != nil {
 			sendErrorFrame(ep, err)
 			return nil, detail, err
@@ -808,10 +966,10 @@ func (s *Server) serveGraph(ep *wire.Endpoint, coins hashing.Coins, ga *graph.Gr
 		if err := s.accept(ep, &acceptMsg{Kind: KindGraph, D: d, MaxSig: maxSig}); err != nil {
 			return nil, detail, err
 		}
-		if err := ep.SendFrame("cascade-iblts", msgs.Sig); err != nil {
+		if err := ep.SendFrame("cascade-iblts", frames[0]); err != nil {
 			return nil, detail, err
 		}
-		if err := ep.SendFrame("edge-iblt", msgs.Edges); err != nil {
+		if err := ep.SendFrame("edge-iblt", frames[1]); err != nil {
 			return nil, detail, err
 		}
 	default:
@@ -839,6 +997,11 @@ func (s *Server) serveForest(ep *wire.Endpoint, coins hashing.Coins, ds dsView, 
 	if err := s.accept(ep, acc); err != nil {
 		return nil, detail, err
 	}
+	// The forest plan — and therefore the payload — depends on the client's
+	// side info, which has no dedicated cache-key field; it rides in Extra.
+	planExtra := func(sigma, budget int) string {
+		return fmt.Sprintf("n=%d,dep=%d,mc=%d,sigma=%d,budget=%d", infoB.N, infoB.Depth, infoB.MaxChild, sigma, budget)
+	}
 	if h.D > 0 {
 		rp, params := forest.Plan(ds.fi, infoB, forest.ReconParams{Sigma: h.Sigma, D: h.D, Budget: h.Budget})
 		if rp.Budget > s.maxBound() {
@@ -846,15 +1009,22 @@ func (s *Server) serveForest(ep *wire.Endpoint, coins hashing.Coins, ds dsView, 
 			sendErrorFrame(ep, err)
 			return nil, detail, err
 		}
-		sig, meta, err := forest.AliceMsg(coins, ds.f, rp, params)
+		frames, err := s.cachedFrames(ds, "forest", coins.Master(), h.D,
+			planExtra(h.Sigma, h.Budget), func() ([][]byte, error) {
+				sig, meta, err := forest.AliceMsg(coins, ds.f, rp, params)
+				if err != nil {
+					return nil, err
+				}
+				return [][]byte{sig, meta}, nil
+			})
 		if err != nil {
 			sendErrorFrame(ep, err)
 			return nil, detail, err
 		}
-		if err := ep.SendFrame("cascade-iblts", sig); err != nil {
+		if err := ep.SendFrame("cascade-iblts", frames[0]); err != nil {
 			return nil, detail, err
 		}
-		if err := ep.SendFrame("forest-meta", meta); err != nil {
+		if err := ep.SendFrame("forest-meta", frames[1]); err != nil {
 			return nil, detail, err
 		}
 		done, err := recvDone(ep)
@@ -865,15 +1035,22 @@ func (s *Server) serveForest(ep *wire.Endpoint, coins hashing.Coins, ds dsView, 
 	for budget, k := 16, 0; budget <= maxBudget; budget, k = budget*2, k+1 {
 		att := coins.Sub("forest-attempt", k)
 		rp, params := forest.Plan(ds.fi, infoB, forest.ReconParams{Sigma: 1, D: 1, Budget: budget})
-		sig, meta, err := forest.AliceMsg(att, ds.f, rp, params)
+		frames, err := s.cachedFrames(ds, "forest-auto", att.Master(), 1,
+			planExtra(1, budget), func() ([][]byte, error) {
+				sig, meta, err := forest.AliceMsg(att, ds.f, rp, params)
+				if err != nil {
+					return nil, err
+				}
+				return [][]byte{sig, meta}, nil
+			})
 		if err != nil {
 			sendErrorFrame(ep, err)
 			return nil, detail, err
 		}
-		if err := ep.SendFrame("cascade-iblts", sig); err != nil {
+		if err := ep.SendFrame("cascade-iblts", frames[0]); err != nil {
 			return nil, detail, err
 		}
-		if err := ep.SendFrame("forest-meta", meta); err != nil {
+		if err := ep.SendFrame("forest-meta", frames[1]); err != nil {
 			return nil, detail, err
 		}
 		got, _, err := ep.RecvFrame()

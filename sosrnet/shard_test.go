@@ -1,0 +1,251 @@
+package sosrnet
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"sosr"
+	"sosr/internal/setutil"
+	"sosr/internal/shardmap"
+)
+
+func mustMap(t *testing.T, ids ...string) *shardmap.Map {
+	t.Helper()
+	m, err := shardmap.New(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// shardClient dials addr with the full shard coordinates for (m, index).
+func shardClient(addr string, m *shardmap.Map, index int) *Client {
+	c := Dial(addr)
+	c.ShardIndex, c.ShardCount, c.ShardFingerprint = index, m.N(), m.Fingerprint()
+	return c
+}
+
+// TestShardedSetHostServesOwnedSlice: a shard server holds exactly its slice
+// of the logical set, reconciles it byte-par with an in-process run over the
+// two slices, and rejects misrouted or shard-less sessions at the handshake.
+func TestShardedSetHostServesOwnedSlice(t *testing.T) {
+	m := mustMap(t, "s0:1", "s1:2", "s2:3")
+	alice, bob := setPair()
+	const index = 1
+	_, addr, _ := startServer(t, func(s *Server) {
+		if err := s.HostSetsShard("ids", alice, m, index); err != nil {
+			t.Fatal(err)
+		}
+		// Unsharded dataset on the same server, to prove the misroute check
+		// cuts both ways.
+		if err := s.HostSets("plain", alice); err != nil {
+			t.Fatal(err)
+		}
+	})
+	aliceSlice := setutil.Canonical(m.OwnedElems(index, alice))
+	bobSlice := setutil.Canonical(m.OwnedElems(index, bob))
+	cfg := sosr.SetConfig{Seed: 11, KnownDiff: 16}
+	want, err := sosr.ReconcileSets(aliceSlice, bobSlice, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := shardClient(addr, m, index)
+	c.Timeout = 30 * time.Second
+	got, ns, err := c.Sets("ids", bobSlice, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Recovered, aliceSlice) {
+		t.Fatal("client did not recover the shard's slice")
+	}
+	checkNetStats(t, ns, want.Stats)
+
+	// Wrong shard index: rejected at the handshake.
+	wrong := shardClient(addr, m, 0)
+	if _, _, err := wrong.Sets("ids", bobSlice, cfg); !errors.Is(err, ErrServer) || !strings.Contains(err.Error(), "misrouted") {
+		t.Fatalf("misrouted index: %v", err)
+	}
+	// Wrong shard count.
+	wrong = shardClient(addr, m, index)
+	wrong.ShardCount = m.N() + 1
+	if _, _, err := wrong.Sets("ids", bobSlice, cfg); err == nil || !strings.Contains(err.Error(), "misrouted") {
+		t.Fatalf("misrouted count: %v", err)
+	}
+	// Right (index, count) but a differently-spelled address list: the
+	// fingerprint disagrees, so the partitions would too — rejected.
+	other := mustMap(t, "elsewhere0:1", "elsewhere1:2", "elsewhere2:3")
+	wrong = shardClient(addr, other, index)
+	if _, _, err := wrong.Sets("ids", bobSlice, cfg); err == nil || !strings.Contains(err.Error(), "fingerprint") {
+		t.Fatalf("mismatched shard-list fingerprint accepted: %v", err)
+	}
+	// No shard coordinates against a sharded dataset.
+	if _, _, err := Dial(addr).Sets("ids", bobSlice, cfg); err == nil || !strings.Contains(err.Error(), "misrouted") {
+		t.Fatalf("shard-less session against sharded dataset: %v", err)
+	}
+	// Shard coordinates against an unsharded dataset.
+	if _, _, err := c.Sets("plain", bobSlice, cfg); err == nil || !strings.Contains(err.Error(), "misrouted") {
+		t.Fatalf("sharded session against unsharded dataset: %v", err)
+	}
+	// The correctly routed client still works after the rejections.
+	if _, _, err := c.Sets("ids", bobSlice, cfg); err != nil {
+		t.Fatalf("post-rejection routed session: %v", err)
+	}
+}
+
+// TestShardedSetsOfSetsHostServesOwnedSlice: child sets partition by
+// identity hash, and a shard session is byte-par with an in-process run over
+// the two owned slices.
+func TestShardedSetsOfSetsHostServesOwnedSlice(t *testing.T) {
+	m := mustMap(t, "a:1", "b:2", "c:3")
+	alice, bob := sosPair()
+	for index := 0; index < m.N(); index++ {
+		_, addr, _ := startServer(t, func(s *Server) {
+			if err := s.HostSetsOfSetsShard("docs", alice, m, index); err != nil {
+				t.Fatal(err)
+			}
+		})
+		aliceSlice := m.OwnedSets(index, alice)
+		bobSlice := m.OwnedSets(index, bob)
+		cfg := sosr.Config{Seed: uint64(21 + index), Protocol: sosr.ProtocolCascade, KnownDiff: 24}
+		want, err := sosr.ReconcileSetsOfSets(aliceSlice, bobSlice, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := shardClient(addr, m, index)
+		c.Timeout = 60 * time.Second
+		got, ns, err := c.SetsOfSets("docs", bobSlice, cfg)
+		if err != nil {
+			t.Fatalf("shard %d: %v", index, err)
+		}
+		if !reflect.DeepEqual(got.Recovered, want.Recovered) {
+			t.Fatalf("shard %d: recovered slice diverges from in-process run", index)
+		}
+		checkNetStats(t, ns, want.Stats)
+	}
+}
+
+// TestShardedUpdatesRouteToOwner: one logical mutation broadcast to every
+// shard server applies exactly the owned slice on each — non-owners stay
+// untouched (no version bump, caches warm).
+func TestShardedUpdatesRouteToOwner(t *testing.T) {
+	m := mustMap(t, "u0:1", "u1:2")
+	alice, bob := setPair()
+	type shardSrv struct {
+		srv  *Server
+		addr string
+	}
+	shards := make([]shardSrv, m.N())
+	for i := range shards {
+		i := i
+		srv, addr, _ := startServer(t, func(s *Server) {
+			if err := s.HostSetsShard("ids", alice, m, i); err != nil {
+				t.Fatal(err)
+			}
+		})
+		shards[i] = shardSrv{srv, addr}
+	}
+	// Pick one added element per shard so the broadcast touches both, plus a
+	// removal owned by whichever shard owns alice[0].
+	adds := []uint64{}
+	for x := uint64(50_000_000); len(adds) < m.N(); x++ {
+		if m.Owner(x) == len(adds) {
+			adds = append(adds, x)
+		}
+	}
+	removes := []uint64{alice[0]}
+	logical := setutil.ApplyDiff(alice, adds, removes)
+	for i, sh := range shards {
+		if err := sh.srv.UpdateSets("ids", adds, removes); err != nil {
+			t.Fatalf("shard %d broadcast update: %v", i, err)
+		}
+		if v, err := sh.srv.DatasetVersion("ids"); err != nil || v != 1 {
+			t.Fatalf("shard %d version %d (%v), want 1", i, v, err)
+		}
+		// A second broadcast owning nothing on this shard is a no-op.
+		other := adds[(i+1)%m.N()]
+		if err := sh.srv.UpdateSets("ids", nil, []uint64{other + 2}); err != nil {
+			t.Fatalf("shard %d no-op update: %v", i, err)
+		}
+		if m.Owner(other+2) != i {
+			if v, _ := sh.srv.DatasetVersion("ids"); v != 1 {
+				t.Fatalf("shard %d: update owning nothing bumped version to %d", i, v)
+			}
+		}
+	}
+	// Every shard now serves its slice of the updated logical set.
+	for i, sh := range shards {
+		c := shardClient(sh.addr, m, i)
+		c.Timeout = 30 * time.Second
+		bobSlice := setutil.Canonical(m.OwnedElems(i, bob))
+		got, _, err := c.Sets("ids", bobSlice, sosr.SetConfig{Seed: 31, KnownDiff: 24})
+		if err != nil {
+			t.Fatalf("shard %d session: %v", i, err)
+		}
+		if want := setutil.Canonical(m.OwnedElems(i, logical)); !reflect.DeepEqual(got.Recovered, want) {
+			t.Fatalf("shard %d serves a stale or misfiltered slice", i)
+		}
+	}
+}
+
+// TestShardedMultisetHostAndUpdate: multiset occurrences follow their element
+// value to one shard, and broadcast multiset updates route the same way.
+func TestShardedMultisetHostAndUpdate(t *testing.T) {
+	m := mustMap(t, "m0:1", "m1:2")
+	alice := []uint64{1, 1, 1, 2, 5, 5, 9, 9, 9, 9, 40}
+	bob := []uint64{1, 1, 2, 2, 5, 9, 9, 9, 9, 40, 41}
+	const index = 0
+	srv, addr, _ := startServer(t, func(s *Server) {
+		if err := s.HostMultisetShard("bag", alice, m, index); err != nil {
+			t.Fatal(err)
+		}
+	})
+	owned := func(ms []uint64) []uint64 { return m.OwnedElems(index, ms) }
+	wantRec, _, err := sosr.ReconcileMultisets(owned(alice), owned(bob), 16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := shardClient(addr, m, index)
+	c.Timeout = 30 * time.Second
+	got, _, err := c.Multiset("bag", owned(bob), 16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, wantRec) {
+		t.Fatalf("sharded multiset recovered %v, want %v", got, wantRec)
+	}
+	// Broadcast an update touching both shards; this shard applies only its
+	// owned occurrences.
+	adds := []uint64{}
+	for x := uint64(100); len(adds) < 2; x++ {
+		if m.Owner(x) == len(adds) {
+			adds = append(adds, x)
+		}
+	}
+	// A malformed broadcast is rejected on every shard, even one that does
+	// not own the bad element — no partial application across the fleet.
+	if err := srv.UpdateMultisets("bag", []uint64{adds[0], 1 << 50}, nil); err == nil {
+		t.Fatal("out-of-range element in a broadcast accepted by a non-owning shard")
+	}
+	if v, _ := srv.DatasetVersion("bag"); v != 0 {
+		t.Fatalf("rejected broadcast bumped version to %d", v)
+	}
+	if err := srv.UpdateMultisets("bag", adds, nil); err != nil {
+		t.Fatal(err)
+	}
+	updated := append(owned(alice), m.OwnedElems(index, adds)...)
+	wantRec2, _, err := sosr.ReconcileMultisets(updated, owned(bob), 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, _, err := c.Multiset("bag", owned(bob), 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got2, wantRec2) {
+		t.Fatalf("post-update sharded multiset recovered %v, want %v", got2, wantRec2)
+	}
+}

@@ -1,0 +1,58 @@
+package sosrshard
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"sosr"
+	"sosr/internal/workload"
+	"sosr/sosrnet"
+)
+
+// BenchmarkShardedReconcile measures whole fan-out reconciles per second
+// against a loopback sharded deployment (the hot-dataset regime: the
+// per-shard encode caches are warm after the first iteration).
+func BenchmarkShardedReconcile(b *testing.B) {
+	alice, bob := workload.PlantedSetsOfSets(17, 200, 10, 1<<32, 16)
+	for _, shards := range []int{1, 3} {
+		b.Run(fmt.Sprintf("%dshards", shards), func(b *testing.B) {
+			addrs := make([]string, shards)
+			servers := make([]*sosrnet.Server, shards)
+			for i := range servers {
+				ln, err := net.Listen("tcp", "127.0.0.1:0")
+				if err != nil {
+					b.Fatal(err)
+				}
+				servers[i] = sosrnet.NewServer()
+				addrs[i] = ln.Addr().String()
+				go servers[i].Serve(ln)
+				defer servers[i].Close()
+			}
+			co, err := NewCoordinator(addrs, servers)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := co.HostSetsOfSets("docs", alice); err != nil {
+				b.Fatal(err)
+			}
+			client, err := Dial(addrs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			client.Timeout = 60 * time.Second
+			cfg := sosr.Config{Seed: 7, Protocol: sosr.ProtocolCascade, KnownDiff: 32}
+			if _, _, err := client.SetsOfSets("docs", bob, cfg); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := client.SetsOfSets("docs", bob, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

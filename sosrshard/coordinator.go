@@ -1,0 +1,141 @@
+package sosrshard
+
+import (
+	"fmt"
+
+	"sosr/internal/setutil"
+	"sosr/internal/shardmap"
+	"sosr/sosrnet"
+)
+
+// Coordinator hosts logical datasets across the per-shard servers of one
+// deployment and routes live mutations to the owning shard(s). It drives
+// plain sosrnet.Server instances — typically one per process behind the
+// addresses the shard map is built over; in tests or a single-process
+// deployment they can all live in one process on separate listeners.
+//
+// Hosting hands every server the full logical dataset; each keeps exactly
+// the slice its shard owns (server-side ownership filtering is idempotent,
+// so coordinator-split and broadcast hosting agree). Updates are split by
+// ownership and sent only to the shards that own a piece. Mutations across
+// shards are not atomic: on error, shards earlier in index order may have
+// applied their slice while later ones have not — re-issue the mutation
+// (updates are idempotent per shard only if re-applied exactly, so prefer
+// fixing the input and retrying the failed shard).
+type Coordinator struct {
+	m       *shardmap.Map
+	servers []*sosrnet.Server
+}
+
+// NewCoordinator pairs shard identities (the deployment's dial addresses,
+// in configured order) with their servers: servers[i] hosts shard i.
+func NewCoordinator(ids []string, servers []*sosrnet.Server) (*Coordinator, error) {
+	m, err := shardmap.New(ids)
+	if err != nil {
+		return nil, err
+	}
+	if len(servers) != m.N() {
+		return nil, fmt.Errorf("sosrshard: %d servers for %d shards", len(servers), m.N())
+	}
+	for i, srv := range servers {
+		if srv == nil {
+			return nil, fmt.Errorf("sosrshard: nil server for shard %d", i)
+		}
+	}
+	return &Coordinator{m: m, servers: append([]*sosrnet.Server(nil), servers...)}, nil
+}
+
+// Map exposes the coordinator's shard map (shared; read-only).
+func (co *Coordinator) Map() *shardmap.Map { return co.m }
+
+// Server returns shard index's server.
+func (co *Coordinator) Server(index int) *sosrnet.Server { return co.servers[index] }
+
+// HostSets hosts a logical set dataset: every shard server keeps its owned
+// slice under the same name.
+func (co *Coordinator) HostSets(name string, elems []uint64) error {
+	for i, srv := range co.servers {
+		if err := srv.HostSetsShard(name, elems, co.m, i); err != nil {
+			return fmt.Errorf("sosrshard: shard %d (%s): %w", i, co.m.ID(i), err)
+		}
+	}
+	return nil
+}
+
+// HostMultiset hosts a logical multiset dataset; occurrences follow their
+// element value to one shard.
+func (co *Coordinator) HostMultiset(name string, elems []uint64) error {
+	for i, srv := range co.servers {
+		if err := srv.HostMultisetShard(name, elems, co.m, i); err != nil {
+			return fmt.Errorf("sosrshard: shard %d (%s): %w", i, co.m.ID(i), err)
+		}
+	}
+	return nil
+}
+
+// HostSetsOfSets hosts a logical sets-of-sets dataset; child sets follow
+// their canonical identity hash to one shard.
+func (co *Coordinator) HostSetsOfSets(name string, parent [][]uint64) error {
+	for i, srv := range co.servers {
+		if err := srv.HostSetsOfSetsShard(name, parent, co.m, i); err != nil {
+			return fmt.Errorf("sosrshard: shard %d (%s): %w", i, co.m.ID(i), err)
+		}
+	}
+	return nil
+}
+
+// UpdateSets routes a logical set mutation to the owning shards; shards
+// owning no part of it are not touched (their versions and caches stay).
+func (co *Coordinator) UpdateSets(name string, add, remove []uint64) error {
+	addParts := co.m.SplitElems(add)
+	rmParts := co.m.SplitElems(remove)
+	for i, srv := range co.servers {
+		if len(addParts[i]) == 0 && len(rmParts[i]) == 0 {
+			continue
+		}
+		if err := srv.UpdateSets(name, addParts[i], rmParts[i]); err != nil {
+			return fmt.Errorf("sosrshard: shard %d (%s): %w", i, co.m.ID(i), err)
+		}
+	}
+	return nil
+}
+
+// UpdateMultisets routes a logical multiset mutation (add/remove
+// occurrences) to the owning shards.
+func (co *Coordinator) UpdateMultisets(name string, add, remove []uint64) error {
+	addParts := co.m.SplitElems(add)
+	rmParts := co.m.SplitElems(remove)
+	for i, srv := range co.servers {
+		if len(addParts[i]) == 0 && len(rmParts[i]) == 0 {
+			continue
+		}
+		if err := srv.UpdateMultisets(name, addParts[i], rmParts[i]); err != nil {
+			return fmt.Errorf("sosrshard: shard %d (%s): %w", i, co.m.ID(i), err)
+		}
+	}
+	return nil
+}
+
+// UpdateSetsOfSets routes a logical sets-of-sets mutation to the shards
+// owning the touched child sets.
+func (co *Coordinator) UpdateSetsOfSets(name string, add, remove [][]uint64) error {
+	addParts := co.m.SplitSets(canonSets(add))
+	rmParts := co.m.SplitSets(canonSets(remove))
+	for i, srv := range co.servers {
+		if len(addParts[i]) == 0 && len(rmParts[i]) == 0 {
+			continue
+		}
+		if err := srv.UpdateSetsOfSets(name, addParts[i], rmParts[i]); err != nil {
+			return fmt.Errorf("sosrshard: shard %d (%s): %w", i, co.m.ID(i), err)
+		}
+	}
+	return nil
+}
+
+func canonSets(parent [][]uint64) [][]uint64 {
+	out := make([][]uint64, len(parent))
+	for i, cs := range parent {
+		out[i] = setutil.Canonical(cs)
+	}
+	return out
+}

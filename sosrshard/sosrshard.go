@@ -1,0 +1,271 @@
+// Package sosrshard partitions hosted datasets across multiple sosrd
+// instances and fans one logical reconciliation out over all of them.
+//
+// The sets-of-sets protocols of the paper decompose a parent set into
+// independent child-set reconciliations, which makes the workload
+// embarrassingly partitionable: a deterministic shard map
+// (internal/shardmap, rendezvous hashing) assigns every top-level element —
+// or every child-set identity — to exactly one shard, both parties compute
+// the assignment without communication, and each shard pair reconciles its
+// slice with the paper's communication bounds intact per shard.
+//
+// The two halves:
+//
+//   - Coordinator hosts a logical dataset across one sosrnet.Server per
+//     shard and routes live Update* mutations to the owning shard(s).
+//   - Client fans a reconcile out as concurrent sosrnet sessions against
+//     the shard servers, merges the recovered per-shard differences into a
+//     single result, and aggregates the per-shard byte accounting into one
+//     itemized Stats report (Σ shard protocol bytes + Σ shard framing ==
+//     total TCP bytes, the same parity the unsharded wire protocol keeps).
+//
+// Every session carries its shard coordinates in the hello; a server
+// hosting a different slice rejects the handshake (ErrMisrouted), so a
+// client configured with a wrong or reordered address list fails loudly
+// instead of quietly reconciling the wrong slice.
+package sosrshard
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"sosr"
+	"sosr/internal/hashing"
+	"sosr/internal/setutil"
+	"sosr/internal/shardmap"
+	"sosr/sosrnet"
+)
+
+// ShardStats itemizes one shard's share of a fanned-out reconciliation.
+type ShardStats struct {
+	// ID is the shard's identity (its dial address).
+	ID string
+	// Index is the shard's position in the configured shard list.
+	Index int
+	// Net is the full per-session accounting for this shard, protocol bytes
+	// and framing overhead separated exactly as for an unsharded session.
+	Net sosrnet.NetStats
+}
+
+// Stats aggregates a fanned-out reconciliation's communication: the sums
+// across shards plus the per-shard itemization. The parity invariant of the
+// unsharded wire protocol survives sharding: WireIn+WireOut ==
+// Protocol.TotalBytes + Overhead, and each summand is itself the sum of the
+// per-shard values.
+type Stats struct {
+	// Protocol sums the per-shard protocol stats — byte for byte what the
+	// in-process simulations of the per-shard slices report.
+	Protocol sosr.Stats
+	// WireIn / WireOut are total connection bytes across all shard sessions.
+	WireIn, WireOut int64
+	// Overhead is the summed framing + control-frame cost across shards.
+	Overhead int64
+	// Attempts sums protocol attempts across shards.
+	Attempts int
+	// Shards itemizes every shard session, in shard-index order.
+	Shards []ShardStats
+}
+
+func (st *Stats) add(index int, id string, ns *sosrnet.NetStats) {
+	st.Protocol.Rounds += ns.Protocol.Rounds
+	st.Protocol.TotalBytes += ns.Protocol.TotalBytes
+	st.Protocol.AliceBytes += ns.Protocol.AliceBytes
+	st.Protocol.BobBytes += ns.Protocol.BobBytes
+	st.Protocol.Messages += ns.Protocol.Messages
+	st.WireIn += ns.WireIn
+	st.WireOut += ns.WireOut
+	st.Overhead += ns.Overhead
+	st.Attempts += ns.Attempts
+	st.Shards = append(st.Shards, ShardStats{ID: id, Index: index, Net: *ns})
+}
+
+// Client reconciles local replicas against a sharded deployment: one
+// concurrent sosrnet session per shard, results merged. Methods are safe for
+// concurrent use.
+type Client struct {
+	// Timeout bounds each per-shard session (dial through close).
+	Timeout time.Duration
+	// MaxFrame bounds accepted frame payloads per session.
+	MaxFrame int
+
+	m *shardmap.Map
+}
+
+// Dial returns a client for the given shard addresses. The address list must
+// match the deployment's configured list — every server verifies its own
+// (index, count) against the session hello. No connection is made until a
+// reconcile method runs.
+func Dial(addrs []string) (*Client, error) {
+	m, err := shardmap.New(addrs)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{m: m}, nil
+}
+
+// Map exposes the client's shard map (shared; read-only).
+func (c *Client) Map() *shardmap.Map { return c.m }
+
+// client builds the per-shard session client carrying shard coordinates.
+func (c *Client) client(index int) *sosrnet.Client {
+	return &sosrnet.Client{
+		Addr:             c.m.ID(index),
+		Timeout:          c.Timeout,
+		MaxFrame:         c.MaxFrame,
+		ShardIndex:       index,
+		ShardCount:       c.m.N(),
+		ShardFingerprint: c.m.Fingerprint(),
+	}
+}
+
+// shardSeed derives the public-coin seed for one shard's session from the
+// logical seed and the shard identity, so distinct shards run independent
+// hash families and a reordered (but misroute-checked) list derives the same
+// per-identity seeds.
+func (c *Client) shardSeed(seed uint64, index int) uint64 {
+	return hashing.NewCoins(seed).Seed("shard/"+c.m.ID(index), c.m.N())
+}
+
+// fanOut runs fn for every shard concurrently and returns the first shard
+// error (annotated with the shard), or nil.
+func (c *Client) fanOut(fn func(index int) error) error {
+	n := c.m.N()
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("sosrshard: shard %d (%s): %w", i, c.m.ID(i), err)
+		}
+	}
+	return nil
+}
+
+// Sets reconciles a local set against the sharded hosted set `name`: the
+// local set splits by element ownership, every shard session recovers its
+// slice of the server-side set, and the merged result is exactly what an
+// unsharded reconcile of the whole set would recover. cfg applies per shard
+// (cfg.KnownDiff must bound the whole logical difference — any single shard
+// may own all of it).
+func (c *Client) Sets(name string, local []uint64, cfg sosr.SetConfig) (*sosr.SetResult, *Stats, error) {
+	parts := c.m.SplitElems(setutil.Canonical(local))
+	n := c.m.N()
+	results := make([]*sosr.SetResult, n)
+	nets := make([]*sosrnet.NetStats, n)
+	err := c.fanOut(func(i int) error {
+		sc := cfg
+		sc.Seed = c.shardSeed(cfg.Seed, i)
+		res, ns, err := c.client(i).Sets(name, parts[i], sc)
+		if err != nil {
+			return err
+		}
+		results[i], nets[i] = res, ns
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	merged := &sosr.SetResult{}
+	st := &Stats{}
+	for i := 0; i < n; i++ {
+		merged.Recovered = append(merged.Recovered, results[i].Recovered...)
+		merged.OnlyA = append(merged.OnlyA, results[i].OnlyA...)
+		merged.OnlyB = append(merged.OnlyB, results[i].OnlyB...)
+		st.add(i, c.m.ID(i), nets[i])
+	}
+	// Shards partition the element space, so the merged slices are disjoint;
+	// sorting restores the canonical order an unsharded run reports.
+	sortWords(merged.Recovered)
+	sortWords(merged.OnlyA)
+	sortWords(merged.OnlyB)
+	merged.Stats = st.Protocol
+	return merged, st, nil
+}
+
+// Multiset reconciles a local multiset against the sharded hosted multiset
+// `name`. Occurrences follow their element value to a shard (matching
+// Coordinator.HostMultiset), so each shard reconciles a complete sub-
+// multiset and the merged recovery is the whole logical multiset. diffBound
+// bounds the packed-set difference per shard; pass the logical bound.
+func (c *Client) Multiset(name string, local []uint64, diffBound int, seed uint64) ([]uint64, *Stats, error) {
+	parts := c.m.SplitElems(local)
+	n := c.m.N()
+	recs := make([][]uint64, n)
+	nets := make([]*sosrnet.NetStats, n)
+	err := c.fanOut(func(i int) error {
+		rec, ns, err := c.client(i).Multiset(name, parts[i], diffBound, c.shardSeed(seed, i))
+		if err != nil {
+			return err
+		}
+		recs[i], nets[i] = rec, ns
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	var merged []uint64
+	st := &Stats{}
+	for i := 0; i < n; i++ {
+		merged = append(merged, recs[i]...)
+		st.add(i, c.m.ID(i), nets[i])
+	}
+	sortWords(merged)
+	return merged, st, nil
+}
+
+// SetsOfSets reconciles a local parent set against the sharded hosted
+// sets-of-sets `name`: child sets split by identity ownership, every shard
+// recovers its slice of the server-side parent, and the merged
+// Recovered/Added/Removed (in canonical lexicographic child-set order) equal
+// an unsharded reconcile of the whole parent. cfg applies per shard;
+// cfg.KnownDiff must bound the whole logical difference.
+func (c *Client) SetsOfSets(name string, local [][]uint64, cfg sosr.Config) (*sosr.Result, *Stats, error) {
+	canon := make([][]uint64, len(local))
+	for i, cs := range local {
+		canon[i] = setutil.Canonical(cs)
+	}
+	parts := c.m.SplitSets(canon)
+	n := c.m.N()
+	results := make([]*sosr.Result, n)
+	nets := make([]*sosrnet.NetStats, n)
+	err := c.fanOut(func(i int) error {
+		sc := cfg
+		sc.Seed = c.shardSeed(cfg.Seed, i)
+		res, ns, err := c.client(i).SetsOfSets(name, parts[i], sc)
+		if err != nil {
+			return err
+		}
+		results[i], nets[i] = res, ns
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	merged := &sosr.Result{Protocol: results[0].Protocol}
+	st := &Stats{}
+	for i := 0; i < n; i++ {
+		merged.Recovered = append(merged.Recovered, results[i].Recovered...)
+		merged.Added = append(merged.Added, results[i].Added...)
+		merged.Removed = append(merged.Removed, results[i].Removed...)
+		st.add(i, c.m.ID(i), nets[i])
+	}
+	setutil.SortSets(merged.Recovered)
+	setutil.SortSets(merged.Added)
+	setutil.SortSets(merged.Removed)
+	merged.Stats = st.Protocol
+	merged.Attempts = st.Attempts
+	return merged, st, nil
+}
+
+func sortWords(xs []uint64) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}

@@ -1,0 +1,359 @@
+package sosrshard
+
+import (
+	"fmt"
+	"net"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sosr"
+	"sosr/internal/setutil"
+	"sosr/internal/workload"
+	"sosr/sosrnet"
+)
+
+// countingListener / countingConn give the tests an independent measurement
+// of the real TCP traffic per shard (the ground truth the aggregated Stats
+// must reproduce).
+type countingListener struct {
+	net.Listener
+	n atomic.Int64
+}
+
+func (l *countingListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return &countingConn{Conn: c, n: &l.n}, nil
+}
+
+type countingConn struct {
+	net.Conn
+	n *atomic.Int64
+}
+
+func (c *countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.n.Add(int64(n))
+	return n, err
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.n.Add(int64(n))
+	return n, err
+}
+
+// shardDeployment is a loopback sharded deployment: n servers on n counting
+// listeners, a coordinator over them, and a fan-out client.
+type shardDeployment struct {
+	co       *Coordinator
+	client   *Client
+	servers  []*sosrnet.Server
+	counters []*countingListener
+	sessions atomic.Int64 // finished server-side sessions (log lines)
+}
+
+func startShards(t *testing.T, n int) *shardDeployment {
+	t.Helper()
+	d := &shardDeployment{}
+	addrs := make([]string, n)
+	var serveWg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl := &countingListener{Listener: ln}
+		srv := sosrnet.NewServer()
+		srv.Logf = func(string, ...any) { d.sessions.Add(1) }
+		addrs[i] = ln.Addr().String()
+		d.servers = append(d.servers, srv)
+		d.counters = append(d.counters, cl)
+		serveWg.Add(1)
+		go func() { defer serveWg.Done(); srv.Serve(cl) }()
+	}
+	co, err := NewCoordinator(addrs, d.servers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := Dial(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client.Timeout = 60 * time.Second
+	d.co, d.client = co, client
+	t.Cleanup(func() {
+		for _, srv := range d.servers {
+			srv.Close()
+		}
+		serveWg.Wait()
+	})
+	return d
+}
+
+// waitSessions blocks until the servers have finished (logged) total
+// sessions, so the listener byte counters are final.
+func (d *shardDeployment) waitSessions(t *testing.T, total int64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for d.sessions.Load() < total {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d server sessions (have %d)", total, d.sessions.Load())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// checkAggregateParity verifies the itemized byte report: per shard, the
+// listener-measured TCP bytes equal that shard's protocol bytes plus its
+// framing overhead; in aggregate, total TCP bytes equal the summed Stats
+// plus summed framing. This is the acceptance invariant for sharding.
+func (d *shardDeployment) checkAggregateParity(t *testing.T, st *Stats) {
+	t.Helper()
+	if len(st.Shards) != len(d.counters) {
+		t.Fatalf("itemized report covers %d shards, deployment has %d", len(st.Shards), len(d.counters))
+	}
+	var tcpTotal int64
+	for i, sh := range st.Shards {
+		tcp := d.counters[i].n.Load()
+		tcpTotal += tcp
+		if want := int64(sh.Net.Protocol.TotalBytes) + sh.Net.Overhead; tcp != want {
+			t.Fatalf("shard %d: TCP bytes %d != protocol %d + framing %d",
+				i, tcp, sh.Net.Protocol.TotalBytes, sh.Net.Overhead)
+		}
+		if sh.Net.WireIn+sh.Net.WireOut != int64(sh.Net.Protocol.TotalBytes)+sh.Net.Overhead {
+			t.Fatalf("shard %d: wire accounting inconsistent: %+v", i, sh.Net)
+		}
+	}
+	if want := int64(st.Protocol.TotalBytes) + st.Overhead; tcpTotal != want {
+		t.Fatalf("total TCP bytes %d != Σ shard protocol %d + Σ framing %d",
+			tcpTotal, st.Protocol.TotalBytes, st.Overhead)
+	}
+	if st.WireIn+st.WireOut != int64(st.Protocol.TotalBytes)+st.Overhead {
+		t.Fatalf("aggregate wire accounting inconsistent: %+v", st)
+	}
+}
+
+// TestShardedSetsOfSetsMatchesSingleInstance is the acceptance test: a
+// 3-shard loopback fan-out recovers the identical difference set as a
+// single-instance reconcile of the same data, and the measured TCP bytes
+// equal the sum of the per-shard Stats plus itemized framing overhead.
+func TestShardedSetsOfSetsMatchesSingleInstance(t *testing.T) {
+	alice, bob := workload.PlantedSetsOfSets(17, 60, 8, 1<<32, 12)
+	d := startShards(t, 3)
+	if err := d.co.HostSetsOfSets("docs", alice); err != nil {
+		t.Fatal(err)
+	}
+	cfg := sosr.Config{Seed: 77, Protocol: sosr.ProtocolCascade, KnownDiff: 24}
+	want, err := sosr.ReconcileSetsOfSets(alice, bob, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, st, err := d.client.SetsOfSets("docs", bob, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !setutil.EqualSetOfSets(got.Recovered, want.Recovered) {
+		t.Fatal("sharded fan-out recovered a different parent set than the single-instance run")
+	}
+	wantAdded, wantRemoved := setutil.CloneSets(want.Added), setutil.CloneSets(want.Removed)
+	setutil.SortSets(wantAdded)
+	setutil.SortSets(wantRemoved)
+	if !reflect.DeepEqual(got.Added, wantAdded) || !reflect.DeepEqual(got.Removed, wantRemoved) {
+		t.Fatalf("sharded difference set diverges:\n  added   %v vs %v\n  removed %v vs %v",
+			got.Added, wantAdded, got.Removed, wantRemoved)
+	}
+	// Every shard actually participated (the planted instance is large
+	// enough that rendezvous hashing spreads children over all three).
+	for i, sh := range st.Shards {
+		if sh.Net.Protocol.TotalBytes == 0 {
+			t.Fatalf("shard %d moved no protocol bytes", i)
+		}
+	}
+	d.waitSessions(t, 3)
+	d.checkAggregateParity(t, st)
+}
+
+// TestShardedSetsMatchesSingleInstance: same acceptance shape for plain sets.
+func TestShardedSetsMatchesSingleInstance(t *testing.T) {
+	alice := make([]uint64, 0, 800)
+	for x := uint64(100); x < 900; x++ {
+		alice = append(alice, x)
+	}
+	bob := append(append([]uint64{}, alice[5:]...), 10_000, 10_001, 10_002, 10_003, 10_004)
+	d := startShards(t, 3)
+	if err := d.co.HostSets("ids", alice); err != nil {
+		t.Fatal(err)
+	}
+	cfg := sosr.SetConfig{Seed: 7, KnownDiff: 16}
+	want, err := sosr.ReconcileSets(alice, bob, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, st, err := d.client.Sets("ids", bob, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Recovered, setutil.Canonical(alice)) {
+		t.Fatal("sharded fan-out did not recover the full logical set")
+	}
+	if !reflect.DeepEqual(got.OnlyA, want.OnlyA) || !reflect.DeepEqual(got.OnlyB, want.OnlyB) {
+		t.Fatal("sharded difference set diverges from the single-instance run")
+	}
+	d.waitSessions(t, 3)
+	d.checkAggregateParity(t, st)
+}
+
+// TestShardedMultisetMatchesSingleInstance: multiset fan-out merges to the
+// same recovery as the unsharded reconcile.
+func TestShardedMultisetMatchesSingleInstance(t *testing.T) {
+	alice := []uint64{1, 1, 1, 2, 5, 5, 9, 9, 9, 9, 40, 41, 41, 77, 78, 79, 80, 80}
+	bob := []uint64{1, 1, 2, 2, 5, 9, 9, 9, 9, 40, 41, 42, 77, 78, 79, 80}
+	d := startShards(t, 3)
+	if err := d.co.HostMultiset("bag", alice); err != nil {
+		t.Fatal(err)
+	}
+	wantRec, _, err := sosr.ReconcileMultisets(alice, bob, 24, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, st, err := d.client.Multiset("bag", bob, 24, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, wantRec) {
+		t.Fatalf("sharded multiset recovered %v, want %v", got, wantRec)
+	}
+	d.waitSessions(t, 3)
+	d.checkAggregateParity(t, st)
+}
+
+// TestCoordinatorUpdatesVisibleToFanOut: a logical mutation routed by the
+// coordinator is what the next fan-out reconcile sees — identical to a
+// single-instance run over the updated logical dataset.
+func TestCoordinatorUpdatesVisibleToFanOut(t *testing.T) {
+	alice, bob := workload.PlantedSetsOfSets(23, 40, 8, 1<<32, 10)
+	d := startShards(t, 3)
+	if err := d.co.HostSetsOfSets("docs", alice); err != nil {
+		t.Fatal(err)
+	}
+	added := []uint64{90_000_001, 90_000_005}
+	removed := alice[7]
+	if err := d.co.UpdateSetsOfSets("docs", [][]uint64{added}, [][]uint64{removed}); err != nil {
+		t.Fatal(err)
+	}
+	updated := make([][]uint64, 0, len(alice))
+	for i, cs := range alice {
+		if i != 7 {
+			updated = append(updated, cs)
+		}
+	}
+	updated = append(updated, setutil.Canonical(added))
+	cfg := sosr.Config{Seed: 5, Protocol: sosr.ProtocolCascade, KnownDiff: 24}
+	want, err := sosr.ReconcileSetsOfSets(updated, bob, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := d.client.SetsOfSets("docs", bob, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !setutil.EqualSetOfSets(got.Recovered, want.Recovered) {
+		t.Fatal("fan-out after coordinator update diverges from single-instance run over updated data")
+	}
+	// Only the shards owning a touched child were bumped.
+	bumped := map[int]bool{
+		d.co.Map().OwnerOfSet(setutil.Canonical(added)): true,
+		d.co.Map().OwnerOfSet(removed):                  true,
+	}
+	for i, srv := range d.servers {
+		v, err := srv.DatasetVersion("docs")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bumped[i] && v == 0 {
+			t.Fatalf("owning shard %d was not updated", i)
+		}
+		if !bumped[i] && v != 0 {
+			t.Fatalf("non-owning shard %d version bumped to %d", i, v)
+		}
+	}
+}
+
+// TestMisconfiguredAddressOrderRejected: a client whose address list is
+// ordered differently from the deployment's sends mismatched shard indices
+// and must fail the handshake, never reconcile a wrong slice.
+func TestMisconfiguredAddressOrderRejected(t *testing.T) {
+	alice, bob := workload.PlantedSetsOfSets(29, 30, 6, 1<<32, 8)
+	d := startShards(t, 3)
+	if err := d.co.HostSetsOfSets("docs", alice); err != nil {
+		t.Fatal(err)
+	}
+	addrs := d.client.Map().IDs()
+	reversed := []string{addrs[2], addrs[1], addrs[0]}
+	wrong, err := Dial(reversed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong.Timeout = 30 * time.Second
+	if _, _, err := wrong.SetsOfSets("docs", bob, sosr.Config{Seed: 1, Protocol: sosr.ProtocolCascade, KnownDiff: 24}); err == nil {
+		t.Fatal("reordered address list reconciled against misrouted shards")
+	} else if !strings.Contains(err.Error(), "misrouted") {
+		t.Fatalf("want a misroute handshake failure, got: %v", err)
+	}
+}
+
+func TestDialRejectsBadAddressLists(t *testing.T) {
+	if _, err := Dial(nil); err == nil {
+		t.Fatal("empty address list accepted")
+	}
+	if _, err := Dial([]string{"a:1", "a:1"}); err == nil {
+		t.Fatal("duplicate address accepted")
+	}
+	if _, err := NewCoordinator([]string{"a:1", "b:2"}, []*sosrnet.Server{sosrnet.NewServer()}); err == nil {
+		t.Fatal("server/shard count mismatch accepted")
+	}
+}
+
+// TestConcurrentFanOuts: several logical reconciles in flight at once across
+// the same deployment (run under -race in CI).
+func TestConcurrentFanOuts(t *testing.T) {
+	alice, bob := workload.PlantedSetsOfSets(31, 40, 8, 1<<32, 10)
+	d := startShards(t, 3)
+	if err := d.co.HostSetsOfSets("docs", alice); err != nil {
+		t.Fatal(err)
+	}
+	want, err := sosr.ReconcileSetsOfSets(alice, bob, sosr.Config{Seed: 0, Protocol: sosr.ProtocolCascade, KnownDiff: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cfg := sosr.Config{Seed: uint64(w), Protocol: sosr.ProtocolCascade, KnownDiff: 24}
+			got, _, err := d.client.SetsOfSets("docs", bob, cfg)
+			if err != nil {
+				errs <- fmt.Errorf("worker %d: %w", w, err)
+				return
+			}
+			if !setutil.EqualSetOfSets(got.Recovered, want.Recovered) {
+				errs <- fmt.Errorf("worker %d: wrong recovery", w)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
