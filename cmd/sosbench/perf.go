@@ -19,6 +19,7 @@ import (
 	"sosr/internal/graphrecon"
 	"sosr/internal/hashing"
 	"sosr/internal/iblt"
+	"sosr/internal/obs"
 	"sosr/internal/prng"
 	"sosr/internal/setrecon"
 	"sosr/internal/workload"
@@ -41,6 +42,23 @@ type perfBench struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	// SessionsPerSec is set only for the net throughput rows.
 	SessionsPerSec float64 `json:"sessions_per_sec,omitempty"`
+	// P50Ms/P95Ms/P99Ms are per-session latency quantiles (server-side "done"
+	// stage), read from the obs histograms; set only for the net rows.
+	P50Ms float64 `json:"p50_ms,omitempty"`
+	P95Ms float64 `json:"p95_ms,omitempty"`
+	P99Ms float64 `json:"p99_ms,omitempty"`
+}
+
+// sessionQuantiles fills the latency-quantile columns from a registry's
+// whole-session stage histogram (merged across all servers sharing reg).
+func (pb *perfBench) sessionQuantiles(reg *obs.Registry) {
+	h := reg.GetHistogram("sosr_stage_seconds", "done")
+	if h == nil || h.Count() == 0 {
+		return
+	}
+	pb.P50Ms = h.Quantile(0.50) * 1000
+	pb.P95Ms = h.Quantile(0.95) * 1000
+	pb.P99Ms = h.Quantile(0.99) * 1000
 }
 
 // perfReport is the top-level JSON document.
@@ -246,6 +264,7 @@ func perfJSON(w io.Writer) error {
 // dataset (the hot-dataset regime the server-side encode cache targets).
 func netSessions(alice, bob [][]uint64, clients int, dur time.Duration) (perfBench, error) {
 	srv := sosrnet.NewServer()
+	srv.Obs = obs.NewRegistry()
 	if err := srv.HostSetsOfSets("docs", alice); err != nil {
 		return perfBench{}, err
 	}
@@ -289,12 +308,14 @@ func netSessions(alice, bob [][]uint64, clients int, dur time.Duration) (perfBen
 		return perfBench{}, fmt.Errorf("net/sessions-%d: %d sessions failed", clients, failed.Load())
 	}
 	n := sessions.Load()
-	return perfBench{
+	row := perfBench{
 		Name:           fmt.Sprintf("net/sessions-%dclients", clients),
 		N:              int(n),
 		NsPerOp:        float64(elapsed.Nanoseconds()) / float64(max(n, 1)),
 		SessionsPerSec: float64(n) / elapsed.Seconds(),
-	}, nil
+	}
+	row.sessionQuantiles(srv.Registry())
+	return row, nil
 }
 
 // shardedSessions measures whole fan-out reconciles/sec: `clients`
@@ -303,12 +324,17 @@ func netSessions(alice, bob [][]uint64, clients int, dur time.Duration) (perfBen
 func shardedSessions(alice, bob [][]uint64, shards, clients int, dur time.Duration) (perfBench, error) {
 	addrs := make([]string, shards)
 	servers := make([]*sosrnet.Server, shards)
+	// One registry across all shard servers: family registration is
+	// idempotent, so the per-shard-session "done" histograms merge and the
+	// quantiles cover every shard session of the run.
+	reg := obs.NewRegistry()
 	for i := range servers {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			return perfBench{}, err
 		}
 		servers[i] = sosrnet.NewServer()
+		servers[i].Obs = reg
 		addrs[i] = ln.Addr().String()
 		go servers[i].Serve(ln)
 		defer servers[i].Close()
@@ -353,12 +379,14 @@ func shardedSessions(alice, bob [][]uint64, shards, clients int, dur time.Durati
 		return perfBench{}, fmt.Errorf("shard/reconcile-%dshards-%dclients: %d fan-outs failed", shards, clients, failed.Load())
 	}
 	n := fanouts.Load()
-	return perfBench{
+	row := perfBench{
 		Name:           fmt.Sprintf("shard/reconcile-%dshards-%dclients", shards, clients),
 		N:              int(n),
 		NsPerOp:        float64(elapsed.Nanoseconds()) / float64(max(n, 1)),
 		SessionsPerSec: float64(n) / elapsed.Seconds(),
-	}, nil
+	}
+	row.sessionQuantiles(reg)
+	return row, nil
 }
 
 // runPerfJSON is the -json entry point.

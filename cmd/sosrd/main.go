@@ -10,6 +10,15 @@
 //	sosrd sync  -addr host:7075 -name docs -kind sos -protocol cascade -d 24 -replica replica.json
 //	sosrd demo                                    # serve+sync in one process over loopback
 //
+// Serving subcommands take an optional private ops listener exposing
+// Prometheus metrics, health, dataset summaries, and pprof:
+//
+//	sosrd serve -addr :7075 -demo -ops-addr 127.0.0.1:7076
+//	curl http://127.0.0.1:7076/metrics
+//
+// Logs are structured (log/slog, text format, stderr); -log-level picks the
+// threshold (debug, info, warn, error).
+//
 // Sharded deployments partition every hosted dataset across N instances with
 // a deterministic shard map over the address list (internal/shardmap): each
 // shard-serve instance keeps only the slice it owns, and shard-sync fans one
@@ -42,8 +51,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -57,8 +67,26 @@ import (
 	"sosr/sosrshard"
 )
 
+// logger is the process-wide structured logger; serving subcommands replace
+// it once -log-level is parsed.
+var logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+// fatal logs an Error record and exits.
+func fatal(msg string, args ...any) {
+	logger.Error(msg, args...)
+	os.Exit(1)
+}
+
+// setLogLevel rebuilds the process logger at the named threshold.
+func setLogLevel(level string) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		fatal("bad -log-level", "level", level, "err", err.Error())
+	}
+	logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lv}))
+}
+
 func main() {
-	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
 	if len(os.Args) < 2 {
 		usage()
 	}
@@ -80,9 +108,9 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  sosrd serve       -addr :7075 [-demo | -data file.json]
+  sosrd serve       -addr :7075 [-demo | -data file.json] [-ops-addr 127.0.0.1:7076] [-log-level info]
   sosrd sync        -addr host:7075 -name NAME -kind set|multiset|sos [flags]
-  sosrd shard-serve -shards a:7075,b:7075,... -index I [-listen addr] [-demo | -data file.json]
+  sosrd shard-serve -shards a:7075,b:7075,... -index I [-listen addr] [-demo | -data file.json] [-ops-addr addr] [-log-level info]
   sosrd shard-sync  -shards a:7075,b:7075,... -name NAME -kind set|multiset|sos [flags]
   sosrd demo`)
 	os.Exit(2)
@@ -138,51 +166,74 @@ func cmdServe(args []string) {
 	addr := fs.String("addr", ":7075", "listen address")
 	data := fs.String("data", "", "datasets JSON file")
 	demo := fs.Bool("demo", false, "host a generated demo sets-of-sets dataset named \"docs\"")
+	opsAddr := fs.String("ops-addr", "", "private ops listener address (/metrics, /healthz, /datasets, /debug/pprof); empty disables")
+	logLevel := fs.String("log-level", "info", "log threshold: debug, info, warn, error")
 	fs.Parse(args)
+	setLogLevel(*logLevel)
 
 	srv := sosrnet.NewServer()
-	srv.Logf = log.Printf
+	srv.Logger = logger
 	switch {
 	case *demo:
 		hosted, _ := demoData()
 		if err := hostDataset(srv, hosted); err != nil {
-			log.Fatal(err)
+			fatal("hosting demo dataset failed", "err", err.Error())
 		}
-		log.Printf("hosting demo dataset %q (%d child sets)", hosted.Name, len(hosted.Parents))
+		logger.Info("hosting demo dataset", "dataset", hosted.Name, "children", len(hosted.Parents))
 	case *data != "":
 		sets, err := loadDatasets(*data)
 		if err != nil {
-			log.Fatal(err)
+			fatal("loading datasets failed", "err", err.Error())
 		}
 		for _, d := range sets {
 			if err := hostDataset(srv, d); err != nil {
-				log.Fatal(err)
+				fatal("hosting dataset failed", "dataset", d.Name, "err", err.Error())
 			}
-			log.Printf("hosting %q kind=%s", d.Name, d.Kind)
+			logger.Info("hosting dataset", "dataset", d.Name, "kind", d.Kind)
 		}
 	default:
-		log.Fatal("serve: pass -demo or -data file.json")
+		fatal("serve: pass -demo or -data file.json")
 	}
 
+	startOps(srv, *opsAddr)
 	runServer(srv, *addr)
+}
+
+// startOps serves the server's operational HTTP surface on its own listener.
+// The ops port must stay private — pprof and dataset listings are not for the
+// reconciliation peers.
+func startOps(srv *sosrnet.Server, addr string) {
+	if addr == "" {
+		return
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatal("ops listen failed", "addr", addr, "err", err.Error())
+	}
+	logger.Info("ops endpoint listening", "addr", ln.Addr().String())
+	go func() {
+		if err := http.Serve(ln, srv.OpsHandler()); err != nil {
+			logger.Error("ops server stopped", "err", err.Error())
+		}
+	}()
 }
 
 // runServer listens on addr and serves until SIGINT/SIGTERM.
 func runServer(srv *sosrnet.Server, addr string) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		log.Fatal(err)
+		fatal("listen failed", "addr", addr, "err", err.Error())
 	}
-	log.Printf("sosrd listening on %s", ln.Addr())
+	logger.Info("sosrd listening", "addr", ln.Addr().String())
 	go func() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
-		log.Print("shutting down")
+		logger.Info("shutting down")
 		srv.Close()
 	}()
 	if err := srv.Serve(ln); err != nil {
-		log.Fatal(err)
+		fatal("serve failed", "err", err.Error())
 	}
 }
 
@@ -196,18 +247,21 @@ func cmdShardServe(args []string) {
 	listen := fs.String("listen", "", "listen address override (default: the -shards entry at -index)")
 	data := fs.String("data", "", "datasets JSON file (full logical datasets; the owned slice is kept)")
 	demo := fs.Bool("demo", false, "host the generated demo dataset's owned slice")
+	opsAddr := fs.String("ops-addr", "", "private ops listener address (/metrics, /healthz, /datasets, /debug/pprof); empty disables")
+	logLevel := fs.String("log-level", "info", "log threshold: debug, info, warn, error")
 	fs.Parse(args)
+	setLogLevel(*logLevel)
 
 	addrs := splitShards(*shards)
 	m, err := shardmap.New(addrs)
 	if err != nil {
-		log.Fatal(err)
+		fatal("bad -shards list", "err", err.Error())
 	}
 	if *index < 0 || *index >= m.N() {
-		log.Fatalf("shard-serve: -index %d outside [0, %d)", *index, m.N())
+		fatal("shard-serve: -index outside shard list", "index", *index, "shards", m.N())
 	}
 	srv := sosrnet.NewServer()
-	srv.Logf = log.Printf
+	srv.Logger = logger.With("shard", *index)
 	var sets []fileDataset
 	switch {
 	case *demo:
@@ -215,21 +269,22 @@ func cmdShardServe(args []string) {
 		sets = []fileDataset{hosted}
 	case *data != "":
 		if sets, err = loadDatasets(*data); err != nil {
-			log.Fatal(err)
+			fatal("loading datasets failed", "err", err.Error())
 		}
 	default:
-		log.Fatal("shard-serve: pass -demo or -data file.json")
+		fatal("shard-serve: pass -demo or -data file.json")
 	}
 	for _, d := range sets {
 		if err := hostDatasetShard(srv, d, m, *index); err != nil {
-			log.Fatal(err)
+			fatal("hosting shard failed", "dataset", d.Name, "err", err.Error())
 		}
-		log.Printf("hosting %q kind=%s as shard %d/%d", d.Name, d.Kind, *index, m.N())
+		logger.Info("hosting dataset shard", "dataset", d.Name, "kind", d.Kind, "shard", *index, "shards", m.N())
 	}
 	addr := addrs[*index]
 	if *listen != "" {
 		addr = *listen
 	}
+	startOps(srv, *opsAddr)
 	runServer(srv, addr)
 }
 
@@ -271,11 +326,11 @@ func cmdShardSync(args []string) {
 	d := fs.Int("d", 0, "known difference bound for the whole logical dataset (0 = unknown-d variant)")
 	fs.Parse(args)
 	if *name == "" {
-		log.Fatal("shard-sync: -name is required")
+		fatal("shard-sync: -name is required")
 	}
 	c, err := sosrshard.Dial(splitShards(*shards))
 	if err != nil {
-		log.Fatal(err)
+		fatal("dialing shards failed", "err", err.Error())
 	}
 
 	var local fileDataset
@@ -285,7 +340,7 @@ func cmdShardSync(args []string) {
 	case *replica != "":
 		sets, err := loadDatasets(*replica)
 		if err != nil {
-			log.Fatal(err)
+			fatal("loading replica failed", "err", err.Error())
 		}
 		for _, ds := range sets {
 			if ds.Name == *name {
@@ -293,17 +348,17 @@ func cmdShardSync(args []string) {
 			}
 		}
 		if local.Name == "" {
-			log.Fatalf("shard-sync: replica file has no dataset %q", *name)
+			fatal("shard-sync: replica file has no such dataset", "dataset", *name)
 		}
 	default:
-		log.Fatal("shard-sync: pass -replica file.json or -demo-replica")
+		fatal("shard-sync: pass -replica file.json or -demo-replica")
 	}
 
 	switch sosrnet.Kind(*kind) {
 	case sosrnet.KindSet:
 		res, st, err := c.Sets(*name, local.Elems, sosr.SetConfig{Seed: *seed, KnownDiff: *d})
 		if err != nil {
-			log.Fatal(err)
+			fatal("shard-sync failed", "err", err.Error())
 		}
 		fmt.Printf("recovered %d elements (+%d -%d) across %d shards\n",
 			len(res.Recovered), len(res.OnlyA), len(res.OnlyB), c.Map().N())
@@ -311,7 +366,7 @@ func cmdShardSync(args []string) {
 	case sosrnet.KindMultiset:
 		rec, st, err := c.Multiset(*name, local.Elems, *d, *seed)
 		if err != nil {
-			log.Fatal(err)
+			fatal("shard-sync failed", "err", err.Error())
 		}
 		fmt.Printf("recovered %d multiset elements across %d shards\n", len(rec), c.Map().N())
 		printShardStats(st)
@@ -320,13 +375,13 @@ func cmdShardSync(args []string) {
 			Seed: *seed, Protocol: parseProtocolFlag(*protocol), KnownDiff: *d,
 		})
 		if err != nil {
-			log.Fatal(err)
+			fatal("shard-sync failed", "err", err.Error())
 		}
 		fmt.Printf("recovered %d child sets (+%d -%d) via %v across %d shards\n",
 			len(res.Recovered), len(res.Added), len(res.Removed), res.Protocol, c.Map().N())
 		printShardStats(st)
 	default:
-		log.Fatalf("shard-sync: unsupported kind %q", *kind)
+		fatal("shard-sync: unsupported kind", "kind", *kind)
 	}
 }
 
@@ -354,7 +409,7 @@ func cmdSync(args []string) {
 	charpoly := fs.Bool("charpoly", false, "set kind: use the characteristic-polynomial protocol")
 	fs.Parse(args)
 	if *name == "" {
-		log.Fatal("sync: -name is required")
+		fatal("sync: -name is required")
 	}
 
 	var local fileDataset
@@ -364,7 +419,7 @@ func cmdSync(args []string) {
 	case *replica != "":
 		sets, err := loadDatasets(*replica)
 		if err != nil {
-			log.Fatal(err)
+			fatal("loading replica failed", "err", err.Error())
 		}
 		for _, ds := range sets {
 			if ds.Name == *name {
@@ -372,10 +427,10 @@ func cmdSync(args []string) {
 			}
 		}
 		if local.Name == "" {
-			log.Fatalf("sync: replica file has no dataset %q", *name)
+			fatal("sync: replica file has no such dataset", "dataset", *name)
 		}
 	default:
-		log.Fatal("sync: pass -replica file.json or -demo-replica")
+		fatal("sync: pass -replica file.json or -demo-replica")
 	}
 
 	c := sosrnet.Dial(*addr)
@@ -383,14 +438,14 @@ func cmdSync(args []string) {
 	case sosrnet.KindSet:
 		res, ns, err := c.Sets(*name, local.Elems, sosr.SetConfig{Seed: *seed, KnownDiff: *d, UseCharPoly: *charpoly})
 		if err != nil {
-			log.Fatal(err)
+			fatal("sync failed", "err", err.Error())
 		}
 		fmt.Printf("recovered %d elements (+%d -%d)\n", len(res.Recovered), len(res.OnlyA), len(res.OnlyB))
 		printStats(ns)
 	case sosrnet.KindMultiset:
 		rec, ns, err := c.Multiset(*name, local.Elems, *d, *seed)
 		if err != nil {
-			log.Fatal(err)
+			fatal("sync failed", "err", err.Error())
 		}
 		fmt.Printf("recovered %d multiset elements\n", len(rec))
 		printStats(ns)
@@ -399,13 +454,13 @@ func cmdSync(args []string) {
 			Seed: *seed, Protocol: parseProtocolFlag(*protocol), KnownDiff: *d,
 		})
 		if err != nil {
-			log.Fatal(err)
+			fatal("sync failed", "err", err.Error())
 		}
 		fmt.Printf("recovered %d child sets (+%d -%d) via %v in %d attempt(s)\n",
 			len(res.Recovered), len(res.Added), len(res.Removed), res.Protocol, res.Attempts)
 		printStats(ns)
 	default:
-		log.Fatalf("sync: unsupported kind %q", *kind)
+		fatal("sync: unsupported kind", "kind", *kind)
 	}
 }
 
@@ -436,13 +491,13 @@ func printStats(ns *sosrnet.NetStats) {
 func cmdDemo() {
 	hosted, replica := demoData()
 	srv := sosrnet.NewServer()
-	srv.Logf = log.Printf
+	srv.Logger = logger
 	if err := hostDataset(srv, hosted); err != nil {
-		log.Fatal(err)
+		fatal("hosting demo dataset failed", "err", err.Error())
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		log.Fatal(err)
+		fatal("listen failed", "err", err.Error())
 	}
 	go srv.Serve(ln)
 	defer func() {
@@ -452,16 +507,16 @@ func cmdDemo() {
 		defer cancel()
 		srv.Shutdown(ctx)
 	}()
-	log.Printf("demo server on %s", ln.Addr())
+	logger.Info("demo server listening", "addr", ln.Addr().String())
 
 	cfg := sosr.Config{Seed: 42, Protocol: sosr.ProtocolCascade, KnownDiff: 40}
 	want, err := sosr.ReconcileSetsOfSets(hosted.Parents, replica.Parents, cfg)
 	if err != nil {
-		log.Fatal(err)
+		fatal("in-process reconcile failed", "err", err.Error())
 	}
 	res, ns, err := sosrnet.Dial(ln.Addr().String()).SetsOfSets("docs", replica.Parents, cfg)
 	if err != nil {
-		log.Fatal(err)
+		fatal("demo sync failed", "err", err.Error())
 	}
 	fmt.Printf("recovered %d child sets (+%d added, -%d removed) over TCP\n",
 		len(res.Recovered), len(res.Added), len(res.Removed))
@@ -471,6 +526,6 @@ func cmdDemo() {
 	if want.Stats.TotalBytes == ns.Protocol.TotalBytes {
 		fmt.Println("byte-exact: two real machines exchange exactly the bytes the paper's accounting predicts")
 	} else {
-		log.Fatal("wire payload diverged from the in-process prediction")
+		fatal("wire payload diverged from the in-process prediction")
 	}
 }

@@ -12,7 +12,9 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
+	"os"
 	"time"
 
 	"sosr"
@@ -41,7 +43,7 @@ func main() {
 
 	// --- Server machine ---
 	srv := sosrnet.NewServer()
-	srv.Logf = log.Printf
+	srv.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	if err := srv.HostSetsOfSets("corpus", corpus); err != nil {
 		log.Fatal(err)
 	}

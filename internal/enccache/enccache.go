@@ -44,11 +44,12 @@ type Key struct {
 
 // Stats reports cache effectiveness counters.
 type Stats struct {
-	Hits    uint64 // lookups served from memory
-	Misses  uint64 // lookups that ran the builder
-	Shared  uint64 // lookups that piggybacked on an in-flight build
-	Entries int    // resident entries
-	Bytes   int64  // resident payload bytes
+	Hits      uint64 // lookups served from memory
+	Misses    uint64 // lookups that ran the builder
+	Shared    uint64 // lookups that piggybacked on an in-flight build
+	Evictions uint64 // entries pushed out by the byte bound
+	Entries   int    // resident entries
+	Bytes     int64  // resident payload bytes
 }
 
 // Cache is a byte-bounded LRU of encoded payloads, safe for concurrent use.
@@ -58,10 +59,11 @@ type Cache struct {
 	bytes    int64
 	ll       *list.List // front = most recently used; values are *entry
 	entries  map[Key]*list.Element
-	inflight map[Key]*call
-	hits     uint64
-	misses   uint64
-	shared   uint64
+	inflight  map[Key]*call
+	hits      uint64
+	misses    uint64
+	shared    uint64
+	evictions uint64
 }
 
 // entry is one resident value: a payload of one or more frames. Single-frame
@@ -240,6 +242,7 @@ func (c *Cache) insert(k Key, frames [][]byte) {
 		c.ll.Remove(tail)
 		delete(c.entries, e.key)
 		c.bytes -= e.size
+		c.evictions++
 	}
 }
 
@@ -248,10 +251,11 @@ func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return Stats{
-		Hits:    c.hits,
-		Misses:  c.misses,
-		Shared:  c.shared,
-		Entries: c.ll.Len(),
-		Bytes:   c.bytes,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Shared:    c.shared,
+		Evictions: c.evictions,
+		Entries:   c.ll.Len(),
+		Bytes:     c.bytes,
 	}
 }

@@ -69,6 +69,9 @@ func TestLRUEvictionBoundsBytes(t *testing.T) {
 	if st.Entries == 0 || st.Entries > 10 {
 		t.Fatalf("entries %d outside (0, 10]", st.Entries)
 	}
+	if st.Evictions == 0 {
+		t.Fatalf("bound enforced but no evictions counted: %+v", st)
+	}
 	// Most recent keys survive; the earliest were evicted.
 	if _, ok := c.Get(key(49)); !ok {
 		t.Fatal("most recent entry evicted")
@@ -303,6 +306,9 @@ func TestCompositeEvictionUsesTotalSize(t *testing.T) {
 	st = c.Stats()
 	if st.Bytes > 100 || st.Entries != 2 {
 		t.Fatalf("eviction did not bound composite bytes: %+v", st)
+	}
+	if st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1: %+v", st.Evictions, st)
 	}
 	if _, ok := c.GetFrames(mk(0)); ok {
 		t.Fatal("LRU tail survived eviction")

@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4): for every family a
+// HELP and TYPE line followed by its samples, families sorted by name and
+// series sorted by label values, so successive scrapes of unchanged state
+// are byte-identical (and the golden test can assert the exact output).
+
+// WriteProm renders every family to w in Prometheus text format.
+func (r *Registry) WriteProm(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	fams := make([]*family, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.Unlock()
+	for _, f := range fams {
+		if err := f.write(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handler returns an http.Handler serving the registry as /metrics content.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteProm(w)
+	})
+}
+
+// sample is one flattened exposition row before rendering.
+type sample struct {
+	lvs []string
+	v   float64
+	h   *histSnapshot
+}
+
+// histSnapshot is a consistent-enough copy of one histogram's state.
+type histSnapshot struct {
+	upper  []float64
+	counts []uint64
+	count  uint64
+	sum    float64
+}
+
+func (f *family) write(w io.Writer) error {
+	// Snapshot children under the read lock, collectors outside any lock.
+	f.mu.RLock()
+	samples := make([]sample, 0, len(f.children))
+	for _, s := range f.children {
+		smp := sample{lvs: s.lvs}
+		switch f.kind {
+		case kindCounter:
+			smp.v = float64(s.c.Value())
+		case kindGauge:
+			smp.v = s.g.Value()
+		case kindHistogram:
+			hs := &histSnapshot{upper: s.h.upper, counts: make([]uint64, len(s.h.counts))}
+			for i := range s.h.counts {
+				hs.counts[i] = s.h.counts[i].Load()
+			}
+			hs.count = s.h.Count()
+			hs.sum = s.h.Sum()
+			smp.h = hs
+		}
+		samples = append(samples, smp)
+	}
+	collectors := f.collect
+	f.mu.RUnlock()
+	for _, collect := range collectors {
+		collect(func(v float64, labelValues ...string) {
+			if len(labelValues) != len(f.labels) {
+				panic(fmt.Sprintf("obs: %s collector emitted %d label values, want %d", f.name, len(labelValues), len(f.labels)))
+			}
+			samples = append(samples, sample{lvs: append([]string(nil), labelValues...), v: v})
+		})
+	}
+	sort.Slice(samples, func(i, j int) bool {
+		return seriesKey(samples[i].lvs) < seriesKey(samples[j].lvs)
+	})
+
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, escapeHelp(f.help), f.name, f.kind); err != nil {
+		return err
+	}
+	for _, s := range samples {
+		if s.h != nil {
+			if err := writeHistogram(w, f, s.lvs, s.h); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %s\n", f.name, renderLabels(f.labels, s.lvs, "", ""), formatValue(s.v)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, f *family, lvs []string, h *histSnapshot) error {
+	var cum uint64
+	for i, ub := range h.upper {
+		cum += h.counts[i]
+		le := strconv.FormatFloat(ub, 'g', -1, 64)
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, renderLabels(f.labels, lvs, "le", le), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, renderLabels(f.labels, lvs, "le", "+Inf"), h.count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, renderLabels(f.labels, lvs, "", ""), formatValue(h.sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, renderLabels(f.labels, lvs, "", ""), h.count)
+	return err
+}
+
+// renderLabels renders {k="v",...}, appending an extra pair (the histogram
+// le) when extraK is non-empty; no labels at all renders as "".
+func renderLabels(labels, lvs []string, extraK, extraV string) string {
+	if len(labels) == 0 && extraK == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(lvs[i]))
+		b.WriteByte('"')
+	}
+	if extraK != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraK)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(extraV))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\"", `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -3,6 +3,7 @@ package wire
 import (
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"sosr/internal/transport"
 )
@@ -26,9 +27,13 @@ type Endpoint struct {
 	rec        *transport.Session
 	maxPayload int
 	err        error
-	bytesIn    int64
-	bytesOut   int64
-	wbuf       []byte // reusable frame-encode scratch (SendFrame)
+	// bytesIn/bytesOut are atomic so an observer (metrics collector, server
+	// log) can read a live session's byte totals without racing the session
+	// goroutine; they are the single source of wire-byte truth — every
+	// other report (NetStats, session logs, /metrics) derives from them.
+	bytesIn  atomic.Int64
+	bytesOut atomic.Int64
+	wbuf     []byte // reusable frame-encode scratch (SendFrame)
 }
 
 // maxRetainedWriteBuf caps the scratch kept between frames; a single huge
@@ -73,7 +78,15 @@ func (e *Endpoint) fail(err error) error {
 
 // WireBytes returns the total bytes read from and written to the connection,
 // framing included.
-func (e *Endpoint) WireBytes() (in, out int64) { return e.bytesIn, e.bytesOut }
+func (e *Endpoint) WireBytes() (in, out int64) { return e.bytesIn.Load(), e.bytesOut.Load() }
+
+// BytesRead returns the total connection bytes read, framing included. Safe
+// to call concurrently with the session goroutine.
+func (e *Endpoint) BytesRead() int64 { return e.bytesIn.Load() }
+
+// BytesWritten returns the total connection bytes written, framing included.
+// Safe to call concurrently with the session goroutine.
+func (e *Endpoint) BytesWritten() int64 { return e.bytesOut.Load() }
 
 // SendFrame writes a labeled frame from the local party, recording protocol
 // frames in the stats mirror. The frame is encoded into a per-endpoint
@@ -96,7 +109,7 @@ func (e *Endpoint) SendFrame(label string, payload []byte) error {
 		e.wbuf = nil
 	}
 	n, err := e.rw.Write(buf)
-	e.bytesOut += int64(n)
+	e.bytesOut.Add(int64(n))
 	if err != nil {
 		return e.fail(err)
 	}
@@ -113,7 +126,7 @@ func (e *Endpoint) RecvFrame() (label string, payload []byte, err error) {
 		return "", nil, e.err
 	}
 	label, payload, n, err := ReadFrame(e.rw, e.maxPayload)
-	e.bytesIn += int64(n)
+	e.bytesIn.Add(int64(n))
 	if err != nil {
 		return "", nil, e.fail(err)
 	}

@@ -3,6 +3,7 @@ package sosrnet
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"sosr/internal/core"
 	"sosr/internal/enccache"
@@ -75,30 +76,44 @@ func (s *Server) CacheStats() enccache.Stats {
 }
 
 // cachedMsg memoizes a seed+bound-keyed payload whose builder cannot fail
-// (set IBLTs, charpoly evaluations, multiround round 1).
+// (set IBLTs, charpoly evaluations, multiround round 1). Builder runs — the
+// cache misses that actually encode — are observed into the encode stage
+// histogram, so the metric reflects real work, not replayed bytes.
 func (s *Server) cachedMsg(view dsView, proto string, seed uint64, d int, build func() []byte) []byte {
+	timed := func() []byte {
+		t0 := time.Now()
+		body := build()
+		s.observeEncode(t0)
+		return body
+	}
 	cache := s.encCache()
 	if cache == nil {
-		return build()
+		return timed()
 	}
 	body, _ := cache.GetOrCompute(enccache.Key{
 		Dataset: view.name, Version: view.version, Proto: proto, Seed: seed, D: d,
-	}, func() ([]byte, error) { return build(), nil })
+	}, func() ([]byte, error) { return timed(), nil })
 	return body
 }
 
 // cachedFrames memoizes a composite (multi-frame) payload whose builder may
 // fail (graph and forest Alice sides, which emit signature + edge/meta frames
 // from one encode pass). extra pins builder inputs with no dedicated key
-// field.
+// field. Builder runs are observed into the encode stage histogram.
 func (s *Server) cachedFrames(view dsView, proto string, seed uint64, d int, extra string, build func() ([][]byte, error)) ([][]byte, error) {
+	timed := func() ([][]byte, error) {
+		t0 := time.Now()
+		frames, err := build()
+		s.observeEncode(t0)
+		return frames, err
+	}
 	cache := s.encCache()
 	if cache == nil {
-		return build()
+		return timed()
 	}
 	return cache.GetOrComputeFrames(enccache.Key{
 		Dataset: view.name, Version: view.version, Proto: proto, Seed: seed, D: d, Extra: extra,
-	}, build)
+	}, timed)
 }
 
 // sosProtoName maps a digest kind to its cache-key protocol name.
@@ -119,14 +134,20 @@ func sosProtoName(kind core.DigestKind) string {
 func (s *Server) sosAliceMsg(view dsView, kind core.DigestKind, coins hashing.Coins, p core.Params, d, dHat int) ([]byte, error) {
 	cache := s.encCache()
 	if cache == nil {
-		return core.AliceMsg(kind, coins, view.sos, p, d, dHat)
+		t0 := time.Now()
+		body, err := core.AliceMsg(kind, coins, view.sos, p, d, dHat)
+		s.observeEncode(t0)
+		return body, err
 	}
 	k := enccache.Key{
 		Dataset: view.name, Version: view.version, Proto: sosProtoName(kind),
 		Seed: coins.Master(), S: p.S, H: p.H, U: p.U, D: d, DHat: dHat,
 	}
 	return cache.GetOrCompute(k, func() ([]byte, error) {
-		return view.ds.oneRoundBody(kind, coins, view, p, d, dHat)
+		t0 := time.Now()
+		body, err := view.ds.oneRoundBody(kind, coins, view, p, d, dHat)
+		s.observeEncode(t0)
+		return body, err
 	})
 }
 

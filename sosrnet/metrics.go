@@ -1,0 +1,146 @@
+package sosrnet
+
+import (
+	"strconv"
+	"time"
+
+	"sosr/internal/obs"
+)
+
+// Metric names exported by a Server's registry. Session counters and stage
+// histograms are written on the session path; cache and dataset series are
+// collectors, computed at scrape time from state that already has an owner
+// and a lock.
+//
+//	sosr_sessions_started_total{kind}          sessions past a valid handshake
+//	sosr_sessions_total{kind,proto,status}     finished sessions (ok|error|client_failed)
+//	sosr_handshake_rejects_total{reason}       sessions dropped before serving
+//	sosr_sessions_active                       sessions currently on a goroutine
+//	sosr_wire_bytes_total{proto,dir}           connection bytes, framing included
+//	sosr_protocol_bytes_total{proto,party}     protocol-frame payload bytes
+//	sosr_stage_seconds{stage}                  hello|encode|transfer|done latency
+//	sosr_enccache_events_total{event}          hit|miss|shared|evict
+//	sosr_enccache_bytes / sosr_enccache_entries
+//	sosr_dataset_version{dataset,shard}        copy-on-write version counter
+//	sosr_dataset_items{dataset,shard}          elements/children/edges/nodes hosted
+type serverMetrics struct {
+	started  *obs.CounterVec
+	sessions *obs.CounterVec
+	rejects  *obs.CounterVec
+	wire     *obs.CounterVec
+	protoB   *obs.CounterVec
+	stage    *obs.HistogramVec
+	active   *obs.Gauge
+
+	// Hot stage children, resolved once so the session path is an atomic add.
+	stageHello    *obs.Histogram
+	stageEncode   *obs.Histogram
+	stageTransfer *obs.Histogram
+	stageDone     *obs.Histogram
+}
+
+// Handshake-reject reasons (sosr_handshake_rejects_total{reason=...}).
+const (
+	rejectHelloTimeout   = "hello_timeout"
+	rejectHelloIO        = "hello_io"
+	rejectMalformed      = "malformed"
+	rejectVersion        = "version"
+	rejectBound          = "bound"
+	rejectUnknownDataset = "unknown_dataset"
+	rejectMisroute       = "misroute"
+)
+
+// metrics lazily registers the server's families on its registry (creating a
+// private registry when the caller did not supply one). Registration is
+// idempotent at the obs layer, so several servers may share one Registry —
+// their series merge, which is exactly what in-process shard instances want
+// when one scrape should cover the whole logical dataset. Never called with
+// s.mu held: registration takes registry locks that collectors may invert.
+func (s *Server) metrics() *serverMetrics {
+	s.obsOnce.Do(func() {
+		if s.Obs == nil {
+			s.Obs = obs.NewRegistry()
+		}
+		r := s.Obs
+		m := &serverMetrics{
+			started: r.Counter("sosr_sessions_started_total",
+				"Sessions that presented a valid handshake, by dataset kind.", "kind"),
+			sessions: r.Counter("sosr_sessions_total",
+				"Finished sessions by dataset kind, protocol variant, and outcome.", "kind", "proto", "status"),
+			rejects: r.Counter("sosr_handshake_rejects_total",
+				"Sessions dropped before serving, by rejection reason.", "reason"),
+			wire: r.Counter("sosr_wire_bytes_total",
+				"Connection bytes moved, framing included, by protocol variant and direction.", "proto", "dir"),
+			protoB: r.Counter("sosr_protocol_bytes_total",
+				"Protocol-frame payload bytes by variant and sending party.", "proto", "party"),
+			stage: r.Histogram("sosr_stage_seconds",
+				"Session latency by stage: hello (accept to validated handshake), encode (payload builds), transfer (serving), done (whole session).",
+				nil, "stage"),
+			active: r.Gauge("sosr_sessions_active",
+				"Sessions currently holding a goroutine.").With(),
+		}
+		m.stageHello = m.stage.With("hello")
+		m.stageEncode = m.stage.With("encode")
+		m.stageTransfer = m.stage.With("transfer")
+		m.stageDone = m.stage.With("done")
+
+		r.CounterFunc("sosr_enccache_events_total",
+			"Encoding-cache lookups by outcome: hit, miss, shared (coalesced onto an in-flight build), evict.",
+			[]string{"event"}, func(emit func(v float64, lvs ...string)) {
+				st := s.CacheStats()
+				emit(float64(st.Hits), "hit")
+				emit(float64(st.Misses), "miss")
+				emit(float64(st.Shared), "shared")
+				emit(float64(st.Evictions), "evict")
+			})
+		r.GaugeFunc("sosr_enccache_bytes", "Resident encoding-cache payload bytes.",
+			nil, func(emit func(v float64, lvs ...string)) {
+				emit(float64(s.CacheStats().Bytes))
+			})
+		r.GaugeFunc("sosr_enccache_entries", "Resident encoding-cache entries.",
+			nil, func(emit func(v float64, lvs ...string)) {
+				emit(float64(s.CacheStats().Entries))
+			})
+		r.GaugeFunc("sosr_dataset_version",
+			"Current copy-on-write version of each hosted dataset (0 until the first update).",
+			[]string{"dataset", "shard"}, func(emit func(v float64, lvs ...string)) {
+				for _, di := range s.Datasets() {
+					emit(float64(di.Version), di.Name, shardLabel(di.ShardCount, di.ShardIndex))
+				}
+			})
+		r.GaugeFunc("sosr_dataset_items",
+			"Hosted size of each dataset: elements, child sets, edges, or nodes by kind.",
+			[]string{"dataset", "shard"}, func(emit func(v float64, lvs ...string)) {
+				for _, di := range s.Datasets() {
+					emit(float64(di.Items), di.Name, shardLabel(di.ShardCount, di.ShardIndex))
+				}
+			})
+		s.met = m
+	})
+	return s.met
+}
+
+// shardLabel renders the shard label value: the shard index for sharded
+// datasets, empty for unsharded ones.
+func shardLabel(count, index int) string {
+	if count == 0 {
+		return ""
+	}
+	return strconv.Itoa(index)
+}
+
+// Registry returns the server's metrics registry, creating one (and
+// registering every family) on first use. Expose it via OpsHandler, or mount
+// Registry().Handler() on your own mux. Assign a shared registry to Obs
+// before the first session to merge several servers into one scrape.
+func (s *Server) Registry() *obs.Registry {
+	s.metrics()
+	return s.Obs
+}
+
+// observeEncode records one payload build into the encode stage. The
+// receiver is resolved lazily so builders that run before the first session
+// (none today) would still be counted.
+func (s *Server) observeEncode(start time.Time) {
+	s.metrics().stageEncode.Observe(time.Since(start).Seconds())
+}

@@ -5,9 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"reflect"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -18,6 +18,18 @@ import (
 	"sosr/internal/wire"
 	"sosr/internal/workload"
 )
+
+// hookHandler is a slog.Handler that funnels every record to a callback;
+// tests hang assertions off the server's stable log messages ("session
+// finished", "handshake rejected").
+type hookHandler struct {
+	fn func(r slog.Record)
+}
+
+func (h hookHandler) Enabled(context.Context, slog.Level) bool      { return true }
+func (h hookHandler) Handle(_ context.Context, r slog.Record) error { h.fn(r); return nil }
+func (h hookHandler) WithAttrs([]slog.Attr) slog.Handler            { return h }
+func (h hookHandler) WithGroup(string) slog.Handler                 { return h }
 
 // countingListener wraps accepted connections with byte counters, giving the
 // tests an independent measurement of the real TCP traffic.
@@ -255,12 +267,15 @@ func endToEndWireBytes(t *testing.T, cacheBytes int64) {
 		if err := s.HostSetsOfSets("docs", alice); err != nil {
 			t.Fatal(err)
 		}
-		s.Logf = func(string, ...any) {
+		s.Logger = slog.New(hookHandler{fn: func(r slog.Record) {
+			if r.Message != "session finished" {
+				return
+			}
 			select {
 			case sessionDone <- struct{}{}:
 			default:
 			}
-		}
+		}})
 	})
 	cfg := sosr.Config{Seed: 77, Protocol: sosr.ProtocolCascade, KnownDiff: 24}
 	want, err := sosr.ReconcileSetsOfSets(alice, bob, cfg)
@@ -425,14 +440,32 @@ func TestConcurrentSessions(t *testing.T) {
 	sosAlice, sosBob := sosPair()
 	fa := sosr.RandomForest(100, 0.2, 91)
 	fb := sosr.PerturbForest(fa, 2, 92)
+	type sessionRecord struct {
+		status  string
+		wireIn  int64
+		hasWire bool
+	}
 	var logMu sync.Mutex
-	var logged []string
+	var logged []sessionRecord
 	srv, addr, _ := startServer(t, func(s *Server) {
-		s.Logf = func(format string, args ...any) {
+		s.Logger = slog.New(hookHandler{fn: func(r slog.Record) {
+			if r.Message != "session finished" {
+				return
+			}
+			var rec sessionRecord
+			r.Attrs(func(a slog.Attr) bool {
+				switch a.Key {
+				case "status":
+					rec.status = a.Value.String()
+				case "wire_in":
+					rec.wireIn, rec.hasWire = a.Value.Int64(), true
+				}
+				return true
+			})
 			logMu.Lock()
-			logged = append(logged, fmt.Sprintf(format, args...))
+			logged = append(logged, rec)
 			logMu.Unlock()
-		}
+		}})
 		if err := s.HostSets("ids", setAlice); err != nil {
 			t.Fatal(err)
 		}
@@ -486,11 +519,11 @@ func TestConcurrentSessions(t *testing.T) {
 	logMu.Lock()
 	defer logMu.Unlock()
 	if len(logged) != workers*3 {
-		t.Fatalf("expected %d session log lines, got %d", workers*3, len(logged))
+		t.Fatalf("expected %d session log records, got %d", workers*3, len(logged))
 	}
-	for _, line := range logged {
-		if !strings.Contains(line, "ok") || !strings.Contains(line, "wire_in=") {
-			t.Fatalf("malformed session log line: %s", line)
+	for _, rec := range logged {
+		if rec.status != "ok" || !rec.hasWire || rec.wireIn <= 0 {
+			t.Fatalf("malformed session record: %+v", rec)
 		}
 	}
 }

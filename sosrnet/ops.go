@@ -1,0 +1,86 @@
+package sosrnet
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+)
+
+// DatasetInfo is one hosted dataset's read-only operational summary, as
+// served by the ops endpoint's /datasets.
+type DatasetInfo struct {
+	Name    string `json:"name"`
+	Kind    Kind   `json:"kind"`
+	Version uint64 `json:"version"`
+	// Items is the hosted size in the kind's natural unit: elements for
+	// sets/multisets, child sets for sets-of-sets, edges for graphs, nodes
+	// for forests.
+	Items      int `json:"items"`
+	ShardIndex int `json:"shard_index,omitempty"`
+	ShardCount int `json:"shard_count,omitempty"`
+}
+
+// Datasets returns a snapshot of every hosted dataset, sorted by name.
+func (s *Server) Datasets() []DatasetInfo {
+	s.mu.Lock()
+	byName := make(map[string]*dataset, len(s.datasets))
+	for name, ds := range s.datasets {
+		byName[name] = ds
+	}
+	s.mu.Unlock()
+	out := make([]DatasetInfo, 0, len(byName))
+	for name, ds := range byName {
+		di := DatasetInfo{Name: name, Kind: ds.kind}
+		if ds.shard != nil {
+			di.ShardIndex = ds.shard.index
+			di.ShardCount = ds.shard.m.N()
+		}
+		ds.mu.Lock()
+		di.Version = ds.version
+		switch ds.kind {
+		case KindSet, KindMultiset:
+			di.Items = len(ds.set)
+		case KindSetsOfSets:
+			di.Items = len(ds.sos)
+		case KindGraph:
+			di.Items = ds.g.EdgeCount()
+		case KindForest:
+			di.Items = len(ds.f.Parent)
+		}
+		ds.mu.Unlock()
+		out = append(out, di)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// OpsHandler returns the server's operational HTTP surface, meant for a
+// private listener (sosrd's -ops-addr), never the reconciliation port:
+//
+//	/metrics        Prometheus text exposition of Registry()
+//	/healthz        liveness ("ok")
+//	/datasets       read-only JSON dataset summary
+//	/debug/pprof/   the standard runtime profiles
+func (s *Server) OpsHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", s.Registry().Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/datasets", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(s.Datasets())
+	})
+	// The default-mux pprof registrations are skipped by using a private mux;
+	// wire the handlers in explicitly.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

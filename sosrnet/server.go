@@ -5,8 +5,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sosr"
@@ -16,6 +18,7 @@ import (
 	"sosr/internal/graph"
 	"sosr/internal/graphrecon"
 	"sosr/internal/hashing"
+	"sosr/internal/obs"
 	"sosr/internal/setrecon"
 	"sosr/internal/setutil"
 	"sosr/internal/shardmap"
@@ -37,9 +40,18 @@ import (
 // and patch the live one-round digests incrementally via
 // core.IncrementalDigest instead of forcing a full re-encode.
 type Server struct {
-	// Logf, when non-nil, receives one line per finished session carrying
-	// both parties' stats. Safe for concurrent use by sessions.
-	Logf func(format string, args ...any)
+	// Logger, when non-nil, receives structured session logs: one Info
+	// "session finished" record per served session (session ID, remote
+	// address, dataset, protocol, byte totals, duration), one Warn
+	// "handshake rejected" per dropped handshake, and an Error
+	// "session panic" should a session goroutine panic. Nil discards all
+	// logging. Must be safe for concurrent use (slog loggers are).
+	Logger *slog.Logger
+	// Obs, when set before the first session (or Registry call), is the
+	// metrics registry the server instruments itself into. Nil means a
+	// private registry, created lazily — read it with Registry(). Several
+	// servers may share one registry; their series merge.
+	Obs *obs.Registry
 	// MaxFrame bounds accepted frame payloads (0 = wire.DefaultMaxPayload).
 	MaxFrame int
 	// MaxBound caps every client-supplied size and difference bound before
@@ -73,6 +85,13 @@ type Server struct {
 	wg       sync.WaitGroup
 	cache    *enccache.Cache
 	cacheOff bool
+
+	// obsOnce guards lazy metric registration (see metrics.go); sid numbers
+	// sessions for log correlation. Neither is touched under s.mu —
+	// registration takes registry locks whose collectors take s.mu.
+	obsOnce sync.Once
+	met     *serverMetrics
+	sid     atomic.Uint64
 }
 
 // shardState pins a hosted dataset to one shard of a partitioned logical
@@ -219,10 +238,15 @@ func (s *Server) checkHello(h *helloMsg) error {
 	return nil
 }
 
-func (s *Server) logf(format string, args ...any) {
-	if s.Logf != nil {
-		s.Logf(format, args...)
+// discardLogger swallows records when no Logger is configured, keeping every
+// log call site unconditional.
+var discardLogger = slog.New(slog.DiscardHandler)
+
+func (s *Server) logger() *slog.Logger {
+	if s.Logger != nil {
+		return s.Logger
 	}
+	return discardLogger
 }
 
 func (s *Server) host(name string, ds *dataset) error {
@@ -408,7 +432,8 @@ func (s *Server) Serve(ln net.Listener) error {
 			}()
 			defer func() {
 				if r := recover(); r != nil {
-					s.logf("session %s: panic: %v", conn.RemoteAddr(), r)
+					s.logger().Error("session panic",
+						"remote", conn.RemoteAddr().String(), "panic", fmt.Sprint(r))
 				}
 			}()
 			s.handle(conn)
@@ -470,9 +495,21 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
+// reject counts and logs a session dropped before serving.
+func (s *Server) reject(sid uint64, remote, reason string, err error) {
+	s.metrics().rejects.With(reason).Inc()
+	s.logger().Warn("handshake rejected",
+		"sid", sid, "remote", remote, "reason", reason, "err", err.Error())
+}
+
 // handle runs one session.
 func (s *Server) handle(conn net.Conn) {
 	start := time.Now()
+	m := s.metrics()
+	m.active.Add(1)
+	defer m.active.Add(-1)
+	sid := s.sid.Add(1)
+	remote := conn.RemoteAddr().String()
 	timeout := s.SessionTimeout
 	if timeout == 0 {
 		timeout = DefaultSessionTimeout
@@ -494,7 +531,12 @@ func (s *Server) handle(conn net.Conn) {
 	ep.SetMaxPayload(s.MaxFrame)
 	payload, err := ep.RecvExpect(lblHello)
 	if err != nil {
-		s.logf("session %s: handshake: %v", conn.RemoteAddr(), err)
+		reason := rejectHelloIO
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			reason = rejectHelloTimeout
+		}
+		s.reject(sid, remote, reason, err)
 		return
 	}
 	// Handshake complete: restore the session-wide read deadline.
@@ -507,58 +549,92 @@ func (s *Server) handle(conn net.Conn) {
 	}
 	var h helloMsg
 	if err := json.Unmarshal(payload, &h); err != nil {
-		sendErrorFrame(ep, fmt.Errorf("malformed hello: %v", err))
+		err = fmt.Errorf("malformed hello: %v", err)
+		sendErrorFrame(ep, err)
+		s.reject(sid, remote, rejectMalformed, err)
 		return
 	}
 	if h.V != protoVersion {
-		sendErrorFrame(ep, fmt.Errorf("protocol version %d unsupported (want %d)", h.V, protoVersion))
+		err := fmt.Errorf("protocol version %d unsupported (want %d)", h.V, protoVersion)
+		sendErrorFrame(ep, err)
+		s.reject(sid, remote, rejectVersion, err)
 		return
 	}
 	if err := s.checkHello(&h); err != nil {
 		sendErrorFrame(ep, err)
+		s.reject(sid, remote, rejectBound, err)
 		return
 	}
 	ds, err := s.lookup(h.Dataset, h.Kind)
 	if err != nil {
 		sendErrorFrame(ep, err)
+		s.reject(sid, remote, rejectUnknownDataset, err)
 		return
 	}
 	if err := ds.checkRoute(&h); err != nil {
 		sendErrorFrame(ep, err)
+		s.reject(sid, remote, rejectMisroute, err)
 		return
 	}
+	m.stageHello.Observe(time.Since(start).Seconds())
+	m.started.With(string(h.Kind)).Inc()
 	view := ds.view(h.Dataset)
 	coins := hashing.NewCoins(h.Seed)
+	serveStart := time.Now()
 	var done *doneMsg
-	var detail string
+	proto, detail := "unknown", ""
 	switch h.Kind {
 	case KindSet, KindMultiset:
-		done, detail, err = s.serveSet(ep, coins, view, &h)
+		done, proto, detail, err = s.serveSet(ep, coins, view, &h)
 	case KindSetsOfSets:
-		done, detail, err = s.serveSOS(ep, coins, view, &h)
+		done, proto, detail, err = s.serveSOS(ep, coins, view, &h)
 	case KindGraph:
-		done, detail, err = s.serveGraph(ep, coins, view, &h)
+		done, proto, detail, err = s.serveGraph(ep, coins, view, &h)
 	case KindForest:
-		done, detail, err = s.serveForest(ep, coins, view, &h)
+		done, proto, detail, err = s.serveForest(ep, coins, view, &h)
 	default:
 		err = fmt.Errorf("%w: kind %q", ErrUnsupported, h.Kind)
 		sendErrorFrame(ep, err)
 	}
+	m.stageTransfer.Observe(time.Since(serveStart).Seconds())
+	dur := time.Since(start)
+	m.stageDone.Observe(dur.Seconds())
 	st := ep.Stats()
-	in, out := ep.WireBytes()
+	in, out := ep.BytesRead(), ep.BytesWritten()
+	m.wire.With(proto, "in").Add(uint64(in))
+	m.wire.With(proto, "out").Add(uint64(out))
+	m.protoB.With(proto, "alice").Add(uint64(st.AliceBytes))
+	m.protoB.With(proto, "bob").Add(uint64(st.BobBytes))
 	status := "ok"
 	switch {
 	case err != nil:
-		status = fmt.Sprintf("error(%v)", err)
+		status = "error"
 	case done != nil && !done.OK:
-		status = fmt.Sprintf("client-failed(%s)", done.Error)
+		status = "client_failed"
 	}
-	clientView := "-"
+	m.sessions.With(string(h.Kind), proto, status).Inc()
+	args := []any{
+		"sid", sid, "remote", remote,
+		"dataset", h.Dataset, "kind", string(h.Kind), "proto", proto, "status", status,
+		"rounds", st.Rounds, "proto_bytes", st.TotalBytes,
+		"wire_in", in, "wire_out", out,
+		"dur", dur.Round(time.Microsecond).String(),
+	}
+	if detail != "" {
+		args = append(args, "detail", detail)
+	}
+	if err != nil {
+		args = append(args, "err", err.Error())
+	}
 	if done != nil {
-		clientView = fmt.Sprintf("rounds=%d bytes=%d msgs=%d attempts=%d", done.Rounds, done.Bytes, done.Messages, done.Attempts)
+		args = append(args,
+			"client_rounds", done.Rounds, "client_bytes", done.Bytes,
+			"client_msgs", done.Messages, "attempts", done.Attempts)
+		if !done.OK {
+			args = append(args, "client_err", done.Error)
+		}
 	}
-	s.logf("session %s: dataset=%q kind=%s %s %s server={%v} client={%s} wire_in=%d wire_out=%d dur=%s",
-		conn.RemoteAddr(), h.Dataset, h.Kind, detail, status, st, clientView, in, out, time.Since(start).Round(time.Microsecond))
+	s.logger().Info("session finished", args...)
 }
 
 // accept sends the resolved parameters.
@@ -587,16 +663,17 @@ func parseDone(payload []byte) (*doneMsg, error) {
 
 // ---- set / multiset ----
 
-func (s *Server) serveSet(ep *wire.Endpoint, coins hashing.Coins, view dsView, h *helloMsg) (*doneMsg, string, error) {
+func (s *Server) serveSet(ep *wire.Endpoint, coins hashing.Coins, view dsView, h *helloMsg) (*doneMsg, string, string, error) {
 	alice := view.set
 	variant := "iblt"
+	detail := fmt.Sprintf("d=%d", h.D)
 	switch {
 	case h.CharPoly:
 		variant = "charpoly"
 		if h.D <= 0 {
 			err := errors.New("charpoly requires a positive difference bound")
 			sendErrorFrame(ep, err)
-			return nil, variant, err
+			return nil, variant, detail, err
 		}
 		// Encoding costs O(n·d) field evaluations before any byte is sent;
 		// bound the work by the hosted set, not just MaxBound — a difference
@@ -604,13 +681,13 @@ func (s *Server) serveSet(ep *wire.Endpoint, coins hashing.Coins, view dsView, h
 		if limit := 4*len(alice) + 1024; h.D > limit {
 			err := fmt.Errorf("%w: charpoly bound %d exceeds work limit %d for this dataset (use the IBLT variant)", ErrUnsupported, h.D, limit)
 			sendErrorFrame(ep, err)
-			return nil, variant, err
+			return nil, variant, detail, err
 		}
 	case h.D <= 0:
 		variant = "iblt-unknown"
 	}
 	if err := s.accept(ep, &acceptMsg{Kind: h.Kind, D: h.D}); err != nil {
-		return nil, variant, err
+		return nil, variant, detail, err
 	}
 	switch variant {
 	case "charpoly":
@@ -619,34 +696,34 @@ func (s *Server) serveSet(ep *wire.Endpoint, coins hashing.Coins, view dsView, h
 			return setrecon.EncodeCharPoly(alice, h.D+1)
 		})
 		if err := ep.SendFrame("charpoly", body); err != nil {
-			return nil, variant, err
+			return nil, variant, detail, err
 		}
 	case "iblt-unknown":
 		probe, err := ep.RecvExpect("estimator")
 		if err != nil {
-			return nil, variant, err
+			return nil, variant, detail, err
 		}
 		d, err := setrecon.DiffBoundFromEstimator(coins, probe, alice)
 		if err != nil {
 			sendErrorFrame(ep, err)
-			return nil, variant, err
+			return nil, variant, detail, err
 		}
 		body := s.cachedMsg(view, "set-iblt", coins.Master(), d, func() []byte {
 			return setrecon.BuildIBLTMsg(coins, alice, d)
 		})
 		if err := ep.SendFrame("iblt", body); err != nil {
-			return nil, variant, err
+			return nil, variant, detail, err
 		}
 	default:
 		body := s.cachedMsg(view, "set-iblt", coins.Master(), h.D, func() []byte {
 			return setrecon.BuildIBLTMsg(coins, alice, h.D)
 		})
 		if err := ep.SendFrame("iblt", body); err != nil {
-			return nil, variant, err
+			return nil, variant, detail, err
 		}
 	}
 	done, err := recvDone(ep)
-	return done, variant, err
+	return done, variant, detail, err
 }
 
 // ---- sets of sets ----
@@ -699,18 +776,20 @@ func resolveSOS(h *helloMsg, alice [][]uint64) (*sosPlan, error) {
 	return pl, nil
 }
 
-func (s *Server) serveSOS(ep *wire.Endpoint, coins hashing.Coins, view dsView, h *helloMsg) (*doneMsg, string, error) {
+func (s *Server) serveSOS(ep *wire.Endpoint, coins hashing.Coins, view dsView, h *helloMsg) (*doneMsg, string, string, error) {
 	alice := view.sos
 	pl, err := resolveSOS(h, alice)
 	if err != nil {
 		sendErrorFrame(ep, err)
-		return nil, "sos", err
+		// The client-supplied protocol name did not resolve; a fixed label
+		// keeps hostile hellos from minting unbounded metric series.
+		return nil, "invalid", "", err
 	}
-	detail := fmt.Sprintf("proto=%s d=%d d̂=%d s=%d h=%d", pl.proto, pl.d, pl.dHat, pl.p.S, pl.p.H)
+	detail := fmt.Sprintf("d=%d d̂=%d s=%d h=%d", pl.d, pl.dHat, pl.p.S, pl.p.H)
 	if h.Validate {
 		if err := core.Validate(alice, pl.p); err != nil {
 			sendErrorFrame(ep, err)
-			return nil, detail, err
+			return nil, pl.proto, detail, err
 		}
 	}
 	acc := &acceptMsg{
@@ -718,7 +797,7 @@ func (s *Server) serveSOS(ep *wire.Endpoint, coins hashing.Coins, view dsView, h
 		Replicas: pl.replicas, S: pl.p.S, H: pl.p.H, U: pl.p.U,
 	}
 	if err := s.accept(ep, acc); err != nil {
-		return nil, detail, err
+		return nil, pl.proto, detail, err
 	}
 	var done *doneMsg
 	switch pl.proto {
@@ -757,7 +836,7 @@ func (s *Server) serveSOS(ep *wire.Endpoint, coins hashing.Coins, view dsView, h
 	case "multiround":
 		done, err = s.serveMultiRound(ep, coins, view, pl)
 	}
-	return done, detail, err
+	return done, pl.proto, detail, err
 }
 
 // serveReplicatedOneShot runs the §3.2 replication loop for a one-round
@@ -899,13 +978,20 @@ func (s *Server) serveMultiRound(ep *wire.Endpoint, coins hashing.Coins, view ds
 
 // ---- graph ----
 
-func (s *Server) serveGraph(ep *wire.Endpoint, coins hashing.Coins, view dsView, h *helloMsg) (*doneMsg, string, error) {
+func (s *Server) serveGraph(ep *wire.Endpoint, coins hashing.Coins, view dsView, h *helloMsg) (*doneMsg, string, string, error) {
 	ga := view.g
-	detail := fmt.Sprintf("scheme=%s d=%d", h.Scheme, h.D)
+	// The scheme is the protocol label; anything unresolved maps to a fixed
+	// label so hostile hellos cannot mint unbounded metric series.
+	proto := "invalid"
+	switch h.Scheme {
+	case "degree", "neighborhood":
+		proto = h.Scheme
+	}
+	detail := fmt.Sprintf("d=%d", h.D)
 	if h.N != ga.N {
 		err := fmt.Errorf("vertex count mismatch: client %d, dataset %d", h.N, ga.N)
 		sendErrorFrame(ep, err)
-		return nil, detail, err
+		return nil, proto, detail, err
 	}
 	d := h.D
 	if d < 1 {
@@ -924,16 +1010,16 @@ func (s *Server) serveGraph(ep *wire.Endpoint, coins hashing.Coins, view dsView,
 			})
 		if err != nil {
 			sendErrorFrame(ep, err)
-			return nil, detail, err
+			return nil, proto, detail, err
 		}
 		if err := s.accept(ep, &acceptMsg{Kind: KindGraph, D: d}); err != nil {
-			return nil, detail, err
+			return nil, proto, detail, err
 		}
 		if err := ep.SendFrame("cascade-iblts", frames[0]); err != nil {
-			return nil, detail, err
+			return nil, proto, detail, err
 		}
 		if err := ep.SendFrame("edge-iblt", frames[1]); err != nil {
-			return nil, detail, err
+			return nil, proto, detail, err
 		}
 	case "neighborhood":
 		// The side encoding fixes maxSig (part of the accept message and the
@@ -942,14 +1028,14 @@ func (s *Server) serveGraph(ep *wire.Endpoint, coins hashing.Coins, view dsView,
 		sideA, err := graphrecon.NeighborhoodEncode(ga, h.M)
 		if err != nil {
 			sendErrorFrame(ep, err)
-			return nil, detail, err
+			return nil, proto, detail, err
 		}
 		maxSig := max(sideA.MaxSig, h.MaxSig, 1)
 		p := graphrecon.NeighborhoodParams{M: h.M, D: d, SigBudget: h.SigBudget}
 		if budget := graphrecon.NeighborhoodBudget(p); budget > s.maxBound() {
 			err := fmt.Errorf("%w: signature budget %d exceeds server bound %d", ErrUnsupported, budget, s.maxBound())
 			sendErrorFrame(ep, err)
-			return nil, detail, err
+			return nil, proto, detail, err
 		}
 		frames, err := s.cachedFrames(view, "graph-nbr", coins.Master(), d,
 			fmt.Sprintf("m=%d,sig=%d,budget=%d", h.M, maxSig, h.SigBudget), func() ([][]byte, error) {
@@ -961,29 +1047,30 @@ func (s *Server) serveGraph(ep *wire.Endpoint, coins hashing.Coins, view dsView,
 			})
 		if err != nil {
 			sendErrorFrame(ep, err)
-			return nil, detail, err
+			return nil, proto, detail, err
 		}
 		if err := s.accept(ep, &acceptMsg{Kind: KindGraph, D: d, MaxSig: maxSig}); err != nil {
-			return nil, detail, err
+			return nil, proto, detail, err
 		}
 		if err := ep.SendFrame("cascade-iblts", frames[0]); err != nil {
-			return nil, detail, err
+			return nil, proto, detail, err
 		}
 		if err := ep.SendFrame("edge-iblt", frames[1]); err != nil {
-			return nil, detail, err
+			return nil, proto, detail, err
 		}
 	default:
 		err := fmt.Errorf("%w: graph scheme %q", ErrUnsupported, h.Scheme)
 		sendErrorFrame(ep, err)
-		return nil, detail, err
+		return nil, proto, detail, err
 	}
 	done, err := recvDone(ep)
-	return done, detail, err
+	return done, proto, detail, err
 }
 
 // ---- forest ----
 
-func (s *Server) serveForest(ep *wire.Endpoint, coins hashing.Coins, ds dsView, h *helloMsg) (*doneMsg, string, error) {
+func (s *Server) serveForest(ep *wire.Endpoint, coins hashing.Coins, ds dsView, h *helloMsg) (*doneMsg, string, string, error) {
+	const proto = "forest"
 	infoB := forest.SideInfo{N: h.N, Depth: h.Depth, MaxChild: h.MaxChild}
 	maxBudget := h.MaxBudget
 	if maxBudget <= 0 || maxBudget > s.maxBound() {
@@ -995,7 +1082,7 @@ func (s *Server) serveForest(ep *wire.Endpoint, coins hashing.Coins, ds dsView, 
 		N: ds.fi.N, Depth: ds.fi.Depth, MaxChild: ds.fi.MaxChild, MaxBudget: maxBudget,
 	}
 	if err := s.accept(ep, acc); err != nil {
-		return nil, detail, err
+		return nil, proto, detail, err
 	}
 	// The forest plan — and therefore the payload — depends on the client's
 	// side info, which has no dedicated cache-key field; it rides in Extra.
@@ -1007,7 +1094,7 @@ func (s *Server) serveForest(ep *wire.Endpoint, coins hashing.Coins, ds dsView, 
 		if rp.Budget > s.maxBound() {
 			err := fmt.Errorf("%w: forest budget %d exceeds server bound %d", ErrUnsupported, rp.Budget, s.maxBound())
 			sendErrorFrame(ep, err)
-			return nil, detail, err
+			return nil, proto, detail, err
 		}
 		frames, err := s.cachedFrames(ds, "forest", coins.Master(), h.D,
 			planExtra(h.Sigma, h.Budget), func() ([][]byte, error) {
@@ -1019,16 +1106,16 @@ func (s *Server) serveForest(ep *wire.Endpoint, coins hashing.Coins, ds dsView, 
 			})
 		if err != nil {
 			sendErrorFrame(ep, err)
-			return nil, detail, err
+			return nil, proto, detail, err
 		}
 		if err := ep.SendFrame("cascade-iblts", frames[0]); err != nil {
-			return nil, detail, err
+			return nil, proto, detail, err
 		}
 		if err := ep.SendFrame("forest-meta", frames[1]); err != nil {
-			return nil, detail, err
+			return nil, proto, detail, err
 		}
 		done, err := recvDone(ep)
-		return done, detail, err
+		return done, proto, detail, err
 	}
 	// Auto: verified doubling over the budget (Corollary 3.8 applied to
 	// forests), with per-attempt coins and protocol ack/retry frames.
@@ -1045,30 +1132,30 @@ func (s *Server) serveForest(ep *wire.Endpoint, coins hashing.Coins, ds dsView, 
 			})
 		if err != nil {
 			sendErrorFrame(ep, err)
-			return nil, detail, err
+			return nil, proto, detail, err
 		}
 		if err := ep.SendFrame("cascade-iblts", frames[0]); err != nil {
-			return nil, detail, err
+			return nil, proto, detail, err
 		}
 		if err := ep.SendFrame("forest-meta", frames[1]); err != nil {
-			return nil, detail, err
+			return nil, proto, detail, err
 		}
 		got, _, err := ep.RecvFrame()
 		if err != nil {
-			return nil, detail, err
+			return nil, proto, detail, err
 		}
 		switch got {
 		case "ack":
 			done, err := recvDone(ep)
-			return done, detail, err
+			return done, proto, detail, err
 		case "retry":
 		default:
-			return nil, detail, fmt.Errorf("sosrnet: unexpected frame %q", got)
+			return nil, proto, detail, fmt.Errorf("sosrnet: unexpected frame %q", got)
 		}
 	}
 	err := fmt.Errorf("%w: forest budget exceeded %d", ErrGaveUp, maxBudget)
 	sendErrorFrame(ep, err)
-	return nil, detail, err
+	return nil, proto, detail, err
 }
 
 // ---- helpers ----

@@ -2,7 +2,9 @@ package sosrshard
 
 import (
 	"fmt"
+	"sync"
 
+	"sosr/internal/obs"
 	"sosr/internal/setutil"
 	"sosr/internal/shardmap"
 	"sosr/sosrnet"
@@ -23,8 +25,14 @@ import (
 // (updates are idempotent per shard only if re-applied exactly, so prefer
 // fixing the input and retrying the failed shard).
 type Coordinator struct {
+	// Obs, when set before the first mutation, counts routed updates per
+	// shard (sosr_shard_updates_total). Nil disables instrumentation.
+	Obs *obs.Registry
+
 	m       *shardmap.Map
 	servers []*sosrnet.Server
+	obsOnce sync.Once
+	updates *obs.CounterVec
 }
 
 // NewCoordinator pairs shard identities (the deployment's dial addresses,
@@ -96,6 +104,7 @@ func (co *Coordinator) UpdateSets(name string, add, remove []uint64) error {
 		if err := srv.UpdateSets(name, addParts[i], rmParts[i]); err != nil {
 			return fmt.Errorf("sosrshard: shard %d (%s): %w", i, co.m.ID(i), err)
 		}
+		co.countUpdate(i)
 	}
 	return nil
 }
@@ -112,6 +121,7 @@ func (co *Coordinator) UpdateMultisets(name string, add, remove []uint64) error 
 		if err := srv.UpdateMultisets(name, addParts[i], rmParts[i]); err != nil {
 			return fmt.Errorf("sosrshard: shard %d (%s): %w", i, co.m.ID(i), err)
 		}
+		co.countUpdate(i)
 	}
 	return nil
 }
@@ -128,6 +138,7 @@ func (co *Coordinator) UpdateSetsOfSets(name string, add, remove [][]uint64) err
 		if err := srv.UpdateSetsOfSets(name, addParts[i], rmParts[i]); err != nil {
 			return fmt.Errorf("sosrshard: shard %d (%s): %w", i, co.m.ID(i), err)
 		}
+		co.countUpdate(i)
 	}
 	return nil
 }

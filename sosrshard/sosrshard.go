@@ -28,11 +28,13 @@ package sosrshard
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"sosr"
 	"sosr/internal/hashing"
+	"sosr/internal/obs"
 	"sosr/internal/setutil"
 	"sosr/internal/shardmap"
 	"sosr/sosrnet"
@@ -89,8 +91,14 @@ type Client struct {
 	Timeout time.Duration
 	// MaxFrame bounds accepted frame payloads per session.
 	MaxFrame int
+	// Obs, when set before the first reconcile, receives fan-out metrics:
+	// per-shard session latency, straggler spread, and fan-out outcomes
+	// (see metrics.go). Nil disables instrumentation.
+	Obs *obs.Registry
 
-	m *shardmap.Map
+	m       *shardmap.Map
+	obsOnce sync.Once
+	met     *clientMetrics
 }
 
 // Dial returns a client for the given shard addresses. The address list must
@@ -129,25 +137,54 @@ func (c *Client) shardSeed(seed uint64, index int) uint64 {
 }
 
 // fanOut runs fn for every shard concurrently and returns the first shard
-// error (annotated with the shard), or nil.
+// error (annotated with the shard), or nil. With a registry configured it
+// records every shard's session latency, the fan-out's straggler spread
+// (slowest minus fastest — the wall-clock cost sharding adds over the
+// slowest shard alone), and the fan-out outcome.
 func (c *Client) fanOut(fn func(index int) error) error {
+	m := c.metrics()
 	n := c.m.N()
 	errs := make([]error, n)
+	durs := make([]time.Duration, n)
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			t0 := time.Now()
 			errs[i] = fn(i)
+			durs[i] = time.Since(t0)
 		}(i)
 	}
 	wg.Wait()
+	if m != nil {
+		fastest, slowest := durs[0], durs[0]
+		for i, d := range durs {
+			m.session.With(strconv.Itoa(i)).Observe(d.Seconds())
+			if d < fastest {
+				fastest = d
+			}
+			if d > slowest {
+				slowest = d
+			}
+		}
+		m.straggler.Observe((slowest - fastest).Seconds())
+	}
+	var firstErr error
 	for i, err := range errs {
 		if err != nil {
-			return fmt.Errorf("sosrshard: shard %d (%s): %w", i, c.m.ID(i), err)
+			firstErr = fmt.Errorf("sosrshard: shard %d (%s): %w", i, c.m.ID(i), err)
+			break
 		}
 	}
-	return nil
+	if m != nil {
+		status := "ok"
+		if firstErr != nil {
+			status = "error"
+		}
+		m.fanouts.With(status).Inc()
+	}
+	return firstErr
 }
 
 // Sets reconciles a local set against the sharded hosted set `name`: the

@@ -1,7 +1,9 @@
 package sosrshard
 
 import (
+	"context"
 	"fmt"
+	"log/slog"
 	"net"
 	"reflect"
 	"strings"
@@ -15,6 +17,22 @@ import (
 	"sosr/internal/workload"
 	"sosr/sosrnet"
 )
+
+// countHandler is a slog.Handler counting the server's "session finished"
+// records, so tests know when the per-shard byte counters are final.
+type countHandler struct {
+	n *atomic.Int64
+}
+
+func (h countHandler) Enabled(context.Context, slog.Level) bool { return true }
+func (h countHandler) Handle(_ context.Context, r slog.Record) error {
+	if r.Message == "session finished" {
+		h.n.Add(1)
+	}
+	return nil
+}
+func (h countHandler) WithAttrs([]slog.Attr) slog.Handler { return h }
+func (h countHandler) WithGroup(string) slog.Handler      { return h }
 
 // countingListener / countingConn give the tests an independent measurement
 // of the real TCP traffic per shard (the ground truth the aggregated Stats
@@ -71,7 +89,7 @@ func startShards(t *testing.T, n int) *shardDeployment {
 		}
 		cl := &countingListener{Listener: ln}
 		srv := sosrnet.NewServer()
-		srv.Logf = func(string, ...any) { d.sessions.Add(1) }
+		srv.Logger = slog.New(countHandler{n: &d.sessions})
 		addrs[i] = ln.Addr().String()
 		d.servers = append(d.servers, srv)
 		d.counters = append(d.counters, cl)
