@@ -174,6 +174,20 @@ func perfJSON(w io.Writer) error {
 				}
 			}
 		}))
+		// Cached Bob subtraction: the per-session decode cost once the client's
+		// sketch cache (or the server pull path) has memoized Bob's encodings.
+		sk, err := core.NewBobSketch(cfg.kind, coins, sosBob, p, cfg.d, dHat)
+		if err != nil {
+			return fmt.Errorf("%s sketch: %w", cfg.name, err)
+		}
+		report.Benchmarks = append(report.Benchmarks, perfRow(cfg.name+"-decode-cached", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.ApplyMsgCached(cfg.kind, coins, msg, sosBob, p, cfg.d, dHat, sk); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
 	}
 
 	// --- graphs (degree-ordering scheme) ---

@@ -35,7 +35,7 @@ func CascadeKnownD(sess transport.Channel, coins hashing.Coins, alice, bob [][]u
 	msg := sess.Send(transport.Alice, "cascade-iblts", cascadeAliceMsg(plan, coins, alice))
 
 	// --- Bob ---
-	res, err := cascadeBob(coins, plan, msg, bob)
+	res, err := cascadeBob(coins, plan, msg, bob, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -101,7 +101,7 @@ func (pl *cascadePlan) starCells() int {
 	return iblt.CellsFor(bound)
 }
 
-func cascadeBob(coins hashing.Coins, plan *cascadePlan, msg []byte, bob [][]uint64) (*Result, error) {
+func cascadeBob(coins hashing.Coins, plan *cascadePlan, msg []byte, bob [][]uint64, sk *BobSketch) (*Result, error) {
 	if len(msg) < 4+1+8 {
 		return nil, fmt.Errorf("core: short cascade message")
 	}
@@ -109,20 +109,25 @@ func cascadeBob(coins hashing.Coins, plan *cascadePlan, msg []byte, bob [][]uint
 	if t != plan.t {
 		return nil, fmt.Errorf("core: cascade level count %d != plan %d", t, plan.t)
 	}
+	if sk != nil && (len(sk.tables) != t || (sk.star == nil) == plan.star) {
+		return nil, fmt.Errorf("%w: Bob sketch level mismatch", ErrBadDigest)
+	}
+	// Split the message into per-level frames up front; each level's table is
+	// parsed lazily into one scratch table reused across levels.
 	off := 4
-	tables := make([]*iblt.Table, t)
+	frames := make([][]byte, t)
 	for i := 0; i < t; i++ {
 		body, n, err := readFramed(msg[off:])
 		if err != nil {
 			return nil, err
 		}
 		off += n
-		tables[i], err = iblt.Unmarshal(body)
-		if err != nil {
-			return nil, err
-		}
+		frames[i] = body
 	}
-	var starTable *iblt.Table
+	if off >= len(msg) {
+		return nil, fmt.Errorf("core: cascade message missing star flag")
+	}
+	var starFrame []byte
 	if msg[off] == 1 {
 		off++
 		body, n, err := readFramed(msg[off:])
@@ -130,9 +135,9 @@ func cascadeBob(coins hashing.Coins, plan *cascadePlan, msg []byte, bob [][]uint
 			return nil, err
 		}
 		off += n
-		starTable, err = iblt.Unmarshal(body)
-		if err != nil {
-			return nil, err
+		starFrame = body
+		if len(starFrame) == 0 {
+			return nil, fmt.Errorf("core: empty star frame")
 		}
 	} else {
 		off++
@@ -143,27 +148,84 @@ func cascadeBob(coins hashing.Coins, plan *cascadePlan, msg []byte, bob [][]uint
 	wantParent := binary.LittleEndian.Uint64(msg[off:])
 
 	chs := childSeed(coins)
+	var bobHashes []uint64
+	if sk != nil {
+		bobHashes = sk.bobHashes
+	} else {
+		bobHashes = make([]uint64, len(bob))
+		for i, cs := range bob {
+			bobHashes[i] = setutil.Hash(chs, cs)
+		}
+	}
 	byHash := make(map[uint64][]uint64, len(bob))
-	for _, cs := range bob {
-		byHash[setutil.Hash(chs, cs)] = cs
+	for i, cs := range bob {
+		byHash[bobHashes[i]] = cs
+	}
+
+	// Per-level scratch, shared across the whole receive path.
+	var parent iblt.Table
+	var diff iblt.PackedDiff
+	var rec childRecoverer
+	var enc *childEncoder
+	getEnc := func(c childCodec) *childEncoder {
+		if enc == nil {
+			enc = c.encoder()
+		} else {
+			enc.reuse(c)
+		}
+		return enc
+	}
+	peels := 0
+	// loadParent parses level frame body and subtracts Bob's aggregate (from
+	// the sketch, or by re-encoding every child not in skip).
+	loadParent := func(body []byte, codec childCodec, agg *iblt.Table, skip map[uint64]bool) error {
+		if err := parent.UnmarshalInto(body); err != nil {
+			return err
+		}
+		if parent.Width() != codec.width {
+			return fmt.Errorf("%w: parent key width %d != %d", ErrParentDecode, parent.Width(), codec.width)
+		}
+		if agg != nil {
+			if err := parent.Subtract(agg); err != nil {
+				return fmt.Errorf("%w: %v", ErrParentDecode, err)
+			}
+			if skip != nil { // re-insert D_B: net effect is "delete all except D_B"
+				e := getEnc(codec)
+				for i, cs := range bob {
+					if skip[bobHashes[i]] {
+						parent.Insert(e.encode(cs))
+					}
+				}
+			}
+			return nil
+		}
+		e := getEnc(codec)
+		for i, cs := range bob {
+			if skip == nil || !skip[bobHashes[i]] {
+				parent.Delete(e.encode(cs))
+			}
+		}
+		return nil
 	}
 
 	// --- Level 1: delete all of Bob's encodings, find D_B and the full set
 	// of Alice's differing encodings. ---
 	codec1 := plan.level[0]
-	enc1 := codec1.encoder()
-	t1 := tables[0]
-	for _, cs := range bob {
-		t1.Delete(enc1.encode(cs))
+	var agg1 *iblt.Table
+	if sk != nil {
+		agg1 = sk.tables[0]
 	}
-	addedEnc, removedEnc, err := t1.Decode()
-	if err != nil {
+	if err := loadParent(frames[0], codec1, agg1, nil); err != nil {
+		return nil, err
+	}
+	if err := parent.DecodePacked(&diff); err != nil {
 		return nil, fmt.Errorf("%w: level 1: %v", ErrParentDecode, err)
 	}
+	peels += parent.PeelCount()
 	var dB [][]uint64
-	removedHashes := make(map[uint64]bool, len(removedEnc))
-	for _, enc := range removedEnc {
-		_, h, err := codec1.decode(enc)
+	removedHashes := make(map[uint64]bool, len(diff.Removed))
+	for _, e := range diff.Removed {
+		h, err := codec1.encHash(e)
 		if err != nil {
 			return nil, fmt.Errorf("%w: level 1: %v", ErrChildDecode, err)
 		}
@@ -172,14 +234,14 @@ func cascadeBob(coins hashing.Coins, plan *cascadePlan, msg []byte, bob [][]uint
 			return nil, fmt.Errorf("%w: level 1 removed hash unknown", ErrChildDecode)
 		}
 		dB = append(dB, cs)
-		removedHashes[setutil.Hash(chs, cs)] = true
+		removedHashes[h] = true
 	}
 	// outstanding: Alice's differing child-set hashes not yet recovered.
-	outstanding := make(map[uint64]bool, len(addedEnc))
+	outstanding := make(map[uint64]bool, len(diff.Added))
 	var dA [][]uint64
 	recovered := make(map[uint64][]uint64) // alice child hash -> recovered set
-	tryRecover := func(codec childCodec, enc []byte) error {
-		ta, hA, err := codec.decode(enc)
+	tryRecover := func(e []byte) error {
+		hA, err := rec.decodeEnc(e)
 		if err != nil {
 			return fmt.Errorf("%w: %v", ErrChildDecode, err)
 		}
@@ -189,22 +251,23 @@ func cascadeBob(coins hashing.Coins, plan *cascadePlan, msg []byte, bob [][]uint
 			}
 			outstanding[hA] = true // first sighting (level 1 path adds below)
 		}
-		if rec, ok := codec.recoverFromCandidates(ta, hA, dB); ok {
-			recovered[hA] = rec
+		if r, ok := rec.recoverFromCandidates(hA, dB); ok {
+			recovered[hA] = r
 			delete(outstanding, hA)
-			dA = append(dA, rec)
+			dA = append(dA, r)
 		}
 		return nil
 	}
-	for _, enc := range addedEnc {
-		_, hA, err := codec1.decode(enc)
+	for _, e := range diff.Added {
+		hA, err := codec1.encHash(e)
 		if err != nil {
 			return nil, fmt.Errorf("%w: level 1: %v", ErrChildDecode, err)
 		}
 		outstanding[hA] = true
 	}
-	for _, enc := range addedEnc {
-		if err := tryRecover(codec1, enc); err != nil {
+	rec.c = codec1
+	for _, e := range diff.Added {
+		if err := tryRecover(e); err != nil {
 			return nil, err
 		}
 	}
@@ -212,52 +275,71 @@ func cascadeBob(coins hashing.Coins, plan *cascadePlan, msg []byte, bob [][]uint
 	// --- Levels 2..t: delete everything known, extract the remainder. ---
 	for i := 2; i <= t; i++ {
 		codec := plan.level[i-1]
-		enc := codec.encoder()
-		ti := tables[i-1]
-		for _, cs := range bob {
-			if !removedHashes[setutil.Hash(chs, cs)] { // all except D_B
-				ti.Delete(enc.encode(cs))
-			}
+		rec.c = codec
+		var agg *iblt.Table
+		if sk != nil {
+			agg = sk.tables[i-1]
 		}
-		for _, rec := range recovered { // all of D_A so far
-			ti.Delete(enc.encode(rec))
+		if err := loadParent(frames[i-1], codec, agg, removedHashes); err != nil {
+			return nil, err
 		}
-		added, removed, err := ti.Decode()
-		if err != nil {
+		e := getEnc(codec)
+		for _, r := range recovered { // all of D_A so far
+			parent.Delete(e.encode(r))
+		}
+		if err := parent.DecodePacked(&diff); err != nil {
 			// A parent-level peel failure at level i is fatal only if the
 			// stragglers cannot be caught later; report it.
 			return nil, fmt.Errorf("%w: level %d: %v", ErrParentDecode, i, err)
 		}
-		if len(removed) != 0 {
+		peels += parent.PeelCount()
+		if len(diff.Removed) != 0 {
 			return nil, fmt.Errorf("%w: level %d: unexpected negative keys", ErrParentDecode, i)
 		}
-		for _, enc := range added {
-			if err := tryRecover(codec, enc); err != nil {
+		for _, e := range diff.Added {
+			if err := tryRecover(e); err != nil {
 				return nil, err
 			}
 		}
 	}
 
 	// --- T*: full encodings for anything still outstanding. ---
-	if starTable != nil {
+	if starFrame != nil {
+		if err := parent.UnmarshalInto(starFrame); err != nil {
+			return nil, err
+		}
+		if parent.Width() != plan.starCodec.width {
+			return nil, fmt.Errorf("%w: T* key width %d != %d", ErrParentDecode, parent.Width(), plan.starCodec.width)
+		}
 		starEnc := plan.starCodec.encoder()
-		for _, cs := range bob {
-			if !removedHashes[setutil.Hash(chs, cs)] {
-				starTable.Delete(starEnc.encode(cs))
+		if sk != nil {
+			if err := parent.Subtract(sk.star); err != nil {
+				return nil, fmt.Errorf("%w: T*: %v", ErrParentDecode, err)
+			}
+			for i, cs := range bob {
+				if removedHashes[bobHashes[i]] {
+					parent.Insert(starEnc.encode(cs))
+				}
+			}
+		} else {
+			for i, cs := range bob {
+				if !removedHashes[bobHashes[i]] {
+					parent.Delete(starEnc.encode(cs))
+				}
 			}
 		}
-		for _, rec := range recovered {
-			starTable.Delete(starEnc.encode(rec))
+		for _, r := range recovered {
+			parent.Delete(starEnc.encode(r))
 		}
-		added, removed, err := starTable.Decode()
-		if err != nil {
+		if err := parent.DecodePacked(&diff); err != nil {
 			return nil, fmt.Errorf("%w: T*: %v", ErrParentDecode, err)
 		}
-		if len(removed) != 0 {
+		peels += parent.PeelCount()
+		if len(diff.Removed) != 0 {
 			return nil, fmt.Errorf("%w: T*: unexpected negative keys", ErrParentDecode)
 		}
-		for _, enc := range added {
-			cs, err := plan.starCodec.decode(enc)
+		for _, e := range diff.Added {
+			cs, err := plan.starCodec.decode(e)
 			if err != nil {
 				return nil, fmt.Errorf("%w: T*: %v", ErrChildDecode, err)
 			}
@@ -274,11 +356,11 @@ func cascadeBob(coins hashing.Coins, plan *cascadePlan, msg []byte, bob [][]uint
 	if len(outstanding) != 0 {
 		return nil, fmt.Errorf("%w: %d child sets unrecovered", ErrChildDecode, len(outstanding))
 	}
-	final := assemble(bob, dA, removedHashes, coins)
+	final := assembleHashed(bob, bobHashes, dA, removedHashes)
 	if parentHash(coins, final) != wantParent {
 		return nil, ErrVerify
 	}
-	return &Result{Recovered: final, Added: sortSets(dA), Removed: sortSets(dB)}, nil
+	return &Result{Recovered: final, Added: sortSets(dA), Removed: sortSets(dB), PeelIterations: peels + rec.peels}, nil
 }
 
 // CascadeUnknownD solves SSRU per Corollary 3.8: repeated doubling over d

@@ -23,7 +23,7 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 
 	"sosr/internal/hashing"
 	"sosr/internal/matching"
@@ -77,6 +77,9 @@ type Result struct {
 	Attempts int
 	// DUsed is the difference bound the (final) successful attempt used.
 	DUsed int
+	// PeelIterations counts IBLT peel steps Bob performed (parent tables plus
+	// child-recovery subtractions) — a decode-effort signal for observability.
+	PeelIterations int
 }
 
 // Common protocol errors.
@@ -164,22 +167,62 @@ func parentHash(coins hashing.Coins, parent [][]uint64) uint64 {
 // removed ones, plus Alice's recovered children; result in canonical order.
 func assemble(bob [][]uint64, added [][]uint64, removedHashes map[uint64]bool, coins hashing.Coins) [][]uint64 {
 	chs := childSeed(coins)
-	out := make([][]uint64, 0, len(bob)+len(added))
-	for _, cs := range bob {
-		if !removedHashes[setutil.Hash(chs, cs)] {
-			out = append(out, setutil.Clone(cs))
+	hashes := make([]uint64, len(bob))
+	for i, cs := range bob {
+		hashes[i] = setutil.Hash(chs, cs)
+	}
+	return assembleHashed(bob, hashes, added, removedHashes)
+}
+
+// assembleHashed is assemble with Bob's child hashes precomputed (the hot
+// receive paths hoist them). The result is packed into one element arena plus
+// one header slice — two allocations regardless of parent size — so assembly
+// no longer dominates the decode allocation budget.
+func assembleHashed(bob [][]uint64, bobHashes []uint64, added [][]uint64, removedHashes map[uint64]bool) [][]uint64 {
+	total, n := 0, 0
+	for i, cs := range bob {
+		if !removedHashes[bobHashes[i]] {
+			total += len(cs)
+			n++
 		}
 	}
 	for _, cs := range added {
-		out = append(out, setutil.Clone(cs))
+		total += len(cs)
+		n++
 	}
-	sort.Slice(out, func(i, j int) bool { return setutil.LessSets(out[i], out[j]) })
+	arena := make([]uint64, 0, total)
+	out := make([][]uint64, 0, n)
+	pack := func(cs []uint64) {
+		m := len(arena)
+		arena = append(arena, cs...)
+		out = append(out, arena[m:len(arena):len(arena)])
+	}
+	for i, cs := range bob {
+		if !removedHashes[bobHashes[i]] {
+			pack(cs)
+		}
+	}
+	for _, cs := range added {
+		pack(cs)
+	}
+	slices.SortFunc(out, slices.Compare)
 	return out
 }
 
-// sortSets returns a canonical-ordered deep copy (helper for results).
+// sortSets returns a canonical-ordered deep copy (helper for results), packed
+// like assembleHashed.
 func sortSets(ss [][]uint64) [][]uint64 {
-	out := setutil.CloneSets(ss)
-	sort.Slice(out, func(i, j int) bool { return setutil.LessSets(out[i], out[j]) })
+	total := 0
+	for _, cs := range ss {
+		total += len(cs)
+	}
+	arena := make([]uint64, 0, total)
+	out := make([][]uint64, 0, len(ss))
+	for _, cs := range ss {
+		m := len(arena)
+		arena = append(arena, cs...)
+		out = append(out, arena[m:len(arena):len(arena)])
+	}
+	slices.SortFunc(out, slices.Compare)
 	return out
 }

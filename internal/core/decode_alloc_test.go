@@ -1,0 +1,207 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"sosr/internal/hashing"
+	"sosr/internal/iblt"
+	"sosr/internal/transport"
+	"sosr/internal/workload"
+)
+
+// Decode-side allocation budgets. PR 4 made Alice's encode allocation-free;
+// these tests pin the same discipline on Bob's receive paths. Budgets are
+// small multiples of the measured steady state (maps, result packing, and
+// per-recovered-set copies remain), so a regression back to per-level or
+// per-candidate churn fails loudly.
+
+func decodeWorkload(t testing.TB) (alice, bob [][]uint64, p Params) {
+	t.Helper()
+	alice, bob = workload.PlantedSetsOfSets(17, 200, 10, 1<<32, 16)
+	p = Params{S: 200, H: 16, U: 1 << 32}
+	np, err := p.normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return alice, bob, np
+}
+
+func measureApply(t *testing.T, kind DigestKind, d int) float64 {
+	t.Helper()
+	alice, bob, p := decodeWorkload(t)
+	coins := hashing.NewCoins(42)
+	dHat := DHat(d, p.S)
+	msg, err := AliceMsg(kind, coins, alice, p, d, dHat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ApplyMsg(kind, coins, msg, bob, p, d, dHat); err != nil {
+		t.Fatal(err)
+	}
+	return testing.AllocsPerRun(20, func() {
+		if _, err := ApplyMsg(kind, coins, msg, bob, p, d, dHat); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestCascadeDecodeAllocBudget(t *testing.T) {
+	got := measureApply(t, DigestCascade, 32)
+	t.Logf("cascade ApplyMsg allocs/op: %.0f", got)
+	// ISSUE 7 acceptance: >=10x down from the 1449 of BENCH_pr6.
+	if got > 150 {
+		t.Fatalf("cascade decode allocates %.0f/op, budget 150", got)
+	}
+}
+
+func TestNestedDecodeAllocBudget(t *testing.T) {
+	got := measureApply(t, DigestNested, 16)
+	t.Logf("nested ApplyMsg allocs/op: %.0f", got)
+	if got > 120 {
+		t.Fatalf("nested decode allocates %.0f/op, budget 120", got)
+	}
+}
+
+func TestNaiveDecodeAllocBudget(t *testing.T) {
+	got := measureApply(t, DigestNaive, 16)
+	t.Logf("naive ApplyMsg allocs/op: %.0f", got)
+	if got > 150 {
+		t.Fatalf("naive decode allocates %.0f/op, budget 150", got)
+	}
+}
+
+func TestNested3DecodeAllocBudget(t *testing.T) {
+	alice := [][][]uint64{
+		{{1, 2}, {3, 4, 5}},
+		{{10, 11}, {12}},
+		{{20, 30}, {40, 50}, {60}},
+	}
+	bob := [][][]uint64{
+		{{1, 2}, {3, 4, 5}},
+		{{10, 11}, {12, 13}},
+		{{20, 30}, {40, 50}, {60}},
+	}
+	p := Params3{G: 8, S: 8, H: 8}
+	b := Bounds3{D: 4}
+	coins := hashing.NewCoins(9)
+	run := func() {
+		sess := transport.New()
+		if _, err := Nested3KnownD(sess, coins, alice, bob, p, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run()
+	got := testing.AllocsPerRun(10, run)
+	t.Logf("nested3 round-trip allocs/op: %.0f", got)
+	// Bounds the whole Alice+Bob round trip; the pre-scratch decode alone was
+	// far beyond this.
+	if got > 700 {
+		t.Fatalf("nested3 round trip allocates %.0f/op, budget 700", got)
+	}
+}
+
+// TestApplyMsgCachedParity proves the sketch-subtraction path recovers the
+// byte-identical difference for every one-round protocol: IBLT linearity
+// makes Subtract(aggregate of Bob's encodings) the same table state as
+// deleting each encoding individually.
+func TestApplyMsgCachedParity(t *testing.T) {
+	alice, bob, p := decodeWorkload(t)
+	coins := hashing.NewCoins(42)
+	for _, tc := range []struct {
+		name string
+		kind DigestKind
+		d    int
+	}{
+		{"cascade", DigestCascade, 32},
+		{"nested", DigestNested, 16},
+		{"naive", DigestNaive, 16},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dHat := DHat(tc.d, p.S)
+			msg, err := AliceMsg(tc.kind, coins, alice, p, tc.d, dHat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plain, err := ApplyMsg(tc.kind, coins, msg, bob, p, tc.d, dHat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sk, err := NewBobSketch(tc.kind, coins, bob, p, tc.d, dHat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cached, err := ApplyMsgCached(tc.kind, coins, msg, bob, p, tc.d, dHat, sk)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(plain.Recovered, cached.Recovered) {
+				t.Fatal("cached Recovered differs from plain")
+			}
+			if !reflect.DeepEqual(plain.Added, cached.Added) {
+				t.Fatal("cached Added differs from plain")
+			}
+			if !reflect.DeepEqual(plain.Removed, cached.Removed) {
+				t.Fatal("cached Removed differs from plain")
+			}
+			if sk.SizeBytes() <= 0 {
+				t.Fatal("sketch reports non-positive size")
+			}
+		})
+	}
+}
+
+// TestBobSketchSubtractionBytes pins the linearity argument itself: a parent
+// table with every encoding deleted marshals to exactly the same bytes as one
+// with the insert-built aggregate subtracted.
+func TestBobSketchSubtractionBytes(t *testing.T) {
+	_, bob, _ := decodeWorkload(t)
+	coins := hashing.NewCoins(42)
+	codec := newChildCodec(coins, "cascade/child", 1, iblt.CellsTight(2))
+	enc := codec.encoder()
+
+	deleted := iblt.New(64, codec.width, 0, 7)
+	for _, cs := range bob {
+		deleted.Delete(enc.encode(cs))
+	}
+
+	agg := iblt.New(64, codec.width, 0, 7)
+	for _, cs := range bob {
+		agg.Insert(enc.encode(cs))
+	}
+	subtracted := iblt.New(64, codec.width, 0, 7)
+	if err := subtracted.Subtract(agg); err != nil {
+		t.Fatal(err)
+	}
+
+	if string(deleted.Marshal()) != string(subtracted.Marshal()) {
+		t.Fatal("delete-loop table and subtract-aggregate table marshal differently")
+	}
+}
+
+// TestApplyMsgCachedRejectsMismatch ensures a stale or foreign sketch is an
+// error, never a silent wrong answer.
+func TestApplyMsgCachedRejectsMismatch(t *testing.T) {
+	alice, bob, p := decodeWorkload(t)
+	coins := hashing.NewCoins(42)
+	const d = 32
+	dHat := DHat(d, p.S)
+	msg, err := AliceMsg(DigestCascade, coins, alice, p, d, dHat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk, err := NewBobSketch(DigestCascade, hashing.NewCoins(43), bob, p, d, dHat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ApplyMsgCached(DigestCascade, coins, msg, bob, p, d, dHat, sk); err == nil {
+		t.Fatal("wrong-coins sketch accepted")
+	}
+	sk2, err := NewBobSketch(DigestCascade, coins, bob, p, 16, DHat(16, p.S))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ApplyMsgCached(DigestCascade, coins, msg, bob, p, d, dHat, sk2); err == nil {
+		t.Fatal("wrong-d sketch accepted")
+	}
+}

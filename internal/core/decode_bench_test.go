@@ -1,0 +1,38 @@
+package core
+
+import (
+	"testing"
+
+	"sosr/internal/hashing"
+)
+
+// Package-level decode benchmarks, mirroring the cmd/sosbench perf-suite rows
+// so CI's bench smoke exercises the Bob hot paths without the network stack.
+
+func benchApply(b *testing.B, kind DigestKind, d int, cached bool) {
+	alice, bob, p := decodeWorkload(b)
+	coins := hashing.NewCoins(42)
+	dHat := DHat(d, p.S)
+	msg, err := AliceMsg(kind, coins, alice, p, d, dHat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sk *BobSketch
+	if cached {
+		if sk, err = NewBobSketch(kind, coins, bob, p, d, dHat); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ApplyMsgCached(kind, coins, msg, bob, p, d, dHat, sk); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCascadeDecode(b *testing.B)       { benchApply(b, DigestCascade, 32, false) }
+func BenchmarkCascadeDecodeCached(b *testing.B) { benchApply(b, DigestCascade, 32, true) }
+func BenchmarkNestedDecode(b *testing.B)        { benchApply(b, DigestNested, 16, false) }
+func BenchmarkNestedDecodeCached(b *testing.B)  { benchApply(b, DigestNested, 16, true) }

@@ -120,11 +120,11 @@ func ApplyMsg(kind DigestKind, coins hashing.Coins, body []byte, bob [][]uint64,
 	var err error
 	switch kind {
 	case DigestNaive:
-		res, err = naiveBob(coins, body, bob, newNaiveCodec(p))
+		res, err = naiveBob(coins, body, bob, newNaiveCodec(p), nil)
 	case DigestNested:
-		res, err = nestedBob(coins, body, bob, newChildCodec(coins, "nested/child", 0, iblt.CellsFor(d)))
+		res, err = nestedBob(coins, body, bob, newChildCodec(coins, "nested/child", 0, iblt.CellsFor(d)), nil)
 	case DigestCascade:
-		res, err = cascadeBob(coins, newCascadePlan(coins, p, d), body, bob)
+		res, err = cascadeBob(coins, newCascadePlan(coins, p, d), body, bob, nil)
 	default:
 		return nil, fmt.Errorf("%w: unknown kind %d", ErrBadDigest, kind)
 	}

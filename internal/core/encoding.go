@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"slices"
 
 	"sosr/internal/hashing"
 	"sosr/internal/iblt"
@@ -110,12 +111,11 @@ type childCodec struct {
 
 func newChildCodec(coins hashing.Coins, label string, level, cells int) childCodec {
 	seed := coins.Seed(label+"/cells", level)
-	probe := iblt.NewUint64(cells, 0, seed)
 	return childCodec{
-		cells: probe.Cells(),
+		cells: iblt.RoundCells(cells, 0),
 		seed:  seed,
 		hash:  coins.Seed(childHashLabel, 0),
-		width: probe.SerializedSize() + 8,
+		width: iblt.SerializedSizeFor(cells, iblt.WordWidth, 0) + 8,
 	}
 }
 
@@ -126,23 +126,33 @@ func (c childCodec) table() *iblt.Table {
 
 // encode returns the fixed-width encoding of a child set.
 func (c childCodec) encode(cs []uint64) []byte {
-	e := childEncoder{c: c, t: c.table()}
-	return append([]byte(nil), e.encode(cs)...)
+	return append([]byte(nil), c.encoder().encode(cs)...)
 }
 
 // childEncoder amortizes childCodec.encode's allocations across a loop: one
 // scratch child IBLT and one output buffer serve every call (encoding a
 // parent set is the dominant CPU cost of the one-round protocols, so the
 // per-child table/buffer churn matters). The returned slice is valid until
-// the next call.
+// the next call. reuse retargets the same scratch at another codec, so one
+// encoder can serve every cascade level.
 type childEncoder struct {
 	c   childCodec
-	t   *iblt.Table
+	t   iblt.Table
 	buf []byte
 }
 
 func (c childCodec) encoder() *childEncoder {
-	return &childEncoder{c: c, t: c.table(), buf: make([]byte, 0, c.width)}
+	e := &childEncoder{}
+	e.reuse(c)
+	return e
+}
+
+func (e *childEncoder) reuse(c childCodec) {
+	e.c = c
+	e.t.Reshape(c.cells, iblt.WordWidth, 0, c.seed)
+	if cap(e.buf) < c.width {
+		e.buf = make([]byte, 0, c.width)
+	}
 }
 
 func (e *childEncoder) encode(cs []uint64) []byte {
@@ -173,38 +183,137 @@ func (c childCodec) decode(buf []byte) (*iblt.Table, uint64, error) {
 // setHash returns the hash this codec attaches to a child set.
 func (c childCodec) setHash(cs []uint64) uint64 { return setutil.Hash(c.hash, cs) }
 
-// recoverAgainst tries to reconstruct Alice's child set from her child IBLT
-// ta (with attached hash wantHash) using candidate as Bob's counterpart: the
-// candidate's IBLT is subtracted, the difference peeled, and the result
-// verified against wantHash. Returns (set, true) on success.
-func (c childCodec) recoverAgainst(ta *iblt.Table, wantHash uint64, candidate []uint64) ([]uint64, bool) {
-	diff := ta.Clone()
-	tb := c.table()
-	for _, x := range candidate {
-		tb.InsertUint64(x)
+// encHash reads the attached set hash off a fixed-width encoding without
+// parsing the embedded table (enough for encodings that are only matched by
+// hash, e.g. the removed side of a parent decode).
+func (c childCodec) encHash(buf []byte) (uint64, error) {
+	if len(buf) != c.width {
+		return 0, fmt.Errorf("core: child encoding width %d != %d", len(buf), c.width)
 	}
-	if err := diff.Subtract(tb); err != nil {
+	return binary.LittleEndian.Uint64(buf[len(buf)-8:]), nil
+}
+
+// childRecoverer carries the scratch for the child-recovery inner loop: the
+// receive path parses one child IBLT per differing encoding and tries many
+// candidate subtractions against it, so all the tables, peel queues, and diff
+// slices live here and are reused across encodings, candidates, and cascade
+// levels. Only a verified recovery allocates (the returned set must outlive
+// the scratch). The zero value is ready after setting c.
+type childRecoverer struct {
+	c     childCodec
+	ta    iblt.Table // Alice's child table, parsed once per encoding
+	diff  iblt.Table // ta minus the current candidate, consumed by peeling
+	tb    iblt.Table // the current candidate's encoding
+	add   []uint64
+	rem   []uint64
+	merge []uint64
+	peels int // total child peel iterations (for observability)
+}
+
+// decodeEnc parses a fixed-width child encoding into the scratch table and
+// returns its attached set hash. The parse stays valid until the next call.
+func (r *childRecoverer) decodeEnc(buf []byte) (uint64, error) {
+	if len(buf) != r.c.width {
+		return 0, fmt.Errorf("core: child encoding width %d != %d", len(buf), r.c.width)
+	}
+	if err := r.ta.UnmarshalInto(buf[:len(buf)-8]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(buf[len(buf)-8:]), nil
+}
+
+// recoverAgainst tries to reconstruct Alice's child set from the last parsed
+// child IBLT (with attached hash wantHash) using candidate as Bob's
+// counterpart: the candidate's IBLT is subtracted, the difference peeled, and
+// candidate patched by it. The result is returned (freshly allocated) only
+// if it verifies against wantHash.
+func (r *childRecoverer) recoverAgainst(wantHash uint64, candidate []uint64) ([]uint64, bool) {
+	r.diff.CopyFrom(&r.ta)
+	r.tb.Reshape(r.c.cells, iblt.WordWidth, 0, r.c.seed)
+	for _, x := range candidate {
+		r.tb.InsertUint64(x)
+	}
+	if err := r.diff.Subtract(&r.tb); err != nil {
 		return nil, false
 	}
-	added, removed, err := diff.DecodeUint64()
+	var err error
+	r.add, r.rem, err = r.diff.AppendDecodeUint64(r.add[:0], r.rem[:0])
+	r.peels += r.diff.PeelCount()
 	if err != nil {
 		return nil, false
 	}
-	recovered := setutil.ApplyDiff(candidate, added, removed)
-	if setutil.Hash(c.hash, recovered) != wantHash {
+	rec := r.applyDiff(candidate)
+	if setutil.Hash(r.c.hash, rec) != wantHash {
 		return nil, false
 	}
-	return recovered, true
+	return append([]uint64(nil), rec...), true
+}
+
+// applyDiff computes (candidate \ rem) ∪ add in canonical order into the
+// reused merge buffer — the allocation-free equivalent of setutil.ApplyDiff
+// for a canonical candidate.
+func (r *childRecoverer) applyDiff(candidate []uint64) []uint64 {
+	slices.Sort(r.add)
+	slices.Sort(r.rem)
+	out := r.merge[:0]
+	i, j, k := 0, 0, 0
+	for i < len(candidate) || j < len(r.add) {
+		var v uint64
+		switch {
+		case i >= len(candidate):
+			v = r.add[j]
+		case j >= len(r.add):
+			v = candidate[i]
+		case candidate[i] <= r.add[j]:
+			v = candidate[i]
+		default:
+			v = r.add[j]
+		}
+		inBase, inAdd := false, false
+		for i < len(candidate) && candidate[i] == v {
+			inBase = true
+			i++
+		}
+		for j < len(r.add) && r.add[j] == v {
+			inAdd = true
+			j++
+		}
+		for k < len(r.rem) && r.rem[k] < v {
+			k++
+		}
+		inRem := k < len(r.rem) && r.rem[k] == v
+		if inAdd || (inBase && !inRem) {
+			out = append(out, v)
+		}
+	}
+	r.merge = out
+	return out
 }
 
 // recoverFromCandidates tries candidates in order (plus the empty set as a
 // final fallback, covering parent sets of unequal cardinality) and returns
 // the first verified recovery.
-func (c childCodec) recoverFromCandidates(ta *iblt.Table, wantHash uint64, candidates [][]uint64) ([]uint64, bool) {
+func (r *childRecoverer) recoverFromCandidates(wantHash uint64, candidates [][]uint64) ([]uint64, bool) {
 	for _, cand := range candidates {
-		if rec, ok := c.recoverAgainst(ta, wantHash, cand); ok {
+		if rec, ok := r.recoverAgainst(wantHash, cand); ok {
 			return rec, true
 		}
 	}
-	return c.recoverAgainst(ta, wantHash, nil)
+	return r.recoverAgainst(wantHash, nil)
+}
+
+// recoverAgainst is the one-shot form of childRecoverer.recoverAgainst; hot
+// loops should hold a childRecoverer instead.
+func (c childCodec) recoverAgainst(ta *iblt.Table, wantHash uint64, candidate []uint64) ([]uint64, bool) {
+	r := childRecoverer{c: c}
+	r.ta.CopyFrom(ta)
+	return r.recoverAgainst(wantHash, candidate)
+}
+
+// recoverFromCandidates is the one-shot form of
+// childRecoverer.recoverFromCandidates.
+func (c childCodec) recoverFromCandidates(ta *iblt.Table, wantHash uint64, candidates [][]uint64) ([]uint64, bool) {
+	r := childRecoverer{c: c}
+	r.ta.CopyFrom(ta)
+	return r.recoverFromCandidates(wantHash, candidates)
 }

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"testing"
+
+	"sosr/internal/hashing"
+)
+
+// FuzzApplyMsg feeds arbitrary payloads to Bob's one-round entry point for
+// every protocol kind: the scratch-reuse receive paths must reject malformed
+// bodies with an error — never panic, index out of range, or loop — even when
+// widths, level counts, or framing lie about themselves.
+func FuzzApplyMsg(f *testing.F) {
+	coins := hashing.NewCoins(21)
+	alice := [][]uint64{{1, 2, 3}, {9}, {20, 22}}
+	bob := [][]uint64{{1, 2, 3}, {9, 10}, {31}}
+	p := Params{S: 8, H: 8}
+	np, err := p.normalized()
+	if err != nil {
+		f.Fatal(err)
+	}
+	const d = 4
+	dHat := DHat(d, np.S)
+	for _, kind := range []DigestKind{DigestNaive, DigestNested, DigestCascade} {
+		msg, err := AliceMsg(kind, coins, alice, np, d, dHat)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(byte(kind), msg)
+		f.Add(byte(kind), msg[:len(msg)/2])
+		mangled := append([]byte(nil), msg...)
+		mangled[len(mangled)/4] ^= 0x08
+		f.Add(byte(kind), mangled)
+	}
+	f.Add(byte(0), []byte{})
+	f.Add(byte(9), make([]byte, 40))
+	f.Fuzz(func(t *testing.T, kind byte, body []byte) {
+		res, err := ApplyMsg(DigestKind(kind), coins, body, bob, np, d, dHat)
+		if err == nil && res == nil {
+			t.Fatal("nil result without error")
+		}
+		// The cached path must be exactly as robust.
+		if DigestKind(kind) == DigestCascade {
+			sk, err := NewBobSketch(DigestCascade, coins, bob, np, d, dHat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err = ApplyMsgCached(DigestCascade, coins, body, bob, np, d, dHat, sk)
+			if err == nil && res == nil {
+				t.Fatal("nil cached result without error")
+			}
+		}
+	})
+}

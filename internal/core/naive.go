@@ -28,7 +28,7 @@ func NaiveKnownD(sess transport.Channel, coins hashing.Coins, alice, bob [][]uin
 	msg := sess.Send(transport.Alice, "naive-iblt", naiveAliceMsg(coins, alice, p, dHat))
 
 	// --- Bob ---
-	res, err := naiveBob(coins, msg, bob, codec)
+	res, err := naiveBob(coins, msg, bob, codec, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -38,25 +38,34 @@ func NaiveKnownD(sess transport.Channel, coins hashing.Coins, alice, bob [][]uin
 	return res, nil
 }
 
-func naiveBob(coins hashing.Coins, msg []byte, bob [][]uint64, codec naiveCodec) (*Result, error) {
+func naiveBob(coins hashing.Coins, msg []byte, bob [][]uint64, codec naiveCodec, sk *BobSketch) (*Result, error) {
 	if len(msg) < 8 {
 		return nil, fmt.Errorf("core: short naive message")
 	}
 	wantParent := binary.LittleEndian.Uint64(msg[len(msg)-8:])
-	t, err := iblt.Unmarshal(msg[:len(msg)-8])
-	if err != nil {
+	var t iblt.Table
+	if err := t.UnmarshalInto(msg[:len(msg)-8]); err != nil {
 		return nil, err
 	}
-	enc := codec.encoder()
-	for _, cs := range bob {
-		t.Delete(enc.encode(cs))
+	if t.Width() != codec.width {
+		return nil, fmt.Errorf("%w: parent key width %d != %d", ErrParentDecode, t.Width(), codec.width)
 	}
-	addedEnc, removedEnc, err := t.Decode()
-	if err != nil {
+	if sk != nil {
+		if err := t.Subtract(sk.tables[0]); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrParentDecode, err)
+		}
+	} else {
+		enc := codec.encoder()
+		for _, cs := range bob {
+			t.Delete(enc.encode(cs))
+		}
+	}
+	var diff iblt.PackedDiff
+	if err := t.DecodePacked(&diff); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrParentDecode, err)
 	}
-	added := make([][]uint64, 0, len(addedEnc))
-	for _, enc := range addedEnc {
+	added := make([][]uint64, 0, len(diff.Added))
+	for _, enc := range diff.Added {
 		cs, err := codec.decode(enc)
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrChildDecode, err)
@@ -64,9 +73,9 @@ func naiveBob(coins hashing.Coins, msg []byte, bob [][]uint64, codec naiveCodec)
 		added = append(added, cs)
 	}
 	chs := childSeed(coins)
-	removedHashes := make(map[uint64]bool, len(removedEnc))
-	removed := make([][]uint64, 0, len(removedEnc))
-	for _, enc := range removedEnc {
+	removedHashes := make(map[uint64]bool, len(diff.Removed))
+	removed := make([][]uint64, 0, len(diff.Removed))
+	for _, enc := range diff.Removed {
 		cs, err := codec.decode(enc)
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrChildDecode, err)
@@ -79,9 +88,10 @@ func naiveBob(coins hashing.Coins, msg []byte, bob [][]uint64, codec naiveCodec)
 		return nil, ErrVerify
 	}
 	return &Result{
-		Recovered: recovered,
-		Added:     sortSets(added),
-		Removed:   sortSets(removed),
+		Recovered:      recovered,
+		Added:          sortSets(added),
+		Removed:        sortSets(removed),
+		PeelIterations: t.PeelCount(),
 	}, nil
 }
 

@@ -30,7 +30,7 @@ func NestedKnownD(sess transport.Channel, coins hashing.Coins, alice, bob [][]ui
 	msg := sess.Send(transport.Alice, "nested-iblt", nestedAliceMsg(coins, alice, p, d, dHat))
 
 	// --- Bob ---
-	res, err := nestedBob(coins, msg, bob, codec)
+	res, err := nestedBob(coins, msg, bob, codec, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -40,34 +40,47 @@ func NestedKnownD(sess transport.Channel, coins hashing.Coins, alice, bob [][]ui
 	return res, nil
 }
 
-func nestedBob(coins hashing.Coins, msg []byte, bob [][]uint64, codec childCodec) (*Result, error) {
+func nestedBob(coins hashing.Coins, msg []byte, bob [][]uint64, codec childCodec, sk *BobSketch) (*Result, error) {
 	if len(msg) < 8 {
 		return nil, fmt.Errorf("core: short nested message")
 	}
 	wantParent := binary.LittleEndian.Uint64(msg[len(msg)-8:])
-	parent, err := iblt.Unmarshal(msg[:len(msg)-8])
-	if err != nil {
+	var parent iblt.Table
+	if err := parent.UnmarshalInto(msg[:len(msg)-8]); err != nil {
 		return nil, err
 	}
-	// Delete EB, decode to find EA \ EB (added) and EB \ EA (removed).
-	benc := codec.encoder()
-	for _, cs := range bob {
-		parent.Delete(benc.encode(cs))
+	if parent.Width() != codec.width {
+		return nil, fmt.Errorf("%w: parent key width %d != %d", ErrParentDecode, parent.Width(), codec.width)
 	}
-	addedEnc, removedEnc, err := parent.Decode()
-	if err != nil {
+	bobHashes := make([]uint64, len(bob))
+	for i, cs := range bob {
+		bobHashes[i] = codec.setHash(cs)
+	}
+	// Delete EB, decode to find EA \ EB (added) and EB \ EA (removed).
+	if sk != nil {
+		if err := parent.Subtract(sk.tables[0]); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrParentDecode, err)
+		}
+	} else {
+		benc := codec.encoder()
+		for _, cs := range bob {
+			parent.Delete(benc.encode(cs))
+		}
+	}
+	var diff iblt.PackedDiff
+	if err := parent.DecodePacked(&diff); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrParentDecode, err)
 	}
 
 	// D_B: Bob's child sets whose hashes appear among the removed encodings.
 	byHash := make(map[uint64][]uint64, len(bob))
-	for _, cs := range bob {
-		byHash[codec.setHash(cs)] = cs
+	for i, cs := range bob {
+		byHash[bobHashes[i]] = cs
 	}
-	removedHashes := make(map[uint64]bool, len(removedEnc))
+	removedHashes := make(map[uint64]bool, len(diff.Removed))
 	var dB [][]uint64
-	for _, enc := range removedEnc {
-		_, h, err := codec.decode(enc)
+	for _, enc := range diff.Removed {
+		h, err := codec.encHash(enc)
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrChildDecode, err)
 		}
@@ -76,29 +89,35 @@ func nestedBob(coins hashing.Coins, msg []byte, bob [][]uint64, codec childCodec
 			return nil, fmt.Errorf("%w: removed encoding matches none of Bob's child sets", ErrChildDecode)
 		}
 		dB = append(dB, cs)
-		removedHashes[codec.setHash(cs)] = true
+		removedHashes[h] = true
 	}
 
 	// For each of Alice's child IBLTs, attempt decoding against each IBLT in
 	// D_B (the O(d̂²) pair loop of Theorem 3.5).
+	rec := childRecoverer{c: codec}
 	var dA [][]uint64
-	for _, enc := range addedEnc {
-		ta, hA, err := codec.decode(enc)
+	for _, enc := range diff.Added {
+		hA, err := rec.decodeEnc(enc)
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrChildDecode, err)
 		}
-		rec, ok := codec.recoverFromCandidates(ta, hA, dB)
+		r, ok := rec.recoverFromCandidates(hA, dB)
 		if !ok {
 			return nil, fmt.Errorf("%w: no partner decodes child IBLT", ErrChildDecode)
 		}
-		dA = append(dA, rec)
+		dA = append(dA, r)
 	}
 
-	recovered := assemble(bob, dA, removedHashes, coins)
+	recovered := assembleHashed(bob, bobHashes, dA, removedHashes)
 	if parentHash(coins, recovered) != wantParent {
 		return nil, ErrVerify
 	}
-	return &Result{Recovered: recovered, Added: sortSets(dA), Removed: sortSets(dB)}, nil
+	return &Result{
+		Recovered:      recovered,
+		Added:          sortSets(dA),
+		Removed:        sortSets(dB),
+		PeelIterations: parent.PeelCount() + rec.peels,
+	}, nil
 }
 
 // NestedUnknownD solves SSRU per Corollary 3.6: the Theorem 3.5 protocol is

@@ -102,13 +102,12 @@ type groupCodec struct {
 func newGroupCodec(coins hashing.Coins, childCells, groupCells int) groupCodec {
 	child := newChildCodec(coins, "nested3/child", 0, childCells)
 	seed := coins.Seed("nested3/group", 0)
-	probe := iblt.New(groupCells, child.width, 0, seed)
 	return groupCodec{
 		child:     child,
-		cells:     probe.Cells(),
+		cells:     iblt.RoundCells(groupCells, 0),
 		seed:      seed,
 		groupHash: coins.Seed("nested3/grouphash", 0),
-		width:     probe.SerializedSize() + 8,
+		width:     iblt.SerializedSizeFor(groupCells, child.width, 0) + 8,
 	}
 }
 
@@ -149,33 +148,65 @@ func (gc groupCodec) decode(buf []byte) (*iblt.Table, uint64, error) {
 	return t, binary.LittleEndian.Uint64(buf[len(buf)-8:]), nil
 }
 
-// recoverGroupAgainst reconstructs Alice's group from her group IBLT (and
-// its hash) using candidate as Bob's counterpart group: subtract the
-// candidate's group IBLT, peel to get differing child encodings, recover
+// groupRecoverer carries the scratch for group-level recovery: the group
+// diff/candidate tables, the packed child-encoding diff, and a childRecoverer
+// for the nested per-child recoveries — reused across every (group encoding,
+// candidate) pair of a nested3 decode.
+type groupRecoverer struct {
+	gc    groupCodec
+	ta    iblt.Table // Alice's group table, parsed once per group encoding
+	diff  iblt.Table
+	tb    iblt.Table
+	cdiff iblt.PackedDiff
+	enc   *childEncoder
+	crec  childRecoverer
+}
+
+func newGroupRecoverer(gc groupCodec) *groupRecoverer {
+	return &groupRecoverer{gc: gc, enc: gc.child.encoder(), crec: childRecoverer{c: gc.child}}
+}
+
+// decodeEnc parses a fixed-width group encoding into the scratch table and
+// returns its attached group hash; valid until the next call.
+func (r *groupRecoverer) decodeEnc(buf []byte) (uint64, error) {
+	if len(buf) != r.gc.width {
+		return 0, fmt.Errorf("core: group encoding width %d != %d", len(buf), r.gc.width)
+	}
+	if err := r.ta.UnmarshalInto(buf[:len(buf)-8]); err != nil {
+		return 0, err
+	}
+	if r.ta.Width() != r.gc.child.width {
+		return 0, fmt.Errorf("core: group table key width %d != %d", r.ta.Width(), r.gc.child.width)
+	}
+	return binary.LittleEndian.Uint64(buf[len(buf)-8:]), nil
+}
+
+// recoverGroupAgainst reconstructs Alice's group from the last parsed group
+// IBLT (and its hash) using candidate as Bob's counterpart group: subtract
+// the candidate's group IBLT, peel to get differing child encodings, recover
 // each of Alice's differing children against the candidate's differing
 // children, verify the group hash.
-func (gc groupCodec) recoverGroupAgainst(ta *iblt.Table, wantHash uint64, candidate [][]uint64) ([][]uint64, bool) {
-	diff := ta.Clone()
-	tb := gc.table()
-	enc := gc.child.encoder()
+func (r *groupRecoverer) recoverGroupAgainst(wantHash uint64, candidate [][]uint64) ([][]uint64, bool) {
+	gc := r.gc
+	r.diff.CopyFrom(&r.ta)
+	r.tb.Reshape(gc.cells, gc.child.width, 0, gc.seed)
 	for _, cs := range candidate {
-		tb.Insert(enc.encode(cs))
+		r.tb.Insert(r.enc.encode(cs))
 	}
-	if err := diff.Subtract(tb); err != nil {
+	if err := r.diff.Subtract(&r.tb); err != nil {
 		return nil, false
 	}
-	addedEnc, removedEnc, err := diff.Decode()
-	if err != nil {
+	if err := r.diff.DecodePacked(&r.cdiff); err != nil {
 		return nil, false
 	}
 	byHash := make(map[uint64][]uint64, len(candidate))
 	for _, cs := range candidate {
 		byHash[gc.child.setHash(cs)] = cs
 	}
-	removedHashes := make(map[uint64]bool, len(removedEnc))
+	removedHashes := make(map[uint64]bool, len(r.cdiff.Removed))
 	var dB [][]uint64
-	for _, enc := range removedEnc {
-		_, h, err := gc.child.decode(enc)
+	for _, enc := range r.cdiff.Removed {
+		h, err := gc.child.encHash(enc)
 		if err != nil {
 			return nil, false
 		}
@@ -192,12 +223,12 @@ func (gc groupCodec) recoverGroupAgainst(ta *iblt.Table, wantHash uint64, candid
 			recoveredGroup = append(recoveredGroup, setutil.Clone(cs))
 		}
 	}
-	for _, enc := range addedEnc {
-		childT, hA, err := gc.child.decode(enc)
+	for _, enc := range r.cdiff.Added {
+		hA, err := r.crec.decodeEnc(enc)
 		if err != nil {
 			return nil, false
 		}
-		rec, ok := gc.child.recoverFromCandidates(childT, hA, dB)
+		rec, ok := r.crec.recoverFromCandidates(hA, dB)
 		if !ok {
 			return nil, false
 		}
@@ -208,6 +239,14 @@ func (gc groupCodec) recoverGroupAgainst(ta *iblt.Table, wantHash uint64, candid
 		return nil, false
 	}
 	return recoveredGroup, true
+}
+
+// recoverGroupAgainst is the one-shot form of
+// groupRecoverer.recoverGroupAgainst.
+func (gc groupCodec) recoverGroupAgainst(ta *iblt.Table, wantHash uint64, candidate [][]uint64) ([][]uint64, bool) {
+	r := newGroupRecoverer(gc)
+	r.ta.CopyFrom(ta)
+	return r.recoverGroupAgainst(wantHash, candidate)
 }
 
 // grandparentVerifyLabel names the depth-3 whole-instance hash.
@@ -256,28 +295,31 @@ func nested3Bob(coins hashing.Coins, gc groupCodec, msg []byte, bob [][][]uint64
 		return nil, fmt.Errorf("core: short nested3 message")
 	}
 	wantHash := binary.LittleEndian.Uint64(msg[len(msg)-8:])
-	top, err := iblt.Unmarshal(msg[:len(msg)-8])
-	if err != nil {
+	var top iblt.Table
+	if err := top.UnmarshalInto(msg[:len(msg)-8]); err != nil {
 		return nil, err
+	}
+	if top.Width() != gc.width {
+		return nil, fmt.Errorf("%w: top key width %d != %d", ErrParentDecode, top.Width(), gc.width)
 	}
 	for _, group := range bob {
 		top.Delete(gc.encode(group))
 	}
-	addedEnc, removedEnc, err := top.Decode()
-	if err != nil {
+	var diff iblt.PackedDiff
+	if err := top.DecodePacked(&diff); err != nil {
 		return nil, fmt.Errorf("%w: top level: %v", ErrParentDecode, err)
 	}
 	byHash := make(map[uint64][][]uint64, len(bob))
 	for _, group := range bob {
 		byHash[gc.hashGroup(group)] = group
 	}
-	removedHashes := make(map[uint64]bool, len(removedEnc))
+	removedHashes := make(map[uint64]bool, len(diff.Removed))
 	var removedGroups [][][]uint64
-	for _, enc := range removedEnc {
-		_, h, err := gc.decode(enc)
-		if err != nil {
-			return nil, fmt.Errorf("%w: group: %v", ErrChildDecode, err)
+	for _, enc := range diff.Removed {
+		if len(enc) != gc.width {
+			return nil, fmt.Errorf("%w: group encoding width %d != %d", ErrChildDecode, len(enc), gc.width)
 		}
+		h := binary.LittleEndian.Uint64(enc[len(enc)-8:])
 		group, ok := byHash[h]
 		if !ok {
 			return nil, fmt.Errorf("%w: removed group hash unknown", ErrChildDecode)
@@ -285,22 +327,23 @@ func nested3Bob(coins hashing.Coins, gc groupCodec, msg []byte, bob [][][]uint64
 		removedHashes[h] = true
 		removedGroups = append(removedGroups, group)
 	}
+	grec := newGroupRecoverer(gc)
 	var addedGroups [][][]uint64
-	for _, enc := range addedEnc {
-		ta, hA, err := gc.decode(enc)
+	for _, enc := range diff.Added {
+		hA, err := grec.decodeEnc(enc)
 		if err != nil {
 			return nil, fmt.Errorf("%w: group: %v", ErrChildDecode, err)
 		}
 		var rec [][]uint64
 		ok := false
 		for _, cand := range removedGroups {
-			if rec, ok = gc.recoverGroupAgainst(ta, hA, cand); ok {
+			if rec, ok = grec.recoverGroupAgainst(hA, cand); ok {
 				break
 			}
 		}
 		if !ok {
 			// Empty-group fallback (unequal group counts).
-			if rec, ok = gc.recoverGroupAgainst(ta, hA, nil); !ok {
+			if rec, ok = grec.recoverGroupAgainst(hA, nil); !ok {
 				return nil, fmt.Errorf("%w: no partner decodes group IBLT", ErrChildDecode)
 			}
 		}

@@ -66,13 +66,16 @@ type Cache struct {
 	evictions uint64
 }
 
-// entry is one resident value: a payload of one or more frames. Single-frame
-// payloads (sets, one-round sos digests) and composite payloads (graph sig +
-// edge frames, forest sig + meta frames) share the same storage; the frame
-// count is part of what the builder produced, not of the key.
+// entry is one resident value: a payload of one or more frames, or an opaque
+// decoded value (val non-nil, frames nil). Single-frame payloads (sets,
+// one-round sos digests), composite payloads (graph sig + edge frames, forest
+// sig + meta frames), and decode-side values (Bob sketches) share the same
+// LRU byte budget; the shape is part of what the builder produced, not of the
+// key.
 type entry struct {
 	key    Key
 	frames [][]byte
+	val    any
 	size   int64
 }
 
@@ -80,6 +83,8 @@ type entry struct {
 type call struct {
 	done   chan struct{}
 	frames [][]byte
+	val    any
+	size   int64
 	err    error
 }
 
@@ -140,19 +145,59 @@ func (c *Cache) GetOrCompute(k Key, build func() ([]byte, error)) ([]byte, error
 // under one key so a hit replays the entire Alice side of the session. The
 // returned slices are shared — callers must not mutate them.
 func (c *Cache) GetOrComputeFrames(k Key, build func() ([][]byte, error)) ([][]byte, error) {
+	e, _, err := c.getOrCompute(k, func() (*entry, error) {
+		frames, err := build()
+		if err != nil {
+			return nil, err
+		}
+		return &entry{frames: frames, size: framesSize(frames)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return e.frames, nil
+}
+
+// GetOrComputeValue returns the opaque decoded value for k, running build at
+// most once per key across concurrent callers; build also reports the value's
+// resident size, which counts against the same LRU byte bound the frame
+// payloads share. The returned value is shared — callers must treat it as
+// read-only (Bob sketches, the first user, are only ever Subtract sources).
+// hit reports whether the lookup was served from memory rather than running
+// (or piggybacking on) a build.
+func (c *Cache) GetOrComputeValue(k Key, build func() (any, int64, error)) (val any, hit bool, err error) {
+	e, hit, err := c.getOrCompute(k, func() (*entry, error) {
+		v, size, err := build()
+		if err != nil {
+			return nil, err
+		}
+		return &entry{val: v, size: size}, nil
+	})
+	if err != nil {
+		return nil, hit, err
+	}
+	return e.val, hit, nil
+}
+
+// getOrCompute is the shared lookup/coalesce/insert path. build returns a
+// keyless entry (frames or val plus size) that getOrCompute stores.
+func (c *Cache) getOrCompute(k Key, build func() (*entry, error)) (e *entry, hit bool, err error) {
 	c.mu.Lock()
 	if el, ok := c.entries[k]; ok {
 		c.ll.MoveToFront(el)
 		c.hits++
-		frames := el.Value.(*entry).frames
+		e := el.Value.(*entry)
 		c.mu.Unlock()
-		return frames, nil
+		return e, true, nil
 	}
 	if cl, ok := c.inflight[k]; ok {
 		c.shared++
 		c.mu.Unlock()
 		<-cl.done
-		return cl.frames, cl.err
+		if cl.err != nil {
+			return nil, false, cl.err
+		}
+		return &entry{key: k, frames: cl.frames, val: cl.val, size: cl.size}, false, nil
 	}
 	cl := &call{done: make(chan struct{})}
 	c.inflight[k] = cl
@@ -174,17 +219,25 @@ func (c *Cache) GetOrComputeFrames(k Key, build func() ([][]byte, error)) ([][]b
 			c.mu.Unlock()
 		}
 	}()
-	cl.frames, cl.err = build()
+	built, err := build()
+	if err == nil {
+		cl.frames, cl.val, cl.size = built.frames, built.val, built.size
+	}
+	cl.err = err
 	completed = true
 	close(cl.done)
 
 	c.mu.Lock()
 	delete(c.inflight, k)
 	if cl.err == nil {
-		c.insert(k, cl.frames)
+		built.key = k
+		c.insert(built)
 	}
 	c.mu.Unlock()
-	return cl.frames, cl.err
+	if cl.err != nil {
+		return nil, false, cl.err
+	}
+	return built, false, nil
 }
 
 // Get returns the cached single-frame payload for k without computing
@@ -203,12 +256,12 @@ func (c *Cache) Get(k Key) ([]byte, bool) {
 }
 
 // GetFrames returns the cached payload frames for k without computing
-// anything.
+// anything. Opaque-value entries (GetOrComputeValue) report a miss.
 func (c *Cache) GetFrames(k Key) ([][]byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.entries[k]
-	if !ok {
+	if !ok || el.Value.(*entry).val != nil {
 		return nil, false
 	}
 	c.ll.MoveToFront(el)
@@ -216,22 +269,21 @@ func (c *Cache) GetFrames(k Key) ([][]byte, bool) {
 	return el.Value.(*entry).frames, true
 }
 
-// insert stores frames under k and evicts from the LRU tail until the byte
+// insert stores a built entry and evicts from the LRU tail until the byte
 // bound holds. Oversized payloads (> half the bound) are not retained — one
 // giant value must not flush the whole working set. Caller holds mu.
-func (c *Cache) insert(k Key, frames [][]byte) {
-	size := framesSize(frames)
-	if size > c.maxBytes/2 {
+func (c *Cache) insert(ne *entry) {
+	if ne.size > c.maxBytes/2 {
 		return
 	}
-	if el, ok := c.entries[k]; ok { // lost a race with an identical build
+	if el, ok := c.entries[ne.key]; ok { // lost a race with an identical build
 		e := el.Value.(*entry)
-		c.bytes += size - e.size
-		e.frames, e.size = frames, size
+		c.bytes += ne.size - e.size
+		e.frames, e.val, e.size = ne.frames, ne.val, ne.size
 		c.ll.MoveToFront(el)
 	} else {
-		c.entries[k] = c.ll.PushFront(&entry{key: k, frames: frames, size: size})
-		c.bytes += size
+		c.entries[ne.key] = c.ll.PushFront(ne)
+		c.bytes += ne.size
 	}
 	for c.bytes > c.maxBytes {
 		tail := c.ll.Back()

@@ -314,3 +314,62 @@ func TestCompositeEvictionUsesTotalSize(t *testing.T) {
 		t.Fatal("LRU tail survived eviction")
 	}
 }
+
+func TestGetOrComputeValueCachesAndEvicts(t *testing.T) {
+	c := New(1000)
+	k := Key{Dataset: "ds", Proto: "bob/cascade", Seed: 7}
+	builds := 0
+	build := func() (any, int64, error) {
+		builds++
+		return &[3]int{1, 2, 3}, 400, nil
+	}
+	v1, hit, err := c.GetOrComputeValue(k, build)
+	if err != nil || hit || builds != 1 {
+		t.Fatalf("first lookup: hit=%v builds=%d err=%v", hit, builds, err)
+	}
+	v2, hit, err := c.GetOrComputeValue(k, build)
+	if err != nil || !hit || builds != 1 {
+		t.Fatalf("second lookup: hit=%v builds=%d err=%v", hit, builds, err)
+	}
+	if v1 != v2 {
+		t.Fatal("cached value not shared")
+	}
+	if st := c.Stats(); st.Bytes != 400 || st.Entries != 1 {
+		t.Fatalf("stats after value insert: %+v", st)
+	}
+	// Value entries must not leak through the frame accessors.
+	if _, ok := c.Get(k); ok {
+		t.Fatal("Get returned an opaque value entry")
+	}
+	if _, ok := c.GetFrames(k); ok {
+		t.Fatal("GetFrames returned an opaque value entry")
+	}
+	// Values share the byte budget with frames: two more 400-byte values push
+	// the first out.
+	for i := 0; i < 2; i++ {
+		k2 := k
+		k2.Seed = uint64(100 + i)
+		if _, _, err := c.GetOrComputeValue(k2, build); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, hit, _ := c.GetOrComputeValue(k, build); hit {
+		t.Fatal("evicted value still resident")
+	}
+	if st := c.Stats(); st.Evictions == 0 || st.Bytes > 1000 {
+		t.Fatalf("stats after eviction: %+v", st)
+	}
+}
+
+func TestGetOrComputeValueErrorNotCached(t *testing.T) {
+	c := New(0)
+	k := Key{Dataset: "ds", Proto: "bob/naive"}
+	boom := errors.New("boom")
+	if _, _, err := c.GetOrComputeValue(k, func() (any, int64, error) { return nil, 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	v, hit, err := c.GetOrComputeValue(k, func() (any, int64, error) { return "ok", 2, nil })
+	if err != nil || hit || v != "ok" {
+		t.Fatalf("retry after error: %v %v %v", v, hit, err)
+	}
+}

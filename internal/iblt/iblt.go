@@ -53,6 +53,8 @@ type Table struct {
 	keySums []byte // cells * width bytes
 	checks  []uint64
 	idx     []int // per-table cell-index scratch, reused across updates/peels
+	queue   []int // per-table peel queue scratch, reused across decodes
+	peeled  int   // keys peeled by the most recent decode (PeelCount)
 }
 
 const checksumSalt = 0x635f73756d5f6b65
@@ -65,12 +67,7 @@ func New(cells, width, k int, seed uint64) *Table {
 	if k <= 0 {
 		k = DefaultHashCount
 	}
-	if cells < k {
-		cells = k
-	}
-	if rem := cells % k; rem != 0 {
-		cells += k - rem
-	}
+	cells = RoundCells(cells, k)
 	if width <= 0 {
 		panic("iblt: non-positive key width")
 	}
@@ -260,12 +257,7 @@ func (t *Table) IsEmpty() bool {
 // so far along with ErrDecodeFailed; the table is consumed either way. Use
 // Clone first if the original must be preserved.
 func (t *Table) Decode() (added, removed [][]byte, err error) {
-	queue := make([]int, 0, t.cells)
-	for c := 0; c < t.cells; c++ {
-		if t.purable(c) {
-			queue = append(queue, c)
-		}
-	}
+	queue := t.seedQueue()
 	for len(queue) > 0 {
 		c := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
@@ -274,6 +266,7 @@ func (t *Table) Decode() (added, removed [][]byte, err error) {
 		}
 		key := append([]byte(nil), t.keySums[c*t.width:(c+1)*t.width]...)
 		sign := t.counts[c]
+		t.peeled++
 		if sign == 1 {
 			added = append(added, key)
 		} else {
@@ -291,11 +284,35 @@ func (t *Table) Decode() (added, removed [][]byte, err error) {
 			}
 		}
 	}
+	t.queue = queue[:0]
 	if !t.IsEmpty() {
 		return added, removed, ErrDecodeFailed
 	}
 	return added, removed, nil
 }
+
+// seedQueue fills the table's reusable peel queue with the initially pure
+// cells and resets the peel counter. The returned slice aliases t.queue;
+// decode loops must store their final (possibly regrown) queue back.
+func (t *Table) seedQueue() []int {
+	t.peeled = 0
+	queue := t.queue
+	if cap(queue) < t.cells {
+		queue = make([]int, 0, t.cells)
+	}
+	queue = queue[:0]
+	for c := 0; c < t.cells; c++ {
+		if t.purable(c) {
+			queue = append(queue, c)
+		}
+	}
+	return queue
+}
+
+// PeelCount reports how many keys the most recent decode call on this table
+// peeled (successfully recovered before finishing or stalling) — the "peel
+// iterations" a decode-stage histogram observes.
+func (t *Table) PeelCount() int { return t.peeled }
 
 // purable reports whether cell c holds exactly one key: |count| == 1 and the
 // checksum of the key sum matches the checksum sum (§2's guard against
@@ -314,32 +331,40 @@ func (t *Table) purable(c int) bool {
 // tables it peels natively over uint64 keys, allocating only the result
 // slices; other widths fall back to the generic byte peel.
 func (t *Table) DecodeUint64() (added, removed []uint64, err error) {
+	return t.AppendDecodeUint64(nil, nil)
+}
+
+// AppendDecodeUint64 is DecodeUint64 appending into caller-provided slices
+// (either may be nil), so a steady-state decode loop reuses its result
+// buffers and allocates nothing. The peel is bounded at 2×cells keys — far
+// beyond anything an honest table yields — so a corrupt table whose checksum
+// collisions keep minting "pure" cells fails instead of spinning.
+func (t *Table) AppendDecodeUint64(added, removed []uint64) (a, r []uint64, err error) {
 	if t.width != WordWidth {
-		a, r, err := t.Decode()
-		added = make([]uint64, len(a))
-		for i, k := range a {
-			added[i] = binary.LittleEndian.Uint64(k)
+		ab, rb, err := t.Decode()
+		for _, k := range ab {
+			added = append(added, binary.LittleEndian.Uint64(k))
 		}
-		removed = make([]uint64, len(r))
-		for i, k := range r {
-			removed[i] = binary.LittleEndian.Uint64(k)
+		for _, k := range rb {
+			removed = append(removed, binary.LittleEndian.Uint64(k))
 		}
 		return added, removed, err
 	}
-	queue := make([]int, 0, t.cells)
-	for c := 0; c < t.cells; c++ {
-		if t.purable(c) {
-			queue = append(queue, c)
-		}
-	}
+	queue := t.seedQueue()
+	maxPeels := 2 * t.cells
 	for len(queue) > 0 {
 		c := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
 		if !t.purable(c) {
 			continue
 		}
+		if t.peeled >= maxPeels {
+			t.queue = queue[:0]
+			return added, removed, ErrDecodeFailed
+		}
 		x := binary.LittleEndian.Uint64(t.keySums[c*WordWidth:])
 		sign := t.counts[c]
+		t.peeled++
 		if sign == 1 {
 			added = append(added, x)
 		} else {
@@ -357,6 +382,7 @@ func (t *Table) DecodeUint64() (added, removed []uint64, err error) {
 			}
 		}
 	}
+	t.queue = queue[:0]
 	if !t.IsEmpty() {
 		return added, removed, ErrDecodeFailed
 	}
@@ -372,6 +398,14 @@ func (t *Table) SerializedSize() int {
 // SerializedSizeFor computes the Marshal size for a hypothetical table, used
 // by protocols when budgeting communication.
 func SerializedSizeFor(cells, width, k int) int {
+	return headerSize + RoundCells(cells, k)*(4+width+8)
+}
+
+// RoundCells returns the actual cell count a table built with New(cells, _,
+// k, _) ends up with: at least k, rounded up to a multiple of k (k ≤ 0
+// selects DefaultHashCount). Protocol codecs use it to plan table shapes
+// without allocating probe tables.
+func RoundCells(cells, k int) int {
 	if k <= 0 {
 		k = DefaultHashCount
 	}
@@ -381,7 +415,7 @@ func SerializedSizeFor(cells, width, k int) int {
 	if rem := cells % k; rem != 0 {
 		cells += k - rem
 	}
-	return headerSize + cells*(4+width+8)
+	return cells
 }
 
 const headerSize = 4 + 4 + 4 + 8 // k, cells, width, seed
@@ -421,39 +455,20 @@ func (t *Table) AppendMarshal(dst []byte) []byte {
 	return dst
 }
 
-// Unmarshal parses a table serialized by Marshal.
+// Unmarshal parses a table serialized by Marshal. The claimed shape is
+// validated against the actual buffer BEFORE any allocation (see
+// parseHeader), so a corrupt or hostile header cannot trigger a giant
+// allocation.
 func Unmarshal(buf []byte) (*Table, error) {
-	if len(buf) < headerSize {
-		return nil, fmt.Errorf("iblt: truncated header (%d bytes)", len(buf))
-	}
-	k := int(binary.LittleEndian.Uint32(buf[0:]))
-	cells := int(binary.LittleEndian.Uint32(buf[4:]))
-	width := int(binary.LittleEndian.Uint32(buf[8:]))
-	seed := binary.LittleEndian.Uint64(buf[12:])
-	if k <= 0 || cells <= 0 || width <= 0 || cells%k != 0 {
-		return nil, fmt.Errorf("iblt: malformed header k=%d cells=%d width=%d", k, cells, width)
-	}
-	// Validate the claimed shape against the actual buffer BEFORE any
-	// allocation, so a corrupt or hostile header cannot trigger a giant
-	// allocation (64-bit arithmetic avoids overflow games).
-	need64 := int64(headerSize) + int64(cells)*int64(4+width+8)
-	if int64(len(buf)) < need64 {
-		return nil, fmt.Errorf("iblt: truncated body (%d < %d bytes)", len(buf), need64)
+	k, cells, width, seed, err := parseHeader(buf)
+	if err != nil {
+		return nil, err
 	}
 	t := New(cells, width, k, seed)
-	need := t.SerializedSize()
-	if len(buf) < need {
-		return nil, fmt.Errorf("iblt: truncated body (%d < %d bytes)", len(buf), need)
+	if len(buf) < t.SerializedSize() {
+		return nil, fmt.Errorf("iblt: truncated body (%d < %d bytes)", len(buf), t.SerializedSize())
 	}
-	off := headerSize
-	for c := 0; c < cells; c++ {
-		t.counts[c] = int32(binary.LittleEndian.Uint32(buf[off:]))
-		off += 4
-		copy(t.keySums[c*width:(c+1)*width], buf[off:off+width])
-		off += width
-		t.checks[c] = binary.LittleEndian.Uint64(buf[off:])
-		off += 8
-	}
+	fillCells(t, buf)
 	return t, nil
 }
 

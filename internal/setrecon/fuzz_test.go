@@ -1,0 +1,31 @@
+package setrecon
+
+import (
+	"testing"
+
+	"sosr/internal/hashing"
+)
+
+// FuzzApplyIBLTMsg feeds arbitrary bytes to Bob's IBLT entry point: malformed
+// payloads must error (or verify-fail), never panic or spin — the scratch
+// reuse and the bounded peel are the hardening under test.
+func FuzzApplyIBLTMsg(f *testing.F) {
+	coins := hashing.NewCoins(7)
+	alice := []uint64{1, 5, 9, 1 << 40}
+	bob := []uint64{1, 5, 10}
+	good := BuildIBLTMsg(coins, alice, 4)
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add(make([]byte, 64))
+	truncated := append([]byte(nil), good[:len(good)/2]...)
+	f.Add(truncated)
+	flipped := append([]byte(nil), good...)
+	flipped[len(flipped)/3] ^= 0x40
+	f.Add(flipped)
+	f.Fuzz(func(t *testing.T, msg []byte) {
+		res, err := ApplyIBLTMsg(coins, msg, bob)
+		if err == nil && res == nil {
+			t.Fatal("nil result without error")
+		}
+	})
+}

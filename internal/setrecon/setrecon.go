@@ -93,14 +93,18 @@ func ApplyIBLTMsg(coins hashing.Coins, msg []byte, bob []uint64) (*Result, error
 		return nil, fmt.Errorf("setrecon: short message (%d bytes)", len(msg))
 	}
 	body, vhBytes := msg[:len(msg)-8], msg[len(msg)-8:]
-	t, err := iblt.Unmarshal(body)
-	if err != nil {
+	var t iblt.Table
+	if err := t.UnmarshalInto(body); err != nil {
 		return nil, err
+	}
+	if t.Width() != iblt.WordWidth {
+		return nil, fmt.Errorf("setrecon: unexpected key width %d", t.Width())
 	}
 	for _, x := range bob {
 		t.DeleteUint64(x)
 	}
-	onlyA, onlyB, err := t.DecodeUint64()
+	// AppendDecodeUint64 bounds the peel, so a hostile table cannot spin.
+	onlyA, onlyB, err := t.AppendDecodeUint64(nil, nil)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrDecode, err)
 	}

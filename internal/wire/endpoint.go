@@ -34,11 +34,49 @@ type Endpoint struct {
 	bytesIn  atomic.Int64
 	bytesOut atomic.Int64
 	wbuf     []byte // reusable frame-encode scratch (SendFrame)
+
+	// rbufs is the bounded read ring: each received frame lands in the next
+	// slot, so a payload returned by RecvFrame stays valid for at least
+	// readRingSlots − (readAheadDepth + 1) further receives — comfortably
+	// above the two concurrently held payloads any protocol flow needs
+	// (graph/forest signature + edge/meta frames). rnext is owned by the
+	// session goroutine, or by the read-ahead goroutine once one is started.
+	rbufs [readRingSlots][]byte
+	rnext int
+
+	// ra delivers pipelined frames once StartReadAhead runs; raStop tells the
+	// reader goroutine to discard an undelivered frame and exit.
+	ra     chan raFrame
+	raStop chan struct{}
 }
 
 // maxRetainedWriteBuf caps the scratch kept between frames; a single huge
 // payload must not pin its buffer for the connection's lifetime.
 const maxRetainedWriteBuf = 1 << 20
+
+// maxRetainedReadBuf caps each read-ring slot kept between frames, mirroring
+// the write-side bound.
+const maxRetainedReadBuf = 1 << 20
+
+// readRingSlots is the read-ring size. The invariant: slots in flight =
+// frames queued in the read-ahead channel (≤ readAheadDepth) + one being read
+// + payloads the session still references (≤ 2 in every protocol flow), so
+// readAheadDepth + 3 slots suffice; 6 leaves a margin.
+const readRingSlots = 6
+
+// readAheadDepth bounds how many frames the reader goroutine decodes ahead of
+// the session consuming them.
+const readAheadDepth = 2
+
+// raFrame is one pipelined frame in flight between the reader goroutine and
+// RecvFrame. Byte and stats accounting happen at consume time, so pipelined
+// and synchronous sessions report identical totals at every protocol step.
+type raFrame struct {
+	label   string
+	payload []byte
+	n       int
+	err     error
+}
 
 // NewEndpoint wraps one side of a framed connection. local is the role this
 // process plays (the sosrnet server is Alice, the client Bob).
@@ -119,13 +157,88 @@ func (e *Endpoint) SendFrame(label string, payload []byte) error {
 	return nil
 }
 
+// readOne decodes the next frame into the next read-ring slot. Called from
+// the session goroutine, or from the read-ahead goroutine once one owns the
+// ring.
+func (e *Endpoint) readOne() (label string, payload []byte, n int, err error) {
+	slot := e.rnext
+	e.rnext = (e.rnext + 1) % readRingSlots
+	label, payload, n, buf, err := readFrameInto(e.rw, e.maxPayload, e.rbufs[slot])
+	if cap(buf) <= maxRetainedReadBuf {
+		e.rbufs[slot] = buf
+	} else {
+		e.rbufs[slot] = nil
+	}
+	return label, payload, n, err
+}
+
+// StartReadAhead pipelines frame reads: a reader goroutine decodes frame k+1
+// off the connection while the session is still processing frame k, up to
+// readAheadDepth frames ahead, reusing the same read ring the synchronous
+// path uses. RecvFrame transparently consumes from the pipeline; byte and
+// stats accounting stay at consume time, so totals match an unpipelined
+// session at every step. The first read error is delivered in order and ends
+// the pipeline. Idempotent; a no-op on an already failed endpoint.
+//
+// The reader goroutine blocks in conn reads; closing the connection (which
+// every session owner does) is what unblocks and retires it. Call
+// StopReadAhead before the endpoint is abandoned so a frame the goroutine
+// already holds is discarded rather than waiting for a consumer.
+func (e *Endpoint) StartReadAhead() {
+	if e.ra != nil || e.err != nil {
+		return
+	}
+	ch := make(chan raFrame, readAheadDepth)
+	stop := make(chan struct{})
+	e.ra, e.raStop = ch, stop
+	go func() {
+		defer close(ch)
+		for {
+			label, payload, n, err := e.readOne()
+			select {
+			case ch <- raFrame{label: label, payload: payload, n: n, err: err}:
+			case <-stop:
+				return
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+}
+
+// StopReadAhead signals the reader goroutine to discard any undelivered
+// frame and exit; it does not wait (a goroutine blocked in a conn read exits
+// when the owner closes the connection). Safe to call when read-ahead was
+// never started. The endpoint must not be used for further receives after
+// stopping.
+func (e *Endpoint) StopReadAhead() {
+	if e.raStop != nil {
+		close(e.raStop)
+		e.raStop = nil
+	}
+}
+
 // RecvFrame reads the peer's next frame, recording protocol frames in the
-// stats mirror.
+// stats mirror. The returned payload is backed by the endpoint's read ring:
+// it stays valid for at least three subsequent receives, then its slot is
+// reused — retain a copy to hold it longer.
 func (e *Endpoint) RecvFrame() (label string, payload []byte, err error) {
 	if e.err != nil {
 		return "", nil, e.err
 	}
-	label, payload, n, err := ReadFrame(e.rw, e.maxPayload)
+	var n int
+	if e.ra != nil {
+		f, ok := <-e.ra
+		if !ok {
+			// Reader gone without delivering an error: only possible after
+			// StopReadAhead, i.e. a receive on an abandoned endpoint.
+			return "", nil, e.fail(io.ErrUnexpectedEOF)
+		}
+		label, payload, n, err = f.label, f.payload, f.n, f.err
+	} else {
+		label, payload, n, err = e.readOne()
+	}
 	e.bytesIn.Add(int64(n))
 	if err != nil {
 		return "", nil, e.fail(err)

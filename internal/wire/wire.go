@@ -114,6 +114,16 @@ func WriteFrame(w io.Writer, label string, payload []byte) (int, error) {
 // consumed. Truncated streams surface io.ErrUnexpectedEOF (or io.EOF when no
 // frame byte arrived at all, so callers can treat a clean close distinctly).
 func ReadFrame(r io.Reader, maxPayload int) (label string, payload []byte, n int, err error) {
+	label, payload, n, _, err = readFrameInto(r, maxPayload, nil)
+	return label, payload, n, err
+}
+
+// readFrameInto is ReadFrame with a caller-supplied scratch buffer: the frame
+// body is read into scratch (grown only when too small) and the returned
+// payload is a subslice of the returned buffer, valid until the buffer is
+// reused. Endpoint's read ring feeds its slots through here so steady-state
+// receives do not allocate per frame beyond the label string.
+func readFrameInto(r io.Reader, maxPayload int, scratch []byte) (label string, payload []byte, n int, buf []byte, err error) {
 	if maxPayload <= 0 {
 		maxPayload = DefaultMaxPayload
 	}
@@ -124,35 +134,41 @@ func ReadFrame(r io.Reader, maxPayload int) (label string, payload []byte, n int
 		if errors.Is(err, io.EOF) && hn > 0 {
 			err = io.ErrUnexpectedEOF
 		}
-		return "", nil, n, err
+		return "", nil, n, scratch, err
 	}
 	if [4]byte(hdr[:4]) != Magic {
-		return "", nil, n, ErrBadMagic
+		return "", nil, n, scratch, ErrBadMagic
 	}
 	if hdr[4] != Version {
-		return "", nil, n, fmt.Errorf("%w: %d", ErrVersion, hdr[4])
+		return "", nil, n, scratch, fmt.Errorf("%w: %d", ErrVersion, hdr[4])
 	}
 	labelLen := int(hdr[5])
 	// Compare in uint64 before converting: on 32-bit platforms a hostile
 	// length ≥ 2^31 would wrap negative as int and slip past the bound.
 	rawLen := binary.LittleEndian.Uint32(hdr[6:])
 	if uint64(rawLen) > uint64(maxPayload) {
-		return "", nil, n, fmt.Errorf("%w: payload %d > limit %d", ErrTooLarge, rawLen, maxPayload)
+		return "", nil, n, scratch, fmt.Errorf("%w: payload %d > limit %d", ErrTooLarge, rawLen, maxPayload)
 	}
 	payloadLen := int(rawLen)
-	body := make([]byte, labelLen+payloadLen+crcLen)
+	need := labelLen + payloadLen + crcLen
+	body := scratch
+	if cap(body) < need {
+		body = make([]byte, need)
+	} else {
+		body = body[:need]
+	}
 	bn, err := io.ReadFull(r, body)
 	n += bn
 	if err != nil {
 		if errors.Is(err, io.EOF) {
 			err = io.ErrUnexpectedEOF
 		}
-		return "", nil, n, err
+		return "", nil, n, body, err
 	}
 	crc := crc32.Checksum(hdr[:], castagnoli)
 	crc = crc32.Update(crc, castagnoli, body[:labelLen+payloadLen])
 	if binary.LittleEndian.Uint32(body[labelLen+payloadLen:]) != crc {
-		return "", nil, n, ErrChecksum
+		return "", nil, n, body, ErrChecksum
 	}
-	return string(body[:labelLen]), body[labelLen : labelLen+payloadLen : labelLen+payloadLen], n, nil
+	return string(body[:labelLen]), body[labelLen : labelLen+payloadLen : labelLen+payloadLen], n, body, nil
 }

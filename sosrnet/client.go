@@ -5,13 +5,16 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sync"
 	"time"
 
 	"sosr"
 	"sosr/internal/core"
+	"sosr/internal/enccache"
 	"sosr/internal/forest"
 	"sosr/internal/graphrecon"
 	"sosr/internal/hashing"
+	"sosr/internal/obs"
 	"sosr/internal/setrecon"
 	"sosr/internal/setutil"
 	"sosr/internal/transport"
@@ -54,13 +57,32 @@ type Client struct {
 	ShardIndex       int
 	ShardCount       int
 	ShardFingerprint uint64
+	// Obs, when set, receives decode-stage metrics: sketch-cache hits/misses
+	// and a peel-iterations histogram.
+	Obs *obs.Registry
+	// CacheBytes bounds the client's Bob-sketch cache: repeated sets-of-sets
+	// sessions against the same dataset with the same local data subtract a
+	// memoized child-encoding aggregate instead of re-encoding per session.
+	// 0 selects enccache.DefaultMaxBytes; negative disables caching.
+	CacheBytes int64
+
+	cacheOnce sync.Once
+	cache     *enccache.Cache
+	metOnce   sync.Once
+	met       *clientMetrics
+	// sketchFor, when non-nil, overrides the sketch cache as the source of Bob
+	// sketches (the server pull path keys sketches on dataset versions).
+	sketchFor sketchProvider
 }
 
 // Dial returns a client for the given server address. No connection is made
 // until a reconcile method runs.
 func Dial(addr string) *Client { return &Client{Addr: addr} }
 
-// session opens one connection and wraps it as Bob's endpoint.
+// session opens one connection and wraps it as Bob's endpoint with pipelined
+// reads: the server's next frame is decoded off the socket while the client
+// is still applying the previous one. Callers close the connection (which
+// retires the reader goroutine) and defer ep.StopReadAhead().
 func (c *Client) session() (net.Conn, *wire.Endpoint, error) {
 	conn, err := net.DialTimeout("tcp", c.Addr, c.Timeout)
 	if err != nil {
@@ -71,6 +93,7 @@ func (c *Client) session() (net.Conn, *wire.Endpoint, error) {
 	}
 	ep := wire.NewEndpoint(conn, transport.Bob)
 	ep.SetMaxPayload(c.MaxFrame)
+	ep.StartReadAhead()
 	return conn, ep, nil
 }
 
@@ -132,6 +155,7 @@ func (c *Client) Sets(name string, local []uint64, cfg sosr.SetConfig) (*sosr.Se
 		return nil, nil, err
 	}
 	defer conn.Close()
+	defer ep.StopReadAhead()
 	_, err = c.hello(ep, &helloMsg{
 		Dataset: name, Kind: KindSet, Seed: cfg.Seed,
 		D: cfg.KnownDiff, CharPoly: cfg.UseCharPoly,
@@ -192,6 +216,7 @@ func (c *Client) Multiset(name string, local []uint64, diffBound int, seed uint6
 		return nil, nil, err
 	}
 	defer conn.Close()
+	defer ep.StopReadAhead()
 	if _, err = c.hello(ep, &helloMsg{Dataset: name, Kind: KindMultiset, Seed: seed, D: diffBound}); err != nil {
 		return nil, nil, err
 	}
@@ -229,6 +254,7 @@ func (c *Client) SetsOfSets(name string, local [][]uint64, cfg sosr.Config) (*so
 		return nil, nil, err
 	}
 	defer conn.Close()
+	defer ep.StopReadAhead()
 	acc, err := c.hello(ep, &helloMsg{
 		Dataset: name, Kind: KindSetsOfSets, Seed: cfg.Seed,
 		D: cfg.KnownDiff, Protocol: cfg.Protocol.String(), DHat: cfg.KnownChildDiff,
@@ -249,32 +275,33 @@ func (c *Client) SetsOfSets(name string, local [][]uint64, cfg sosr.Config) (*so
 		}
 	}
 	coins := hashing.NewCoins(cfg.Seed)
+	ap := c.newSOSApply(name, bob, p)
 	var res *core.Result
 	var attempts int
 	switch acc.Protocol {
 	case "naive":
 		if acc.D > 0 {
-			res, attempts, err = applyReplicatedOneShot(ep, coins, bob, p, acc, core.DigestNaive, "naive-iblt")
+			res, attempts, err = ap.replicatedOneShot(ep, coins, acc, core.DigestNaive, "naive-iblt")
 		} else {
 			if err = ep.SendFrame("childdiff-estimator", core.BuildChildDiffProbe(coins, bob, p)); err != nil {
 				return nil, nil, err
 			}
-			res, attempts, err = applyOneShot(ep, coins, bob, p, 1, 0, core.DigestNaive, "naive-iblt")
+			res, attempts, err = ap.oneShot(ep, coins, 1, 0, core.DigestNaive, "naive-iblt")
 		}
 	case "nested":
 		if acc.D > 0 {
-			res, attempts, err = applyReplicatedOneShot(ep, coins, bob, p, acc, core.DigestNested, "nested-iblt")
+			res, attempts, err = ap.replicatedOneShot(ep, coins, acc, core.DigestNested, "nested-iblt")
 		} else {
-			res, attempts, err = applyDoubling(ep, coins, bob, p, core.DigestNested, "nested-iblt")
+			res, attempts, err = ap.doubling(ep, coins, core.DigestNested, "nested-iblt")
 		}
 	case "cascade":
 		if acc.D > 0 {
-			res, attempts, err = applyReplicatedOneShot(ep, coins, bob, p, acc, core.DigestCascade, "cascade-iblts")
+			res, attempts, err = ap.replicatedOneShot(ep, coins, acc, core.DigestCascade, "cascade-iblts")
 		} else {
-			res, attempts, err = applyDoubling(ep, coins, bob, p, core.DigestCascade, "cascade-iblts")
+			res, attempts, err = ap.doubling(ep, coins, core.DigestCascade, "cascade-iblts")
 		}
 	case "multiround":
-		res, attempts, err = applyMultiRound(ep, coins, bob, p, acc)
+		res, attempts, err = ap.multiRound(ep, coins, acc)
 	default:
 		err = fmt.Errorf("%w: server resolved protocol %q", ErrUnsupported, acc.Protocol)
 	}
@@ -306,31 +333,36 @@ func parseProtocol(s string) sosr.Protocol {
 	return sosr.ProtocolAuto
 }
 
-// applyOneShot consumes a single one-round payload.
-func applyOneShot(ep *wire.Endpoint, coins hashing.Coins, bob [][]uint64, p core.Params, d, dHat int, kind core.DigestKind, label string) (*core.Result, int, error) {
+// oneShot consumes a single one-round payload. It stays on the uncached
+// apply path: the naive unknown-d flow reaches here, where the server derives
+// dHat from the probe — the client cannot key a sketch on a bound it never
+// learns. Peel metrics are still observed.
+func (a *sosApply) oneShot(ep *wire.Endpoint, coins hashing.Coins, d, dHat int, kind core.DigestKind, label string) (*core.Result, int, error) {
 	body, err := recvOrServerError(ep, label)
 	if err != nil {
 		return nil, 0, err
 	}
-	res, err := core.ApplyMsg(kind, coins, body, bob, p, d, dHat)
+	res, err := core.ApplyMsg(kind, coins, body, a.bob, a.p, d, dHat)
 	if err != nil {
 		sendDone(ep, false, err, 1)
 		return nil, 0, err
 	}
+	a.c.observePeels(res.PeelIterations)
 	sendDone(ep, true, nil, 1)
 	return res, 1, nil
 }
 
-// applyReplicatedOneShot mirrors core.Replicated: up to Replicas attempts
-// with fresh per-attempt coins, requesting each retry with a control frame.
-func applyReplicatedOneShot(ep *wire.Endpoint, coins hashing.Coins, bob [][]uint64, p core.Params, acc *acceptMsg, kind core.DigestKind, label string) (*core.Result, int, error) {
+// replicatedOneShot mirrors core.Replicated: up to Replicas attempts with
+// fresh per-attempt coins, requesting each retry with a control frame. Each
+// attempt subtracts the cached Bob sketch for its derived coins.
+func (a *sosApply) replicatedOneShot(ep *wire.Endpoint, coins hashing.Coins, acc *acceptMsg, kind core.DigestKind, label string) (*core.Result, int, error) {
 	var lastErr error
 	for r := 0; r < acc.Replicas; r++ {
 		body, err := recvOrServerError(ep, label)
 		if err != nil {
 			return nil, 0, err
 		}
-		res, err := core.ApplyMsg(kind, coins.Sub("replica", r), body, bob, p, acc.D, acc.DHat)
+		res, err := a.apply(coins.Sub("replica", r), body, kind, acc.D, acc.DHat)
 		if err == nil {
 			sendDone(ep, true, nil, r+1)
 			return res, r + 1, nil
@@ -347,10 +379,11 @@ func applyReplicatedOneShot(ep *wire.Endpoint, coins hashing.Coins, bob [][]uint
 	return nil, 0, err
 }
 
-// applyDoubling mirrors core's doublingLoop: attempt k applies the d = 2^k
+// doubling mirrors core's doublingLoop: attempt k applies the d = 2^k
 // payload, answering with the protocol "ack"/"retry" frames the in-process
-// run records.
-func applyDoubling(ep *wire.Endpoint, coins hashing.Coins, bob [][]uint64, p core.Params, kind core.DigestKind, label string) (*core.Result, int, error) {
+// run records. Each attempt's (coins, d, dHat) triple keys its own cached
+// sketch.
+func (a *sosApply) doubling(ep *wire.Endpoint, coins hashing.Coins, kind core.DigestKind, label string) (*core.Result, int, error) {
 	var lastErr error
 	for k := 0; k < maxDoublingAttempts; k++ {
 		d := 1 << k
@@ -361,7 +394,7 @@ func applyDoubling(ep *wire.Endpoint, coins hashing.Coins, bob [][]uint64, p cor
 			}
 			return nil, 0, err
 		}
-		res, err := core.ApplyMsg(kind, coins.Sub("doubling-attempt", k), body, bob, p, d, core.DHat(d, p.S))
+		res, err := a.apply(coins.Sub("doubling-attempt", k), body, kind, d, core.DHat(d, a.p.S))
 		if err == nil {
 			if err := ep.SendFrame("ack", []byte{1}); err != nil {
 				return nil, 0, err
@@ -377,9 +410,12 @@ func applyDoubling(ep *wire.Endpoint, coins hashing.Coins, bob [][]uint64, p cor
 	return nil, 0, fmt.Errorf("%w: %v", ErrGaveUp, lastErr)
 }
 
-// applyMultiRound mirrors the Theorem 3.9/3.10 client side, with the §3.2
-// replication loop when d is known.
-func applyMultiRound(ep *wire.Endpoint, coins hashing.Coins, bob [][]uint64, p core.Params, acc *acceptMsg) (*core.Result, int, error) {
+// multiRound mirrors the Theorem 3.9/3.10 client side, with the §3.2
+// replication loop when d is known. Multi-round payloads depend on
+// interactive per-session state, so this path is uncached; peel metrics are
+// still observed.
+func (a *sosApply) multiRound(ep *wire.Endpoint, coins hashing.Coins, acc *acceptMsg) (*core.Result, int, error) {
+	bob, p := a.bob, a.p
 	attempts := acc.Replicas
 	if acc.D <= 0 {
 		attempts = 1
@@ -427,6 +463,7 @@ func applyMultiRound(ep *wire.Endpoint, coins hashing.Coins, bob [][]uint64, p c
 			}
 			continue
 		}
+		a.c.observePeels(res.PeelIterations)
 		sendDone(ep, true, nil, r+1)
 		return res, r + 1, nil
 	}
@@ -472,6 +509,7 @@ func (c *Client) Graph(name string, local sosr.Graph, cfg sosr.GraphConfig) (*so
 		return nil, nil, err
 	}
 	defer conn.Close()
+	defer ep.StopReadAhead()
 	acc, err := c.hello(ep, h)
 	if err != nil {
 		return nil, nil, err
@@ -522,6 +560,7 @@ func (c *Client) Forest(name string, local sosr.Forest, cfg sosr.ForestConfig) (
 		return nil, nil, err
 	}
 	defer conn.Close()
+	defer ep.StopReadAhead()
 	acc, err := c.hello(ep, &helloMsg{
 		Dataset: name, Kind: KindForest, Seed: cfg.Seed,
 		D: cfg.MaxEdits, Sigma: cfg.Depth,

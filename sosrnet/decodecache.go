@@ -1,0 +1,117 @@
+package sosrnet
+
+import (
+	"fmt"
+
+	"sosr/internal/core"
+	"sosr/internal/enccache"
+	"sosr/internal/hashing"
+	"sosr/internal/setutil"
+)
+
+// Client-side decode caching: the Bob twin of the server's Alice encoding
+// cache. A client that repeatedly reconciles the same local parent set
+// against a hosted dataset re-derives the identical child encodings every
+// session — a pure function of (local data, derived coins, instance shape,
+// bounds) under the public-coin model. The client therefore memoizes
+// core.BobSketch aggregates in a byte-bounded LRU and subtracts them per
+// session instead of re-encoding, which is where the Bob-side decode spends
+// most of its time. Sketches are read-only after construction, so concurrent
+// sessions of one Client share them safely.
+
+// bobFPSeed salts the parent-set fingerprint in sketch cache keys.
+const bobFPSeed = 0x626f626670 // "bobfp"
+
+// sketchProvider overrides where Bob sketches come from; the server's pull
+// path supplies (dataset, version, seed)-keyed sketches from its own encoding
+// cache. hit reports whether the sketch was served from memory.
+type sketchProvider func(kind core.DigestKind, coins hashing.Coins, bob [][]uint64, p core.Params, d, dHat int) (sk *core.BobSketch, hit bool)
+
+// orderedFP fingerprints the canonical parent set, sensitive to the parent
+// ordering: BobSketch.bobHashes aligns with parent indexes, so two inputs
+// holding the same child sets in different orders must never share a sketch.
+func orderedFP(bob [][]uint64) uint64 {
+	h := uint64(bobFPSeed)
+	for _, cs := range bob {
+		h = h*0x9E3779B97F4A7C15 + setutil.Hash(bobFPSeed, cs)
+	}
+	return h
+}
+
+// sosApply carries one sets-of-sets session's Bob state: the canonical local
+// parent, the resolved instance shape, and the fingerprint the sketch cache
+// keys on.
+type sosApply struct {
+	c    *Client
+	name string
+	bob  [][]uint64
+	p    core.Params
+	fp   uint64
+}
+
+func (c *Client) newSOSApply(name string, bob [][]uint64, p core.Params) *sosApply {
+	return &sosApply{c: c, name: name, bob: bob, p: p, fp: orderedFP(bob)}
+}
+
+// apply runs one cached Bob step: look up (or build) the sketch for this
+// exact decode shape and subtract it instead of re-encoding the local data.
+func (a *sosApply) apply(coins hashing.Coins, body []byte, kind core.DigestKind, d, dHat int) (*core.Result, error) {
+	sk := a.sketch(kind, coins, d, dHat)
+	res, err := core.ApplyMsgCached(kind, coins, body, a.bob, a.p, d, dHat, sk)
+	if err == nil {
+		a.c.observePeels(res.PeelIterations)
+	}
+	return res, err
+}
+
+// sketch returns the Bob sketch for this decode shape, or nil when caching is
+// disabled (the plain re-encoding path is always a correct fallback).
+func (a *sosApply) sketch(kind core.DigestKind, coins hashing.Coins, d, dHat int) *core.BobSketch {
+	if a.c.sketchFor != nil {
+		sk, hit := a.c.sketchFor(kind, coins, a.bob, a.p, d, dHat)
+		a.c.observeDecodeCache(hit)
+		return sk
+	}
+	cache := a.c.sketchCache()
+	if cache == nil {
+		return nil
+	}
+	k := enccache.Key{
+		Dataset: a.name, Proto: "bob/" + sosProtoName(kind), Seed: coins.Master(),
+		S: a.p.S, H: a.p.H, U: a.p.U, D: d, DHat: dHat,
+		Extra: fmt.Sprintf("fp=%016x,n=%d", a.fp, len(a.bob)),
+	}
+	v, hit, err := cache.GetOrComputeValue(k, func() (any, int64, error) {
+		sk, err := core.NewBobSketch(kind, coins, a.bob, a.p, d, dHat)
+		if err != nil {
+			return nil, 0, err
+		}
+		return sk, sk.SizeBytes(), nil
+	})
+	a.c.observeDecodeCache(hit)
+	if err != nil {
+		return nil
+	}
+	sk, _ := v.(*core.BobSketch)
+	return sk
+}
+
+// sketchCache lazily constructs the client's sketch cache, honoring
+// CacheBytes at first use (0 = enccache.DefaultMaxBytes, negative disables).
+func (c *Client) sketchCache() *enccache.Cache {
+	if c.CacheBytes < 0 {
+		return nil
+	}
+	c.cacheOnce.Do(func() { c.cache = enccache.New(c.CacheBytes) })
+	return c.cache
+}
+
+// CacheStats reports the Bob-side sketch cache counters (zero value when
+// caching is disabled).
+func (c *Client) CacheStats() enccache.Stats {
+	cache := c.sketchCache()
+	if cache == nil {
+		return enccache.Stats{}
+	}
+	return cache.Stats()
+}

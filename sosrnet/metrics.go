@@ -144,3 +144,56 @@ func (s *Server) Registry() *obs.Registry {
 func (s *Server) observeEncode(start time.Time) {
 	s.metrics().stageEncode.Observe(time.Since(start).Seconds())
 }
+
+// Client-side decode metric names, registered on Client.Obs when set:
+//
+//	sosr_decodecache_events_total{event}   sketch-cache lookups (hit|miss)
+//	sosr_peel_iterations                   peel loop iterations per decode
+type clientMetrics struct {
+	hit   *obs.Counter
+	miss  *obs.Counter
+	peels *obs.Histogram
+}
+
+// peelBuckets spans the observed peel-iteration range: tens for small
+// cascades through thousands for naive decodes of large parents.
+var peelBuckets = []float64{8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192}
+
+// metrics lazily registers the client's decode families on Obs; nil when the
+// caller supplied no registry (the decode path then skips observation).
+func (c *Client) metrics() *clientMetrics {
+	if c.Obs == nil {
+		return nil
+	}
+	c.metOnce.Do(func() {
+		events := c.Obs.Counter("sosr_decodecache_events_total",
+			"Bob-sketch cache lookups by outcome: hit (subtracted a memoized aggregate), miss (encoded and cached).", "event")
+		c.met = &clientMetrics{
+			hit:  events.With("hit"),
+			miss: events.With("miss"),
+			peels: c.Obs.Histogram("sosr_peel_iterations",
+				"IBLT peel-loop iterations per successful decode.", peelBuckets).With(),
+		}
+	})
+	return c.met
+}
+
+// observeDecodeCache records one sketch-cache lookup outcome.
+func (c *Client) observeDecodeCache(hit bool) {
+	m := c.metrics()
+	if m == nil {
+		return
+	}
+	if hit {
+		m.hit.Inc()
+	} else {
+		m.miss.Inc()
+	}
+}
+
+// observePeels records one successful decode's peel-iteration count.
+func (c *Client) observePeels(n int) {
+	if m := c.metrics(); m != nil {
+		m.peels.Observe(float64(n))
+	}
+}

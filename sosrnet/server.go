@@ -578,6 +578,12 @@ func (s *Server) handle(conn net.Conn) {
 	}
 	m.stageHello.Observe(time.Since(start).Seconds())
 	m.started.With(string(h.Kind)).Inc()
+	// Handshake validated: pipeline the client's remaining frames (probes,
+	// acks, done) so they decode off the socket while payloads are built. The
+	// accept-loop goroutine closes conn right after handle returns, which
+	// retires a reader blocked mid-read.
+	ep.StartReadAhead()
+	defer ep.StopReadAhead()
 	view := ds.view(h.Dataset)
 	coins := hashing.NewCoins(h.Seed)
 	serveStart := time.Now()

@@ -99,6 +99,9 @@ type Client struct {
 	m       *shardmap.Map
 	obsOnce sync.Once
 	met     *clientMetrics
+
+	clOnce  sync.Once
+	clients []*sosrnet.Client
 }
 
 // Dial returns a client for the given shard addresses. The address list must
@@ -116,16 +119,26 @@ func Dial(addrs []string) (*Client, error) {
 // Map exposes the client's shard map (shared; read-only).
 func (c *Client) Map() *shardmap.Map { return c.m }
 
-// client builds the per-shard session client carrying shard coordinates.
+// client returns the per-shard session client carrying shard coordinates.
+// The clients are built once at first use (snapshotting Timeout/MaxFrame) and
+// reused across reconciles, so each shard client's Bob-sketch cache stays
+// warm: a fan-out over an unchanged local replica subtracts memoized child
+// encodings instead of re-encoding on every reconcile.
 func (c *Client) client(index int) *sosrnet.Client {
-	return &sosrnet.Client{
-		Addr:             c.m.ID(index),
-		Timeout:          c.Timeout,
-		MaxFrame:         c.MaxFrame,
-		ShardIndex:       index,
-		ShardCount:       c.m.N(),
-		ShardFingerprint: c.m.Fingerprint(),
-	}
+	c.clOnce.Do(func() {
+		c.clients = make([]*sosrnet.Client, c.m.N())
+		for i := range c.clients {
+			c.clients[i] = &sosrnet.Client{
+				Addr:             c.m.ID(i),
+				Timeout:          c.Timeout,
+				MaxFrame:         c.MaxFrame,
+				ShardIndex:       i,
+				ShardCount:       c.m.N(),
+				ShardFingerprint: c.m.Fingerprint(),
+			}
+		}
+	})
+	return c.clients[index]
 }
 
 // shardSeed derives the public-coin seed for one shard's session from the
