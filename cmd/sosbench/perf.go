@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -293,7 +294,7 @@ func netSessions(alice, bob [][]uint64, clients int, dur time.Duration) (perfBen
 
 	// Warm up (connection setup, and at PR 4 the server-side encode cache).
 	warm := sosrnet.Dial(addr)
-	if _, _, err := warm.SetsOfSets("docs", bob, cfg); err != nil {
+	if _, _, err := warm.SetsOfSets(context.Background(), "docs", bob, cfg); err != nil {
 		return perfBench{}, fmt.Errorf("warmup session: %w", err)
 	}
 
@@ -307,7 +308,7 @@ func netSessions(alice, bob [][]uint64, clients int, dur time.Duration) (perfBen
 			defer wg.Done()
 			c := sosrnet.Dial(addr)
 			for time.Now().Before(deadline) {
-				if _, _, err := c.SetsOfSets("docs", bob, cfg); err != nil {
+				if _, _, err := c.SetsOfSets(context.Background(), "docs", bob, cfg); err != nil {
 					failed.Add(1)
 					return
 				}
@@ -353,19 +354,27 @@ func shardedSessions(alice, bob [][]uint64, shards, clients int, dur time.Durati
 		go servers[i].Serve(ln)
 		defer servers[i].Close()
 	}
-	co, err := sosrshard.NewCoordinator(addrs, servers)
+	topo, err := sosrshard.SingleReplica(1, addrs)
+	if err != nil {
+		return perfBench{}, err
+	}
+	groups := make([][]*sosrnet.Server, len(servers))
+	for i, srv := range servers {
+		groups[i] = []*sosrnet.Server{srv}
+	}
+	co, err := sosrshard.NewCoordinator(topo, groups)
 	if err != nil {
 		return perfBench{}, err
 	}
 	if err := co.HostSetsOfSets("docs", alice); err != nil {
 		return perfBench{}, err
 	}
-	c, err := sosrshard.Dial(addrs)
+	c, err := sosrshard.Dial(topo)
 	if err != nil {
 		return perfBench{}, err
 	}
 	cfg := sosr.Config{Seed: 7, Protocol: sosr.ProtocolCascade, KnownDiff: 32}
-	if _, _, err := c.SetsOfSets("docs", bob, cfg); err != nil {
+	if _, _, err := c.SetsOfSets(context.Background(), "docs", bob, cfg); err != nil {
 		return perfBench{}, fmt.Errorf("sharded warmup: %w", err)
 	}
 
@@ -378,7 +387,7 @@ func shardedSessions(alice, bob [][]uint64, shards, clients int, dur time.Durati
 		go func() {
 			defer wg.Done()
 			for time.Now().Before(deadline) {
-				if _, _, err := c.SetsOfSets("docs", bob, cfg); err != nil {
+				if _, _, err := c.SetsOfSets(context.Background(), "docs", bob, cfg); err != nil {
 					failed.Add(1)
 					return
 				}

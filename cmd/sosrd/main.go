@@ -19,21 +19,26 @@
 // Logs are structured (log/slog, text format, stderr); -log-level picks the
 // threshold (debug, info, warn, error).
 //
-// Sharded deployments partition every hosted dataset across N instances with
-// a deterministic shard map over the address list (internal/shardmap): each
-// shard-serve instance keeps only the slice it owns, and shard-sync fans one
-// logical reconcile out over all instances and merges the recovered shards:
+// Sharded deployments partition every hosted dataset across N shards with a
+// deterministic topology over the address list (internal/shardmap). Shards
+// are comma-separated; replicas of one shard are pipe-separated within the
+// shard's entry. Each shard-serve instance keeps only the slice its shard
+// owns, every replica of a shard keeps the identical slice, and shard-sync
+// fans one logical reconcile out over all shards — failing over between
+// replicas and optionally hedging slow ones — then merges the recovered
+// shards:
 //
-//	sosrd shard-serve -shards h1:7075,h2:7075,h3:7075 -index 0 -data datasets.json
-//	sosrd shard-serve -shards h1:7075,h2:7075,h3:7075 -index 1 -data datasets.json
-//	sosrd shard-serve -shards h1:7075,h2:7075,h3:7075 -index 2 -data datasets.json
-//	sosrd shard-sync  -shards h1:7075,h2:7075,h3:7075 -name docs -kind sos -d 24 -replica replica.json
+//	sosrd shard-serve -shards 'h1:7075|h4:7075,h2:7075,h3:7075' -index 0 -replica-index 0 -data datasets.json
+//	sosrd shard-serve -shards 'h1:7075|h4:7075,h2:7075,h3:7075' -index 0 -replica-index 1 -data datasets.json
+//	sosrd shard-serve -shards 'h1:7075|h4:7075,h2:7075,h3:7075' -index 1 -data datasets.json
+//	sosrd shard-serve -shards 'h1:7075|h4:7075,h2:7075,h3:7075' -index 2 -data datasets.json
+//	sosrd shard-sync  -shards 'h1:7075|h4:7075,h2:7075,h3:7075' -name docs -kind sos -d 24 -replica replica.json
 //
-// Every instance receives the same -shards list (order matters: it fixes the
-// shard indices) and the full logical datasets; ownership filtering is
-// deterministic, so the instances agree on the partition without talking to
-// each other, and sessions carrying wrong shard coordinates are rejected at
-// the handshake.
+// Every instance receives the same -shards list and the full logical
+// datasets; shard identity is canonical (order-insensitive), ownership
+// filtering is deterministic, so the instances agree on the partition
+// without talking to each other, and sessions carrying wrong shard
+// coordinates or a stale -epoch are rejected at the handshake.
 //
 // The datasets file maps names to data:
 //
@@ -57,10 +62,12 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"sosr"
+	"sosr/internal/obs"
 	"sosr/internal/shardmap"
 	"sosr/internal/workload"
 	"sosr/sosrnet"
@@ -110,8 +117,8 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   sosrd serve       -addr :7075 [-demo | -data file.json] [-ops-addr 127.0.0.1:7076] [-log-level info]
   sosrd sync        -addr host:7075 -name NAME -kind set|multiset|sos [flags]
-  sosrd shard-serve -shards a:7075,b:7075,... -index I [-listen addr] [-demo | -data file.json] [-ops-addr addr] [-log-level info]
-  sosrd shard-sync  -shards a:7075,b:7075,... -name NAME -kind set|multiset|sos [flags]
+  sosrd shard-serve -shards 'a:7075|a2:7075,b:7075,...' -index I [-replica-index J] [-epoch E] [-listen addr] [-stall 0s] [-demo | -data file.json] [-ops-addr addr] [-log-level info]
+  sosrd shard-sync  -shards 'a:7075|a2:7075,b:7075,...' -name NAME -kind set|multiset|sos [-epoch E] [-hedge 0s] [-per-shard-d] [-dump-metrics] [flags]
   sosrd demo`)
 	os.Exit(2)
 }
@@ -238,13 +245,17 @@ func runServer(srv *sosrnet.Server, addr string) {
 }
 
 // cmdShardServe hosts one shard's slice of every dataset: the instance at
-// -index in the -shards list keeps the elements / child sets the shard map
-// assigns to it and rejects sessions routed for any other slice.
+// shard -index, replica -replica-index keeps the elements / child sets the
+// topology assigns to its shard and rejects sessions routed for any other
+// slice or carrying a different -epoch.
 func cmdShardServe(args []string) {
 	fs := flag.NewFlagSet("shard-serve", flag.ExitOnError)
-	shards := fs.String("shards", "", "comma-separated shard address list (same order on every instance)")
-	index := fs.Int("index", -1, "this instance's position in -shards")
-	listen := fs.String("listen", "", "listen address override (default: the -shards entry at -index)")
+	shards := fs.String("shards", "", "shard topology: comma-separated shards, pipe-separated replicas per shard (same on every instance)")
+	index := fs.Int("index", -1, "this instance's shard position in -shards")
+	replicaIdx := fs.Int("replica-index", 0, "this instance's replica position within its shard's entry")
+	epoch := fs.Uint64("epoch", 0, "topology epoch; clients carrying a different epoch are told to re-resolve")
+	listen := fs.String("listen", "", "listen address override (default: the -shards replica at -index/-replica-index)")
+	stall := fs.Duration("stall", 0, "artificial delay before reading each accepted session (fault injection for hedging demos/tests)")
 	data := fs.String("data", "", "datasets JSON file (full logical datasets; the owned slice is kept)")
 	demo := fs.Bool("demo", false, "host the generated demo dataset's owned slice")
 	opsAddr := fs.String("ops-addr", "", "private ops listener address (/metrics, /healthz, /datasets, /debug/pprof); empty disables")
@@ -252,16 +263,20 @@ func cmdShardServe(args []string) {
 	fs.Parse(args)
 	setLogLevel(*logLevel)
 
-	addrs := splitShards(*shards)
-	m, err := shardmap.New(addrs)
+	topo, err := parseTopology(*shards, *epoch)
 	if err != nil {
 		fatal("bad -shards list", "err", err.Error())
 	}
-	if *index < 0 || *index >= m.N() {
-		fatal("shard-serve: -index outside shard list", "index", *index, "shards", m.N())
+	if *index < 0 || *index >= topo.NumShards() {
+		fatal("shard-serve: -index outside shard list", "index", *index, "shards", topo.NumShards())
+	}
+	replicas := topo.Replicas(*index)
+	if *replicaIdx < 0 || *replicaIdx >= len(replicas) {
+		fatal("shard-serve: -replica-index outside the shard's replica list",
+			"replica_index", *replicaIdx, "replicas", len(replicas))
 	}
 	srv := sosrnet.NewServer()
-	srv.Logger = logger.With("shard", *index)
+	srv.Logger = logger.With("shard", *index, "replica", *replicaIdx)
 	var sets []fileDataset
 	switch {
 	case *demo:
@@ -275,48 +290,113 @@ func cmdShardServe(args []string) {
 		fatal("shard-serve: pass -demo or -data file.json")
 	}
 	for _, d := range sets {
-		if err := hostDatasetShard(srv, d, m, *index); err != nil {
+		if err := hostDatasetShard(srv, d, topo, *index); err != nil {
 			fatal("hosting shard failed", "dataset", d.Name, "err", err.Error())
 		}
-		logger.Info("hosting dataset shard", "dataset", d.Name, "kind", d.Kind, "shard", *index, "shards", m.N())
+		logger.Info("hosting dataset shard", "dataset", d.Name, "kind", d.Kind,
+			"shard", *index, "shards", topo.NumShards(), "epoch", topo.Epoch())
 	}
-	addr := addrs[*index]
+	addr := replicas[*replicaIdx]
 	if *listen != "" {
 		addr = *listen
 	}
 	startOps(srv, *opsAddr)
-	runServer(srv, addr)
+	runShardServer(srv, addr, *stall)
 }
 
-func hostDatasetShard(srv *sosrnet.Server, d fileDataset, m *shardmap.Map, index int) error {
+func hostDatasetShard(srv *sosrnet.Server, d fileDataset, topo *shardmap.Topology, index int) error {
 	switch sosrnet.Kind(d.Kind) {
 	case sosrnet.KindSet:
-		return srv.HostSetsShard(d.Name, d.Elems, m, index)
+		return srv.HostSetsShard(d.Name, d.Elems, topo, index)
 	case sosrnet.KindMultiset:
-		return srv.HostMultisetShard(d.Name, d.Elems, m, index)
+		return srv.HostMultisetShard(d.Name, d.Elems, topo, index)
 	case sosrnet.KindSetsOfSets:
-		return srv.HostSetsOfSetsShard(d.Name, d.Parents, m, index)
+		return srv.HostSetsOfSetsShard(d.Name, d.Parents, topo, index)
 	default:
 		return fmt.Errorf("dataset %q: unsupported sharded kind %q", d.Name, d.Kind)
 	}
 }
 
-func splitShards(list string) []string {
-	var out []string
-	for _, a := range strings.Split(list, ",") {
-		if a = strings.TrimSpace(a); a != "" {
-			out = append(out, a)
+// parseTopology builds the replicated topology from the CLI syntax: shards
+// separated by commas, replicas of one shard separated by pipes.
+//
+//	"a:7075,b:7075"            two shards, one replica each
+//	"a:7075|a2:7075,b:7075"    shard 0 has two replicas
+func parseTopology(list string, epoch uint64) (*shardmap.Topology, error) {
+	var shards [][]string
+	for _, entry := range strings.Split(list, ",") {
+		if entry = strings.TrimSpace(entry); entry == "" {
+			continue
 		}
+		var reps []string
+		for _, a := range strings.Split(entry, "|") {
+			if a = strings.TrimSpace(a); a != "" {
+				reps = append(reps, a)
+			}
+		}
+		shards = append(shards, reps)
 	}
-	return out
+	return shardmap.NewTopology(epoch, shards)
 }
 
-// cmdShardSync fans one logical reconcile out over every shard instance and
+// runShardServer is runServer with optional fault injection: with -stall the
+// first read of every accepted session is delayed, making the instance a
+// deterministic straggler so hedged requests measurably win.
+func runShardServer(srv *sosrnet.Server, addr string, stall time.Duration) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatal("listen failed", "addr", addr, "err", err.Error())
+	}
+	if stall > 0 {
+		logger.Warn("stall fault injection active", "stall", stall.String())
+		ln = &stallListener{Listener: ln, delay: stall}
+	}
+	logger.Info("sosrd listening", "addr", ln.Addr().String())
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		logger.Info("shutting down")
+		srv.Close()
+	}()
+	if err := srv.Serve(ln); err != nil {
+		fatal("serve failed", "err", err.Error())
+	}
+}
+
+// stallListener delays the first read of every accepted connection.
+type stallListener struct {
+	net.Listener
+	delay time.Duration
+}
+
+func (l *stallListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return &stallConn{Conn: c, delay: l.delay}, nil
+}
+
+type stallConn struct {
+	net.Conn
+	delay time.Duration
+	once  sync.Once
+}
+
+func (c *stallConn) Read(p []byte) (int, error) {
+	c.once.Do(func() { time.Sleep(c.delay) })
+	return c.Conn.Read(p)
+}
+
+// cmdShardSync fans one logical reconcile out over every shard — failing
+// over between a shard's replicas and optionally hedging stragglers — and
 // merges the recovered slices, printing the aggregated byte report plus the
 // per-shard itemization.
 func cmdShardSync(args []string) {
 	fs := flag.NewFlagSet("shard-sync", flag.ExitOnError)
-	shards := fs.String("shards", "", "comma-separated shard address list (deployment order)")
+	shards := fs.String("shards", "", "shard topology: comma-separated shards, pipe-separated replicas per shard")
+	epoch := fs.Uint64("epoch", 0, "topology epoch (must match the serving instances)")
 	name := fs.String("name", "", "dataset name")
 	kind := fs.String("kind", "sos", "dataset kind: set, multiset or sos")
 	replica := fs.String("replica", "", "local replica JSON file (omit with -demo-replica)")
@@ -324,14 +404,28 @@ func cmdShardSync(args []string) {
 	protocol := fs.String("protocol", "auto", "sets-of-sets protocol: auto, naive, nested, cascade, multiround")
 	seed := fs.Uint64("seed", 42, "shared public-coin seed")
 	d := fs.Int("d", 0, "known difference bound for the whole logical dataset (0 = unknown-d variant)")
+	hedge := fs.Duration("hedge", 0, "straggler delay before racing a second replica of a slow shard (0 disables hedging)")
+	perShardD := fs.Bool("per-shard-d", false, "drop -d per shard so each shard estimates its own difference bound")
+	dumpMetrics := fs.Bool("dump-metrics", false, "print the client's Prometheus metrics (failover/hedge counters) to stdout after the sync")
 	fs.Parse(args)
 	if *name == "" {
 		fatal("shard-sync: -name is required")
 	}
-	c, err := sosrshard.Dial(splitShards(*shards))
+	topo, err := parseTopology(*shards, *epoch)
+	if err != nil {
+		fatal("bad -shards list", "err", err.Error())
+	}
+	c, err := sosrshard.Dial(topo)
 	if err != nil {
 		fatal("dialing shards failed", "err", err.Error())
 	}
+	c.HedgeDelay = *hedge
+	c.PerShardDiff = *perShardD
+	reg := obs.NewRegistry()
+	c.Obs = reg
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	var local fileDataset
 	switch {
@@ -356,32 +450,37 @@ func cmdShardSync(args []string) {
 
 	switch sosrnet.Kind(*kind) {
 	case sosrnet.KindSet:
-		res, st, err := c.Sets(*name, local.Elems, sosr.SetConfig{Seed: *seed, KnownDiff: *d})
+		res, st, err := c.Sets(ctx, *name, local.Elems, sosr.SetConfig{Seed: *seed, KnownDiff: *d})
 		if err != nil {
 			fatal("shard-sync failed", "err", err.Error())
 		}
 		fmt.Printf("recovered %d elements (+%d -%d) across %d shards\n",
-			len(res.Recovered), len(res.OnlyA), len(res.OnlyB), c.Map().N())
+			len(res.Recovered), len(res.OnlyA), len(res.OnlyB), topo.NumShards())
 		printShardStats(st)
 	case sosrnet.KindMultiset:
-		rec, st, err := c.Multiset(*name, local.Elems, *d, *seed)
+		rec, st, err := c.Multiset(ctx, *name, local.Elems, *d, *seed)
 		if err != nil {
 			fatal("shard-sync failed", "err", err.Error())
 		}
-		fmt.Printf("recovered %d multiset elements across %d shards\n", len(rec), c.Map().N())
+		fmt.Printf("recovered %d multiset elements across %d shards\n", len(rec), topo.NumShards())
 		printShardStats(st)
 	case sosrnet.KindSetsOfSets:
-		res, st, err := c.SetsOfSets(*name, local.Parents, sosr.Config{
+		res, st, err := c.SetsOfSets(ctx, *name, local.Parents, sosr.Config{
 			Seed: *seed, Protocol: parseProtocolFlag(*protocol), KnownDiff: *d,
 		})
 		if err != nil {
 			fatal("shard-sync failed", "err", err.Error())
 		}
 		fmt.Printf("recovered %d child sets (+%d -%d) via %v across %d shards\n",
-			len(res.Recovered), len(res.Added), len(res.Removed), res.Protocol, c.Map().N())
+			len(res.Recovered), len(res.Added), len(res.Removed), res.Protocol, topo.NumShards())
 		printShardStats(st)
 	default:
 		fatal("shard-sync: unsupported kind", "kind", *kind)
+	}
+	if *dumpMetrics {
+		if err := reg.WriteProm(os.Stdout); err != nil {
+			fatal("dumping metrics failed", "err", err.Error())
+		}
 	}
 }
 
@@ -390,9 +489,13 @@ func printShardStats(st *sosrshard.Stats) {
 		st.Protocol.TotalBytes, st.Protocol.AliceBytes, st.Protocol.BobBytes, st.Protocol.Messages, st.Attempts)
 	fmt.Printf("wire:     in=%dB out=%dB overhead=%dB (TCP total %dB = protocol + framing)\n",
 		st.WireIn, st.WireOut, st.Overhead, st.WireIn+st.WireOut)
+	if st.Failovers > 0 || st.Hedges > 0 {
+		fmt.Printf("replicas: failovers=%d hedges=%d hedge-wins=%d\n",
+			st.Failovers, st.Hedges, st.HedgeWins)
+	}
 	for _, sh := range st.Shards {
-		fmt.Printf("  shard %d %-21s bytes=%-6d overhead=%-4d attempts=%d\n",
-			sh.Index, sh.ID, sh.Net.Protocol.TotalBytes, sh.Net.Overhead, sh.Net.Attempts)
+		fmt.Printf("  shard %d via %-21s bytes=%-6d overhead=%-4d sessions=%d attempts=%d\n",
+			sh.Index, sh.Replica, sh.Net.Protocol.TotalBytes, sh.Net.Overhead, sh.Attempts, sh.Net.Attempts)
 	}
 }
 
@@ -433,24 +536,26 @@ func cmdSync(args []string) {
 		fatal("sync: pass -replica file.json or -demo-replica")
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	c := sosrnet.Dial(*addr)
 	switch sosrnet.Kind(*kind) {
 	case sosrnet.KindSet:
-		res, ns, err := c.Sets(*name, local.Elems, sosr.SetConfig{Seed: *seed, KnownDiff: *d, UseCharPoly: *charpoly})
+		res, ns, err := c.Sets(ctx, *name, local.Elems, sosr.SetConfig{Seed: *seed, KnownDiff: *d, UseCharPoly: *charpoly})
 		if err != nil {
 			fatal("sync failed", "err", err.Error())
 		}
 		fmt.Printf("recovered %d elements (+%d -%d)\n", len(res.Recovered), len(res.OnlyA), len(res.OnlyB))
 		printStats(ns)
 	case sosrnet.KindMultiset:
-		rec, ns, err := c.Multiset(*name, local.Elems, *d, *seed)
+		rec, ns, err := c.Multiset(ctx, *name, local.Elems, *d, *seed)
 		if err != nil {
 			fatal("sync failed", "err", err.Error())
 		}
 		fmt.Printf("recovered %d multiset elements\n", len(rec))
 		printStats(ns)
 	case sosrnet.KindSetsOfSets:
-		res, ns, err := c.SetsOfSets(*name, local.Parents, sosr.Config{
+		res, ns, err := c.SetsOfSets(ctx, *name, local.Parents, sosr.Config{
 			Seed: *seed, Protocol: parseProtocolFlag(*protocol), KnownDiff: *d,
 		})
 		if err != nil {
@@ -514,7 +619,7 @@ func cmdDemo() {
 	if err != nil {
 		fatal("in-process reconcile failed", "err", err.Error())
 	}
-	res, ns, err := sosrnet.Dial(ln.Addr().String()).SetsOfSets("docs", replica.Parents, cfg)
+	res, ns, err := sosrnet.Dial(ln.Addr().String()).SetsOfSets(context.Background(), "docs", replica.Parents, cfg)
 	if err != nil {
 		fatal("demo sync failed", "err", err.Error())
 	}

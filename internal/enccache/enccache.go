@@ -54,11 +54,11 @@ type Stats struct {
 
 // Cache is a byte-bounded LRU of encoded payloads, safe for concurrent use.
 type Cache struct {
-	mu       sync.Mutex
-	maxBytes int64
-	bytes    int64
-	ll       *list.List // front = most recently used; values are *entry
-	entries  map[Key]*list.Element
+	mu        sync.Mutex
+	maxBytes  int64
+	bytes     int64
+	ll        *list.List // front = most recently used; values are *entry
+	entries   map[Key]*list.Element
 	inflight  map[Key]*call
 	hits      uint64
 	misses    uint64

@@ -307,4 +307,3 @@ func checkRange(xs []uint64) error {
 	}
 	return nil
 }
-

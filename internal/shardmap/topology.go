@@ -1,0 +1,171 @@
+package shardmap
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"sosr/internal/hashing"
+)
+
+// Topology describes a replicated sharded deployment: every logical shard is
+// served by k ≥ 1 replica instances holding identical slices, and the whole
+// arrangement carries a monotonic epoch so every party can tell a stale view
+// from the current one at the handshake.
+//
+// A shard's identity is canonical — the sorted replica address list — so two
+// parties holding the same deployment in different orders (shards permuted,
+// replicas within a shard permuted) agree on ownership, on per-shard seeds,
+// and on the topology fingerprint. Only a genuinely different address
+// structure (a replica added, an address respelled) changes the fingerprint.
+//
+// A Topology is immutable and safe for concurrent use. Replacing a
+// deployment's topology means building a new value with a higher epoch;
+// servers hosting the old epoch then reject new-epoch clients (and vice
+// versa) deterministically instead of partitioning keys differently on the
+// two sides.
+type Topology struct {
+	epoch  uint64
+	shards [][]string // caller order preserved; inner lists caller order too
+	ids    []string   // canonical per-shard identity (sorted replicas joined)
+	m      *Map       // HRW ownership over the canonical identities
+}
+
+// shardIDSalt seeds the canonical shard-identity hash carried in the hello.
+const shardIDSalt uint64 = 0x70b07091c4a10e57
+
+// replicaSalt seeds the per-replica rendezvous weights used for failover and
+// hedging order (independent of the ownership weights).
+const replicaSalt uint64 = 0x9e71f00d5ca1ab1e
+
+// NewTopology builds a topology at the given epoch. shards[i] lists shard i's
+// replica addresses; every shard needs at least one replica and all addresses
+// must be non-empty and globally distinct.
+func NewTopology(epoch uint64, shards [][]string) (*Topology, error) {
+	if len(shards) == 0 {
+		return nil, errors.New("shardmap: topology has no shards")
+	}
+	t := &Topology{
+		epoch:  epoch,
+		shards: make([][]string, len(shards)),
+		ids:    make([]string, len(shards)),
+	}
+	seen := make(map[string]struct{})
+	for i, reps := range shards {
+		if len(reps) == 0 {
+			return nil, fmt.Errorf("shardmap: shard %d has no replicas", i)
+		}
+		t.shards[i] = append([]string(nil), reps...)
+		for j, addr := range reps {
+			if addr == "" {
+				return nil, fmt.Errorf("shardmap: shard %d replica %d has an empty address", i, j)
+			}
+			if strings.ContainsAny(addr, ",|\x00") {
+				return nil, fmt.Errorf("shardmap: address %q contains a reserved separator", addr)
+			}
+			if _, dup := seen[addr]; dup {
+				return nil, fmt.Errorf("shardmap: duplicate address %q", addr)
+			}
+			seen[addr] = struct{}{}
+		}
+		canon := append([]string(nil), reps...)
+		sort.Strings(canon)
+		t.ids[i] = strings.Join(canon, ",")
+	}
+	m, err := New(t.ids)
+	if err != nil {
+		return nil, err
+	}
+	t.m = m
+	return t, nil
+}
+
+// SingleReplica builds a one-replica-per-shard topology over addrs, the
+// unreplicated layout earlier deployments configured as a flat address list.
+func SingleReplica(epoch uint64, addrs []string) (*Topology, error) {
+	shards := make([][]string, len(addrs))
+	for i, a := range addrs {
+		shards[i] = []string{a}
+	}
+	return NewTopology(epoch, shards)
+}
+
+// Epoch returns the topology's monotonic epoch.
+func (t *Topology) Epoch() uint64 { return t.epoch }
+
+// NumShards returns the shard count.
+func (t *Topology) NumShards() int { return len(t.shards) }
+
+// Replicas returns shard i's replica addresses in the caller's original
+// order. The returned slice is shared; do not mutate it.
+func (t *Topology) Replicas(i int) []string { return t.shards[i] }
+
+// ShardID returns shard i's canonical identity: its sorted replica address
+// list joined with ",". Invariant under replica reordering.
+func (t *Topology) ShardID(i int) string { return t.ids[i] }
+
+// ShardIDHash returns the hash of shard i's canonical identity — the compact
+// form carried in the session hello.
+func (t *Topology) ShardIDHash(i int) uint64 {
+	return hashing.HashBytes(shardIDSalt, []byte(t.ids[i]))
+}
+
+// Fingerprint digests the canonical shard identities, order-invariantly: two
+// topologies fingerprint equal iff they carry the same shard/replica address
+// structure, regardless of how either party ordered its lists. The epoch is
+// deliberately excluded so an epoch mismatch and a structural mismatch are
+// distinguishable rejections.
+func (t *Topology) Fingerprint() uint64 {
+	canon := append([]string(nil), t.ids...)
+	sort.Strings(canon)
+	return hashing.HashBytes(fingerprintSalt, []byte(strings.Join(canon, "\x00")))
+}
+
+// Map exposes the HRW ownership map over the canonical shard identities
+// (shared; read-only). Index positions follow the topology's shard order.
+func (t *Topology) Map() *Map { return t.m }
+
+// Owner returns the index of the shard owning a top-level element key.
+func (t *Topology) Owner(key uint64) int { return t.m.Owner(key) }
+
+// OwnerOfSet returns the index of the shard owning a canonical child set.
+func (t *Topology) OwnerOfSet(cs []uint64) int { return t.m.OwnerOfSet(cs) }
+
+// SplitElems partitions elements by shard ownership (see Map.SplitElems).
+func (t *Topology) SplitElems(xs []uint64) [][]uint64 { return t.m.SplitElems(xs) }
+
+// SplitSets partitions child sets by identity ownership (see Map.SplitSets).
+func (t *Topology) SplitSets(parent [][]uint64) [][][]uint64 { return t.m.SplitSets(parent) }
+
+// OwnedElems filters xs down to the elements shard i owns.
+func (t *Topology) OwnedElems(i int, xs []uint64) []uint64 { return t.m.OwnedElems(i, xs) }
+
+// OwnedSets filters parent down to the child sets shard i owns.
+func (t *Topology) OwnedSets(i int, parent [][]uint64) [][]uint64 { return t.m.OwnedSets(i, parent) }
+
+// ReplicaOrder returns the indices of shard i's replicas in rendezvous order
+// for the given key: the highest-weight replica first. Distinct keys (session
+// seeds) spread primaries across replicas, so steady-state load balances
+// while any one key's order stays deterministic on every client.
+func (t *Topology) ReplicaOrder(i int, key uint64) []int {
+	reps := t.shards[i]
+	order := make([]int, len(reps))
+	for j := range order {
+		order[j] = j
+	}
+	if len(reps) == 1 {
+		return order
+	}
+	w := make([]uint64, len(reps))
+	for j, addr := range reps {
+		w[j] = hashing.HashWord(hashing.HashBytes(replicaSalt, []byte(addr)), key)
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		if w[order[a]] != w[order[b]] {
+			return w[order[a]] > w[order[b]]
+		}
+		return reps[order[a]] < reps[order[b]]
+	})
+	return order
+}

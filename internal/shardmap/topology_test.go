@@ -1,0 +1,127 @@
+package shardmap
+
+import (
+	"reflect"
+	"testing"
+)
+
+func mustTopology(t *testing.T, epoch uint64, shards [][]string) *Topology {
+	t.Helper()
+	topo, err := NewTopology(epoch, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func TestTopologyValidation(t *testing.T) {
+	cases := [][][]string{
+		nil,
+		{{}},
+		{{""}},
+		{{"a:1"}, {"a:1"}}, // duplicate across shards
+		{{"a:1", "a:1"}},   // duplicate within a shard
+		{{"a:1,b:2"}},      // reserved separator
+		{{"a|1"}},          // reserved separator
+	}
+	for i, shards := range cases {
+		if _, err := NewTopology(1, shards); err == nil {
+			t.Errorf("case %d: invalid topology %v accepted", i, shards)
+		}
+	}
+	if _, err := NewTopology(0, [][]string{{"a:1"}}); err != nil {
+		t.Errorf("epoch 0 rejected: %v", err)
+	}
+}
+
+// TestTopologyCanonicalFingerprint: permuting shards, or replicas within a
+// shard, never changes the fingerprint or the shard identities; changing the
+// address structure always does.
+func TestTopologyCanonicalFingerprint(t *testing.T) {
+	base := mustTopology(t, 3, [][]string{{"a:1", "b:1"}, {"c:1", "d:1"}, {"e:1"}})
+	reorderedShards := mustTopology(t, 3, [][]string{{"e:1"}, {"c:1", "d:1"}, {"a:1", "b:1"}})
+	reorderedReplicas := mustTopology(t, 3, [][]string{{"b:1", "a:1"}, {"d:1", "c:1"}, {"e:1"}})
+	if base.Fingerprint() != reorderedShards.Fingerprint() {
+		t.Fatal("shard order changed the fingerprint")
+	}
+	if base.Fingerprint() != reorderedReplicas.Fingerprint() {
+		t.Fatal("replica order changed the fingerprint")
+	}
+	if base.ShardID(0) != reorderedReplicas.ShardID(0) {
+		t.Fatal("replica order changed a shard identity")
+	}
+	different := mustTopology(t, 3, [][]string{{"a:1", "b:1"}, {"c:1", "d:1"}, {"f:1"}})
+	if base.Fingerprint() == different.Fingerprint() {
+		t.Fatal("different address structure fingerprints equal")
+	}
+	moved := mustTopology(t, 3, [][]string{{"a:1"}, {"b:1", "c:1", "d:1"}, {"e:1"}})
+	if base.Fingerprint() == moved.Fingerprint() {
+		t.Fatal("moving a replica between shards kept the fingerprint")
+	}
+	// The epoch is not part of the fingerprint (mismatches must be
+	// distinguishable from structural divergence).
+	bumped := mustTopology(t, 4, [][]string{{"a:1", "b:1"}, {"c:1", "d:1"}, {"e:1"}})
+	if base.Fingerprint() != bumped.Fingerprint() {
+		t.Fatal("epoch leaked into the fingerprint")
+	}
+}
+
+// TestTopologyOwnershipOrderInvariant: a reordered-but-identical topology
+// assigns every key to the same shard identity.
+func TestTopologyOwnershipOrderInvariant(t *testing.T) {
+	a := mustTopology(t, 1, [][]string{{"a:1", "b:1"}, {"c:1", "d:1"}, {"e:1"}})
+	b := mustTopology(t, 1, [][]string{{"e:1"}, {"d:1", "c:1"}, {"a:1", "b:1"}})
+	for key := uint64(0); key < 500; key++ {
+		ia, ib := a.Owner(key*2654435761), b.Owner(key*2654435761)
+		if a.ShardID(ia) != b.ShardID(ib) {
+			t.Fatalf("key %d owned by %q in one order, %q in the other", key, a.ShardID(ia), b.ShardID(ib))
+		}
+	}
+}
+
+// TestSingleReplicaMatchesFlatMap: the unreplicated topology owns keys
+// exactly as the flat Map over the same addresses did, so existing
+// single-replica deployments partition identically after the upgrade.
+func TestSingleReplicaMatchesFlatMap(t *testing.T) {
+	addrs := []string{"h1:7075", "h2:7075", "h3:7075"}
+	topo, err := SingleReplica(1, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key := uint64(0); key < 1000; key++ {
+		if topo.Owner(key) != m.Owner(key) {
+			t.Fatalf("key %d: topology owner %d, flat map owner %d", key, topo.Owner(key), m.Owner(key))
+		}
+	}
+}
+
+// TestReplicaOrder: deterministic, a permutation, and key-dependent (distinct
+// keys spread primaries over replicas).
+func TestReplicaOrder(t *testing.T) {
+	topo := mustTopology(t, 1, [][]string{{"a:1", "b:1", "c:1"}})
+	seenPrimary := map[int]bool{}
+	for key := uint64(0); key < 64; key++ {
+		order := topo.ReplicaOrder(0, key)
+		if len(order) != 3 {
+			t.Fatalf("order %v not a permutation", order)
+		}
+		seen := map[int]bool{}
+		for _, j := range order {
+			seen[j] = true
+		}
+		if len(seen) != 3 {
+			t.Fatalf("order %v repeats a replica", order)
+		}
+		if !reflect.DeepEqual(order, topo.ReplicaOrder(0, key)) {
+			t.Fatal("replica order not deterministic")
+		}
+		seenPrimary[order[0]] = true
+	}
+	if len(seenPrimary) != 3 {
+		t.Fatalf("64 keys used only primaries %v — load not spreading", seenPrimary)
+	}
+}

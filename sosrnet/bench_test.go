@@ -1,6 +1,7 @@
 package sosrnet
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -47,7 +48,7 @@ func BenchmarkServerReconcile(b *testing.B) {
 		b.ReportAllocs()
 		c := Dial(addr)
 		for i := 0; i < b.N; i++ {
-			_, ns, err := c.SetsOfSets("docs", bob, cfg)
+			_, ns, err := c.SetsOfSets(context.Background(), "docs", bob, cfg)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -72,7 +73,7 @@ func BenchmarkServerReconcile(b *testing.B) {
 					defer wg.Done()
 					c := Dial(addr)
 					for next.Add(1) <= int64(b.N) {
-						if _, _, err := c.SetsOfSets("docs", bob, cfg); err != nil {
+						if _, _, err := c.SetsOfSets(context.Background(), "docs", bob, cfg); err != nil {
 							failed.Add(1)
 							return
 						}

@@ -282,8 +282,8 @@ func (s *Server) UpdateSetsOfSets(name string, add, remove [][]uint64) error {
 		removeC[i] = setutil.Canonical(cs)
 	}
 	if ds.shard != nil {
-		addC = ds.shard.m.OwnedSets(ds.shard.index, addC)
-		removeC = ds.shard.m.OwnedSets(ds.shard.index, removeC)
+		addC = ds.shard.topo.OwnedSets(ds.shard.index, addC)
+		removeC = ds.shard.topo.OwnedSets(ds.shard.index, removeC)
 		if len(addC) == 0 && len(removeC) == 0 {
 			return nil
 		}
@@ -375,8 +375,8 @@ func (s *Server) UpdateSets(name string, add, remove []uint64) error {
 		return err
 	}
 	if ds.shard != nil {
-		add = ds.shard.m.OwnedElems(ds.shard.index, add)
-		remove = ds.shard.m.OwnedElems(ds.shard.index, remove)
+		add = ds.shard.topo.OwnedElems(ds.shard.index, add)
+		remove = ds.shard.topo.OwnedElems(ds.shard.index, remove)
 		if len(add) == 0 && len(remove) == 0 {
 			return nil
 		}
@@ -412,8 +412,8 @@ func (s *Server) UpdateMultisets(name string, add, remove []uint64) error {
 		}
 	}
 	if ds.shard != nil {
-		add = ds.shard.m.OwnedElems(ds.shard.index, add)
-		remove = ds.shard.m.OwnedElems(ds.shard.index, remove)
+		add = ds.shard.topo.OwnedElems(ds.shard.index, add)
+		remove = ds.shard.topo.OwnedElems(ds.shard.index, remove)
 	}
 	if len(add) == 0 && len(remove) == 0 {
 		return nil
@@ -475,4 +475,3 @@ func (s *Server) DatasetVersion(name string) (uint64, error) {
 	defer ds.mu.Unlock()
 	return ds.version, nil
 }
-

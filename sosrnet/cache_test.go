@@ -1,6 +1,7 @@
 package sosrnet
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
@@ -38,7 +39,7 @@ func TestCacheConcurrentSessionsEncodeOnce(t *testing.T) {
 			defer wg.Done()
 			c := Dial(addr)
 			c.Timeout = 60 * time.Second
-			got, ns, err := c.SetsOfSets("docs", bob, cfg)
+			got, ns, err := c.SetsOfSets(context.Background(), "docs", bob, cfg)
 			if err != nil {
 				errs <- fmt.Errorf("worker %d: %w", w, err)
 				return
@@ -86,7 +87,7 @@ func TestUpdateSetsOfSetsServesFreshDigest(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got1, ns1, err := c.SetsOfSets("docs", bob, cfg)
+	got1, ns1, err := c.SetsOfSets(context.Background(), "docs", bob, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func TestUpdateSetsOfSetsServesFreshDigest(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got2, ns2, err := c.SetsOfSets("docs", bob, cfg)
+	got2, ns2, err := c.SetsOfSets(context.Background(), "docs", bob, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +147,7 @@ func TestUpdateSetsOfSetsServesFreshDigest(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got3, ns3, err := c.SetsOfSets("docs", bob, cfg)
+	got3, ns3, err := c.SetsOfSets(context.Background(), "docs", bob, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +182,7 @@ func TestUpdateSetsOfSetsValidation(t *testing.T) {
 	}
 	// The dataset still serves.
 	cfg := sosr.Config{Seed: 3, Protocol: sosr.ProtocolCascade, KnownDiff: 24}
-	if _, _, err := Dial(addr).SetsOfSets("docs", bob, cfg); err != nil {
+	if _, _, err := Dial(addr).SetsOfSets(context.Background(), "docs", bob, cfg); err != nil {
 		t.Fatalf("session after rejected updates: %v", err)
 	}
 }
@@ -197,7 +198,7 @@ func TestUpdateSetsOverTCP(t *testing.T) {
 	})
 	cfg := sosr.SetConfig{Seed: 5, KnownDiff: 24}
 	c := Dial(addr)
-	if _, _, err := c.Sets("ids", bob, cfg); err != nil {
+	if _, _, err := c.Sets(context.Background(), "ids", bob, cfg); err != nil {
 		t.Fatal(err)
 	}
 	if err := srv.UpdateSets("ids", []uint64{70_000_001, 70_000_002}, []uint64{alice[0]}); err != nil {
@@ -208,7 +209,7 @@ func TestUpdateSetsOverTCP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, ns, err := c.Sets("ids", bob, cfg)
+	got, ns, err := c.Sets(context.Background(), "ids", bob, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,7 +265,7 @@ func TestConcurrentSessionsDuringUpdates(t *testing.T) {
 			c.Timeout = 60 * time.Second
 			for i := 0; i < 6; i++ {
 				cfg := sosr.Config{Seed: uint64(w*100 + i), Protocol: sosr.ProtocolCascade, KnownDiff: 32}
-				got, _, err := c.SetsOfSets("docs", bob, cfg)
+				got, _, err := c.SetsOfSets(context.Background(), "docs", bob, cfg)
 				if err != nil {
 					t.Errorf("worker %d session %d: %v", w, i, err)
 					return
@@ -296,7 +297,7 @@ func TestUpdateMultisetsOverTCP(t *testing.T) {
 	})
 	c := Dial(addr)
 	c.Timeout = 30 * time.Second
-	if _, _, err := c.Multiset("bag", bob, 16, 3); err != nil {
+	if _, _, err := c.Multiset(context.Background(), "bag", bob, 16, 3); err != nil {
 		t.Fatal(err)
 	}
 	// Add one new element and one extra copy of 1; remove one 9 and one 5.
@@ -311,7 +312,7 @@ func TestUpdateMultisetsOverTCP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, ns, err := c.Multiset("bag", bob, 16, 5)
+	got, ns, err := c.Multiset(context.Background(), "bag", bob, 16, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -355,7 +356,7 @@ func TestUpdateMultisetsOverTCP(t *testing.T) {
 	if v, _ := srv.DatasetVersion("bag"); v != 1 {
 		t.Fatal("empty update bumped the version")
 	}
-	got2, _, err := c.Multiset("bag", bob, 16, 6)
+	got2, _, err := c.Multiset(context.Background(), "bag", bob, 16, 6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -414,7 +415,7 @@ func TestConcurrentMultisetSessionsDuringUpdates(t *testing.T) {
 			c := Dial(addr)
 			c.Timeout = 60 * time.Second
 			for i := 0; i < 6; i++ {
-				got, _, err := c.Multiset("bag", bob, 24, uint64(w*100+i))
+				got, _, err := c.Multiset(context.Background(), "bag", bob, 24, uint64(w*100+i))
 				if err != nil {
 					t.Errorf("worker %d session %d: %v", w, i, err)
 					return
@@ -471,7 +472,7 @@ func TestGraphForestCacheParity(t *testing.T) {
 			c := Dial(addr)
 			c.Timeout = 60 * time.Second
 			for i := 0; i < 2; i++ {
-				gotG, nsG, err := c.Graph("net", gb, gcfg)
+				gotG, nsG, err := c.Graph(context.Background(), "net", gb, gcfg)
 				if err != nil {
 					t.Fatalf("graph session %d: %v", i, err)
 				}
@@ -479,7 +480,7 @@ func TestGraphForestCacheParity(t *testing.T) {
 					t.Fatalf("graph session %d: not isomorphic", i)
 				}
 				checkNetStats(t, nsG, wantG.Stats)
-				gotF, nsF, err := c.Forest("tree", fb, fcfg)
+				gotF, nsF, err := c.Forest(context.Background(), "tree", fb, fcfg)
 				if err != nil {
 					t.Fatalf("forest session %d: %v", i, err)
 				}

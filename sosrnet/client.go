@@ -1,6 +1,7 @@
 package sosrnet
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -38,8 +39,11 @@ type NetStats struct {
 }
 
 // Client reconciles local replicas against a sosrd server. Each method runs
-// one session on its own TCP connection; the zero Timeout means no deadline.
-// A Client is safe for concurrent use.
+// one session on its own TCP connection and takes a context as its first
+// parameter: cancellation (or a context deadline) severs the connection, so a
+// hedged or failed-over session releases its resources immediately. The zero
+// Timeout means no per-session deadline beyond the context's. A Client is
+// safe for concurrent use.
 type Client struct {
 	// Addr is the server's "host:port".
 	Addr string
@@ -47,15 +51,18 @@ type Client struct {
 	Timeout time.Duration
 	// MaxFrame bounds accepted frame payloads (0 = wire.DefaultMaxPayload).
 	MaxFrame int
-	// ShardIndex/ShardCount/ShardFingerprint are sent with every hello when
-	// ShardCount > 0: the shard slice the client believes Addr hosts, plus
-	// the shard map's identity-list fingerprint (shardmap.Map.Fingerprint).
-	// A mismatch with the server's configuration fails the handshake
-	// (ErrMisrouted on the server, surfaced here as ErrServer). The
-	// sosrshard fan-out client sets these; leave zero for unsharded
-	// datasets.
-	ShardIndex       int
+	// ShardID/ShardCount/ShardEpoch/ShardFingerprint are sent with every
+	// hello when ShardCount > 0: the canonical shard-identity hash
+	// (shardmap.Topology.ShardIDHash) of the slice the client believes Addr
+	// hosts, the topology's shard count, its epoch, and its order-invariant
+	// fingerprint (shardmap.Topology.Fingerprint). A structural mismatch
+	// with the server's configuration fails the handshake with ErrMisrouted;
+	// an epoch mismatch alone fails it with ErrStaleEpoch (both wrapped in
+	// ErrServer). The sosrshard fan-out client sets these; leave zero for
+	// unsharded datasets.
+	ShardID          uint64
 	ShardCount       int
+	ShardEpoch       uint64
 	ShardFingerprint uint64
 	// Obs, when set, receives decode-stage metrics: sketch-cache hits/misses
 	// and a peel-iterations histogram.
@@ -73,6 +80,9 @@ type Client struct {
 	// sketchFor, when non-nil, overrides the sketch cache as the source of Bob
 	// sketches (the server pull path keys sketches on dataset versions).
 	sketchFor sketchProvider
+	// dial, when non-nil, replaces the TCP dial — tests use it to count and
+	// track the connections a session path opens and closes.
+	dial func(ctx context.Context, addr string) (net.Conn, error)
 }
 
 // Dial returns a client for the given server address. No connection is made
@@ -81,25 +91,58 @@ func Dial(addr string) *Client { return &Client{Addr: addr} }
 
 // session opens one connection and wraps it as Bob's endpoint with pipelined
 // reads: the server's next frame is decoded off the socket while the client
-// is still applying the previous one. Callers close the connection (which
-// retires the reader goroutine) and defer ep.StopReadAhead().
-func (c *Client) session() (net.Conn, *wire.Endpoint, error) {
-	conn, err := net.DialTimeout("tcp", c.Addr, c.Timeout)
+// is still applying the previous one. The returned cleanup is idempotent and
+// must run on every exit path — it detaches the context watchdog, retires the
+// read-ahead goroutine, and closes the connection, so no handshake-rejection
+// or mid-protocol error branch can leak the TCP conn (a leak per rejected
+// retry would exhaust fds during a failover storm).
+func (c *Client) session(ctx context.Context) (*wire.Endpoint, func(), error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	dial := c.dial
+	if dial == nil {
+		dial = func(ctx context.Context, addr string) (net.Conn, error) {
+			d := net.Dialer{Timeout: c.Timeout}
+			return d.DialContext(ctx, "tcp", addr)
+		}
+	}
+	conn, err := dial(ctx, c.Addr)
 	if err != nil {
 		return nil, nil, err
 	}
 	if c.Timeout > 0 {
 		_ = conn.SetDeadline(time.Now().Add(c.Timeout))
 	}
+	// A blocked read or write observes cancellation only through the socket:
+	// sever it the moment ctx is done.
+	stop := context.AfterFunc(ctx, func() { _ = conn.Close() })
 	ep := wire.NewEndpoint(conn, transport.Bob)
 	ep.SetMaxPayload(c.MaxFrame)
 	ep.StartReadAhead()
-	return conn, ep, nil
+	var once sync.Once
+	cleanup := func() {
+		once.Do(func() {
+			stop()
+			ep.StopReadAhead()
+			_ = conn.Close()
+		})
+	}
+	return ep, cleanup, nil
+}
+
+// ctxErr re-labels an error once ctx is done: a severed connection surfaces
+// as an opaque IO failure, but the caller's truth is the cancellation.
+func ctxErr(ctx context.Context, err error) error {
+	if err != nil && ctx.Err() != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("%w (%v)", ctx.Err(), err)
+	}
+	return err
 }
 
 func (c *Client) hello(ep *wire.Endpoint, h *helloMsg) (*acceptMsg, error) {
 	h.V = protoVersion
-	h.ShardIndex, h.ShardCount, h.ShardSet = c.ShardIndex, c.ShardCount, c.ShardFingerprint
+	h.ShardID, h.ShardCount, h.ShardEpoch, h.ShardSet = c.ShardID, c.ShardCount, c.ShardEpoch, c.ShardFingerprint
 	if err := ep.SendFrame(lblHello, marshalCtl(h)); err != nil {
 		return nil, err
 	}
@@ -144,18 +187,23 @@ func netStats(ep *wire.Endpoint, attempts int) *NetStats {
 }
 
 // Sets reconciles a local set against the hosted set `name`: the client ends
-// up with the server's set. cfg mirrors sosr.ReconcileSets.
-func (c *Client) Sets(name string, local []uint64, cfg sosr.SetConfig) (*sosr.SetResult, *NetStats, error) {
+// up with the server's set. cfg mirrors sosr.ReconcileSets. Cancelling ctx
+// severs the session.
+func (c *Client) Sets(ctx context.Context, name string, local []uint64, cfg sosr.SetConfig) (*sosr.SetResult, *NetStats, error) {
+	res, ns, err := c.sets(ctx, name, local, cfg)
+	return res, ns, ctxErr(ctx, err)
+}
+
+func (c *Client) sets(ctx context.Context, name string, local []uint64, cfg sosr.SetConfig) (*sosr.SetResult, *NetStats, error) {
 	if cfg.UseCharPoly && cfg.KnownDiff <= 0 {
 		return nil, nil, errors.New("sosrnet: UseCharPoly requires KnownDiff > 0")
 	}
 	bob := setutil.Canonical(local)
-	conn, ep, err := c.session()
+	ep, cleanup, err := c.session(ctx)
 	if err != nil {
 		return nil, nil, err
 	}
-	defer conn.Close()
-	defer ep.StopReadAhead()
+	defer cleanup()
 	_, err = c.hello(ep, &helloMsg{
 		Dataset: name, Kind: KindSet, Seed: cfg.Seed,
 		D: cfg.KnownDiff, CharPoly: cfg.UseCharPoly,
@@ -206,17 +254,21 @@ func (c *Client) Sets(name string, local []uint64, cfg sosr.SetConfig) (*sosr.Se
 // the multiset edit distance), mirroring sosr.ReconcileMultisets. diffBound
 // ≤ 0 runs the estimator variant over the packed sets (a wire-only
 // extension; the in-process API requires a known bound).
-func (c *Client) Multiset(name string, local []uint64, diffBound int, seed uint64) ([]uint64, *NetStats, error) {
+func (c *Client) Multiset(ctx context.Context, name string, local []uint64, diffBound int, seed uint64) ([]uint64, *NetStats, error) {
+	rec, ns, err := c.multiset(ctx, name, local, diffBound, seed)
+	return rec, ns, ctxErr(ctx, err)
+}
+
+func (c *Client) multiset(ctx context.Context, name string, local []uint64, diffBound int, seed uint64) ([]uint64, *NetStats, error) {
 	packed, err := setrecon.MultisetToSet(local)
 	if err != nil {
 		return nil, nil, err
 	}
-	conn, ep, err := c.session()
+	ep, cleanup, err := c.session(ctx)
 	if err != nil {
 		return nil, nil, err
 	}
-	defer conn.Close()
-	defer ep.StopReadAhead()
+	defer cleanup()
 	if _, err = c.hello(ep, &helloMsg{Dataset: name, Kind: KindMultiset, Seed: seed, D: diffBound}); err != nil {
 		return nil, nil, err
 	}
@@ -243,18 +295,22 @@ func (c *Client) Multiset(name string, local []uint64, diffBound int, seed uint6
 
 // SetsOfSets reconciles a local parent set against the hosted sets-of-sets
 // `name`, mirroring sosr.ReconcileSetsOfSets (all four protocol families,
-// known- and unknown-d variants).
-func (c *Client) SetsOfSets(name string, local [][]uint64, cfg sosr.Config) (*sosr.Result, *NetStats, error) {
+// known- and unknown-d variants). Cancelling ctx severs the session.
+func (c *Client) SetsOfSets(ctx context.Context, name string, local [][]uint64, cfg sosr.Config) (*sosr.Result, *NetStats, error) {
+	res, ns, err := c.setsOfSets(ctx, name, local, cfg)
+	return res, ns, ctxErr(ctx, err)
+}
+
+func (c *Client) setsOfSets(ctx context.Context, name string, local [][]uint64, cfg sosr.Config) (*sosr.Result, *NetStats, error) {
 	bob := make([][]uint64, len(local))
 	for i, cs := range local {
 		bob[i] = setutil.Canonical(cs)
 	}
-	conn, ep, err := c.session()
+	ep, cleanup, err := c.session(ctx)
 	if err != nil {
 		return nil, nil, err
 	}
-	defer conn.Close()
-	defer ep.StopReadAhead()
+	defer cleanup()
 	acc, err := c.hello(ep, &helloMsg{
 		Dataset: name, Kind: KindSetsOfSets, Seed: cfg.Seed,
 		D: cfg.KnownDiff, Protocol: cfg.Protocol.String(), DHat: cfg.KnownChildDiff,
@@ -473,7 +529,13 @@ func (a *sosApply) multiRound(ep *wire.Endpoint, coins hashing.Coins, acc *accep
 // Graph reconciles a local graph against the hosted graph `name`: the client
 // ends up with a graph isomorphic to the server's. cfg mirrors
 // sosr.ReconcileGraphs (degree-ordering and degree-neighborhood schemes).
-func (c *Client) Graph(name string, local sosr.Graph, cfg sosr.GraphConfig) (*sosr.GraphResult, *NetStats, error) {
+// Cancelling ctx severs the session.
+func (c *Client) Graph(ctx context.Context, name string, local sosr.Graph, cfg sosr.GraphConfig) (*sosr.GraphResult, *NetStats, error) {
+	res, ns, err := c.graph(ctx, name, local, cfg)
+	return res, ns, ctxErr(ctx, err)
+}
+
+func (c *Client) graph(ctx context.Context, name string, local sosr.Graph, cfg sosr.GraphConfig) (*sosr.GraphResult, *NetStats, error) {
 	gb := toGraph(local)
 	d := cfg.MaxEdits
 	if d < 1 {
@@ -504,12 +566,11 @@ func (c *Client) Graph(name string, local sosr.Graph, cfg sosr.GraphConfig) (*so
 		}
 		h.MaxSig = side.MaxSig
 	}
-	conn, ep, err := c.session()
+	ep, cleanup, err := c.session(ctx)
 	if err != nil {
 		return nil, nil, err
 	}
-	defer conn.Close()
-	defer ep.StopReadAhead()
+	defer cleanup()
 	acc, err := c.hello(ep, h)
 	if err != nil {
 		return nil, nil, err
@@ -549,18 +610,23 @@ func (c *Client) Graph(name string, local sosr.Graph, cfg sosr.GraphConfig) (*so
 // Forest reconciles a local rooted forest against the hosted forest `name`:
 // the client ends up with a forest isomorphic to the server's. cfg mirrors
 // sosr.ReconcileForests (known-budget and auto-doubling variants).
-func (c *Client) Forest(name string, local sosr.Forest, cfg sosr.ForestConfig) (*sosr.ForestResult, *NetStats, error) {
+// Cancelling ctx severs the session.
+func (c *Client) Forest(ctx context.Context, name string, local sosr.Forest, cfg sosr.ForestConfig) (*sosr.ForestResult, *NetStats, error) {
+	res, ns, err := c.forest(ctx, name, local, cfg)
+	return res, ns, ctxErr(ctx, err)
+}
+
+func (c *Client) forest(ctx context.Context, name string, local sosr.Forest, cfg sosr.ForestConfig) (*sosr.ForestResult, *NetStats, error) {
 	fb := toForest(local)
 	if err := fb.Validate(); err != nil {
 		return nil, nil, err
 	}
 	info := forest.Measure(fb)
-	conn, ep, err := c.session()
+	ep, cleanup, err := c.session(ctx)
 	if err != nil {
 		return nil, nil, err
 	}
-	defer conn.Close()
-	defer ep.StopReadAhead()
+	defer cleanup()
 	acc, err := c.hello(ep, &helloMsg{
 		Dataset: name, Kind: KindForest, Seed: cfg.Seed,
 		D: cfg.MaxEdits, Sigma: cfg.Depth,

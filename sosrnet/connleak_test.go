@@ -1,0 +1,132 @@
+package sosrnet
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sosr"
+)
+
+// trackedConn counts exactly one close per underlying connection, however
+// many times Close is called (session cleanup and the context watchdog may
+// both fire).
+type trackedConn struct {
+	net.Conn
+	closed *atomic.Int64
+	once   sync.Once
+}
+
+func (c *trackedConn) Close() error {
+	c.once.Do(func() { c.closed.Add(1) })
+	return c.Conn.Close()
+}
+
+// TestSessionClosesConnOnEveryPath is the conn-leak regression test: every
+// session — successful, rejected at the hello (unknown dataset, misroute,
+// stale epoch), or cancelled mid-flight — must close the TCP connection it
+// dialed. A leak here is invisible in small tests but starves a fleet doing
+// failover retries, where rejection paths run constantly.
+func TestSessionClosesConnOnEveryPath(t *testing.T) {
+	ctx := context.Background()
+	topo := mustTopo(t, 3, "c0:1", "c1:2")
+	alice, bob := setPair()
+	_, addr, _ := startServer(t, func(s *Server) {
+		if err := s.HostSets("plain", alice); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.HostSetsShard("ids", alice, topo, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	var opened, closed atomic.Int64
+	track := func(c *Client) *Client {
+		c.dial = func(ctx context.Context, addr string) (net.Conn, error) {
+			var d net.Dialer
+			conn, err := d.DialContext(ctx, "tcp", addr)
+			if err != nil {
+				return nil, err
+			}
+			opened.Add(1)
+			return &trackedConn{Conn: conn, closed: &closed}, nil
+		}
+		return c
+	}
+	check := func(step string) {
+		t.Helper()
+		if o, c := opened.Load(), closed.Load(); o != c {
+			t.Fatalf("%s: %d conns opened, %d closed", step, o, c)
+		}
+	}
+
+	cfg := sosr.SetConfig{Seed: 1, KnownDiff: 16}
+
+	// Successful session.
+	c := track(Dial(addr))
+	if _, _, err := c.Sets(ctx, "plain", bob, cfg); err != nil {
+		t.Fatal(err)
+	}
+	check("success")
+
+	// Unknown dataset: rejected at the hello.
+	if _, _, err := c.Sets(ctx, "nope", bob, cfg); !errors.Is(err, ErrServer) {
+		t.Fatalf("unknown dataset: %v", err)
+	}
+	check("unknown dataset")
+
+	// Misrouted shard session.
+	wrongShard := track(Dial(addr))
+	wrongShard.ShardID = topo.ShardIDHash(1)
+	wrongShard.ShardCount = topo.NumShards()
+	wrongShard.ShardEpoch = topo.Epoch()
+	wrongShard.ShardFingerprint = topo.Fingerprint()
+	if _, _, err := wrongShard.Sets(ctx, "ids", bob, cfg); !errors.Is(err, ErrMisrouted) {
+		t.Fatalf("misroute: %v", err)
+	}
+	check("misroute")
+
+	// Stale epoch.
+	stale := track(shardClient(addr, mustTopo(t, 2, "c0:1", "c1:2"), 0))
+	if _, _, err := stale.Sets(ctx, "ids", bob, cfg); !errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("stale epoch: %v", err)
+	}
+	check("stale epoch")
+
+	// Bad request parameters rejected server-side mid-hello.
+	if _, _, err := c.Sets(ctx, "plain", bob, sosr.SetConfig{Seed: 1, KnownDiff: 1 << 30}); !errors.Is(err, ErrServer) {
+		t.Fatalf("oversized bound: %v", err)
+	}
+	check("rejected parameters")
+
+	// Cancelled before the session starts: no conn may be opened at all.
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	before := opened.Load()
+	if _, _, err := c.Sets(cancelled, "plain", bob, cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled ctx: %v", err)
+	}
+	if opened.Load() != before {
+		t.Fatal("a connection was dialed under an already-cancelled context")
+	}
+	check("pre-cancelled")
+
+	// Cancelled mid-session: the watchdog severs the conn, and cleanup still
+	// balances the books.
+	mid, cancelMid := context.WithTimeout(ctx, time.Millisecond)
+	defer cancelMid()
+	time.Sleep(2 * time.Millisecond)
+	_, _, err := c.Sets(mid, "plain", bob, cfg)
+	if err == nil {
+		t.Fatal("session under an expired context succeeded")
+	}
+	check("expired mid-session")
+
+	if opened.Load() == 0 {
+		t.Fatal("tracking dial hook never used")
+	}
+}

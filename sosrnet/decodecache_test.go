@@ -1,6 +1,7 @@
 package sosrnet
 
 import (
+	"context"
 	"reflect"
 	"testing"
 	"time"
@@ -29,7 +30,7 @@ func TestClientSketchCacheAcrossSessions(t *testing.T) {
 	uncached := Dial(addr)
 	uncached.Timeout = 60 * time.Second
 	uncached.CacheBytes = -1
-	ref, refNS, err := uncached.SetsOfSets("docs", bob, cfg)
+	ref, refNS, err := uncached.SetsOfSets(context.Background(), "docs", bob, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +44,7 @@ func TestClientSketchCacheAcrossSessions(t *testing.T) {
 	c := Dial(addr)
 	c.Timeout = 60 * time.Second
 	c.Obs = obs.NewRegistry()
-	got1, ns1, err := c.SetsOfSets("docs", bob, cfg)
+	got1, ns1, err := c.SetsOfSets(context.Background(), "docs", bob, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +52,7 @@ func TestClientSketchCacheAcrossSessions(t *testing.T) {
 	if st1.Misses == 0 || st1.Hits != 0 {
 		t.Fatalf("first session should be all misses: %+v", st1)
 	}
-	got2, ns2, err := c.SetsOfSets("docs", bob, cfg)
+	got2, ns2, err := c.SetsOfSets(context.Background(), "docs", bob, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,12 +103,12 @@ func TestClientSketchCacheDoubling(t *testing.T) {
 	}
 	c := Dial(addr)
 	c.Timeout = 60 * time.Second
-	got1, _, err := c.SetsOfSets("docs", bob, cfg)
+	got1, _, err := c.SetsOfSets(context.Background(), "docs", bob, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	st1 := c.CacheStats()
-	got2, _, err := c.SetsOfSets("docs", bob, cfg)
+	got2, _, err := c.SetsOfSets(context.Background(), "docs", bob, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +139,7 @@ func TestPullSetsOfSets(t *testing.T) {
 	local.SessionTimeout = 60 * time.Second
 	cfg := sosr.Config{Seed: 43, Protocol: sosr.ProtocolCascade, KnownDiff: 24}
 
-	res, ns, err := local.PullSetsOfSets("docs", peerAddr, cfg)
+	res, ns, err := local.PullSetsOfSets(context.Background(), "docs", peerAddr, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +157,7 @@ func TestPullSetsOfSets(t *testing.T) {
 	// the third pull subtracts the sketch the second one cached.
 	statsBefore := local.CacheStats()
 	for i := 0; i < 2; i++ {
-		res, _, err := local.PullSetsOfSets("docs", peerAddr, cfg)
+		res, _, err := local.PullSetsOfSets(context.Background(), "docs", peerAddr, cfg)
 		if err != nil {
 			t.Fatalf("converged pull %d: %v", i, err)
 		}
@@ -176,7 +177,7 @@ func TestPullSetsOfSets(t *testing.T) {
 	// data reconciles against it with an empty diff.
 	c := Dial(localAddr)
 	c.Timeout = 60 * time.Second
-	got, _, err := c.SetsOfSets("docs", aliceData, cfg)
+	got, _, err := c.SetsOfSets(context.Background(), "docs", aliceData, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

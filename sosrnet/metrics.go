@@ -48,6 +48,7 @@ const (
 	rejectBound          = "bound"
 	rejectUnknownDataset = "unknown_dataset"
 	rejectMisroute       = "misroute"
+	rejectStaleEpoch     = "stale_epoch"
 )
 
 // metrics lazily registers the server's families on its registry (creating a

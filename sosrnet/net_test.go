@@ -148,7 +148,7 @@ func TestSetsOverTCP(t *testing.T) {
 		if err != nil {
 			t.Fatalf("in-process %+v: %v", cfg, err)
 		}
-		got, ns, err := c.Sets("ids", bob, cfg)
+		got, ns, err := c.Sets(context.Background(), "ids", bob, cfg)
 		if err != nil {
 			t.Fatalf("wire %+v: %v", cfg, err)
 		}
@@ -175,7 +175,7 @@ func TestMultisetOverTCP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, ns, err := Dial(addr).Multiset("bag", bob, d, 3)
+	got, ns, err := Dial(addr).Multiset(context.Background(), "bag", bob, d, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +188,7 @@ func TestMultisetOverTCP(t *testing.T) {
 	// for a payload the server won't send until it sees a probe.
 	c := Dial(addr)
 	c.Timeout = 10 * time.Second
-	gotU, nsU, err := c.Multiset("bag", bob, 0, 4)
+	gotU, nsU, err := c.Multiset(context.Background(), "bag", bob, 0, 4)
 	if err != nil {
 		t.Fatalf("unknown-d multiset: %v", err)
 	}
@@ -231,7 +231,7 @@ func TestSetsOfSetsOverTCPAllProtocols(t *testing.T) {
 		if err != nil {
 			t.Fatalf("in-process %s: %v", name, err)
 		}
-		got, ns, err := c.SetsOfSets("docs", bob, cfg)
+		got, ns, err := c.SetsOfSets(context.Background(), "docs", bob, cfg)
 		if err != nil {
 			t.Fatalf("wire %s: %v", name, err)
 		}
@@ -282,7 +282,7 @@ func endToEndWireBytes(t *testing.T, cacheBytes int64) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, ns, err := Dial(addr).SetsOfSets("docs", bob, cfg)
+	got, ns, err := Dial(addr).SetsOfSets(context.Background(), "docs", bob, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -357,7 +357,7 @@ func TestGraphOverTCPDegreeOrdering(t *testing.T) {
 			t.Fatal(err)
 		}
 	})
-	got, ns, err := Dial(addr).Graph("net", gb, cfg)
+	got, ns, err := Dial(addr).Graph(context.Background(), "net", gb, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -390,7 +390,7 @@ func TestGraphOverTCPNeighborhood(t *testing.T) {
 				}
 			})
 			for i := 0; i < 2; i++ {
-				got, ns, err := Dial(addr).Graph("soc", base, cfg)
+				got, ns, err := Dial(addr).Graph(context.Background(), "soc", base, cfg)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -422,7 +422,7 @@ func TestForestOverTCP(t *testing.T) {
 		if err != nil {
 			t.Fatalf("in-process %+v: %v", cfg, err)
 		}
-		got, ns, err := c.Forest("tree", fb, cfg)
+		got, ns, err := c.Forest(context.Background(), "tree", fb, cfg)
 		if err != nil {
 			t.Fatalf("wire %+v: %v", cfg, err)
 		}
@@ -487,17 +487,17 @@ func TestConcurrentSessions(t *testing.T) {
 			c := Dial(addr)
 			c.Timeout = 60 * time.Second
 			seed := uint64(w)*131 + 7
-			if res, _, err := c.Sets("ids", setBob, sosr.SetConfig{Seed: seed, KnownDiff: 16}); err != nil {
+			if res, _, err := c.Sets(context.Background(), "ids", setBob, sosr.SetConfig{Seed: seed, KnownDiff: 16}); err != nil {
 				errs <- fmt.Errorf("worker %d sets: %w", w, err)
 			} else if !reflect.DeepEqual(res.Recovered, setutil.Canonical(setAlice)) {
 				errs <- fmt.Errorf("worker %d sets: wrong recovery", w)
 			}
-			if res, _, err := c.SetsOfSets("docs", sosBob, sosr.Config{Seed: seed, Protocol: sosr.ProtocolCascade, KnownDiff: 24}); err != nil {
+			if res, _, err := c.SetsOfSets(context.Background(), "docs", sosBob, sosr.Config{Seed: seed, Protocol: sosr.ProtocolCascade, KnownDiff: 24}); err != nil {
 				errs <- fmt.Errorf("worker %d sos: %w", w, err)
 			} else if len(res.Recovered) != len(sosAlice) {
 				errs <- fmt.Errorf("worker %d sos: wrong recovery", w)
 			}
-			if res, _, err := c.Forest("tree", fb, sosr.ForestConfig{Seed: seed, MaxEdits: 3}); err != nil {
+			if res, _, err := c.Forest(context.Background(), "tree", fb, sosr.ForestConfig{Seed: seed, MaxEdits: 3}); err != nil {
 				errs <- fmt.Errorf("worker %d forest: %w", w, err)
 			} else if !sosr.ForestsIsomorphic(res.Recovered, fa) {
 				errs <- fmt.Errorf("worker %d forest: wrong recovery", w)
@@ -536,14 +536,14 @@ func TestUnknownDatasetAndKindMismatch(t *testing.T) {
 		}
 	})
 	c := Dial(addr)
-	if _, _, err := c.Sets("nope", bob, sosr.SetConfig{Seed: 1, KnownDiff: 8}); !errors.Is(err, ErrServer) {
+	if _, _, err := c.Sets(context.Background(), "nope", bob, sosr.SetConfig{Seed: 1, KnownDiff: 8}); !errors.Is(err, ErrServer) {
 		t.Fatalf("unknown dataset: %v", err)
 	}
-	if _, _, err := c.SetsOfSets("ids", [][]uint64{{1}}, sosr.Config{Seed: 1, KnownDiff: 2}); !errors.Is(err, ErrServer) {
+	if _, _, err := c.SetsOfSets(context.Background(), "ids", [][]uint64{{1}}, sosr.Config{Seed: 1, KnownDiff: 2}); !errors.Is(err, ErrServer) {
 		t.Fatalf("kind mismatch: %v", err)
 	}
 	// The server must keep serving after rejected sessions.
-	if _, _, err := c.Sets("ids", bob, sosr.SetConfig{Seed: 1, KnownDiff: 16}); err != nil {
+	if _, _, err := c.Sets(context.Background(), "ids", bob, sosr.SetConfig{Seed: 1, KnownDiff: 16}); err != nil {
 		t.Fatalf("post-rejection session: %v", err)
 	}
 }
@@ -560,11 +560,11 @@ func TestReplicatedGiveUpMatchesInProcess(t *testing.T) {
 		}
 	})
 	c := Dial(addr)
-	if _, _, err := c.SetsOfSets("docs", bob, cfg); !errors.Is(err, ErrGaveUp) {
+	if _, _, err := c.SetsOfSets(context.Background(), "docs", bob, cfg); !errors.Is(err, ErrGaveUp) {
 		t.Fatalf("wire run: want ErrGaveUp, got %v", err)
 	}
 	// Server survives the failed session.
-	if _, _, err := c.SetsOfSets("docs", bob, sosr.Config{Seed: 5, Protocol: sosr.ProtocolCascade, KnownDiff: 24}); err != nil {
+	if _, _, err := c.SetsOfSets(context.Background(), "docs", bob, sosr.Config{Seed: 5, Protocol: sosr.ProtocolCascade, KnownDiff: 24}); err != nil {
 		t.Fatalf("post-failure session: %v", err)
 	}
 }
@@ -581,11 +581,11 @@ func TestServerRejectsHostileBounds(t *testing.T) {
 	})
 	c := Dial(addr)
 	c.Timeout = 10 * time.Second
-	if _, _, err := c.Sets("ids", bob, sosr.SetConfig{Seed: 1, KnownDiff: 1 << 30}); !errors.Is(err, ErrServer) {
+	if _, _, err := c.Sets(context.Background(), "ids", bob, sosr.SetConfig{Seed: 1, KnownDiff: 1 << 30}); !errors.Is(err, ErrServer) {
 		t.Fatalf("giant d accepted: %v", err)
 	}
 	// Within the cap, sessions still work.
-	if _, _, err := c.Sets("ids", bob, sosr.SetConfig{Seed: 1, KnownDiff: 16}); err != nil {
+	if _, _, err := c.Sets(context.Background(), "ids", bob, sosr.SetConfig{Seed: 1, KnownDiff: 16}); err != nil {
 		t.Fatalf("capped server rejected a sane session: %v", err)
 	}
 }
@@ -637,7 +637,7 @@ func TestServerSurvivesGarbage(t *testing.T) {
 		}
 	}
 	raw.Close()
-	if _, _, err := Dial(addr).Sets("ids", bob, sosr.SetConfig{Seed: 2, KnownDiff: 16}); err != nil {
+	if _, _, err := Dial(addr).Sets(context.Background(), "ids", bob, sosr.SetConfig{Seed: 2, KnownDiff: 16}); err != nil {
 		t.Fatalf("session after garbage connection: %v", err)
 	}
 }
@@ -692,7 +692,7 @@ func TestCorruptedFrameDetected(t *testing.T) {
 	}()
 	c := Dial(proxyLn.Addr().String())
 	c.Timeout = 10 * time.Second
-	res, _, err := c.Sets("ids", bob, sosr.SetConfig{Seed: 3, KnownDiff: 16})
+	res, _, err := c.Sets(context.Background(), "ids", bob, sosr.SetConfig{Seed: 3, KnownDiff: 16})
 	if err == nil {
 		t.Fatalf("tampered session returned data: %+v", res)
 	}
@@ -708,7 +708,7 @@ func TestGracefulShutdown(t *testing.T) {
 			t.Fatal(err)
 		}
 	})
-	if _, _, err := Dial(addr).Sets("ids", bob, sosr.SetConfig{Seed: 4, KnownDiff: 16}); err != nil {
+	if _, _, err := Dial(addr).Sets(context.Background(), "ids", bob, sosr.SetConfig{Seed: 4, KnownDiff: 16}); err != nil {
 		t.Fatal(err)
 	}
 	// A stalled connection (client never sends its hello) must not wedge
@@ -727,7 +727,7 @@ func TestGracefulShutdown(t *testing.T) {
 	// After shutdown no new sessions are accepted.
 	c := Dial(addr)
 	c.Timeout = 2 * time.Second
-	if _, _, err := c.Sets("ids", bob, sosr.SetConfig{Seed: 5, KnownDiff: 16}); err == nil {
+	if _, _, err := c.Sets(context.Background(), "ids", bob, sosr.SetConfig{Seed: 5, KnownDiff: 16}); err == nil {
 		t.Fatal("session accepted after shutdown")
 	}
 }
@@ -766,7 +766,7 @@ func TestHelloDeadlineSeversSlowLoris(t *testing.T) {
 	}
 	// A prompt client is unaffected, including its post-hello frames, which
 	// must run under the restored session deadline (not the hello one).
-	if _, _, err := Dial(addr).Sets("ids", bob, sosr.SetConfig{Seed: 6, KnownDiff: 16}); err != nil {
+	if _, _, err := Dial(addr).Sets(context.Background(), "ids", bob, sosr.SetConfig{Seed: 6, KnownDiff: 16}); err != nil {
 		t.Fatalf("session after slow-loris: %v", err)
 	}
 }

@@ -2,6 +2,7 @@ package sosrnet
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -85,7 +86,7 @@ func TestOpsEndpointEndToEnd(t *testing.T) {
 	}
 
 	cfg := sosr.Config{Seed: 99, Protocol: sosr.ProtocolCascade, KnownDiff: 24}
-	_, ns, err := Dial(addr).SetsOfSets("docs", bob, cfg)
+	_, ns, err := Dial(addr).SetsOfSets(context.Background(), "docs", bob, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +163,7 @@ func TestHandshakeRejectMetrics(t *testing.T) {
 	ops := httptest.NewServer(srv.OpsHandler())
 	defer ops.Close()
 	c := Dial(addr)
-	if _, _, err := c.Sets("nope", bob, sosr.SetConfig{Seed: 1, KnownDiff: 8}); err == nil {
+	if _, _, err := c.Sets(context.Background(), "nope", bob, sosr.SetConfig{Seed: 1, KnownDiff: 8}); err == nil {
 		t.Fatal("unknown dataset succeeded")
 	}
 	waitFor(t, "reject metrics", func() bool {

@@ -16,9 +16,10 @@ type DatasetInfo struct {
 	// Items is the hosted size in the kind's natural unit: elements for
 	// sets/multisets, child sets for sets-of-sets, edges for graphs, nodes
 	// for forests.
-	Items      int `json:"items"`
-	ShardIndex int `json:"shard_index,omitempty"`
-	ShardCount int `json:"shard_count,omitempty"`
+	Items      int    `json:"items"`
+	ShardIndex int    `json:"shard_index,omitempty"`
+	ShardCount int    `json:"shard_count,omitempty"`
+	ShardEpoch uint64 `json:"shard_epoch,omitempty"`
 }
 
 // Datasets returns a snapshot of every hosted dataset, sorted by name.
@@ -34,7 +35,8 @@ func (s *Server) Datasets() []DatasetInfo {
 		di := DatasetInfo{Name: name, Kind: ds.kind}
 		if ds.shard != nil {
 			di.ShardIndex = ds.shard.index
-			di.ShardCount = ds.shard.m.N()
+			di.ShardCount = ds.shard.topo.NumShards()
+			di.ShardEpoch = ds.shard.topo.Epoch()
 		}
 		ds.mu.Lock()
 		di.Version = ds.version

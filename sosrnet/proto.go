@@ -52,7 +52,9 @@ const (
 )
 
 // protoVersion is the handshake version; bumped on incompatible changes.
-const protoVersion = 1
+// v2: shard coordinates became (canonical shard-identity hash, count, epoch,
+// order-invariant fingerprint) — replacing the positional shard index.
+const protoVersion = 2
 
 // Package errors.
 var (
@@ -66,9 +68,20 @@ var (
 	ErrUnsupported = errors.New("sosrnet: unsupported configuration")
 	// ErrGaveUp indicates the session exhausted its retry attempts.
 	ErrGaveUp = errors.New("sosrnet: exhausted retry attempts")
-	// ErrMisrouted indicates the client's shard coordinates (index/count) do
-	// not match the slice this server hosts.
+	// ErrMisrouted indicates the client's shard coordinates (identity, count,
+	// topology fingerprint) do not match the slice this server hosts.
 	ErrMisrouted = errors.New("sosrnet: misrouted shard session")
+	// ErrStaleEpoch indicates the client's topology epoch differs from the
+	// server's while the address structure matches — the client should
+	// re-resolve the topology and retry, not treat the shard as broken.
+	ErrStaleEpoch = errors.New("sosrnet: stale topology epoch")
+)
+
+// Error codes carried in ctl/error frames so clients can classify a
+// rejection without string matching.
+const (
+	codeMisroute   = "misroute"
+	codeStaleEpoch = "stale_epoch"
 )
 
 // helloMsg opens a session. Zero fields are omitted; kind-specific fields
@@ -79,18 +92,23 @@ type helloMsg struct {
 	Kind    Kind   `json:"kind"`
 	Seed    uint64 `json:"seed"`
 
-	// ShardIndex/ShardCount identify which slice of a sharded logical
-	// dataset the client believes this server hosts (0 count = unsharded).
-	// The server rejects a session whose shard coordinates do not match the
-	// hosted dataset's, so a fan-out client that dials the wrong instance
-	// fails loudly at the handshake instead of reconciling a wrong slice.
-	// ShardSet is the shard map's identity-list fingerprint: index and count
-	// can match while the lists differ in spelling ("localhost" vs
-	// "127.0.0.1" dialing the same servers) and therefore in how they
-	// partition keys; the fingerprint catches that too.
-	ShardIndex int    `json:"shardidx,omitempty"`
+	// ShardID/ShardCount identify which slice of a sharded logical dataset
+	// the client believes this server hosts (0 count = unsharded). ShardID is
+	// the hash of the shard's canonical identity (its sorted replica address
+	// list), so reordered-but-identical topologies route correctly while a
+	// fan-out client that dials the wrong instance fails loudly at the
+	// handshake instead of reconciling a wrong slice. ShardSet is the
+	// topology's order-invariant fingerprint: identity and count can match
+	// while the overall address structure differs in spelling ("localhost"
+	// vs "127.0.0.1" dialing the same servers) and therefore in how it
+	// partitions keys; the fingerprint catches that too. ShardEpoch is the
+	// topology's monotonic epoch; a mismatch is rejected as stale_epoch,
+	// distinguishable from a structural misroute so clients re-resolve
+	// instead of failing over.
+	ShardID    uint64 `json:"shardid,omitempty"`
 	ShardCount int    `json:"shardcnt,omitempty"`
 	ShardSet   uint64 `json:"shardset,omitempty"`
+	ShardEpoch uint64 `json:"shardepoch,omitempty"`
 
 	// D is the known difference bound (kind-specific meaning: set/multiset
 	// symmetric-difference bound, sets-of-sets total element differences,
@@ -163,9 +181,11 @@ type doneMsg struct {
 	Attempts int    `json:"attempts,omitempty"`
 }
 
-// errorMsg reports a server-side failure.
+// errorMsg reports a server-side failure. Code, when present, classifies the
+// rejection machine-readably (codeMisroute, codeStaleEpoch).
 type errorMsg struct {
 	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
 }
 
 func marshalCtl(v any) []byte {
@@ -177,16 +197,31 @@ func marshalCtl(v any) []byte {
 	return b
 }
 
-// sendErrorFrame best-effort reports err to the peer.
+// sendErrorFrame best-effort reports err to the peer, attaching a machine-
+// readable code for the rejection classes clients dispatch on.
 func sendErrorFrame(ep *wire.Endpoint, err error) {
-	_ = ep.SendFrame(lblError, marshalCtl(errorMsg{Error: err.Error()}))
+	em := errorMsg{Error: err.Error()}
+	switch {
+	case errors.Is(err, ErrStaleEpoch):
+		em.Code = codeStaleEpoch
+	case errors.Is(err, ErrMisrouted):
+		em.Code = codeMisroute
+	}
+	_ = ep.SendFrame(lblError, marshalCtl(em))
 }
 
-// serverError decodes a ctl/error payload.
+// serverError decodes a ctl/error payload, re-materializing the sentinel for
+// coded rejections so errors.Is works across the wire.
 func serverError(payload []byte) error {
 	var em errorMsg
 	if json.Unmarshal(payload, &em) != nil || em.Error == "" {
 		return fmt.Errorf("%w: unreadable error frame", ErrServer)
+	}
+	switch em.Code {
+	case codeStaleEpoch:
+		return fmt.Errorf("%w: %w: %s", ErrServer, ErrStaleEpoch, em.Error)
+	case codeMisroute:
+		return fmt.Errorf("%w: %w: %s", ErrServer, ErrMisrouted, em.Error)
 	}
 	return fmt.Errorf("%w: %s", ErrServer, em.Error)
 }

@@ -1,6 +1,7 @@
 package sosrnet
 
 import (
+	"context"
 	"fmt"
 
 	"sosr"
@@ -19,8 +20,8 @@ import (
 // On success the recovered difference is applied through UpdateSetsOfSets,
 // which bumps the dataset version; the next pull builds (and caches) one
 // fresh sketch. Sharded datasets pull shard-to-shard: the peer must host the
-// same shard slice under the same shard map.
-func (s *Server) PullSetsOfSets(name, peerAddr string, cfg sosr.Config) (*sosr.Result, *NetStats, error) {
+// same shard slice under the same topology (identity, epoch, fingerprint).
+func (s *Server) PullSetsOfSets(ctx context.Context, name, peerAddr string, cfg sosr.Config) (*sosr.Result, *NetStats, error) {
 	ds, err := s.lookup(name, KindSetsOfSets)
 	if err != nil {
 		return nil, nil, err
@@ -35,9 +36,10 @@ func (s *Server) PullSetsOfSets(name, peerAddr string, cfg sosr.Config) (*sosr.R
 		CacheBytes: -1,
 	}
 	if ds.shard != nil {
-		cl.ShardIndex = ds.shard.index
-		cl.ShardCount = ds.shard.m.N()
-		cl.ShardFingerprint = ds.shard.m.Fingerprint()
+		cl.ShardID = ds.shard.topo.ShardIDHash(ds.shard.index)
+		cl.ShardCount = ds.shard.topo.NumShards()
+		cl.ShardEpoch = ds.shard.topo.Epoch()
+		cl.ShardFingerprint = ds.shard.topo.Fingerprint()
 	}
 	cl.sketchFor = func(kind core.DigestKind, coins hashing.Coins, bob [][]uint64, p core.Params, d, dHat int) (*core.BobSketch, bool) {
 		cache := s.encCache()
@@ -62,7 +64,7 @@ func (s *Server) PullSetsOfSets(name, peerAddr string, cfg sosr.Config) (*sosr.R
 		sk, _ := v.(*core.BobSketch)
 		return sk, hit
 	}
-	res, ns, err := cl.SetsOfSets(name, view.sos, cfg)
+	res, ns, err := cl.SetsOfSets(ctx, name, view.sos, cfg)
 	if err != nil {
 		return nil, ns, err
 	}

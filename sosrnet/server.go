@@ -95,15 +95,15 @@ type Server struct {
 }
 
 // shardState pins a hosted dataset to one shard of a partitioned logical
-// dataset: the shard map every party shares and this server's index in it.
-// Immutable after hosting.
+// dataset: the replicated topology every party shares and this server's shard
+// index in it. Immutable after hosting.
 type shardState struct {
-	m     *shardmap.Map
+	topo  *shardmap.Topology
 	index int
 }
 
 // owns reports whether this shard owns a top-level element key.
-func (ss *shardState) owns(x uint64) bool { return ss.m.Owner(x) == ss.index }
+func (ss *shardState) owns(x uint64) bool { return ss.topo.Owner(x) == ss.index }
 
 // dataset is one hosted dataset. The data fields are copy-on-write: sessions
 // snapshot them (with the version) under mu at session start, updates swap
@@ -143,26 +143,34 @@ type dsView struct {
 }
 
 // checkRoute rejects sessions whose shard coordinates do not match the slice
-// this server hosts: a sharded dataset demands the exact (index, count) pair
-// it was hosted with, an unsharded dataset demands none.
+// this server hosts: a sharded dataset demands the exact canonical shard
+// identity, count, and topology fingerprint it was hosted with; an unsharded
+// dataset demands none. The epoch is checked first and separately — a client
+// holding yesterday's topology gets ErrStaleEpoch (re-resolve and retry),
+// never a structural ErrMisrouted (fail over / fail loudly).
 func (d *dataset) checkRoute(h *helloMsg) error {
 	if d.shard == nil {
 		if h.ShardCount != 0 {
-			return fmt.Errorf("%w: dataset %q is not sharded (client sent shard %d/%d)",
-				ErrMisrouted, h.Dataset, h.ShardIndex, h.ShardCount)
+			return fmt.Errorf("%w: dataset %q is not sharded (client sent shard coordinates)",
+				ErrMisrouted, h.Dataset)
 		}
 		return nil
 	}
+	topo := d.shard.topo
 	if h.ShardCount == 0 {
-		return fmt.Errorf("%w: dataset %q is shard %d of %d (client sent no shard coordinates)",
-			ErrMisrouted, h.Dataset, d.shard.index, d.shard.m.N())
+		return fmt.Errorf("%w: dataset %q is a shard of %d (client sent no shard coordinates)",
+			ErrMisrouted, h.Dataset, topo.NumShards())
 	}
-	if h.ShardCount != d.shard.m.N() || h.ShardIndex != d.shard.index {
-		return fmt.Errorf("%w: dataset %q is shard %d of %d, client asked for shard %d of %d",
-			ErrMisrouted, h.Dataset, d.shard.index, d.shard.m.N(), h.ShardIndex, h.ShardCount)
+	if h.ShardEpoch != topo.Epoch() {
+		return fmt.Errorf("%w: dataset %q is at topology epoch %d, client at %d",
+			ErrStaleEpoch, h.Dataset, topo.Epoch(), h.ShardEpoch)
 	}
-	if h.ShardSet != d.shard.m.Fingerprint() {
-		return fmt.Errorf("%w: dataset %q shard map fingerprint mismatch (the address lists differ, so the partitions would too)",
+	if h.ShardCount != topo.NumShards() || h.ShardID != topo.ShardIDHash(d.shard.index) {
+		return fmt.Errorf("%w: dataset %q is shard %q (%d shards), client asked for a different slice (%d shards)",
+			ErrMisrouted, h.Dataset, topo.ShardID(d.shard.index), topo.NumShards(), h.ShardCount)
+	}
+	if h.ShardSet != topo.Fingerprint() {
+		return fmt.Errorf("%w: dataset %q topology fingerprint mismatch (the address structures differ, so the partitions would too)",
 			ErrMisrouted, h.Dataset)
 	}
 	return nil
@@ -220,7 +228,7 @@ func (s *Server) checkHello(h *helloMsg) error {
 		{"n", h.N}, {"sigbudget", h.SigBudget}, {"maxsig", h.MaxSig},
 		{"sigma", h.Sigma}, {"budget", h.Budget}, {"maxbudget", h.MaxBudget},
 		{"depth", h.Depth}, {"maxchild", h.MaxChild},
-		{"shardidx", h.ShardIndex}, {"shardcnt", h.ShardCount},
+		{"shardcnt", h.ShardCount},
 	} {
 		if f.v < 0 || f.v > bound {
 			return fmt.Errorf("%w: hello field %s=%d outside [0, %d]", ErrUnsupported, f.name, f.v, bound)
@@ -229,11 +237,8 @@ func (s *Server) checkHello(h *helloMsg) error {
 	if h.Replicas < 0 || h.Replicas > maxHelloReplicas {
 		return fmt.Errorf("%w: replicas=%d outside [0, %d]", ErrUnsupported, h.Replicas, maxHelloReplicas)
 	}
-	if h.ShardCount > 0 && h.ShardIndex >= h.ShardCount {
-		return fmt.Errorf("%w: shard index %d outside [0, %d)", ErrUnsupported, h.ShardIndex, h.ShardCount)
-	}
-	if h.ShardCount == 0 && h.ShardIndex != 0 {
-		return fmt.Errorf("%w: shard index %d without a shard count", ErrUnsupported, h.ShardIndex)
+	if h.ShardCount == 0 && (h.ShardID != 0 || h.ShardEpoch != 0) {
+		return fmt.Errorf("%w: shard identity without a shard count", ErrUnsupported)
 	}
 	return nil
 }
@@ -293,29 +298,29 @@ func (s *Server) HostSetsOfSets(name string, parent [][]uint64) error {
 }
 
 // checkShard validates a shard-hosting request.
-func checkShard(m *shardmap.Map, index int) (*shardState, error) {
-	if m == nil {
-		return nil, errors.New("sosrnet: nil shard map")
+func checkShard(topo *shardmap.Topology, index int) (*shardState, error) {
+	if topo == nil {
+		return nil, errors.New("sosrnet: nil topology")
 	}
-	if index < 0 || index >= m.N() {
-		return nil, fmt.Errorf("sosrnet: shard index %d outside [0, %d)", index, m.N())
+	if index < 0 || index >= topo.NumShards() {
+		return nil, fmt.Errorf("sosrnet: shard index %d outside [0, %d)", index, topo.NumShards())
 	}
-	return &shardState{m: m, index: index}, nil
+	return &shardState{topo: topo, index: index}, nil
 }
 
 // HostSetsShard hosts shard index's slice of a logical set dataset: the
-// elements of elems that the shard map assigns to this index (passing the
+// elements of elems that the topology assigns to this index (passing the
 // full logical set and the owned slice are equivalent — ownership filtering
-// is idempotent). Sessions must present matching shard coordinates in their
-// hello, so a fan-out client dialing the wrong instance is rejected at the
-// handshake, and live UpdateSets calls apply only the owned slice of a
-// broadcast mutation.
-func (s *Server) HostSetsShard(name string, elems []uint64, m *shardmap.Map, index int) error {
-	ss, err := checkShard(m, index)
+// is idempotent). Every replica of shard index hosts the identical slice.
+// Sessions must present matching shard coordinates in their hello, so a
+// fan-out client dialing the wrong instance is rejected at the handshake, and
+// live UpdateSets calls apply only the owned slice of a broadcast mutation.
+func (s *Server) HostSetsShard(name string, elems []uint64, topo *shardmap.Topology, index int) error {
+	ss, err := checkShard(topo, index)
 	if err != nil {
 		return err
 	}
-	canon := setutil.Canonical(m.OwnedElems(index, elems))
+	canon := setutil.Canonical(topo.OwnedElems(index, elems))
 	if err := setrecon.CheckRange(canon); err != nil {
 		return err
 	}
@@ -325,12 +330,12 @@ func (s *Server) HostSetsShard(name string, elems []uint64, m *shardmap.Map, ind
 // HostMultisetShard hosts shard index's slice of a logical multiset dataset.
 // Ownership follows the element value, so every occurrence of one element
 // lands on the same shard and the §3.4 packing stays shard-local.
-func (s *Server) HostMultisetShard(name string, elems []uint64, m *shardmap.Map, index int) error {
-	ss, err := checkShard(m, index)
+func (s *Server) HostMultisetShard(name string, elems []uint64, topo *shardmap.Topology, index int) error {
+	ss, err := checkShard(topo, index)
 	if err != nil {
 		return err
 	}
-	packed, err := setrecon.MultisetToSet(m.OwnedElems(index, elems))
+	packed, err := setrecon.MultisetToSet(topo.OwnedElems(index, elems))
 	if err != nil {
 		return err
 	}
@@ -338,12 +343,12 @@ func (s *Server) HostMultisetShard(name string, elems []uint64, m *shardmap.Map,
 }
 
 // HostSetsOfSetsShard hosts shard index's slice of a logical sets-of-sets
-// dataset: the child sets whose canonical identity hash the shard map assigns
+// dataset: the child sets whose canonical identity hash the topology assigns
 // to this index. Both parties derive the same owner for the same child set
 // (shardmap.ChildKey is a protocol constant), so each shard pair reconciles
 // an exact partition of the parent-level difference.
-func (s *Server) HostSetsOfSetsShard(name string, parent [][]uint64, m *shardmap.Map, index int) error {
-	ss, err := checkShard(m, index)
+func (s *Server) HostSetsOfSetsShard(name string, parent [][]uint64, topo *shardmap.Topology, index int) error {
+	ss, err := checkShard(topo, index)
 	if err != nil {
 		return err
 	}
@@ -351,7 +356,7 @@ func (s *Server) HostSetsOfSetsShard(name string, parent [][]uint64, m *shardmap
 	for i, cs := range parent {
 		canon[i] = setutil.Canonical(cs)
 	}
-	return s.host(name, &dataset{kind: KindSetsOfSets, sos: m.OwnedSets(index, canon), shard: ss})
+	return s.host(name, &dataset{kind: KindSetsOfSets, sos: topo.OwnedSets(index, canon), shard: ss})
 }
 
 // HostGraph hosts an undirected simple graph.
@@ -573,7 +578,11 @@ func (s *Server) handle(conn net.Conn) {
 	}
 	if err := ds.checkRoute(&h); err != nil {
 		sendErrorFrame(ep, err)
-		s.reject(sid, remote, rejectMisroute, err)
+		reason := rejectMisroute
+		if errors.Is(err, ErrStaleEpoch) {
+			reason = rejectStaleEpoch
+		}
+		s.reject(sid, remote, reason, err)
 		return
 	}
 	m.stageHello.Observe(time.Since(start).Seconds())

@@ -1,6 +1,7 @@
 package sosrnet
 
 import (
+	"context"
 	"errors"
 	"reflect"
 	"strings"
@@ -12,31 +13,37 @@ import (
 	"sosr/internal/shardmap"
 )
 
-func mustMap(t *testing.T, ids ...string) *shardmap.Map {
+// mustTopo builds a single-replica topology over ids at the given epoch.
+func mustTopo(t *testing.T, epoch uint64, ids ...string) *shardmap.Topology {
 	t.Helper()
-	m, err := shardmap.New(ids)
+	topo, err := shardmap.SingleReplica(epoch, ids)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return m
+	return topo
 }
 
-// shardClient dials addr with the full shard coordinates for (m, index).
-func shardClient(addr string, m *shardmap.Map, index int) *Client {
+// shardClient dials addr with the full shard coordinates for (topo, index).
+func shardClient(addr string, topo *shardmap.Topology, index int) *Client {
 	c := Dial(addr)
-	c.ShardIndex, c.ShardCount, c.ShardFingerprint = index, m.N(), m.Fingerprint()
+	c.ShardID = topo.ShardIDHash(index)
+	c.ShardCount = topo.NumShards()
+	c.ShardEpoch = topo.Epoch()
+	c.ShardFingerprint = topo.Fingerprint()
 	return c
 }
 
 // TestShardedSetHostServesOwnedSlice: a shard server holds exactly its slice
 // of the logical set, reconciles it byte-par with an in-process run over the
-// two slices, and rejects misrouted or shard-less sessions at the handshake.
+// two slices, and rejects misrouted, stale-epoch, or shard-less sessions at
+// the handshake.
 func TestShardedSetHostServesOwnedSlice(t *testing.T) {
-	m := mustMap(t, "s0:1", "s1:2", "s2:3")
+	ctx := context.Background()
+	topo := mustTopo(t, 3, "s0:1", "s1:2", "s2:3")
 	alice, bob := setPair()
 	const index = 1
 	_, addr, _ := startServer(t, func(s *Server) {
-		if err := s.HostSetsShard("ids", alice, m, index); err != nil {
+		if err := s.HostSetsShard("ids", alice, topo, index); err != nil {
 			t.Fatal(err)
 		}
 		// Unsharded dataset on the same server, to prove the misroute check
@@ -45,17 +52,17 @@ func TestShardedSetHostServesOwnedSlice(t *testing.T) {
 			t.Fatal(err)
 		}
 	})
-	aliceSlice := setutil.Canonical(m.OwnedElems(index, alice))
-	bobSlice := setutil.Canonical(m.OwnedElems(index, bob))
+	aliceSlice := setutil.Canonical(topo.OwnedElems(index, alice))
+	bobSlice := setutil.Canonical(topo.OwnedElems(index, bob))
 	cfg := sosr.SetConfig{Seed: 11, KnownDiff: 16}
 	want, err := sosr.ReconcileSets(aliceSlice, bobSlice, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	c := shardClient(addr, m, index)
+	c := shardClient(addr, topo, index)
 	c.Timeout = 30 * time.Second
-	got, ns, err := c.Sets("ids", bobSlice, cfg)
+	got, ns, err := c.Sets(ctx, "ids", bobSlice, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,34 +71,53 @@ func TestShardedSetHostServesOwnedSlice(t *testing.T) {
 	}
 	checkNetStats(t, ns, want.Stats)
 
-	// Wrong shard index: rejected at the handshake.
-	wrong := shardClient(addr, m, 0)
-	if _, _, err := wrong.Sets("ids", bobSlice, cfg); !errors.Is(err, ErrServer) || !strings.Contains(err.Error(), "misrouted") {
-		t.Fatalf("misrouted index: %v", err)
+	// Wrong shard identity: rejected at the handshake.
+	wrong := shardClient(addr, topo, 0)
+	if _, _, err := wrong.Sets(ctx, "ids", bobSlice, cfg); !errors.Is(err, ErrServer) || !errors.Is(err, ErrMisrouted) {
+		t.Fatalf("misrouted identity: %v", err)
 	}
 	// Wrong shard count.
-	wrong = shardClient(addr, m, index)
-	wrong.ShardCount = m.N() + 1
-	if _, _, err := wrong.Sets("ids", bobSlice, cfg); err == nil || !strings.Contains(err.Error(), "misrouted") {
+	wrong = shardClient(addr, topo, index)
+	wrong.ShardCount = topo.NumShards() + 1
+	if _, _, err := wrong.Sets(ctx, "ids", bobSlice, cfg); !errors.Is(err, ErrMisrouted) {
 		t.Fatalf("misrouted count: %v", err)
 	}
-	// Right (index, count) but a differently-spelled address list: the
+	// Stale epoch: same structure, different epoch — the distinct re-resolve
+	// signal, not a structural misroute.
+	stale := shardClient(addr, mustTopo(t, 2, "s0:1", "s1:2", "s2:3"), index)
+	_, _, err = stale.Sets(ctx, "ids", bobSlice, cfg)
+	if !errors.Is(err, ErrServer) || !errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("stale epoch not flagged as ErrStaleEpoch: %v", err)
+	}
+	if errors.Is(err, ErrMisrouted) {
+		t.Fatalf("stale epoch also flagged as misrouted: %v", err)
+	}
+	// This shard's identity matches but another shard's addresses differ: the
 	// fingerprint disagrees, so the partitions would too — rejected.
-	other := mustMap(t, "elsewhere0:1", "elsewhere1:2", "elsewhere2:3")
-	wrong = shardClient(addr, other, index)
-	if _, _, err := wrong.Sets("ids", bobSlice, cfg); err == nil || !strings.Contains(err.Error(), "fingerprint") {
-		t.Fatalf("mismatched shard-list fingerprint accepted: %v", err)
+	skewed := mustTopo(t, 3, "s0:1", "s1:2", "elsewhere:9")
+	wrong = shardClient(addr, skewed, index)
+	if _, _, err := wrong.Sets(ctx, "ids", bobSlice, cfg); !errors.Is(err, ErrMisrouted) || !strings.Contains(err.Error(), "fingerprint") {
+		t.Fatalf("mismatched topology fingerprint accepted: %v", err)
+	}
+	// The same topology spelled in a different shard order is the same
+	// topology: canonical identity and fingerprint make the handshake
+	// order-insensitive.
+	reordered := mustTopo(t, 3, "s2:3", "s0:1", "s1:2")
+	same := shardClient(addr, reordered, 2) // "s1:2" sits at position 2 now
+	same.Timeout = 30 * time.Second
+	if _, _, err := same.Sets(ctx, "ids", bobSlice, cfg); err != nil {
+		t.Fatalf("reordered-but-identical topology rejected: %v", err)
 	}
 	// No shard coordinates against a sharded dataset.
-	if _, _, err := Dial(addr).Sets("ids", bobSlice, cfg); err == nil || !strings.Contains(err.Error(), "misrouted") {
+	if _, _, err := Dial(addr).Sets(ctx, "ids", bobSlice, cfg); !errors.Is(err, ErrMisrouted) {
 		t.Fatalf("shard-less session against sharded dataset: %v", err)
 	}
 	// Shard coordinates against an unsharded dataset.
-	if _, _, err := c.Sets("plain", bobSlice, cfg); err == nil || !strings.Contains(err.Error(), "misrouted") {
+	if _, _, err := c.Sets(ctx, "plain", bobSlice, cfg); !errors.Is(err, ErrMisrouted) {
 		t.Fatalf("sharded session against unsharded dataset: %v", err)
 	}
 	// The correctly routed client still works after the rejections.
-	if _, _, err := c.Sets("ids", bobSlice, cfg); err != nil {
+	if _, _, err := c.Sets(ctx, "ids", bobSlice, cfg); err != nil {
 		t.Fatalf("post-rejection routed session: %v", err)
 	}
 }
@@ -100,24 +126,25 @@ func TestShardedSetHostServesOwnedSlice(t *testing.T) {
 // identity hash, and a shard session is byte-par with an in-process run over
 // the two owned slices.
 func TestShardedSetsOfSetsHostServesOwnedSlice(t *testing.T) {
-	m := mustMap(t, "a:1", "b:2", "c:3")
+	ctx := context.Background()
+	topo := mustTopo(t, 1, "a:1", "b:2", "c:3")
 	alice, bob := sosPair()
-	for index := 0; index < m.N(); index++ {
+	for index := 0; index < topo.NumShards(); index++ {
 		_, addr, _ := startServer(t, func(s *Server) {
-			if err := s.HostSetsOfSetsShard("docs", alice, m, index); err != nil {
+			if err := s.HostSetsOfSetsShard("docs", alice, topo, index); err != nil {
 				t.Fatal(err)
 			}
 		})
-		aliceSlice := m.OwnedSets(index, alice)
-		bobSlice := m.OwnedSets(index, bob)
+		aliceSlice := topo.OwnedSets(index, alice)
+		bobSlice := topo.OwnedSets(index, bob)
 		cfg := sosr.Config{Seed: uint64(21 + index), Protocol: sosr.ProtocolCascade, KnownDiff: 24}
 		want, err := sosr.ReconcileSetsOfSets(aliceSlice, bobSlice, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
-		c := shardClient(addr, m, index)
+		c := shardClient(addr, topo, index)
 		c.Timeout = 60 * time.Second
-		got, ns, err := c.SetsOfSets("docs", bobSlice, cfg)
+		got, ns, err := c.SetsOfSets(ctx, "docs", bobSlice, cfg)
 		if err != nil {
 			t.Fatalf("shard %d: %v", index, err)
 		}
@@ -128,21 +155,69 @@ func TestShardedSetsOfSetsHostServesOwnedSlice(t *testing.T) {
 	}
 }
 
+// TestReplicatedShardHostsIdenticalSlice: every replica of one shard hosts
+// the identical slice under the same canonical identity, and a client
+// carrying that shard's coordinates reconciles byte-identically against
+// either replica.
+func TestReplicatedShardHostsIdenticalSlice(t *testing.T) {
+	ctx := context.Background()
+	topo, err := shardmap.NewTopology(1, [][]string{
+		{"r0a:1", "r0b:1"},
+		{"r1a:2"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice, bob := setPair()
+	const index = 0
+	var addrs []string
+	for range topo.Replicas(index) {
+		_, addr, _ := startServer(t, func(s *Server) {
+			if err := s.HostSetsShard("ids", alice, topo, index); err != nil {
+				t.Fatal(err)
+			}
+		})
+		addrs = append(addrs, addr)
+	}
+	bobSlice := setutil.Canonical(topo.OwnedElems(index, bob))
+	cfg := sosr.SetConfig{Seed: 17, KnownDiff: 16}
+	var results []*sosr.SetResult
+	var stats []*NetStats
+	for _, addr := range addrs {
+		c := shardClient(addr, topo, index)
+		c.Timeout = 30 * time.Second
+		got, ns, err := c.Sets(ctx, "ids", bobSlice, cfg)
+		if err != nil {
+			t.Fatalf("replica %s: %v", addr, err)
+		}
+		results = append(results, got)
+		stats = append(stats, ns)
+	}
+	if !reflect.DeepEqual(results[0], results[1]) {
+		t.Fatal("replicas of one shard recovered different slices")
+	}
+	if stats[0].Protocol.TotalBytes != stats[1].Protocol.TotalBytes {
+		t.Fatalf("replicas moved different protocol bytes: %d vs %d",
+			stats[0].Protocol.TotalBytes, stats[1].Protocol.TotalBytes)
+	}
+}
+
 // TestShardedUpdatesRouteToOwner: one logical mutation broadcast to every
 // shard server applies exactly the owned slice on each — non-owners stay
 // untouched (no version bump, caches warm).
 func TestShardedUpdatesRouteToOwner(t *testing.T) {
-	m := mustMap(t, "u0:1", "u1:2")
+	ctx := context.Background()
+	topo := mustTopo(t, 1, "u0:1", "u1:2")
 	alice, bob := setPair()
 	type shardSrv struct {
 		srv  *Server
 		addr string
 	}
-	shards := make([]shardSrv, m.N())
+	shards := make([]shardSrv, topo.NumShards())
 	for i := range shards {
 		i := i
 		srv, addr, _ := startServer(t, func(s *Server) {
-			if err := s.HostSetsShard("ids", alice, m, i); err != nil {
+			if err := s.HostSetsShard("ids", alice, topo, i); err != nil {
 				t.Fatal(err)
 			}
 		})
@@ -151,8 +226,8 @@ func TestShardedUpdatesRouteToOwner(t *testing.T) {
 	// Pick one added element per shard so the broadcast touches both, plus a
 	// removal owned by whichever shard owns alice[0].
 	adds := []uint64{}
-	for x := uint64(50_000_000); len(adds) < m.N(); x++ {
-		if m.Owner(x) == len(adds) {
+	for x := uint64(50_000_000); len(adds) < topo.NumShards(); x++ {
+		if topo.Owner(x) == len(adds) {
 			adds = append(adds, x)
 		}
 	}
@@ -166,11 +241,11 @@ func TestShardedUpdatesRouteToOwner(t *testing.T) {
 			t.Fatalf("shard %d version %d (%v), want 1", i, v, err)
 		}
 		// A second broadcast owning nothing on this shard is a no-op.
-		other := adds[(i+1)%m.N()]
+		other := adds[(i+1)%topo.NumShards()]
 		if err := sh.srv.UpdateSets("ids", nil, []uint64{other + 2}); err != nil {
 			t.Fatalf("shard %d no-op update: %v", i, err)
 		}
-		if m.Owner(other+2) != i {
+		if topo.Owner(other+2) != i {
 			if v, _ := sh.srv.DatasetVersion("ids"); v != 1 {
 				t.Fatalf("shard %d: update owning nothing bumped version to %d", i, v)
 			}
@@ -178,14 +253,14 @@ func TestShardedUpdatesRouteToOwner(t *testing.T) {
 	}
 	// Every shard now serves its slice of the updated logical set.
 	for i, sh := range shards {
-		c := shardClient(sh.addr, m, i)
+		c := shardClient(sh.addr, topo, i)
 		c.Timeout = 30 * time.Second
-		bobSlice := setutil.Canonical(m.OwnedElems(i, bob))
-		got, _, err := c.Sets("ids", bobSlice, sosr.SetConfig{Seed: 31, KnownDiff: 24})
+		bobSlice := setutil.Canonical(topo.OwnedElems(i, bob))
+		got, _, err := c.Sets(ctx, "ids", bobSlice, sosr.SetConfig{Seed: 31, KnownDiff: 24})
 		if err != nil {
 			t.Fatalf("shard %d session: %v", i, err)
 		}
-		if want := setutil.Canonical(m.OwnedElems(i, logical)); !reflect.DeepEqual(got.Recovered, want) {
+		if want := setutil.Canonical(topo.OwnedElems(i, logical)); !reflect.DeepEqual(got.Recovered, want) {
 			t.Fatalf("shard %d serves a stale or misfiltered slice", i)
 		}
 	}
@@ -194,23 +269,24 @@ func TestShardedUpdatesRouteToOwner(t *testing.T) {
 // TestShardedMultisetHostAndUpdate: multiset occurrences follow their element
 // value to one shard, and broadcast multiset updates route the same way.
 func TestShardedMultisetHostAndUpdate(t *testing.T) {
-	m := mustMap(t, "m0:1", "m1:2")
+	ctx := context.Background()
+	topo := mustTopo(t, 1, "m0:1", "m1:2")
 	alice := []uint64{1, 1, 1, 2, 5, 5, 9, 9, 9, 9, 40}
 	bob := []uint64{1, 1, 2, 2, 5, 9, 9, 9, 9, 40, 41}
 	const index = 0
 	srv, addr, _ := startServer(t, func(s *Server) {
-		if err := s.HostMultisetShard("bag", alice, m, index); err != nil {
+		if err := s.HostMultisetShard("bag", alice, topo, index); err != nil {
 			t.Fatal(err)
 		}
 	})
-	owned := func(ms []uint64) []uint64 { return m.OwnedElems(index, ms) }
+	owned := func(ms []uint64) []uint64 { return topo.OwnedElems(index, ms) }
 	wantRec, _, err := sosr.ReconcileMultisets(owned(alice), owned(bob), 16, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	c := shardClient(addr, m, index)
+	c := shardClient(addr, topo, index)
 	c.Timeout = 30 * time.Second
-	got, _, err := c.Multiset("bag", owned(bob), 16, 3)
+	got, _, err := c.Multiset(ctx, "bag", owned(bob), 16, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,7 +297,7 @@ func TestShardedMultisetHostAndUpdate(t *testing.T) {
 	// owned occurrences.
 	adds := []uint64{}
 	for x := uint64(100); len(adds) < 2; x++ {
-		if m.Owner(x) == len(adds) {
+		if topo.Owner(x) == len(adds) {
 			adds = append(adds, x)
 		}
 	}
@@ -236,12 +312,12 @@ func TestShardedMultisetHostAndUpdate(t *testing.T) {
 	if err := srv.UpdateMultisets("bag", adds, nil); err != nil {
 		t.Fatal(err)
 	}
-	updated := append(owned(alice), m.OwnedElems(index, adds)...)
+	updated := append(owned(alice), topo.OwnedElems(index, adds)...)
 	wantRec2, _, err := sosr.ReconcileMultisets(updated, owned(bob), 16, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got2, _, err := c.Multiset("bag", owned(bob), 16, 4)
+	got2, _, err := c.Multiset(ctx, "bag", owned(bob), 16, 4)
 	if err != nil {
 		t.Fatal(err)
 	}

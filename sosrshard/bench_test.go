@@ -1,6 +1,7 @@
 package sosrshard
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"testing"
@@ -30,26 +31,34 @@ func BenchmarkShardedReconcile(b *testing.B) {
 				go servers[i].Serve(ln)
 				defer servers[i].Close()
 			}
-			co, err := NewCoordinator(addrs, servers)
+			topo, err := SingleReplica(1, addrs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			groups := make([][]*sosrnet.Server, len(servers))
+			for i, srv := range servers {
+				groups[i] = []*sosrnet.Server{srv}
+			}
+			co, err := NewCoordinator(topo, groups)
 			if err != nil {
 				b.Fatal(err)
 			}
 			if err := co.HostSetsOfSets("docs", alice); err != nil {
 				b.Fatal(err)
 			}
-			client, err := Dial(addrs)
+			client, err := Dial(topo)
 			if err != nil {
 				b.Fatal(err)
 			}
 			client.Timeout = 60 * time.Second
 			cfg := sosr.Config{Seed: 7, Protocol: sosr.ProtocolCascade, KnownDiff: 32}
-			if _, _, err := client.SetsOfSets("docs", bob, cfg); err != nil {
+			if _, _, err := client.SetsOfSets(context.Background(), "docs", bob, cfg); err != nil {
 				b.Fatal(err)
 			}
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, _, err := client.SetsOfSets("docs", bob, cfg); err != nil {
+				if _, _, err := client.SetsOfSets(context.Background(), "docs", bob, cfg); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -1,6 +1,7 @@
 package sosrshard
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -10,17 +11,19 @@ import (
 	"sosr/sosrnet"
 )
 
-// Coordinator hosts logical datasets across the per-shard servers of one
-// deployment and routes live mutations to the owning shard(s). It drives
-// plain sosrnet.Server instances — typically one per process behind the
-// addresses the shard map is built over; in tests or a single-process
-// deployment they can all live in one process on separate listeners.
+// Coordinator hosts logical datasets across the replica servers of one
+// replicated deployment and routes live mutations to every replica of the
+// owning shard(s). It drives plain sosrnet.Server instances — typically one
+// per process behind the addresses the topology is built over; in tests or a
+// single-process deployment they can all live in one process on separate
+// listeners.
 //
 // Hosting hands every server the full logical dataset; each keeps exactly
 // the slice its shard owns (server-side ownership filtering is idempotent,
-// so coordinator-split and broadcast hosting agree). Updates are split by
-// ownership and sent only to the shards that own a piece. Mutations across
-// shards are not atomic: on error, shards earlier in index order may have
+// so coordinator-split and broadcast hosting agree), and all replicas of a
+// shard host the identical slice. Updates are split by ownership and sent to
+// every replica of the shards that own a piece. Mutations across servers are
+// not atomic: on error, servers earlier in (shard, replica) order may have
 // applied their slice while later ones have not — re-issue the mutation
 // (updates are idempotent per shard only if re-applied exactly, so prefer
 // fixing the input and retrying the failed shard).
@@ -29,118 +32,131 @@ type Coordinator struct {
 	// shard (sosr_shard_updates_total). Nil disables instrumentation.
 	Obs *obs.Registry
 
-	m       *shardmap.Map
-	servers []*sosrnet.Server
+	topo    *shardmap.Topology
+	servers [][]*sosrnet.Server
 	obsOnce sync.Once
 	updates *obs.CounterVec
 }
 
-// NewCoordinator pairs shard identities (the deployment's dial addresses,
-// in configured order) with their servers: servers[i] hosts shard i.
-func NewCoordinator(ids []string, servers []*sosrnet.Server) (*Coordinator, error) {
-	m, err := shardmap.New(ids)
-	if err != nil {
-		return nil, err
+// NewCoordinator pairs a topology with its servers: servers[i][j] hosts
+// replica j of shard i, listening on topo.Replicas(i)[j].
+func NewCoordinator(topo *shardmap.Topology, servers [][]*sosrnet.Server) (*Coordinator, error) {
+	if topo == nil {
+		return nil, errors.New("sosrshard: nil topology")
 	}
-	if len(servers) != m.N() {
-		return nil, fmt.Errorf("sosrshard: %d servers for %d shards", len(servers), m.N())
+	if len(servers) != topo.NumShards() {
+		return nil, fmt.Errorf("sosrshard: %d server groups for %d shards", len(servers), topo.NumShards())
 	}
-	for i, srv := range servers {
-		if srv == nil {
-			return nil, fmt.Errorf("sosrshard: nil server for shard %d", i)
+	cp := make([][]*sosrnet.Server, len(servers))
+	for i, reps := range servers {
+		if len(reps) != len(topo.Replicas(i)) {
+			return nil, fmt.Errorf("sosrshard: shard %d has %d servers for %d replicas", i, len(reps), len(topo.Replicas(i)))
 		}
+		for j, srv := range reps {
+			if srv == nil {
+				return nil, fmt.Errorf("sosrshard: nil server for shard %d replica %d", i, j)
+			}
+		}
+		cp[i] = append([]*sosrnet.Server(nil), reps...)
 	}
-	return &Coordinator{m: m, servers: append([]*sosrnet.Server(nil), servers...)}, nil
+	return &Coordinator{topo: topo, servers: cp}, nil
 }
 
-// Map exposes the coordinator's shard map (shared; read-only).
-func (co *Coordinator) Map() *shardmap.Map { return co.m }
+// Topology exposes the coordinator's topology (shared; read-only).
+func (co *Coordinator) Topology() *shardmap.Topology { return co.topo }
 
-// Server returns shard index's server.
-func (co *Coordinator) Server(index int) *sosrnet.Server { return co.servers[index] }
+// Server returns the server hosting replica `replica` of shard `shard`.
+func (co *Coordinator) Server(shard, replica int) *sosrnet.Server {
+	return co.servers[shard][replica]
+}
 
-// HostSets hosts a logical set dataset: every shard server keeps its owned
-// slice under the same name.
-func (co *Coordinator) HostSets(name string, elems []uint64) error {
-	for i, srv := range co.servers {
-		if err := srv.HostSetsShard(name, elems, co.m, i); err != nil {
-			return fmt.Errorf("sosrshard: shard %d (%s): %w", i, co.m.ID(i), err)
+// eachServer runs fn for every (shard, replica) server, annotating errors.
+func (co *Coordinator) eachServer(fn func(i int, srv *sosrnet.Server) error) error {
+	for i, reps := range co.servers {
+		for j, srv := range reps {
+			if err := fn(i, srv); err != nil {
+				return fmt.Errorf("sosrshard: shard %d replica %d (%s): %w",
+					i, j, co.topo.Replicas(i)[j], err)
+			}
 		}
 	}
 	return nil
+}
+
+// HostSets hosts a logical set dataset: every replica server keeps its
+// shard's owned slice under the same name.
+func (co *Coordinator) HostSets(name string, elems []uint64) error {
+	return co.eachServer(func(i int, srv *sosrnet.Server) error {
+		return srv.HostSetsShard(name, elems, co.topo, i)
+	})
 }
 
 // HostMultiset hosts a logical multiset dataset; occurrences follow their
 // element value to one shard.
 func (co *Coordinator) HostMultiset(name string, elems []uint64) error {
-	for i, srv := range co.servers {
-		if err := srv.HostMultisetShard(name, elems, co.m, i); err != nil {
-			return fmt.Errorf("sosrshard: shard %d (%s): %w", i, co.m.ID(i), err)
-		}
-	}
-	return nil
+	return co.eachServer(func(i int, srv *sosrnet.Server) error {
+		return srv.HostMultisetShard(name, elems, co.topo, i)
+	})
 }
 
 // HostSetsOfSets hosts a logical sets-of-sets dataset; child sets follow
 // their canonical identity hash to one shard.
 func (co *Coordinator) HostSetsOfSets(name string, parent [][]uint64) error {
-	for i, srv := range co.servers {
-		if err := srv.HostSetsOfSetsShard(name, parent, co.m, i); err != nil {
-			return fmt.Errorf("sosrshard: shard %d (%s): %w", i, co.m.ID(i), err)
-		}
-	}
-	return nil
+	return co.eachServer(func(i int, srv *sosrnet.Server) error {
+		return srv.HostSetsOfSetsShard(name, parent, co.topo, i)
+	})
 }
 
-// UpdateSets routes a logical set mutation to the owning shards; shards
-// owning no part of it are not touched (their versions and caches stay).
-func (co *Coordinator) UpdateSets(name string, add, remove []uint64) error {
-	addParts := co.m.SplitElems(add)
-	rmParts := co.m.SplitElems(remove)
-	for i, srv := range co.servers {
-		if len(addParts[i]) == 0 && len(rmParts[i]) == 0 {
+// updateShards applies a pre-split mutation to every replica of each owning
+// shard, skipping shards owning no part of it (their versions and caches
+// stay).
+func (co *Coordinator) updateShards(touched func(i int) bool, apply func(i int, srv *sosrnet.Server) error) error {
+	for i, reps := range co.servers {
+		if !touched(i) {
 			continue
 		}
-		if err := srv.UpdateSets(name, addParts[i], rmParts[i]); err != nil {
-			return fmt.Errorf("sosrshard: shard %d (%s): %w", i, co.m.ID(i), err)
+		for j, srv := range reps {
+			if err := apply(i, srv); err != nil {
+				return fmt.Errorf("sosrshard: shard %d replica %d (%s): %w",
+					i, j, co.topo.Replicas(i)[j], err)
+			}
 		}
 		co.countUpdate(i)
 	}
 	return nil
+}
+
+// UpdateSets routes a logical set mutation to every replica of the owning
+// shards.
+func (co *Coordinator) UpdateSets(name string, add, remove []uint64) error {
+	addParts := co.topo.SplitElems(add)
+	rmParts := co.topo.SplitElems(remove)
+	return co.updateShards(
+		func(i int) bool { return len(addParts[i]) > 0 || len(rmParts[i]) > 0 },
+		func(i int, srv *sosrnet.Server) error { return srv.UpdateSets(name, addParts[i], rmParts[i]) },
+	)
 }
 
 // UpdateMultisets routes a logical multiset mutation (add/remove
-// occurrences) to the owning shards.
+// occurrences) to every replica of the owning shards.
 func (co *Coordinator) UpdateMultisets(name string, add, remove []uint64) error {
-	addParts := co.m.SplitElems(add)
-	rmParts := co.m.SplitElems(remove)
-	for i, srv := range co.servers {
-		if len(addParts[i]) == 0 && len(rmParts[i]) == 0 {
-			continue
-		}
-		if err := srv.UpdateMultisets(name, addParts[i], rmParts[i]); err != nil {
-			return fmt.Errorf("sosrshard: shard %d (%s): %w", i, co.m.ID(i), err)
-		}
-		co.countUpdate(i)
-	}
-	return nil
+	addParts := co.topo.SplitElems(add)
+	rmParts := co.topo.SplitElems(remove)
+	return co.updateShards(
+		func(i int) bool { return len(addParts[i]) > 0 || len(rmParts[i]) > 0 },
+		func(i int, srv *sosrnet.Server) error { return srv.UpdateMultisets(name, addParts[i], rmParts[i]) },
+	)
 }
 
-// UpdateSetsOfSets routes a logical sets-of-sets mutation to the shards
-// owning the touched child sets.
+// UpdateSetsOfSets routes a logical sets-of-sets mutation to every replica
+// of the shards owning the touched child sets.
 func (co *Coordinator) UpdateSetsOfSets(name string, add, remove [][]uint64) error {
-	addParts := co.m.SplitSets(canonSets(add))
-	rmParts := co.m.SplitSets(canonSets(remove))
-	for i, srv := range co.servers {
-		if len(addParts[i]) == 0 && len(rmParts[i]) == 0 {
-			continue
-		}
-		if err := srv.UpdateSetsOfSets(name, addParts[i], rmParts[i]); err != nil {
-			return fmt.Errorf("sosrshard: shard %d (%s): %w", i, co.m.ID(i), err)
-		}
-		co.countUpdate(i)
-	}
-	return nil
+	addParts := co.topo.SplitSets(canonSets(add))
+	rmParts := co.topo.SplitSets(canonSets(remove))
+	return co.updateShards(
+		func(i int) bool { return len(addParts[i]) > 0 || len(rmParts[i]) > 0 },
+		func(i int, srv *sosrnet.Server) error { return srv.UpdateSetsOfSets(name, addParts[i], rmParts[i]) },
+	)
 }
 
 func canonSets(parent [][]uint64) [][]uint64 {

@@ -2,6 +2,7 @@ package sosrshard
 
 import (
 	"bufio"
+	"context"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
@@ -67,7 +68,7 @@ func TestShardedMetricsParity(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := sosr.Config{Seed: 13, Protocol: sosr.ProtocolCascade, KnownDiff: 24}
-	_, st, err := d.client.SetsOfSets("docs", bob, cfg)
+	_, st, err := d.client.SetsOfSets(context.Background(), "docs", bob, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,5 +1,6 @@
 // Package sosrshard partitions hosted datasets across multiple sosrd
-// instances and fans one logical reconciliation out over all of them.
+// instances and fans one logical reconciliation out over all of them, with
+// per-shard replica failover and hedged requests.
 //
 // The sets-of-sets protocols of the paper decompose a parent set into
 // independent child-set reconciliations, which makes the workload
@@ -7,29 +8,48 @@
 // (internal/shardmap, rendezvous hashing) assigns every top-level element —
 // or every child-set identity — to exactly one shard, both parties compute
 // the assignment without communication, and each shard pair reconciles its
-// slice with the paper's communication bounds intact per shard.
+// slice with the paper's communication bounds intact per shard. Because a
+// one-round reconcile costs O(d log d) bits — not O(n) — re-asking a second
+// replica of a shard is nearly free, which is what makes replication,
+// failover, and hedging cheap enough to be on by default.
 //
-// The two halves:
+// A deployment is described by a shardmap.Topology: k ≥ 1 replica addresses
+// per shard, all hosting the identical slice, plus a monotonic epoch. The
+// two halves:
 //
-//   - Coordinator hosts a logical dataset across one sosrnet.Server per
-//     shard and routes live Update* mutations to the owning shard(s).
-//   - Client fans a reconcile out as concurrent sosrnet sessions against
-//     the shard servers, merges the recovered per-shard differences into a
-//     single result, and aggregates the per-shard byte accounting into one
-//     itemized Stats report (Σ shard protocol bytes + Σ shard framing ==
-//     total TCP bytes, the same parity the unsharded wire protocol keeps).
+//   - Coordinator hosts a logical dataset across every replica server of
+//     every shard and routes live Update* mutations to all replicas of the
+//     owning shard(s).
+//   - Client fans a reconcile out as one concurrent session per shard.
+//     Within a shard it tries replicas in rendezvous order (keyed on the
+//     per-shard session seed, so steady-state load spreads): a dial or
+//     connection failure fails over to the next replica after a short
+//     backoff, and an optional hedge timer races a second replica against a
+//     straggling first, taking whichever answers first. The per-shard
+//     results merge into a single result with one itemized Stats report
+//     (Σ shard protocol bytes + Σ shard framing == total TCP bytes of the
+//     winning sessions, the same parity the unsharded wire protocol keeps).
 //
-// Every session carries its shard coordinates in the hello; a server
-// hosting a different slice rejects the handshake (ErrMisrouted), so a
-// client configured with a wrong or reordered address list fails loudly
-// instead of quietly reconciling the wrong slice.
+// Every session carries its shard coordinates — canonical shard-identity
+// hash, shard count, topology epoch, and the order-invariant topology
+// fingerprint — in the hello. A server hosting a different slice rejects the
+// handshake (ErrMisrouted), so a client configured with a wrong address list
+// fails loudly instead of quietly reconciling the wrong slice; a server at a
+// different epoch rejects with ErrStaleEpoch, and a Client with a Refresh
+// hook re-resolves the topology and retries once, self-healing across
+// rollouts.
 package sosrshard
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"io"
+	"net"
 	"sort"
 	"strconv"
 	"sync"
+	"syscall"
 	"time"
 
 	"sosr"
@@ -40,14 +60,39 @@ import (
 	"sosr/sosrnet"
 )
 
+// Topology describes a replicated sharded deployment; see shardmap.Topology.
+type Topology = shardmap.Topology
+
+// NewTopology builds a topology at the given epoch; shards[i] lists shard
+// i's replica addresses. See shardmap.NewTopology.
+func NewTopology(epoch uint64, shards [][]string) (*Topology, error) {
+	return shardmap.NewTopology(epoch, shards)
+}
+
+// SingleReplica builds a one-replica-per-shard topology over addrs, the
+// unreplicated layout earlier deployments configured as a flat address list.
+func SingleReplica(epoch uint64, addrs []string) (*Topology, error) {
+	return shardmap.SingleReplica(epoch, addrs)
+}
+
+// DefaultRetryBackoff is the pause before a failover attempt dials the next
+// replica when Client.RetryBackoff is unset.
+const DefaultRetryBackoff = 25 * time.Millisecond
+
 // ShardStats itemizes one shard's share of a fanned-out reconciliation.
 type ShardStats struct {
-	// ID is the shard's identity (its dial address).
+	// ID is the shard's canonical identity (its sorted replica address list).
 	ID string
-	// Index is the shard's position in the configured shard list.
+	// Index is the shard's position in the topology.
 	Index int
-	// Net is the full per-session accounting for this shard, protocol bytes
-	// and framing overhead separated exactly as for an unsharded session.
+	// Replica is the address of the replica that served the winning session.
+	Replica string
+	// Attempts counts the sessions opened against this shard's replicas:
+	// 1 means the first replica answered; more mean failovers and/or a hedge.
+	Attempts int
+	// Net is the winning session's full accounting, protocol bytes and
+	// framing overhead separated exactly as for an unsharded session. Losing
+	// attempts (failed replicas, hedge losers) are not included.
 	Net sosrnet.NetStats
 }
 
@@ -55,22 +100,31 @@ type ShardStats struct {
 // across shards plus the per-shard itemization. The parity invariant of the
 // unsharded wire protocol survives sharding: WireIn+WireOut ==
 // Protocol.TotalBytes + Overhead, and each summand is itself the sum of the
-// per-shard values.
+// per-shard values (of the winning sessions; abandoned attempts are counted
+// only in Failovers/Hedges).
 type Stats struct {
 	// Protocol sums the per-shard protocol stats — byte for byte what the
 	// in-process simulations of the per-shard slices report.
 	Protocol sosr.Stats
-	// WireIn / WireOut are total connection bytes across all shard sessions.
+	// WireIn / WireOut are total connection bytes across all winning shard
+	// sessions.
 	WireIn, WireOut int64
 	// Overhead is the summed framing + control-frame cost across shards.
 	Overhead int64
-	// Attempts sums protocol attempts across shards.
+	// Attempts sums protocol attempts (replication/doubling) across shards.
 	Attempts int
-	// Shards itemizes every shard session, in shard-index order.
+	// Failovers counts replica attempts that failed with a connection-level
+	// error and triggered (or exhausted into) another attempt.
+	Failovers int
+	// Hedges counts shards where the hedge timer fired and a second replica
+	// was raced; HedgeWins counts those the hedged session won.
+	Hedges, HedgeWins int
+	// Shards itemizes every shard's winning session, in shard-index order.
 	Shards []ShardStats
 }
 
-func (st *Stats) add(index int, id string, ns *sosrnet.NetStats) {
+func (st *Stats) add(index int, id string, oc *shardOutcome) {
+	ns := oc.ns
 	st.Protocol.Rounds += ns.Protocol.Rounds
 	st.Protocol.TotalBytes += ns.Protocol.TotalBytes
 	st.Protocol.AliceBytes += ns.Protocol.AliceBytes
@@ -80,83 +134,332 @@ func (st *Stats) add(index int, id string, ns *sosrnet.NetStats) {
 	st.WireOut += ns.WireOut
 	st.Overhead += ns.Overhead
 	st.Attempts += ns.Attempts
-	st.Shards = append(st.Shards, ShardStats{ID: id, Index: index, Net: *ns})
+	st.Failovers += oc.failovers
+	if oc.hedged {
+		st.Hedges++
+	}
+	if oc.hedgeWin {
+		st.HedgeWins++
+	}
+	st.Shards = append(st.Shards, ShardStats{
+		ID: id, Index: index, Replica: oc.replica, Attempts: oc.attempts, Net: *ns,
+	})
 }
 
 // Client reconciles local replicas against a sharded deployment: one
-// concurrent sosrnet session per shard, results merged. Methods are safe for
-// concurrent use.
+// concurrent fan-out session per shard, replicas tried in rendezvous order
+// with failover and optional hedging, results merged. Configure the fields
+// before the first reconcile. Methods are safe for concurrent use.
 type Client struct {
-	// Timeout bounds each per-shard session (dial through close).
+	// Timeout bounds each per-replica session (dial through close).
 	Timeout time.Duration
 	// MaxFrame bounds accepted frame payloads per session.
 	MaxFrame int
+	// HedgeDelay, when positive and the shard has more than one replica,
+	// races a second replica after the first has been in flight this long,
+	// taking whichever session finishes first — the classic tail-latency
+	// cut. The loser is cancelled and its bytes discarded. 0 disables
+	// hedging.
+	HedgeDelay time.Duration
+	// RetryBackoff is the pause before a failover attempt dials the next
+	// replica (0 = DefaultRetryBackoff). Only connection-level failures
+	// (dial refused, reset, EOF mid-session) fail over; protocol and
+	// server-reported errors fail fast — every replica hosts the identical
+	// slice and would answer the same.
+	RetryBackoff time.Duration
+	// MaxAttempts bounds sessions per shard per reconcile, hedges included
+	// (0 = max(2, replicas)).
+	MaxAttempts int
+	// PerShardDiff, when set, drops the caller's logical difference bound
+	// from each shard session so every shard derives its own d̂ (the strata
+	// estimator for sets/multisets, the child-difference probe or doubling
+	// for sets-of-sets). A logical bound must cover the worst single shard —
+	// all of d may land on one — so per-shard estimation sizes each sketch
+	// to the shard's actual slice instead. Ignored for charpoly sessions,
+	// which require an explicit bound.
+	PerShardDiff bool
+	// Refresh, when set, is called after a stale-epoch rejection to
+	// re-resolve the topology (from whatever the deployment uses as its
+	// source of truth); the reconcile then re-splits and retries once
+	// against the new topology.
+	Refresh func(ctx context.Context) (*Topology, error)
 	// Obs, when set before the first reconcile, receives fan-out metrics:
-	// per-shard session latency, straggler spread, and fan-out outcomes
-	// (see metrics.go). Nil disables instrumentation.
+	// per-shard session latency, straggler spread, fan-out outcomes,
+	// failover and hedge counters (see metrics.go). Nil disables
+	// instrumentation.
 	Obs *obs.Registry
 
-	m       *shardmap.Map
 	obsOnce sync.Once
 	met     *clientMetrics
 
-	clOnce  sync.Once
-	clients []*sosrnet.Client
+	mu      sync.Mutex
+	topo    *shardmap.Topology
+	clients [][]*sosrnet.Client // [shard][replica], lazily built per topology
 }
 
-// Dial returns a client for the given shard addresses. The address list must
-// match the deployment's configured list — every server verifies its own
-// (index, count) against the session hello. No connection is made until a
+// Dial returns a client for the given topology. The topology must match the
+// deployment's — every server verifies the canonical shard identity, epoch,
+// and fingerprint against the session hello. No connection is made until a
 // reconcile method runs.
-func Dial(addrs []string) (*Client, error) {
-	m, err := shardmap.New(addrs)
-	if err != nil {
-		return nil, err
+func Dial(topo *Topology) (*Client, error) {
+	if topo == nil {
+		return nil, errors.New("sosrshard: nil topology")
 	}
-	return &Client{m: m}, nil
+	return &Client{topo: topo}, nil
 }
 
-// Map exposes the client's shard map (shared; read-only).
-func (c *Client) Map() *shardmap.Map { return c.m }
+// Topology returns the client's current topology (shared; read-only).
+func (c *Client) Topology() *Topology {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.topo
+}
 
-// client returns the per-shard session client carrying shard coordinates.
-// The clients are built once at first use (snapshotting Timeout/MaxFrame) and
-// reused across reconciles, so each shard client's Bob-sketch cache stays
-// warm: a fan-out over an unchanged local replica subtracts memoized child
-// encodings instead of re-encoding on every reconcile.
-func (c *Client) client(index int) *sosrnet.Client {
-	c.clOnce.Do(func() {
-		c.clients = make([]*sosrnet.Client, c.m.N())
-		for i := range c.clients {
-			c.clients[i] = &sosrnet.Client{
-				Addr:             c.m.ID(i),
-				Timeout:          c.Timeout,
-				MaxFrame:         c.MaxFrame,
-				ShardIndex:       i,
-				ShardCount:       c.m.N(),
-				ShardFingerprint: c.m.Fingerprint(),
+// SetTopology swaps the client's topology — the self-healing path after an
+// epoch bump. In-flight fan-outs finish against the topology they started
+// with; per-replica session clients (and their warm sketch caches) are
+// rebuilt lazily.
+func (c *Client) SetTopology(topo *Topology) error {
+	if topo == nil {
+		return errors.New("sosrshard: nil topology")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.topo = topo
+	c.clients = nil
+	return nil
+}
+
+// state is one fan-out's immutable view: the topology and its per-replica
+// session clients. Clients persist across reconciles (until SetTopology), so
+// each replica client's Bob-sketch cache stays warm.
+type state struct {
+	topo    *shardmap.Topology
+	clients [][]*sosrnet.Client
+}
+
+func (c *Client) state() (*state, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.topo == nil {
+		return nil, errors.New("sosrshard: client has no topology")
+	}
+	if c.clients == nil {
+		topo := c.topo
+		cls := make([][]*sosrnet.Client, topo.NumShards())
+		for i := range cls {
+			reps := topo.Replicas(i)
+			cls[i] = make([]*sosrnet.Client, len(reps))
+			for j, addr := range reps {
+				cls[i][j] = &sosrnet.Client{
+					Addr:             addr,
+					Timeout:          c.Timeout,
+					MaxFrame:         c.MaxFrame,
+					ShardID:          topo.ShardIDHash(i),
+					ShardCount:       topo.NumShards(),
+					ShardEpoch:       topo.Epoch(),
+					ShardFingerprint: topo.Fingerprint(),
+				}
 			}
 		}
-	})
-	return c.clients[index]
+		c.clients = cls
+	}
+	return &state{topo: c.topo, clients: c.clients}, nil
 }
 
 // shardSeed derives the public-coin seed for one shard's session from the
-// logical seed and the shard identity, so distinct shards run independent
-// hash families and a reordered (but misroute-checked) list derives the same
-// per-identity seeds.
-func (c *Client) shardSeed(seed uint64, index int) uint64 {
-	return hashing.NewCoins(seed).Seed("shard/"+c.m.ID(index), c.m.N())
+// logical seed and the canonical shard identity, so distinct shards run
+// independent hash families and reordered-but-identical topologies derive
+// identical per-shard seeds. It doubles as the rendezvous key for replica
+// ordering: distinct logical seeds spread shard primaries across replicas.
+func (c *Client) shardSeed(topo *shardmap.Topology, seed uint64, index int) uint64 {
+	return hashing.NewCoins(seed).Seed("shard/"+topo.ShardID(index), topo.NumShards())
 }
 
-// fanOut runs fn for every shard concurrently and returns the first shard
-// error (annotated with the shard), or nil. With a registry configured it
-// records every shard's session latency, the fan-out's straggler spread
-// (slowest minus fastest — the wall-clock cost sharding adds over the
-// slowest shard alone), and the fan-out outcome.
-func (c *Client) fanOut(fn func(index int) error) error {
+// withRefresh runs one split-and-fan-out against the current topology; on a
+// stale-epoch rejection with a Refresh hook configured it re-resolves the
+// topology, swaps it in, and reruns once (the new topology may partition
+// differently, so the rerun re-splits from scratch).
+func withRefresh[R any](ctx context.Context, c *Client, run func(st *state) (R, *Stats, error)) (R, *Stats, error) {
+	var zero R
+	st, err := c.state()
+	if err != nil {
+		return zero, nil, err
+	}
+	res, stats, err := run(st)
+	if err == nil || c.Refresh == nil || !errors.Is(err, sosrnet.ErrStaleEpoch) {
+		return res, stats, err
+	}
+	if m := c.metrics(); m != nil {
+		m.refreshes.Inc()
+	}
+	topo, rerr := c.Refresh(ctx)
+	if rerr != nil {
+		return zero, nil, fmt.Errorf("sosrshard: topology refresh failed (%v) after: %w", rerr, err)
+	}
+	if serr := c.SetTopology(topo); serr != nil {
+		return zero, nil, serr
+	}
+	if st, err = c.state(); err != nil {
+		return zero, nil, err
+	}
+	return run(st)
+}
+
+// shardFn runs one shard's session against one replica's client, with the
+// shard's derived session seed.
+type shardFn func(ctx context.Context, shard int, cl *sosrnet.Client, seed uint64) (any, *sosrnet.NetStats, error)
+
+// shardOutcome is one shard's winning session plus its attempt accounting.
+type shardOutcome struct {
+	res       any
+	ns        *sosrnet.NetStats
+	replica   string
+	attempts  int
+	failovers int
+	hedged    bool
+	hedgeWin  bool
+}
+
+// attemptResult carries one replica session's result into the engine.
+type attemptResult struct {
+	viaHedge bool
+	replica  string
+	res      any
+	ns       *sosrnet.NetStats
+	err      error
+}
+
+// retryable reports whether a shard session error is worth another replica:
+// dial and connection-level IO failures are; protocol, validation, and
+// server-reported errors are not — every replica hosts the identical slice
+// and would answer the same.
+func retryable(err error) bool {
+	switch {
+	case err == nil,
+		errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, sosrnet.ErrServer):
+		return false
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return true
+	}
+	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, syscall.ECONNREFUSED) || errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.EPIPE)
+}
+
+// runShard drives one shard's session to a winner: replicas in rendezvous
+// order for this shard's key, failover with backoff on retryable errors, and
+// an optional hedge racing a second replica against a straggling first. The
+// first success cancels every other in-flight attempt (severing its
+// connection); a non-retryable error fails the shard immediately.
+func (c *Client) runShard(ctx context.Context, st *state, shard int, key uint64, fn func(ctx context.Context, cl *sosrnet.Client) (any, *sosrnet.NetStats, error)) (*shardOutcome, error) {
+	order := st.topo.ReplicaOrder(shard, key)
+	maxAttempts := c.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = max(2, len(order))
+	}
+	backoff := c.RetryBackoff
+	if backoff <= 0 {
+		backoff = DefaultRetryBackoff
+	}
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	// Buffered to maxAttempts: a cancelled loser's goroutine can always
+	// deliver its result and exit, even after runShard has returned.
+	results := make(chan attemptResult, maxAttempts)
+	launched, pending := 0, 0
+	launch := func(viaHedge bool) {
+		cl := st.clients[shard][order[launched%len(order)]]
+		launched++
+		pending++
+		go func() {
+			res, ns, err := fn(actx, cl)
+			results <- attemptResult{viaHedge: viaHedge, replica: cl.Addr, res: res, ns: ns, err: err}
+		}()
+	}
+	launch(false)
 	m := c.metrics()
-	n := c.m.N()
+	out := &shardOutcome{}
+	var hedgeCh <-chan time.Time
+	if c.HedgeDelay > 0 && len(order) > 1 {
+		ht := time.NewTimer(c.HedgeDelay)
+		defer ht.Stop()
+		hedgeCh = ht.C
+	}
+	var backoffT *time.Timer
+	var backoffCh <-chan time.Time
+	defer func() {
+		if backoffT != nil {
+			backoffT.Stop()
+		}
+	}()
+	var lastErr error
+	for {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case r := <-results:
+			pending--
+			if r.err == nil {
+				out.res, out.ns, out.replica = r.res, r.ns, r.replica
+				out.attempts = launched
+				out.hedgeWin = out.hedged && r.viaHedge
+				if m != nil && out.hedged {
+					if r.viaHedge {
+						m.hedges.With("win").Inc()
+					} else {
+						m.hedges.With("loss").Inc()
+					}
+				}
+				return out, nil
+			}
+			lastErr = r.err
+			if !retryable(r.err) {
+				return nil, r.err
+			}
+			out.failovers++
+			if m != nil {
+				m.failovers.With(strconv.Itoa(shard)).Inc()
+			}
+			if launched < maxAttempts && backoffCh == nil {
+				backoffT = time.NewTimer(backoff)
+				backoffCh = backoffT.C
+			}
+			if pending == 0 && backoffCh == nil {
+				return nil, fmt.Errorf("sosrshard: %d replica attempts failed: %w", launched, lastErr)
+			}
+		case <-backoffCh:
+			backoffCh, backoffT = nil, nil
+			if launched < maxAttempts {
+				launch(false)
+			}
+		case <-hedgeCh:
+			hedgeCh = nil
+			if pending > 0 && launched < maxAttempts {
+				out.hedged = true
+				if m != nil {
+					m.hedges.With("launched").Inc()
+				}
+				launch(true)
+			}
+		}
+	}
+}
+
+// fanOut runs one session engine per shard concurrently and returns the
+// per-shard winning outcomes, or the first shard error (annotated with the
+// shard). With a registry configured it records every shard's wall-clock
+// latency (failover and hedge waits included), the fan-out's straggler
+// spread (slowest minus fastest — the wall-clock cost sharding adds over the
+// slowest shard alone), and the fan-out outcome.
+func (c *Client) fanOut(ctx context.Context, st *state, seed uint64, fn shardFn) ([]*shardOutcome, error) {
+	m := c.metrics()
+	n := st.topo.NumShards()
+	outs := make([]*shardOutcome, n)
 	errs := make([]error, n)
 	durs := make([]time.Duration, n)
 	var wg sync.WaitGroup
@@ -165,7 +468,11 @@ func (c *Client) fanOut(fn func(index int) error) error {
 		go func(i int) {
 			defer wg.Done()
 			t0 := time.Now()
-			errs[i] = fn(i)
+			key := c.shardSeed(st.topo, seed, i)
+			outs[i], errs[i] = c.runShard(ctx, st, i, key,
+				func(actx context.Context, cl *sosrnet.Client) (any, *sosrnet.NetStats, error) {
+					return fn(actx, i, cl, key)
+				})
 			durs[i] = time.Since(t0)
 		}(i)
 	}
@@ -186,7 +493,7 @@ func (c *Client) fanOut(fn func(index int) error) error {
 	var firstErr error
 	for i, err := range errs {
 		if err != nil {
-			firstErr = fmt.Errorf("sosrshard: shard %d (%s): %w", i, c.m.ID(i), err)
+			firstErr = fmt.Errorf("sosrshard: shard %d (%s): %w", i, st.topo.ShardID(i), err)
 			break
 		}
 	}
@@ -197,7 +504,7 @@ func (c *Client) fanOut(fn func(index int) error) error {
 		}
 		m.fanouts.With(status).Inc()
 	}
-	return firstErr
+	return outs, firstErr
 }
 
 // Sets reconciles a local set against the sharded hosted set `name`: the
@@ -205,71 +512,70 @@ func (c *Client) fanOut(fn func(index int) error) error {
 // slice of the server-side set, and the merged result is exactly what an
 // unsharded reconcile of the whole set would recover. cfg applies per shard
 // (cfg.KnownDiff must bound the whole logical difference — any single shard
-// may own all of it).
-func (c *Client) Sets(name string, local []uint64, cfg sosr.SetConfig) (*sosr.SetResult, *Stats, error) {
-	parts := c.m.SplitElems(setutil.Canonical(local))
-	n := c.m.N()
-	results := make([]*sosr.SetResult, n)
-	nets := make([]*sosrnet.NetStats, n)
-	err := c.fanOut(func(i int) error {
-		sc := cfg
-		sc.Seed = c.shardSeed(cfg.Seed, i)
-		res, ns, err := c.client(i).Sets(name, parts[i], sc)
+// may own all of it — unless PerShardDiff lets each shard estimate its own).
+func (c *Client) Sets(ctx context.Context, name string, local []uint64, cfg sosr.SetConfig) (*sosr.SetResult, *Stats, error) {
+	canon := setutil.Canonical(local)
+	return withRefresh(ctx, c, func(st *state) (*sosr.SetResult, *Stats, error) {
+		parts := st.topo.SplitElems(canon)
+		outs, err := c.fanOut(ctx, st, cfg.Seed, func(actx context.Context, i int, cl *sosrnet.Client, seed uint64) (any, *sosrnet.NetStats, error) {
+			sc := cfg
+			sc.Seed = seed
+			if c.PerShardDiff && !sc.UseCharPoly {
+				sc.KnownDiff = 0
+			}
+			return unpack3(cl.Sets(actx, name, parts[i], sc))
+		})
 		if err != nil {
-			return err
+			return nil, nil, err
 		}
-		results[i], nets[i] = res, ns
-		return nil
+		merged := &sosr.SetResult{}
+		stats := &Stats{}
+		for i, oc := range outs {
+			res := oc.res.(*sosr.SetResult)
+			merged.Recovered = append(merged.Recovered, res.Recovered...)
+			merged.OnlyA = append(merged.OnlyA, res.OnlyA...)
+			merged.OnlyB = append(merged.OnlyB, res.OnlyB...)
+			stats.add(i, st.topo.ShardID(i), oc)
+		}
+		// Shards partition the element space, so the merged slices are
+		// disjoint; sorting restores the canonical order an unsharded run
+		// reports.
+		sortWords(merged.Recovered)
+		sortWords(merged.OnlyA)
+		sortWords(merged.OnlyB)
+		merged.Stats = stats.Protocol
+		return merged, stats, nil
 	})
-	if err != nil {
-		return nil, nil, err
-	}
-	merged := &sosr.SetResult{}
-	st := &Stats{}
-	for i := 0; i < n; i++ {
-		merged.Recovered = append(merged.Recovered, results[i].Recovered...)
-		merged.OnlyA = append(merged.OnlyA, results[i].OnlyA...)
-		merged.OnlyB = append(merged.OnlyB, results[i].OnlyB...)
-		st.add(i, c.m.ID(i), nets[i])
-	}
-	// Shards partition the element space, so the merged slices are disjoint;
-	// sorting restores the canonical order an unsharded run reports.
-	sortWords(merged.Recovered)
-	sortWords(merged.OnlyA)
-	sortWords(merged.OnlyB)
-	merged.Stats = st.Protocol
-	return merged, st, nil
 }
 
 // Multiset reconciles a local multiset against the sharded hosted multiset
 // `name`. Occurrences follow their element value to a shard (matching
 // Coordinator.HostMultiset), so each shard reconciles a complete sub-
 // multiset and the merged recovery is the whole logical multiset. diffBound
-// bounds the packed-set difference per shard; pass the logical bound.
-func (c *Client) Multiset(name string, local []uint64, diffBound int, seed uint64) ([]uint64, *Stats, error) {
-	parts := c.m.SplitElems(local)
-	n := c.m.N()
-	recs := make([][]uint64, n)
-	nets := make([]*sosrnet.NetStats, n)
-	err := c.fanOut(func(i int) error {
-		rec, ns, err := c.client(i).Multiset(name, parts[i], diffBound, c.shardSeed(seed, i))
+// bounds the packed-set difference per shard; pass the logical bound, or set
+// PerShardDiff to let each shard estimate its own.
+func (c *Client) Multiset(ctx context.Context, name string, local []uint64, diffBound int, seed uint64) ([]uint64, *Stats, error) {
+	return withRefresh(ctx, c, func(st *state) ([]uint64, *Stats, error) {
+		parts := st.topo.SplitElems(local)
+		outs, err := c.fanOut(ctx, st, seed, func(actx context.Context, i int, cl *sosrnet.Client, sseed uint64) (any, *sosrnet.NetStats, error) {
+			d := diffBound
+			if c.PerShardDiff {
+				d = 0
+			}
+			return unpack3(cl.Multiset(actx, name, parts[i], d, sseed))
+		})
 		if err != nil {
-			return err
+			return nil, nil, err
 		}
-		recs[i], nets[i] = rec, ns
-		return nil
+		var merged []uint64
+		stats := &Stats{}
+		for i, oc := range outs {
+			merged = append(merged, oc.res.([]uint64)...)
+			stats.add(i, st.topo.ShardID(i), oc)
+		}
+		sortWords(merged)
+		return merged, stats, nil
 	})
-	if err != nil {
-		return nil, nil, err
-	}
-	var merged []uint64
-	st := &Stats{}
-	for i := 0; i < n; i++ {
-		merged = append(merged, recs[i]...)
-		st.add(i, c.m.ID(i), nets[i])
-	}
-	sortWords(merged)
-	return merged, st, nil
 }
 
 // SetsOfSets reconciles a local parent set against the sharded hosted
@@ -277,43 +583,51 @@ func (c *Client) Multiset(name string, local []uint64, diffBound int, seed uint6
 // recovers its slice of the server-side parent, and the merged
 // Recovered/Added/Removed (in canonical lexicographic child-set order) equal
 // an unsharded reconcile of the whole parent. cfg applies per shard;
-// cfg.KnownDiff must bound the whole logical difference.
-func (c *Client) SetsOfSets(name string, local [][]uint64, cfg sosr.Config) (*sosr.Result, *Stats, error) {
+// cfg.KnownDiff must bound the whole logical difference, or set PerShardDiff
+// to let each shard derive its own bound.
+func (c *Client) SetsOfSets(ctx context.Context, name string, local [][]uint64, cfg sosr.Config) (*sosr.Result, *Stats, error) {
 	canon := make([][]uint64, len(local))
 	for i, cs := range local {
 		canon[i] = setutil.Canonical(cs)
 	}
-	parts := c.m.SplitSets(canon)
-	n := c.m.N()
-	results := make([]*sosr.Result, n)
-	nets := make([]*sosrnet.NetStats, n)
-	err := c.fanOut(func(i int) error {
-		sc := cfg
-		sc.Seed = c.shardSeed(cfg.Seed, i)
-		res, ns, err := c.client(i).SetsOfSets(name, parts[i], sc)
+	return withRefresh(ctx, c, func(st *state) (*sosr.Result, *Stats, error) {
+		parts := st.topo.SplitSets(canon)
+		outs, err := c.fanOut(ctx, st, cfg.Seed, func(actx context.Context, i int, cl *sosrnet.Client, seed uint64) (any, *sosrnet.NetStats, error) {
+			sc := cfg
+			sc.Seed = seed
+			if c.PerShardDiff {
+				sc.KnownDiff = 0
+			}
+			return unpack3(cl.SetsOfSets(actx, name, parts[i], sc))
+		})
 		if err != nil {
-			return err
+			return nil, nil, err
 		}
-		results[i], nets[i] = res, ns
-		return nil
+		merged := &sosr.Result{Protocol: outs[0].res.(*sosr.Result).Protocol}
+		stats := &Stats{}
+		for i, oc := range outs {
+			res := oc.res.(*sosr.Result)
+			merged.Recovered = append(merged.Recovered, res.Recovered...)
+			merged.Added = append(merged.Added, res.Added...)
+			merged.Removed = append(merged.Removed, res.Removed...)
+			stats.add(i, st.topo.ShardID(i), oc)
+		}
+		setutil.SortSets(merged.Recovered)
+		setutil.SortSets(merged.Added)
+		setutil.SortSets(merged.Removed)
+		merged.Stats = stats.Protocol
+		merged.Attempts = stats.Attempts
+		return merged, stats, nil
 	})
+}
+
+// unpack3 adapts a typed (result, stats, error) return to the engine's
+// untyped attempt signature without a nil-interface pitfall on error.
+func unpack3[R any](res R, ns *sosrnet.NetStats, err error) (any, *sosrnet.NetStats, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	merged := &sosr.Result{Protocol: results[0].Protocol}
-	st := &Stats{}
-	for i := 0; i < n; i++ {
-		merged.Recovered = append(merged.Recovered, results[i].Recovered...)
-		merged.Added = append(merged.Added, results[i].Added...)
-		merged.Removed = append(merged.Removed, results[i].Removed...)
-		st.add(i, c.m.ID(i), nets[i])
-	}
-	setutil.SortSets(merged.Recovered)
-	setutil.SortSets(merged.Added)
-	setutil.SortSets(merged.Removed)
-	merged.Stats = st.Protocol
-	merged.Attempts = st.Attempts
-	return merged, st, nil
+	return res, ns, nil
 }
 
 func sortWords(xs []uint64) {

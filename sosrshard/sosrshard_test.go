@@ -2,9 +2,11 @@ package sosrshard
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log/slog"
 	"net"
+	"net/http/httptest"
 	"reflect"
 	"strings"
 	"sync"
@@ -13,6 +15,7 @@ import (
 	"time"
 
 	"sosr"
+	"sosr/internal/obs"
 	"sosr/internal/setutil"
 	"sosr/internal/workload"
 	"sosr/sosrnet"
@@ -35,11 +38,14 @@ func (h countHandler) WithAttrs([]slog.Attr) slog.Handler { return h }
 func (h countHandler) WithGroup(string) slog.Handler      { return h }
 
 // countingListener / countingConn give the tests an independent measurement
-// of the real TCP traffic per shard (the ground truth the aggregated Stats
-// must reproduce).
+// of the real TCP traffic per replica (the ground truth the aggregated Stats
+// must reproduce), plus per-replica fault injection: an optional first-read
+// stall (to make a replica a deterministic straggler for hedging tests).
 type countingListener struct {
 	net.Listener
-	n atomic.Int64
+	n         atomic.Int64
+	stall     atomic.Int64 // nanoseconds to sleep before the first read
+	killAfter atomic.Int64 // sever every conn once the byte counter crosses this
 }
 
 func (l *countingListener) Accept() (net.Conn, error) {
@@ -47,72 +53,133 @@ func (l *countingListener) Accept() (net.Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &countingConn{Conn: c, n: &l.n}, nil
+	return &countingConn{Conn: c, ln: l}, nil
 }
 
 type countingConn struct {
 	net.Conn
-	n *atomic.Int64
+	ln   *countingListener
+	once sync.Once
 }
 
 func (c *countingConn) Read(p []byte) (int, error) {
+	c.once.Do(func() {
+		if d := c.ln.stall.Load(); d > 0 {
+			time.Sleep(time.Duration(d))
+		}
+	})
 	n, err := c.Conn.Read(p)
-	c.n.Add(int64(n))
+	c.ln.n.Add(int64(n))
+	c.maybeKill()
 	return n, err
 }
 
 func (c *countingConn) Write(p []byte) (int, error) {
 	n, err := c.Conn.Write(p)
-	c.n.Add(int64(n))
+	c.ln.n.Add(int64(n))
+	c.maybeKill()
 	return n, err
 }
 
-// shardDeployment is a loopback sharded deployment: n servers on n counting
-// listeners, a coordinator over them, and a fan-out client.
+func (c *countingConn) maybeKill() {
+	if ka := c.ln.killAfter.Load(); ka > 0 && c.ln.n.Load() >= ka {
+		c.Conn.Close()
+	}
+}
+
+// shardDeployment is a loopback replicated deployment: shards × replicas
+// servers on counting listeners, a coordinator over them, and a fan-out
+// client. The flat servers/counters views hold replica 0 of each shard (the
+// whole deployment when replicas == 1), for the single-replica tests that
+// predate replication.
 type shardDeployment struct {
+	topo     *Topology
 	co       *Coordinator
 	client   *Client
-	servers  []*sosrnet.Server
+	servers  []*sosrnet.Server // replica 0 of each shard
 	counters []*countingListener
+	all      [][]*sosrnet.Server
+	allLn    [][]*countingListener
 	sessions atomic.Int64 // finished server-side sessions (log lines)
 }
 
 func startShards(t *testing.T, n int) *shardDeployment {
+	return startReplicated(t, n, 1)
+}
+
+// startReplicated builds a shards × replicas loopback deployment at epoch 1.
+func startReplicated(t *testing.T, shards, replicas int) *shardDeployment {
 	t.Helper()
 	d := &shardDeployment{}
-	addrs := make([]string, n)
+	lists := make([][]string, shards)
 	var serveWg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			t.Fatal(err)
+	for i := 0; i < shards; i++ {
+		var group []*sosrnet.Server
+		var lns []*countingListener
+		for j := 0; j < replicas; j++ {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			cl := &countingListener{Listener: ln}
+			srv := sosrnet.NewServer()
+			srv.Logger = slog.New(countHandler{n: &d.sessions})
+			lists[i] = append(lists[i], ln.Addr().String())
+			group = append(group, srv)
+			lns = append(lns, cl)
+			serveWg.Add(1)
+			go func() { defer serveWg.Done(); srv.Serve(cl) }()
 		}
-		cl := &countingListener{Listener: ln}
-		srv := sosrnet.NewServer()
-		srv.Logger = slog.New(countHandler{n: &d.sessions})
-		addrs[i] = ln.Addr().String()
-		d.servers = append(d.servers, srv)
-		d.counters = append(d.counters, cl)
-		serveWg.Add(1)
-		go func() { defer serveWg.Done(); srv.Serve(cl) }()
+		d.all = append(d.all, group)
+		d.allLn = append(d.allLn, lns)
+		d.servers = append(d.servers, group[0])
+		d.counters = append(d.counters, lns[0])
 	}
-	co, err := NewCoordinator(addrs, d.servers)
+	topo, err := NewTopology(1, lists)
 	if err != nil {
 		t.Fatal(err)
 	}
-	client, err := Dial(addrs)
+	co, err := NewCoordinator(topo, d.all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := Dial(topo)
 	if err != nil {
 		t.Fatal(err)
 	}
 	client.Timeout = 60 * time.Second
-	d.co, d.client = co, client
+	d.topo, d.co, d.client = topo, co, client
 	t.Cleanup(func() {
-		for _, srv := range d.servers {
-			srv.Close()
+		for _, group := range d.all {
+			for _, srv := range group {
+				srv.Close()
+			}
 		}
 		serveWg.Wait()
 	})
 	return d
+}
+
+// topoAt rebuilds the deployment's topology at another epoch (same shards).
+func (d *shardDeployment) topoAt(t *testing.T, epoch uint64) *Topology {
+	t.Helper()
+	lists := make([][]string, d.topo.NumShards())
+	for i := range lists {
+		lists[i] = d.topo.Replicas(i)
+	}
+	topo, err := NewTopology(epoch, lists)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+// primary returns the replica index the client will try first for this shard
+// under the given logical seed (the rendezvous order key is the derived
+// per-shard session seed).
+func (d *shardDeployment) primary(shard int, seed uint64) int {
+	key := d.client.shardSeed(d.topo, seed, shard)
+	return d.topo.ReplicaOrder(shard, key)[0]
 }
 
 // waitSessions blocks until the servers have finished (logged) total
@@ -131,7 +198,9 @@ func (d *shardDeployment) waitSessions(t *testing.T, total int64) {
 // checkAggregateParity verifies the itemized byte report: per shard, the
 // listener-measured TCP bytes equal that shard's protocol bytes plus its
 // framing overhead; in aggregate, total TCP bytes equal the summed Stats
-// plus summed framing. This is the acceptance invariant for sharding.
+// plus summed framing. This is the acceptance invariant for sharding; it
+// only holds when every shard's first replica won outright (no failovers or
+// hedges — abandoned attempts move TCP bytes no winning session accounts).
 func (d *shardDeployment) checkAggregateParity(t *testing.T, st *Stats) {
 	t.Helper()
 	if len(st.Shards) != len(d.counters) {
@@ -139,7 +208,10 @@ func (d *shardDeployment) checkAggregateParity(t *testing.T, st *Stats) {
 	}
 	var tcpTotal int64
 	for i, sh := range st.Shards {
-		tcp := d.counters[i].n.Load()
+		var tcp int64
+		for _, ln := range d.allLn[i] {
+			tcp += ln.n.Load()
+		}
 		tcpTotal += tcp
 		if want := int64(sh.Net.Protocol.TotalBytes) + sh.Net.Overhead; tcp != want {
 			t.Fatalf("shard %d: TCP bytes %d != protocol %d + framing %d",
@@ -153,8 +225,27 @@ func (d *shardDeployment) checkAggregateParity(t *testing.T, st *Stats) {
 		t.Fatalf("total TCP bytes %d != Σ shard protocol %d + Σ framing %d",
 			tcpTotal, st.Protocol.TotalBytes, st.Overhead)
 	}
+	checkStatsParity(t, st)
+}
+
+// checkStatsParity checks the Stats-internal invariant alone (survives
+// failovers and hedges, whose losing attempts are outside the winning
+// sessions' accounting).
+func checkStatsParity(t *testing.T, st *Stats) {
+	t.Helper()
 	if st.WireIn+st.WireOut != int64(st.Protocol.TotalBytes)+st.Overhead {
 		t.Fatalf("aggregate wire accounting inconsistent: %+v", st)
+	}
+	var in, out, overhead int64
+	var bytes int
+	for _, sh := range st.Shards {
+		in += sh.Net.WireIn
+		out += sh.Net.WireOut
+		overhead += sh.Net.Overhead
+		bytes += sh.Net.Protocol.TotalBytes
+	}
+	if in != st.WireIn || out != st.WireOut || overhead != st.Overhead || bytes != st.Protocol.TotalBytes {
+		t.Fatalf("itemized shards do not sum to the aggregate: %+v", st)
 	}
 }
 
@@ -163,6 +254,7 @@ func (d *shardDeployment) checkAggregateParity(t *testing.T, st *Stats) {
 // single-instance reconcile of the same data, and the measured TCP bytes
 // equal the sum of the per-shard Stats plus itemized framing overhead.
 func TestShardedSetsOfSetsMatchesSingleInstance(t *testing.T) {
+	ctx := context.Background()
 	alice, bob := workload.PlantedSetsOfSets(17, 60, 8, 1<<32, 12)
 	d := startShards(t, 3)
 	if err := d.co.HostSetsOfSets("docs", alice); err != nil {
@@ -173,7 +265,7 @@ func TestShardedSetsOfSetsMatchesSingleInstance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, st, err := d.client.SetsOfSets("docs", bob, cfg)
+	got, st, err := d.client.SetsOfSets(ctx, "docs", bob, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,6 +292,7 @@ func TestShardedSetsOfSetsMatchesSingleInstance(t *testing.T) {
 
 // TestShardedSetsMatchesSingleInstance: same acceptance shape for plain sets.
 func TestShardedSetsMatchesSingleInstance(t *testing.T) {
+	ctx := context.Background()
 	alice := make([]uint64, 0, 800)
 	for x := uint64(100); x < 900; x++ {
 		alice = append(alice, x)
@@ -214,7 +307,7 @@ func TestShardedSetsMatchesSingleInstance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, st, err := d.client.Sets("ids", bob, cfg)
+	got, st, err := d.client.Sets(ctx, "ids", bob, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,6 +324,7 @@ func TestShardedSetsMatchesSingleInstance(t *testing.T) {
 // TestShardedMultisetMatchesSingleInstance: multiset fan-out merges to the
 // same recovery as the unsharded reconcile.
 func TestShardedMultisetMatchesSingleInstance(t *testing.T) {
+	ctx := context.Background()
 	alice := []uint64{1, 1, 1, 2, 5, 5, 9, 9, 9, 9, 40, 41, 41, 77, 78, 79, 80, 80}
 	bob := []uint64{1, 1, 2, 2, 5, 9, 9, 9, 9, 40, 41, 42, 77, 78, 79, 80}
 	d := startShards(t, 3)
@@ -241,7 +335,7 @@ func TestShardedMultisetMatchesSingleInstance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, st, err := d.client.Multiset("bag", bob, 24, 3)
+	got, st, err := d.client.Multiset(ctx, "bag", bob, 24, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,10 +346,45 @@ func TestShardedMultisetMatchesSingleInstance(t *testing.T) {
 	d.checkAggregateParity(t, st)
 }
 
+// TestPerShardDiffEstimation: with PerShardDiff set, the caller's logical
+// difference bound is dropped per shard and every shard estimates its own d̂
+// against its actual slice — the merged recovery is still exact.
+func TestPerShardDiffEstimation(t *testing.T) {
+	ctx := context.Background()
+	alice := make([]uint64, 0, 3000)
+	for x := uint64(1000); x < 4000; x++ {
+		alice = append(alice, x)
+	}
+	bob := append(append([]uint64{}, alice[30:]...), 90_001, 90_002, 90_003)
+	d := startShards(t, 3)
+	if err := d.co.HostSets("ids", alice); err != nil {
+		t.Fatal(err)
+	}
+	d.client.PerShardDiff = true
+	// The logical bound passed here is deliberately absurd: with PerShardDiff
+	// it must be ignored in favor of each shard's own estimate.
+	got, st, err := d.client.Sets(ctx, "ids", bob, sosr.SetConfig{Seed: 19, KnownDiff: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Recovered, setutil.Canonical(alice)) {
+		t.Fatal("per-shard estimation did not recover the full logical set")
+	}
+	checkStatsParity(t, st)
+	// The unknown-d protocol runs the strata estimator per shard, so every
+	// shard reports at least one attempt.
+	for i, sh := range st.Shards {
+		if sh.Net.Attempts < 1 {
+			t.Fatalf("shard %d reports no attempts", i)
+		}
+	}
+}
+
 // TestCoordinatorUpdatesVisibleToFanOut: a logical mutation routed by the
 // coordinator is what the next fan-out reconcile sees — identical to a
 // single-instance run over the updated logical dataset.
 func TestCoordinatorUpdatesVisibleToFanOut(t *testing.T) {
+	ctx := context.Background()
 	alice, bob := workload.PlantedSetsOfSets(23, 40, 8, 1<<32, 10)
 	d := startShards(t, 3)
 	if err := d.co.HostSetsOfSets("docs", alice); err != nil {
@@ -278,7 +407,7 @@ func TestCoordinatorUpdatesVisibleToFanOut(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, _, err := d.client.SetsOfSets("docs", bob, cfg)
+	got, _, err := d.client.SetsOfSets(ctx, "docs", bob, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,8 +416,8 @@ func TestCoordinatorUpdatesVisibleToFanOut(t *testing.T) {
 	}
 	// Only the shards owning a touched child were bumped.
 	bumped := map[int]bool{
-		d.co.Map().OwnerOfSet(setutil.Canonical(added)): true,
-		d.co.Map().OwnerOfSet(removed):                  true,
+		d.topo.OwnerOfSet(setutil.Canonical(added)): true,
+		d.topo.OwnerOfSet(removed):                  true,
 	}
 	for i, srv := range d.servers {
 		v, err := srv.DatasetVersion("docs")
@@ -304,46 +433,346 @@ func TestCoordinatorUpdatesVisibleToFanOut(t *testing.T) {
 	}
 }
 
-// TestMisconfiguredAddressOrderRejected: a client whose address list is
-// ordered differently from the deployment's sends mismatched shard indices
-// and must fail the handshake, never reconcile a wrong slice.
-func TestMisconfiguredAddressOrderRejected(t *testing.T) {
+// TestReplicatedCoordinatorKeepsReplicasIdentical: hosting and updates apply
+// to every replica of the owning shard, so any replica can serve the shard's
+// slice interchangeably.
+func TestReplicatedCoordinatorKeepsReplicasIdentical(t *testing.T) {
+	ctx := context.Background()
+	alice := make([]uint64, 0, 600)
+	for x := uint64(500); x < 1100; x++ {
+		alice = append(alice, x)
+	}
+	bob := append(append([]uint64{}, alice[4:]...), 70_001, 70_002)
+	d := startReplicated(t, 2, 2)
+	if err := d.co.HostSets("ids", alice); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.co.UpdateSets("ids", []uint64{80_001, 80_002, 80_003}, []uint64{alice[0]}); err != nil {
+		t.Fatal(err)
+	}
+	logical := setutil.ApplyDiff(alice, []uint64{80_001, 80_002, 80_003}, []uint64{alice[0]})
+	// Every replica of every shard serves the identical updated slice: run
+	// one fan-out pinned to each replica column via MaxAttempts=1 after
+	// forcing the rendezvous choice with different seeds until both columns
+	// have served, then simply reconcile twice and compare winners' results.
+	want := setutil.Canonical(logical)
+	for seed := uint64(0); seed < 4; seed++ {
+		got, st, err := d.client.Sets(ctx, "ids", bob, sosr.SetConfig{Seed: seed, KnownDiff: 16})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !reflect.DeepEqual(got.Recovered, want) {
+			t.Fatalf("seed %d: replicas disagree on the updated slice", seed)
+		}
+		if st.Failovers != 0 || st.Hedges != 0 {
+			t.Fatalf("seed %d: unexpected failovers/hedges in a healthy deployment: %+v", seed, st)
+		}
+		checkStatsParity(t, st)
+	}
+	// Distinct seeds spread primaries: across the seeds above, both replica
+	// columns of at least one shard should have served traffic.
+	spread := false
+	for i := range d.allLn {
+		if d.allLn[i][0].n.Load() > 0 && d.allLn[i][1].n.Load() > 0 {
+			spread = true
+		}
+	}
+	if !spread {
+		t.Log("note: rendezvous primaries did not spread across replicas for these seeds")
+	}
+}
+
+// TestFailoverRecoversExactDifference is the chaos acceptance test: with one
+// replica of each shard dead — including the would-be primary of at least
+// one shard — the fan-out fails over and still recovers the exact difference
+// set, with internally consistent aggregated Stats and a nonzero failover
+// count.
+func TestFailoverRecoversExactDifference(t *testing.T) {
+	ctx := context.Background()
+	alice, bob := workload.PlantedSetsOfSets(37, 60, 8, 1<<32, 12)
+	d := startReplicated(t, 3, 2)
+	if err := d.co.HostSetsOfSets("docs", alice); err != nil {
+		t.Fatal(err)
+	}
+	cfg := sosr.Config{Seed: 11, Protocol: sosr.ProtocolCascade, KnownDiff: 24}
+	want, err := sosr.ReconcileSetsOfSets(alice, bob, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill each shard's rendezvous primary for this seed: every shard must
+	// fail over to its surviving replica.
+	for i := range d.all {
+		p := d.primary(i, cfg.Seed)
+		d.all[i][p].Close()
+		d.allLn[i][p].Close()
+	}
+	d.client.RetryBackoff = time.Millisecond
+	got, st, err := d.client.SetsOfSets(ctx, "docs", bob, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !setutil.EqualSetOfSets(got.Recovered, want.Recovered) {
+		t.Fatal("fan-out with dead primaries recovered a different parent set")
+	}
+	wantAdded, wantRemoved := setutil.CloneSets(want.Added), setutil.CloneSets(want.Removed)
+	setutil.SortSets(wantAdded)
+	setutil.SortSets(wantRemoved)
+	if !reflect.DeepEqual(got.Added, wantAdded) || !reflect.DeepEqual(got.Removed, wantRemoved) {
+		t.Fatal("difference set diverges after failover")
+	}
+	if st.Failovers < len(d.all) {
+		t.Fatalf("expected at least %d failovers, got %d", len(d.all), st.Failovers)
+	}
+	for i, sh := range st.Shards {
+		dead := d.topo.Replicas(i)[d.primary(i, cfg.Seed)]
+		if sh.Replica == dead {
+			t.Fatalf("shard %d reports the dead replica %s as its winner", i, dead)
+		}
+		if sh.Attempts < 2 {
+			t.Fatalf("shard %d: %d attempts despite a dead primary", i, sh.Attempts)
+		}
+	}
+	checkStatsParity(t, st)
+}
+
+// TestFailoverMidSession: a replica that dies after the session is already
+// in flight (conn severed mid-protocol) is retried on the next replica and
+// the reconcile still completes exactly.
+func TestFailoverMidSession(t *testing.T) {
+	ctx := context.Background()
+	alice := make([]uint64, 0, 500)
+	for x := uint64(100); x < 600; x++ {
+		alice = append(alice, x)
+	}
+	bob := append(append([]uint64{}, alice[3:]...), 40_001, 40_002)
+	d := startReplicated(t, 1, 2)
+	if err := d.co.HostSets("ids", alice); err != nil {
+		t.Fatal(err)
+	}
+	cfg := sosr.SetConfig{Seed: 3, KnownDiff: 8}
+	// Sever the primary's connections mid-session: the replica dies under
+	// the client after the handshake bytes are already in flight, so the
+	// failure is an IO error on an established session, not a refused dial.
+	p := d.primary(0, cfg.Seed)
+	d.allLn[0][p].killAfter.Store(1)
+	d.client.RetryBackoff = time.Millisecond
+	got, st, err := d.client.Sets(ctx, "ids", bob, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Recovered, setutil.Canonical(alice)) {
+		t.Fatal("failover reconcile did not recover the hosted set")
+	}
+	if st.Failovers == 0 {
+		t.Fatal("no failover recorded despite a dead primary")
+	}
+	checkStatsParity(t, st)
+}
+
+// TestHedgedRequestBeatsStalledPrimary is the tail-latency acceptance test: a
+// deliberately stalled primary loses the race to a hedged second replica, the
+// client takes the hedge's answer, and the win is visible both in Stats and
+// in the scraped Prometheus metrics.
+func TestHedgedRequestBeatsStalledPrimary(t *testing.T) {
+	ctx := context.Background()
+	alice := make([]uint64, 0, 400)
+	for x := uint64(2000); x < 2400; x++ {
+		alice = append(alice, x)
+	}
+	bob := append(append([]uint64{}, alice[2:]...), 60_001)
+	d := startReplicated(t, 1, 2)
+	if err := d.co.HostSets("ids", alice); err != nil {
+		t.Fatal(err)
+	}
+	cfg := sosr.SetConfig{Seed: 9, KnownDiff: 8}
+	// Stall the rendezvous primary long enough that the hedge must win.
+	p := d.primary(0, cfg.Seed)
+	d.allLn[0][p].stall.Store(int64(2 * time.Second))
+	d.client.HedgeDelay = 20 * time.Millisecond
+	reg := obs.NewRegistry()
+	d.client.Obs = reg
+
+	got, st, err := d.client.Sets(ctx, "ids", bob, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Recovered, setutil.Canonical(alice)) {
+		t.Fatal("hedged reconcile did not recover the hosted set")
+	}
+	if st.Hedges != 1 || st.HedgeWins != 1 {
+		t.Fatalf("hedges=%d hedgeWins=%d, want 1/1 (stalled primary must lose)", st.Hedges, st.HedgeWins)
+	}
+	if winner := st.Shards[0].Replica; winner == d.topo.Replicas(0)[p] {
+		t.Fatalf("stalled primary %s reported as the winner", winner)
+	}
+	checkStatsParity(t, st)
+
+	// The win is exported: scrape the client registry over HTTP exactly as a
+	// deployment would.
+	ops := httptest.NewServer(reg.Handler())
+	defer ops.Close()
+	samples := scrape(t, ops.URL)
+	if v := samples[`sosr_shard_hedges_total{outcome="launched"}`]; v != 1 {
+		t.Fatalf("hedges launched counter %v, want 1", v)
+	}
+	if v := samples[`sosr_shard_hedges_total{outcome="win"}`]; v < 1 {
+		t.Fatalf("hedge-win counter %v, want >= 1", v)
+	}
+}
+
+// TestStaleEpochRefresh: a client holding yesterday's topology is rejected
+// with ErrStaleEpoch; with a Refresh hook it re-resolves, re-splits, and the
+// reconcile succeeds against the new epoch transparently.
+func TestStaleEpochRefresh(t *testing.T) {
+	ctx := context.Background()
+	alice := make([]uint64, 0, 300)
+	for x := uint64(300); x < 600; x++ {
+		alice = append(alice, x)
+	}
+	bob := append(append([]uint64{}, alice[2:]...), 50_001)
+	d := startShards(t, 2)
+	// Re-host everything at epoch 2: the deployment moved on while the
+	// client still holds the epoch-1 topology it dialed with.
+	topo2 := d.topoAt(t, 2)
+	co2, err := NewCoordinator(topo2, d.all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := co2.HostSets("ids", alice); err != nil {
+		t.Fatal(err)
+	}
+	cfg := sosr.SetConfig{Seed: 21, KnownDiff: 8}
+
+	// Without a Refresh hook: the stale client is told exactly why.
+	if _, _, err := d.client.Sets(ctx, "ids", bob, cfg); !errors.Is(err, sosrnet.ErrStaleEpoch) {
+		t.Fatalf("stale client not rejected with ErrStaleEpoch: %v", err)
+	}
+
+	// With a Refresh hook: one transparent re-resolve and the reconcile
+	// lands on the new epoch.
+	var refreshed atomic.Int64
+	reg := obs.NewRegistry()
+	d.client.Obs = reg
+	d.client.Refresh = func(ctx context.Context) (*Topology, error) {
+		refreshed.Add(1)
+		return topo2, nil
+	}
+	got, st, err := d.client.Sets(ctx, "ids", bob, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Recovered, setutil.Canonical(alice)) {
+		t.Fatal("post-refresh reconcile did not recover the hosted set")
+	}
+	if refreshed.Load() != 1 {
+		t.Fatalf("Refresh called %d times, want 1", refreshed.Load())
+	}
+	if d.client.Topology().Epoch() != 2 {
+		t.Fatalf("client topology epoch %d after refresh, want 2", d.client.Topology().Epoch())
+	}
+	checkStatsParity(t, st)
+	var sb strings.Builder
+	if err := reg.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "sosr_shard_refreshes_total 1") {
+		t.Fatalf("refresh counter missing:\n%s", sb.String())
+	}
+	// The next reconcile uses the refreshed topology without another call.
+	if _, _, err := d.client.Sets(ctx, "ids", bob, cfg); err != nil {
+		t.Fatalf("reconcile after refresh: %v", err)
+	}
+	if refreshed.Load() != 1 {
+		t.Fatalf("Refresh re-called on a fresh topology (%d calls)", refreshed.Load())
+	}
+}
+
+// TestReorderedTopologyAccepted: the same deployment spelled in a different
+// shard order is the same topology — canonical identities and fingerprints
+// make the handshake and the partition order-insensitive, so a reordered
+// client reconciles successfully (the old world rejected this; the redesign
+// makes spelling irrelevant).
+func TestReorderedTopologyAccepted(t *testing.T) {
+	ctx := context.Background()
 	alice, bob := workload.PlantedSetsOfSets(29, 30, 6, 1<<32, 8)
 	d := startShards(t, 3)
 	if err := d.co.HostSetsOfSets("docs", alice); err != nil {
 		t.Fatal(err)
 	}
-	addrs := d.client.Map().IDs()
-	reversed := []string{addrs[2], addrs[1], addrs[0]}
-	wrong, err := Dial(reversed)
+	cfg := sosr.Config{Seed: 1, Protocol: sosr.ProtocolCascade, KnownDiff: 24}
+	want, _, err := d.client.SetsOfSets(ctx, "docs", bob, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	wrong.Timeout = 30 * time.Second
-	if _, _, err := wrong.SetsOfSets("docs", bob, sosr.Config{Seed: 1, Protocol: sosr.ProtocolCascade, KnownDiff: 24}); err == nil {
-		t.Fatal("reordered address list reconciled against misrouted shards")
-	} else if !strings.Contains(err.Error(), "misrouted") {
-		t.Fatalf("want a misroute handshake failure, got: %v", err)
+	lists := [][]string{d.topo.Replicas(2), d.topo.Replicas(0), d.topo.Replicas(1)}
+	reordered, err := NewTopology(1, lists)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := Dial(reordered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc.Timeout = 30 * time.Second
+	got, _, err := rc.SetsOfSets(ctx, "docs", bob, cfg)
+	if err != nil {
+		t.Fatalf("reordered-but-identical topology rejected: %v", err)
+	}
+	if !setutil.EqualSetOfSets(got.Recovered, want.Recovered) {
+		t.Fatal("reordered client recovered a different parent set")
+	}
+
+	// A structurally different topology over the same addresses is a
+	// different partition and must still fail the handshake.
+	merged := [][]string{
+		append(append([]string{}, d.topo.Replicas(0)...), d.topo.Replicas(1)...),
+		d.topo.Replicas(2),
+	}
+	skewTopo, err := NewTopology(1, merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := Dial(skewTopo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Timeout = 30 * time.Second
+	if _, _, err := sc.SetsOfSets(ctx, "docs", bob, cfg); !errors.Is(err, sosrnet.ErrMisrouted) {
+		t.Fatalf("structurally different topology not rejected as misrouted: %v", err)
 	}
 }
 
-func TestDialRejectsBadAddressLists(t *testing.T) {
+func TestDialRejectsBadTopologies(t *testing.T) {
 	if _, err := Dial(nil); err == nil {
+		t.Fatal("nil topology accepted")
+	}
+	if _, err := SingleReplica(1, nil); err == nil {
 		t.Fatal("empty address list accepted")
 	}
-	if _, err := Dial([]string{"a:1", "a:1"}); err == nil {
+	if _, err := SingleReplica(1, []string{"a:1", "a:1"}); err == nil {
 		t.Fatal("duplicate address accepted")
 	}
-	if _, err := NewCoordinator([]string{"a:1", "b:2"}, []*sosrnet.Server{sosrnet.NewServer()}); err == nil {
+	if _, err := NewTopology(1, [][]string{{"a:1", "a:1"}}); err == nil {
+		t.Fatal("duplicate replica within a shard accepted")
+	}
+	topo, err := SingleReplica(1, []string{"a:1", "b:2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCoordinator(topo, [][]*sosrnet.Server{{sosrnet.NewServer()}}); err == nil {
 		t.Fatal("server/shard count mismatch accepted")
+	}
+	if _, err := NewCoordinator(topo, [][]*sosrnet.Server{{sosrnet.NewServer()}, {sosrnet.NewServer(), sosrnet.NewServer()}}); err == nil {
+		t.Fatal("server/replica count mismatch accepted")
 	}
 }
 
 // TestConcurrentFanOuts: several logical reconciles in flight at once across
-// the same deployment (run under -race in CI).
+// the same replicated deployment (run under -race in CI).
 func TestConcurrentFanOuts(t *testing.T) {
+	ctx := context.Background()
 	alice, bob := workload.PlantedSetsOfSets(31, 40, 8, 1<<32, 10)
-	d := startShards(t, 3)
+	d := startReplicated(t, 3, 2)
 	if err := d.co.HostSetsOfSets("docs", alice); err != nil {
 		t.Fatal(err)
 	}
@@ -359,7 +788,7 @@ func TestConcurrentFanOuts(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			cfg := sosr.Config{Seed: uint64(w), Protocol: sosr.ProtocolCascade, KnownDiff: 24}
-			got, _, err := d.client.SetsOfSets("docs", bob, cfg)
+			got, _, err := d.client.SetsOfSets(ctx, "docs", bob, cfg)
 			if err != nil {
 				errs <- fmt.Errorf("worker %d: %w", w, err)
 				return
