@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"sosr/internal/store"
+)
+
+// walConfig tunes the durable store's write-ahead log.
+type walConfig struct {
+	// CompactBytes is the WAL size past which a dataset is folded into a
+	// fresh snapshot (0 = the store default).
+	CompactBytes int64 `json:"compact_bytes,omitempty"`
+	// NoSync drops the fsync after every append and snapshot. Faster, and an
+	// OS crash may then lose acknowledged updates — fine for replicas whose
+	// truth lives elsewhere, wrong for a primary.
+	NoSync bool `json:"no_sync,omitempty"`
+}
+
+// serverConfig is the sosrd serve -config file: the same knobs as the
+// flags, plus datasets to host inline. Explicit flags override file values.
+//
+//	{
+//	  "addr": ":7075",
+//	  "ops_addr": "127.0.0.1:7076",
+//	  "data_dir": "/var/lib/sosrd",
+//	  "log_level": "info",
+//	  "max_sessions": 256,
+//	  "wal": {"compact_bytes": 4194304},
+//	  "datasets": [{"name": "ids", "kind": "set", "elems": [1, 2, 3]}]
+//	}
+type serverConfig struct {
+	Addr        string        `json:"addr,omitempty"`
+	OpsAddr     string        `json:"ops_addr,omitempty"`
+	DataDir     string        `json:"data_dir,omitempty"`
+	LogLevel    string        `json:"log_level,omitempty"`
+	MaxSessions int           `json:"max_sessions,omitempty"`
+	WAL         walConfig     `json:"wal,omitempty"`
+	Datasets    []fileDataset `json:"datasets,omitempty"`
+}
+
+// loadServerConfig reads and decodes a config file; unknown fields are
+// rejected so a typoed knob fails loudly instead of silently defaulting.
+func loadServerConfig(path string) (*serverConfig, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var cfg serverConfig
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &cfg, nil
+}
+
+// storeOptions renders the WAL knobs as store options.
+func (c *serverConfig) storeOptions() store.Options {
+	return store.Options{CompactBytes: c.WAL.CompactBytes, NoSync: c.WAL.NoSync, Logger: logger}
+}
+
+// pick returns flagVal when non-zero, else fileVal: the flag-over-config
+// precedence for string knobs.
+func pick(flagVal, fileVal string) string {
+	if flagVal != "" {
+		return flagVal
+	}
+	return fileVal
+}

@@ -10,11 +10,22 @@
 //	sosrd sync  -addr host:7075 -name docs -kind sos -protocol cascade -d 24 -replica replica.json
 //	sosrd demo                                    # serve+sync in one process over loopback
 //
+// With -data-dir the hosted datasets are durable: hosting writes an atomic
+// checksummed snapshot, every update is fsynced to a per-dataset WAL before
+// it is acknowledged, and a restart — graceful or kill -9 — recovers the
+// exact pre-crash state, replaying the WAL suffix and truncating a torn
+// tail. SIGTERM snapshots everything so the next boot replays nothing:
+//
+//	sosrd serve -addr :7075 -data datasets.json -data-dir /var/lib/sosrd
+//	sosrd serve -addr :7075 -data-dir /var/lib/sosrd   # later boots: state comes from the store
+//
 // Serving subcommands take an optional private ops listener exposing
-// Prometheus metrics, health, dataset summaries, and pprof:
+// Prometheus metrics, health and readiness, dataset summaries with content
+// hashes, remote admin (host/update/drop/snapshot), and pprof:
 //
 //	sosrd serve -addr :7075 -demo -ops-addr 127.0.0.1:7076
 //	curl http://127.0.0.1:7076/metrics
+//	curl -X POST -d '{"name":"ids","kind":"set","elems":[1,2,3]}' http://127.0.0.1:7076/admin/host
 //
 // Logs are structured (log/slog, text format, stderr); -log-level picks the
 // threshold (debug, info, warn, error).
@@ -54,6 +65,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -69,6 +81,7 @@ import (
 	"sosr"
 	"sosr/internal/obs"
 	"sosr/internal/shardmap"
+	"sosr/internal/store"
 	"sosr/internal/workload"
 	"sosr/sosrnet"
 	"sosr/sosrshard"
@@ -115,9 +128,9 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  sosrd serve       -addr :7075 [-demo | -data file.json] [-ops-addr 127.0.0.1:7076] [-log-level info]
+  sosrd serve       [-addr :7075] [-config file.json] [-demo | -data file.json] [-data-dir dir] [-max-sessions N] [-ops-addr 127.0.0.1:7076] [-log-level info]
   sosrd sync        -addr host:7075 -name NAME -kind set|multiset|sos [flags]
-  sosrd shard-serve -shards 'a:7075|a2:7075,b:7075,...' -index I [-replica-index J] [-epoch E] [-listen addr] [-stall 0s] [-demo | -data file.json] [-ops-addr addr] [-log-level info]
+  sosrd shard-serve -shards 'a:7075|a2:7075,b:7075,...' -index I [-replica-index J] [-epoch E] [-listen addr] [-stall 0s] [-demo | -data file.json] [-data-dir dir] [-ops-addr addr] [-log-level info]
   sosrd shard-sync  -shards 'a:7075|a2:7075,b:7075,...' -name NAME -kind set|multiset|sos [-epoch E] [-hedge 0s] [-per-shard-d] [-dump-metrics] [flags]
   sosrd demo`)
 	os.Exit(2)
@@ -170,78 +183,155 @@ func demoData() (hosted, replica fileDataset) {
 
 func cmdServe(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
-	addr := fs.String("addr", ":7075", "listen address")
+	addr := fs.String("addr", "", "listen address (default :7075)")
+	configPath := fs.String("config", "", "JSON config file; explicit flags override its values")
 	data := fs.String("data", "", "datasets JSON file")
 	demo := fs.Bool("demo", false, "host a generated demo sets-of-sets dataset named \"docs\"")
-	opsAddr := fs.String("ops-addr", "", "private ops listener address (/metrics, /healthz, /datasets, /debug/pprof); empty disables")
-	logLevel := fs.String("log-level", "info", "log threshold: debug, info, warn, error")
+	dataDir := fs.String("data-dir", "", "durable store directory: snapshots + WAL, crash recovery on boot, snapshot on SIGTERM")
+	maxSessions := fs.Int("max-sessions", 0, "concurrent session cap; excess hellos get the busy error (0 = unlimited)")
+	opsAddr := fs.String("ops-addr", "", "private ops listener address (/metrics, /healthz, /readyz, /datasets, /admin/*, /debug/pprof); empty disables")
+	logLevel := fs.String("log-level", "", "log threshold: debug, info, warn, error (default info)")
 	fs.Parse(args)
-	setLogLevel(*logLevel)
+
+	cfg := &serverConfig{}
+	if *configPath != "" {
+		var err error
+		if cfg, err = loadServerConfig(*configPath); err != nil {
+			fatal("loading config failed", "err", err.Error())
+		}
+	}
+	cfg.Addr = pick(*addr, pick(cfg.Addr, ":7075"))
+	cfg.OpsAddr = pick(*opsAddr, cfg.OpsAddr)
+	cfg.DataDir = pick(*dataDir, cfg.DataDir)
+	cfg.LogLevel = pick(*logLevel, pick(cfg.LogLevel, "info"))
+	if *maxSessions > 0 {
+		cfg.MaxSessions = *maxSessions
+	}
+	setLogLevel(cfg.LogLevel)
 
 	srv := sosrnet.NewServer()
 	srv.Logger = logger
+	srv.MaxConcurrentSessions = cfg.MaxSessions
+	st := openStore(srv, cfg)
+
+	sets := cfg.Datasets
 	switch {
 	case *demo:
 		hosted, _ := demoData()
-		if err := hostDataset(srv, hosted); err != nil {
-			fatal("hosting demo dataset failed", "err", err.Error())
-		}
-		logger.Info("hosting demo dataset", "dataset", hosted.Name, "children", len(hosted.Parents))
+		sets = []fileDataset{hosted}
 	case *data != "":
-		sets, err := loadDatasets(*data)
-		if err != nil {
+		var err error
+		if sets, err = loadDatasets(*data); err != nil {
 			fatal("loading datasets failed", "err", err.Error())
 		}
-		for _, d := range sets {
-			if err := hostDataset(srv, d); err != nil {
-				fatal("hosting dataset failed", "dataset", d.Name, "err", err.Error())
-			}
-			logger.Info("hosting dataset", "dataset", d.Name, "kind", d.Kind)
-		}
-	default:
-		fatal("serve: pass -demo or -data file.json")
 	}
+	if len(sets) == 0 && cfg.DataDir == "" {
+		fatal("serve: pass -demo, -data file.json, datasets in -config, or -data-dir with persisted state")
+	}
+	for _, d := range sets {
+		if _, err := srv.DatasetVersion(d.Name); err == nil {
+			logger.Info("dataset already recovered from the store; file copy ignored", "dataset", d.Name)
+			continue
+		}
+		if err := hostDataset(srv, d); err != nil {
+			fatal("hosting dataset failed", "dataset", d.Name, "err", err.Error())
+		}
+		logger.Info("hosting dataset", "dataset", d.Name, "kind", d.Kind)
+	}
+	srv.SetReady(true)
 
-	startOps(srv, *opsAddr)
-	runServer(srv, *addr)
+	ops := startOps(srv, cfg.OpsAddr)
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		fatal("listen failed", "addr", cfg.Addr, "err", err.Error())
+	}
+	runServer(srv, ln, ops, st)
+}
+
+// openStore attaches the durable store when a data dir is configured, and
+// recovers whatever the previous incarnation persisted. The server stays
+// not-ready until recovery (and the caller's hosting) completes.
+func openStore(srv *sosrnet.Server, cfg *serverConfig) *store.Disk {
+	if cfg.DataDir == "" {
+		return nil
+	}
+	srv.SetReady(false)
+	st, err := store.Open(cfg.DataDir, cfg.storeOptions())
+	if err != nil {
+		fatal("opening data dir failed", "dir", cfg.DataDir, "err", err.Error())
+	}
+	st.Observe(srv.Registry())
+	srv.UseStore(st)
+	rs, err := srv.Recover()
+	if err != nil {
+		fatal("crash recovery failed", "dir", cfg.DataDir, "err", err.Error())
+	}
+	logger.Info("store recovered", "dir", cfg.DataDir, "datasets", rs.Datasets,
+		"replayed", rs.Replayed, "truncated_wals", rs.Truncated, "digests", rs.Digests)
+	return st
 }
 
 // startOps serves the server's operational HTTP surface on its own listener.
-// The ops port must stay private — pprof and dataset listings are not for the
-// reconciliation peers.
-func startOps(srv *sosrnet.Server, addr string) {
+// The ops port must stay private — pprof, dataset listings, and the admin
+// mutation endpoints are not for the reconciliation peers. The returned
+// server is closed during shutdown so the port is released promptly.
+func startOps(srv *sosrnet.Server, addr string) *http.Server {
 	if addr == "" {
-		return
+		return nil
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		fatal("ops listen failed", "addr", addr, "err", err.Error())
 	}
 	logger.Info("ops endpoint listening", "addr", ln.Addr().String())
+	hs := &http.Server{Handler: srv.OpsHandler()}
 	go func() {
-		if err := http.Serve(ln, srv.OpsHandler()); err != nil {
+		if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			logger.Error("ops server stopped", "err", err.Error())
 		}
 	}()
+	return hs
 }
 
-// runServer listens on addr and serves until SIGINT/SIGTERM.
-func runServer(srv *sosrnet.Server, addr string) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		fatal("listen failed", "addr", addr, "err", err.Error())
-	}
+// shutdownGrace bounds the wait for in-flight sessions on SIGINT/SIGTERM
+// before they are severed.
+const shutdownGrace = 5 * time.Second
+
+// runServer serves ln until SIGINT/SIGTERM, then drains: readiness drops
+// first (load balancers stop routing), in-flight sessions get a grace
+// period, every dataset is snapshotted so the next boot replays nothing,
+// and the ops listener and store are closed.
+func runServer(srv *sosrnet.Server, ln net.Listener, ops *http.Server, st *store.Disk) {
 	logger.Info("sosrd listening", "addr", ln.Addr().String())
+	drained := make(chan struct{})
 	go func() {
+		defer close(drained)
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
 		logger.Info("shutting down")
-		srv.Close()
+		srv.SetReady(false)
+		ctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			logger.Warn("sessions severed at the shutdown deadline", "err", err.Error())
+		}
+		if err := srv.SnapshotAll(); err != nil {
+			logger.Error("shutdown snapshot failed", "err", err.Error())
+		}
+		if ops != nil {
+			_ = ops.Close()
+		}
+		if st != nil {
+			if err := st.Close(); err != nil {
+				logger.Error("closing store failed", "err", err.Error())
+			}
+		}
 	}()
 	if err := srv.Serve(ln); err != nil {
 		fatal("serve failed", "err", err.Error())
 	}
+	<-drained
 }
 
 // cmdShardServe hosts one shard's slice of every dataset: the instance at
@@ -258,7 +348,9 @@ func cmdShardServe(args []string) {
 	stall := fs.Duration("stall", 0, "artificial delay before reading each accepted session (fault injection for hedging demos/tests)")
 	data := fs.String("data", "", "datasets JSON file (full logical datasets; the owned slice is kept)")
 	demo := fs.Bool("demo", false, "host the generated demo dataset's owned slice")
-	opsAddr := fs.String("ops-addr", "", "private ops listener address (/metrics, /healthz, /datasets, /debug/pprof); empty disables")
+	dataDir := fs.String("data-dir", "", "durable store directory: the owned slices and shard binding persist across restarts")
+	maxSessions := fs.Int("max-sessions", 0, "concurrent session cap; excess hellos get the busy error (0 = unlimited)")
+	opsAddr := fs.String("ops-addr", "", "private ops listener address (/metrics, /healthz, /readyz, /datasets, /admin/*, /debug/pprof); empty disables")
 	logLevel := fs.String("log-level", "info", "log threshold: debug, info, warn, error")
 	fs.Parse(args)
 	setLogLevel(*logLevel)
@@ -277,6 +369,8 @@ func cmdShardServe(args []string) {
 	}
 	srv := sosrnet.NewServer()
 	srv.Logger = logger.With("shard", *index, "replica", *replicaIdx)
+	srv.MaxConcurrentSessions = *maxSessions
+	st := openStore(srv, &serverConfig{DataDir: *dataDir})
 	var sets []fileDataset
 	switch {
 	case *demo:
@@ -287,21 +381,38 @@ func cmdShardServe(args []string) {
 			fatal("loading datasets failed", "err", err.Error())
 		}
 	default:
-		fatal("shard-serve: pass -demo or -data file.json")
+		if *dataDir == "" {
+			fatal("shard-serve: pass -demo, -data file.json, or -data-dir with persisted slices")
+		}
 	}
 	for _, d := range sets {
+		// The persisted record carries the shard binding, so a recovered
+		// slice is already filtered and bound — the file copy is redundant.
+		if _, err := srv.DatasetVersion(d.Name); err == nil {
+			logger.Info("dataset slice already recovered from the store; file copy ignored", "dataset", d.Name)
+			continue
+		}
 		if err := hostDatasetShard(srv, d, topo, *index); err != nil {
 			fatal("hosting shard failed", "dataset", d.Name, "err", err.Error())
 		}
 		logger.Info("hosting dataset shard", "dataset", d.Name, "kind", d.Kind,
 			"shard", *index, "shards", topo.NumShards(), "epoch", topo.Epoch())
 	}
+	srv.SetReady(true)
 	addr := replicas[*replicaIdx]
 	if *listen != "" {
 		addr = *listen
 	}
-	startOps(srv, *opsAddr)
-	runShardServer(srv, addr, *stall)
+	ops := startOps(srv, *opsAddr)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatal("listen failed", "addr", addr, "err", err.Error())
+	}
+	if *stall > 0 {
+		logger.Warn("stall fault injection active", "stall", stall.String())
+		ln = &stallListener{Listener: ln, delay: *stall}
+	}
+	runServer(srv, ln, ops, st)
 }
 
 func hostDatasetShard(srv *sosrnet.Server, d fileDataset, topo *shardmap.Topology, index int) error {
@@ -339,32 +450,9 @@ func parseTopology(list string, epoch uint64) (*shardmap.Topology, error) {
 	return shardmap.NewTopology(epoch, shards)
 }
 
-// runShardServer is runServer with optional fault injection: with -stall the
-// first read of every accepted session is delayed, making the instance a
-// deterministic straggler so hedged requests measurably win.
-func runShardServer(srv *sosrnet.Server, addr string, stall time.Duration) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		fatal("listen failed", "addr", addr, "err", err.Error())
-	}
-	if stall > 0 {
-		logger.Warn("stall fault injection active", "stall", stall.String())
-		ln = &stallListener{Listener: ln, delay: stall}
-	}
-	logger.Info("sosrd listening", "addr", ln.Addr().String())
-	go func() {
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-		<-sig
-		logger.Info("shutting down")
-		srv.Close()
-	}()
-	if err := srv.Serve(ln); err != nil {
-		fatal("serve failed", "err", err.Error())
-	}
-}
-
-// stallListener delays the first read of every accepted connection.
+// stallListener delays the first read of every accepted connection —
+// fault injection that makes an instance a deterministic straggler so
+// hedged requests measurably win.
 type stallListener struct {
 	net.Listener
 	delay time.Duration

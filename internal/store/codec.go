@@ -1,0 +1,401 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+)
+
+// Binary encodings for snapshots and WAL entries. Both are little-endian
+// with uvarint lengths; integrity is enforced one level up (a crc64 trailer
+// on snapshot files, a per-record crc32 on WAL entries), so the decoders
+// here only need to be safe on arbitrary bytes — every length is validated
+// against the remaining buffer before it sizes an allocation.
+
+// snapFormat / walFormat version the on-disk encodings.
+const (
+	snapFormat = 1
+	walFormat  = 1
+)
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// ---- writer helpers ----
+
+func appendU64s(dst []byte, xs []uint64) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(xs)))
+	for _, x := range xs {
+		dst = binary.LittleEndian.AppendUint64(dst, x)
+	}
+	return dst
+}
+
+func appendSets(dst []byte, ss [][]uint64) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(ss)))
+	for _, s := range ss {
+		dst = appendU64s(dst, s)
+	}
+	return dst
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendBlock(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// ---- reader ----
+
+type reader struct {
+	buf []byte
+	err error
+}
+
+func (r *reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: "+format, append([]any{ErrCorrupt}, args...)...)
+	}
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf)
+	if n <= 0 {
+		r.fail("truncated varint")
+		return 0
+	}
+	r.buf = r.buf[n:]
+	return v
+}
+
+func (r *reader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf)
+	if n <= 0 {
+		r.fail("truncated varint")
+		return 0
+	}
+	r.buf = r.buf[n:]
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.buf) < 8 {
+		r.fail("truncated word")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf)
+	r.buf = r.buf[8:]
+	return v
+}
+
+func (r *reader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.buf) == 0 {
+		r.fail("truncated byte")
+		return 0
+	}
+	b := r.buf[0]
+	r.buf = r.buf[1:]
+	return b
+}
+
+// count validates a claimed element count against the bytes that remain,
+// given a minimum encoded size per element, before any allocation.
+func (r *reader) count(min int) int {
+	n := r.uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if min < 1 {
+		min = 1
+	}
+	if n > uint64(len(r.buf)/min)+1 {
+		r.fail("count %d exceeds remaining %d bytes", n, len(r.buf))
+		return 0
+	}
+	return int(n)
+}
+
+func (r *reader) u64s() []uint64 {
+	n := r.count(8)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	xs := make([]uint64, n)
+	for i := range xs {
+		xs[i] = r.u64()
+	}
+	if r.err != nil {
+		return nil
+	}
+	return xs
+}
+
+func (r *reader) sets() [][]uint64 {
+	n := r.count(1)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	ss := make([][]uint64, n)
+	for i := range ss {
+		ss[i] = r.u64s()
+	}
+	if r.err != nil {
+		return nil
+	}
+	return ss
+}
+
+func (r *reader) str() string {
+	n := r.count(1)
+	if r.err != nil {
+		return ""
+	}
+	if len(r.buf) < n {
+		r.fail("truncated string")
+		return ""
+	}
+	s := string(r.buf[:n])
+	r.buf = r.buf[n:]
+	return s
+}
+
+func (r *reader) block() []byte {
+	n := r.count(1)
+	if r.err != nil {
+		return nil
+	}
+	if len(r.buf) < n {
+		r.fail("truncated block")
+		return nil
+	}
+	b := append([]byte(nil), r.buf[:n]...)
+	r.buf = r.buf[n:]
+	return b
+}
+
+// ---- Record ----
+
+func marshalRecord(rec *Record) ([]byte, error) {
+	if err := validateKind(rec.Kind); err != nil {
+		return nil, err
+	}
+	out := []byte{snapFormat}
+	out = appendString(out, rec.Name)
+	out = appendString(out, rec.Kind)
+	out = binary.LittleEndian.AppendUint64(out, rec.Version)
+	switch rec.Kind {
+	case KindSet, KindMultiset:
+		out = appendU64s(out, rec.Elems)
+	case KindSetsOfSets:
+		out = appendSets(out, rec.Parents)
+	case KindGraph:
+		out = binary.AppendUvarint(out, uint64(rec.N))
+		out = binary.AppendUvarint(out, uint64(len(rec.Edges)))
+		for _, e := range rec.Edges {
+			out = binary.AppendUvarint(out, uint64(e[0]))
+			out = binary.AppendUvarint(out, uint64(e[1]))
+		}
+	case KindForest:
+		out = binary.AppendUvarint(out, uint64(len(rec.Parent)))
+		for _, p := range rec.Parent {
+			out = binary.AppendVarint(out, int64(p))
+		}
+	}
+	if rec.Shard != nil {
+		out = append(out, 1)
+		out = binary.AppendUvarint(out, uint64(rec.Shard.Index))
+		out = binary.LittleEndian.AppendUint64(out, rec.Shard.Epoch)
+		out = binary.AppendUvarint(out, uint64(len(rec.Shard.Shards)))
+		for _, reps := range rec.Shard.Shards {
+			out = binary.AppendUvarint(out, uint64(len(reps)))
+			for _, a := range reps {
+				out = appendString(out, a)
+			}
+		}
+	} else {
+		out = append(out, 0)
+	}
+	out = binary.AppendUvarint(out, uint64(len(rec.Digests)))
+	for _, d := range rec.Digests {
+		out = append(out, d.Kind)
+		out = binary.LittleEndian.AppendUint64(out, d.Seed)
+		out = binary.AppendUvarint(out, uint64(d.S))
+		out = binary.AppendUvarint(out, uint64(d.H))
+		out = binary.LittleEndian.AppendUint64(out, d.U)
+		out = binary.AppendUvarint(out, uint64(d.D))
+		out = binary.AppendUvarint(out, uint64(d.DHat))
+		out = appendBlock(out, d.Data)
+	}
+	return out, nil
+}
+
+func unmarshalRecord(buf []byte) (*Record, error) {
+	r := &reader{buf: buf}
+	if r.byte() != snapFormat {
+		return nil, fmt.Errorf("%w: unknown snapshot format", ErrCorrupt)
+	}
+	rec := &Record{Name: r.str(), Kind: r.str(), Version: r.u64()}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if err := validateKind(rec.Kind); err != nil {
+		return nil, err
+	}
+	switch rec.Kind {
+	case KindSet, KindMultiset:
+		rec.Elems = r.u64s()
+	case KindSetsOfSets:
+		rec.Parents = r.sets()
+	case KindGraph:
+		rec.N = int(r.uvarint())
+		ne := r.count(2)
+		if ne > 0 {
+			rec.Edges = make([][2]int, 0, ne)
+		}
+		for i := 0; i < ne && r.err == nil; i++ {
+			a, b := r.uvarint(), r.uvarint()
+			rec.Edges = append(rec.Edges, [2]int{int(a), int(b)})
+		}
+	case KindForest:
+		n := r.count(1)
+		if n > 0 {
+			rec.Parent = make([]int32, 0, n)
+		}
+		for i := 0; i < n && r.err == nil; i++ {
+			rec.Parent = append(rec.Parent, int32(r.varint()))
+		}
+	}
+	if r.byte() == 1 {
+		sb := &ShardBinding{Index: int(r.uvarint()), Epoch: r.u64()}
+		ns := r.count(1)
+		for i := 0; i < ns && r.err == nil; i++ {
+			nr := r.count(1)
+			var reps []string
+			for j := 0; j < nr && r.err == nil; j++ {
+				reps = append(reps, r.str())
+			}
+			sb.Shards = append(sb.Shards, reps)
+		}
+		rec.Shard = sb
+	}
+	nd := r.count(1)
+	if nd > 0 {
+		rec.Digests = make([]DigestState, 0, nd)
+	}
+	for i := 0; i < nd && r.err == nil; i++ {
+		d := DigestState{Kind: r.byte(), Seed: r.u64()}
+		d.S = int(r.uvarint())
+		d.H = int(r.uvarint())
+		d.U = r.u64()
+		d.D = int(r.uvarint())
+		d.DHat = int(r.uvarint())
+		d.Data = r.block()
+		rec.Digests = append(rec.Digests, d)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(r.buf) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing snapshot bytes", ErrCorrupt, len(r.buf))
+	}
+	return rec, nil
+}
+
+// ---- Update ----
+
+func marshalUpdate(up *Update) []byte {
+	out := []byte{walFormat}
+	out = binary.LittleEndian.AppendUint64(out, up.Version)
+	out = appendU64s(out, up.Add)
+	out = appendU64s(out, up.Remove)
+	out = appendSets(out, up.AddSets)
+	out = appendSets(out, up.RemoveSets)
+	return out
+}
+
+func unmarshalUpdate(buf []byte) (*Update, error) {
+	r := &reader{buf: buf}
+	if r.byte() != walFormat {
+		return nil, fmt.Errorf("%w: unknown WAL format", ErrCorrupt)
+	}
+	up := &Update{Version: r.u64()}
+	up.Add = r.u64s()
+	up.Remove = r.u64s()
+	up.AddSets = r.sets()
+	up.RemoveSets = r.sets()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(r.buf) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing WAL bytes", ErrCorrupt, len(r.buf))
+	}
+	return up, nil
+}
+
+// cloneRecord deep-copies a record so Mem cannot alias caller slices. Empty
+// slices normalize to nil (the codec does not distinguish them either).
+func cloneRecord(rec *Record) *Record {
+	out := *rec
+	out.Elems = append([]uint64(nil), rec.Elems...)
+	out.Parents = nil
+	if len(rec.Parents) > 0 {
+		out.Parents = make([][]uint64, len(rec.Parents))
+		for i, s := range rec.Parents {
+			out.Parents[i] = append([]uint64(nil), s...)
+		}
+	}
+	out.Edges = append([][2]int(nil), rec.Edges...)
+	out.Parent = append([]int32(nil), rec.Parent...)
+	if rec.Shard != nil {
+		sb := *rec.Shard
+		sb.Shards = nil
+		for _, reps := range rec.Shard.Shards {
+			sb.Shards = append(sb.Shards, append([]string(nil), reps...))
+		}
+		out.Shard = &sb
+	}
+	out.Digests = nil
+	if len(rec.Digests) > 0 {
+		out.Digests = make([]DigestState, len(rec.Digests))
+		for i, d := range rec.Digests {
+			d.Data = append([]byte(nil), d.Data...)
+			out.Digests[i] = d
+		}
+	}
+	return &out
+}
+
+func cloneUpdate(up *Update) *Update {
+	out := *up
+	out.Add = append([]uint64(nil), up.Add...)
+	out.Remove = append([]uint64(nil), up.Remove...)
+	out.AddSets, out.RemoveSets = nil, nil
+	if len(up.AddSets) > 0 {
+		out.AddSets = make([][]uint64, len(up.AddSets))
+		for i, s := range up.AddSets {
+			out.AddSets[i] = append([]uint64(nil), s...)
+		}
+	}
+	if len(up.RemoveSets) > 0 {
+		out.RemoveSets = make([][]uint64, len(up.RemoveSets))
+		for i, s := range up.RemoveSets {
+			out.RemoveSets[i] = append([]uint64(nil), s...)
+		}
+	}
+	return &out
+}

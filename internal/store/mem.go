@@ -1,0 +1,95 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Mem is the in-memory backend: the same Record/Update contract as Disk with
+// no durability — a server wired to it behaves exactly like the
+// pre-persistence server (state dies with the process) while still
+// exercising the full write-through path, which is what tests and ephemeral
+// replicas want. Updates accumulate per dataset and replay on Load, so a
+// Mem store handed from one server value to another round-trips state the
+// way a restart does.
+type Mem struct {
+	// CompactAfter, when positive, reports compact=true from AppendUpdate
+	// once a dataset holds that many un-compacted updates (tests use it to
+	// drive the server's compaction path deterministically).
+	CompactAfter int
+
+	mu   sync.Mutex
+	recs map[string]*memRec
+}
+
+type memRec struct {
+	rec     *Record
+	updates []*Update
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *Mem { return &Mem{recs: make(map[string]*memRec)} }
+
+// SaveSnapshot replaces the dataset's base record and retires updates at or
+// below its version.
+func (m *Mem) SaveSnapshot(rec *Record) error {
+	if err := validateKind(rec.Kind); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mr := m.recs[rec.Name]
+	if mr == nil {
+		mr = &memRec{}
+		m.recs[rec.Name] = mr
+	}
+	mr.rec = cloneRecord(rec)
+	keep := mr.updates[:0]
+	for _, up := range mr.updates {
+		if up.Version > rec.Version {
+			keep = append(keep, up)
+		}
+	}
+	mr.updates = keep
+	return nil
+}
+
+// AppendUpdate appends one mutation to the dataset's replay log.
+func (m *Mem) AppendUpdate(name string, up *Update) (bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mr := m.recs[name]
+	if mr == nil {
+		return false, fmt.Errorf("%w: %q", ErrUnknown, name)
+	}
+	mr.updates = append(mr.updates, cloneUpdate(up))
+	return m.CompactAfter > 0 && len(mr.updates) >= m.CompactAfter, nil
+}
+
+// Load returns every dataset with its replayable update suffix.
+func (m *Mem) Load() ([]*Recovered, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Recovered, 0, len(m.recs))
+	for _, mr := range m.recs {
+		rec := &Recovered{Record: cloneRecord(mr.rec)}
+		for _, up := range mr.updates {
+			if up.Version > mr.rec.Version {
+				rec.Updates = append(rec.Updates, cloneUpdate(up))
+			}
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// Drop forgets a dataset.
+func (m *Mem) Drop(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.recs, name)
+	return nil
+}
+
+// Close is a no-op.
+func (m *Mem) Close() error { return nil }

@@ -1,0 +1,74 @@
+package store
+
+import (
+	"time"
+
+	"sosr/internal/obs"
+)
+
+// WAL/snapshot metrics, registered on an obs registry when the caller wires
+// one in (Disk.Observe). All methods are nil-receiver-safe so the hot paths
+// stay unconditional.
+//
+//	sosr_wal_appends_total         durable WAL appends
+//	sosr_wal_append_bytes_total    framed WAL bytes written
+//	sosr_wal_append_seconds        append+fsync latency
+//	sosr_wal_truncations_total     damaged WAL tails cut off during recovery
+//	sosr_store_snapshots_total     snapshots committed (host/compact/shutdown/admin)
+//	sosr_store_snapshot_bytes_total  snapshot bytes written
+//	sosr_store_snapshot_seconds    snapshot build+commit latency
+type storeMetrics struct {
+	appends     *obs.Counter
+	appendBytes *obs.Counter
+	appendSec   *obs.Histogram
+	truncations *obs.Counter
+	snapshots   *obs.Counter
+	snapBytes   *obs.Counter
+	snapSec     *obs.Histogram
+}
+
+// Observe registers the store's metric families on reg. Call once, before
+// traffic; calling it on several stores sharing one registry merges their
+// series.
+func (d *Disk) Observe(reg *obs.Registry) {
+	d.met = &storeMetrics{
+		appends: reg.Counter("sosr_wal_appends_total",
+			"Durable WAL appends (one per applied mutation).").With(),
+		appendBytes: reg.Counter("sosr_wal_append_bytes_total",
+			"Framed WAL bytes written.").With(),
+		appendSec: reg.Histogram("sosr_wal_append_seconds",
+			"WAL append latency including fsync.", nil).With(),
+		truncations: reg.Counter("sosr_wal_truncations_total",
+			"Damaged WAL tails truncated during recovery.").With(),
+		snapshots: reg.Counter("sosr_store_snapshots_total",
+			"Dataset snapshots committed.").With(),
+		snapBytes: reg.Counter("sosr_store_snapshot_bytes_total",
+			"Snapshot file bytes written.").With(),
+		snapSec: reg.Histogram("sosr_store_snapshot_seconds",
+			"Snapshot marshal+write+rename latency.", nil).With(),
+	}
+}
+
+func (m *storeMetrics) append(n int, dur time.Duration) {
+	if m == nil {
+		return
+	}
+	m.appends.Inc()
+	m.appendBytes.Add(uint64(n))
+	m.appendSec.Observe(dur.Seconds())
+}
+
+func (m *storeMetrics) truncation() {
+	if m != nil {
+		m.truncations.Inc()
+	}
+}
+
+func (m *storeMetrics) snapshot(n int, dur time.Duration) {
+	if m == nil {
+		return
+	}
+	m.snapshots.Inc()
+	m.snapBytes.Add(uint64(n))
+	m.snapSec.Observe(dur.Seconds())
+}

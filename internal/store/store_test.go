@@ -1,0 +1,418 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc64"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func testRecord(name string) *Record {
+	return &Record{
+		Name:    name,
+		Kind:    KindSetsOfSets,
+		Version: 3,
+		Parents: [][]uint64{{1, 2, 3}, {9}, {4, 7}},
+		Shard: &ShardBinding{
+			Index: 1, Epoch: 7,
+			Shards: [][]string{{"a:1", "a2:1"}, {"b:1"}},
+		},
+		Digests: []DigestState{{Kind: 2, Seed: 42, S: 64, H: 8, U: 1 << 60, D: 6, DHat: 24, Data: []byte{1, 2, 3, 4}}},
+	}
+}
+
+func TestRecordCodecRoundTrip(t *testing.T) {
+	recs := []*Record{
+		testRecord("docs"),
+		{Name: "ids", Kind: KindSet, Version: 1, Elems: []uint64{1, 5, 9}},
+		{Name: "bag", Kind: KindMultiset, Elems: []uint64{1 << 12, 2 << 12}},
+		{Name: "g", Kind: KindGraph, N: 5, Edges: [][2]int{{0, 1}, {2, 4}}},
+		{Name: "f", Kind: KindForest, Parent: []int32{-1, 0, 0, 2}},
+		{Name: "empty", Kind: KindSet},
+	}
+	for _, rec := range recs {
+		body, err := marshalRecord(rec)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", rec.Name, err)
+		}
+		got, err := unmarshalRecord(body)
+		if err != nil {
+			t.Fatalf("%s: unmarshal: %v", rec.Name, err)
+		}
+		if !reflect.DeepEqual(normalize(rec), normalize(got)) {
+			t.Fatalf("%s: round trip mismatch:\n got %+v\nwant %+v", rec.Name, got, rec)
+		}
+		// Every truncation must fail cleanly, never panic.
+		for i := 0; i < len(body); i++ {
+			if _, err := unmarshalRecord(body[:i]); err == nil {
+				t.Fatalf("%s: truncated to %d bytes still unmarshals", rec.Name, i)
+			}
+		}
+	}
+}
+
+// normalize maps nil and empty slices together (codec does not distinguish).
+func normalize(r *Record) *Record { return cloneRecord(r) }
+
+func TestUpdateCodecRoundTrip(t *testing.T) {
+	ups := []*Update{
+		{Version: 4, Add: []uint64{1, 2}, Remove: []uint64{3}},
+		{Version: 9, AddSets: [][]uint64{{1, 2}, {}}, RemoveSets: [][]uint64{{7}}},
+		{Version: 1},
+	}
+	for i, up := range ups {
+		body := marshalUpdate(up)
+		got, err := unmarshalUpdate(body)
+		if err != nil {
+			t.Fatalf("update %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(cloneUpdate(up), cloneUpdate(got)) {
+			t.Fatalf("update %d mismatch: got %+v want %+v", i, got, up)
+		}
+		for j := 0; j < len(body); j++ {
+			if _, err := unmarshalUpdate(body[:j]); err == nil {
+				t.Fatalf("update %d truncated to %d bytes still unmarshals", i, j)
+			}
+		}
+	}
+}
+
+// exerciseStore runs the shared backend contract: snapshot, updates, load,
+// compaction retirement, drop.
+func exerciseStore(t *testing.T, st Store) {
+	t.Helper()
+	rec := testRecord("docs")
+	if err := st.SaveSnapshot(rec); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	if _, err := st.AppendUpdate("nope", &Update{Version: 1}); err == nil {
+		t.Fatal("append to unknown dataset succeeded")
+	}
+	for v := uint64(4); v <= 6; v++ {
+		if _, err := st.AppendUpdate("docs", &Update{Version: v, AddSets: [][]uint64{{v}}}); err != nil {
+			t.Fatalf("append v%d: %v", v, err)
+		}
+	}
+	recs, err := st.Load()
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(recs) != 1 || recs[0].Record.Name != "docs" {
+		t.Fatalf("load returned %d records", len(recs))
+	}
+	if got := recs[0]; got.Record.Version != 3 || len(got.Updates) != 3 ||
+		got.Updates[0].Version != 4 || got.Updates[2].Version != 6 {
+		t.Fatalf("unexpected recovery state: version=%d updates=%d", got.Record.Version, len(got.Updates))
+	}
+	if !reflect.DeepEqual(recs[0].Record, normalize(rec)) {
+		t.Fatalf("recovered record mismatch:\n got %+v\nwant %+v", recs[0].Record, rec)
+	}
+	// Compaction: a snapshot at the current head version retires every
+	// logged update (the server always snapshots at the head, under the
+	// dataset lock, so no update ever outruns the snapshot).
+	rec5 := testRecord("docs")
+	rec5.Version = 6
+	if err := st.SaveSnapshot(rec5); err != nil {
+		t.Fatalf("compact save: %v", err)
+	}
+	if _, err := st.AppendUpdate("docs", &Update{Version: 7, AddSets: [][]uint64{{7}}}); err != nil {
+		t.Fatal(err)
+	}
+	recs, err = st.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs[0].Updates) != 1 || recs[0].Updates[0].Version != 7 {
+		t.Fatalf("post-compaction replay has %d updates (want just v7)", len(recs[0].Updates))
+	}
+	if err := st.Drop("docs"); err != nil {
+		t.Fatalf("drop: %v", err)
+	}
+	if recs, err = st.Load(); err != nil || len(recs) != 0 {
+		t.Fatalf("dropped dataset still loads: %v, %d records", err, len(recs))
+	}
+}
+
+func TestMemStoreContract(t *testing.T) { exerciseStore(t, NewMem()) }
+
+func TestDiskStoreContract(t *testing.T) {
+	st, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	exerciseStore(t, st)
+}
+
+// TestDiskReopen proves durability across handle lifetimes: a second Disk
+// over the same root recovers everything the first wrote.
+func TestDiskReopen(t *testing.T) {
+	root := t.TempDir()
+	st, err := Open(root, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SaveSnapshot(&Record{Name: "ids", Kind: KindSet, Elems: []uint64{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.AppendUpdate("ids", &Update{Version: 1, Add: []uint64{3}}); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	st2, err := Open(root, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	recs, err := st2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || len(recs[0].Updates) != 1 || recs[0].Updates[0].Add[0] != 3 {
+		t.Fatalf("reopened store lost state: %+v", recs)
+	}
+	// Appending through the reopened store must extend, not clobber.
+	if _, err := st2.AppendUpdate("ids", &Update{Version: 2, Add: []uint64{4}}); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ = st2.Load()
+	if len(recs[0].Updates) != 2 {
+		t.Fatalf("append after reopen lost the prior entry: %d updates", len(recs[0].Updates))
+	}
+}
+
+// walPath digs out the single dataset's WAL file path.
+func walPath(t *testing.T, root string) string {
+	t.Helper()
+	entries, err := os.ReadDir(root)
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("expected one dataset dir: %v, %d entries", err, len(entries))
+	}
+	return filepath.Join(root, entries[0].Name(), "wal")
+}
+
+// TestDiskTornWALTail damages the WAL tail every way a crash can (torn
+// header, torn body, flipped payload bit, trailing garbage) and asserts the
+// intact prefix replays, the file is physically truncated, a warning is
+// logged, and nothing panics.
+func TestDiskTornWALTail(t *testing.T) {
+	cases := []struct {
+		name   string
+		mangle func([]byte) []byte
+		keep   int // updates expected to survive
+	}{
+		{"torn-header", func(b []byte) []byte { return b[:len(b)-3] }, 2},
+		{"torn-body", func(b []byte) []byte { return b[:len(b)-14] }, 2},
+		{"bit-flip-tail", func(b []byte) []byte { b[len(b)-1] ^= 0x40; return b }, 2},
+		{"garbage-appended", func(b []byte) []byte { return append(b, 0xde, 0xad, 0xbe, 0xef, 9, 9, 9, 9, 9, 9, 9, 9) }, 3},
+		{"empty-to-garbage", func(b []byte) []byte { return []byte{0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0} }, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			root := t.TempDir()
+			st, err := Open(root, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := st.SaveSnapshot(&Record{Name: "ids", Kind: KindSet, Elems: []uint64{1}}); err != nil {
+				t.Fatal(err)
+			}
+			for v := uint64(1); v <= 3; v++ {
+				if _, err := st.AppendUpdate("ids", &Update{Version: v, Add: []uint64{v * 10}}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			st.Close()
+			wp := walPath(t, root)
+			buf, err := os.ReadFile(wp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(wp, tc.mangle(bytes.Clone(buf)), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			var warned bool
+			logger := slog.New(slog.NewTextHandler(writerFunc(func(p []byte) (int, error) {
+				if bytes.Contains(p, []byte("truncating damaged WAL tail")) {
+					warned = true
+				}
+				return len(p), nil
+			}), nil))
+			st2, err := Open(root, Options{Logger: logger})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer st2.Close()
+			recs, err := st2.Load()
+			if err != nil {
+				t.Fatalf("load after %s: %v", tc.name, err)
+			}
+			if len(recs) != 1 {
+				t.Fatalf("lost the dataset after %s", tc.name)
+			}
+			if got := len(recs[0].Updates); got != tc.keep {
+				t.Fatalf("%s: %d updates survived, want %d", tc.name, got, tc.keep)
+			}
+			if !recs[0].TruncatedWAL {
+				t.Fatalf("%s: truncation not reported", tc.name)
+			}
+			if !warned {
+				t.Fatalf("%s: no warning logged", tc.name)
+			}
+			// The damage is physically gone: a fresh load is clean.
+			recs2, err := st2.Load()
+			if err != nil || recs2[0].TruncatedWAL {
+				t.Fatalf("%s: damage persisted after truncation: %v", tc.name, err)
+			}
+			// And the log keeps working: the next append lands after the
+			// intact prefix and replays.
+			next := recs[0].Record.Version + uint64(tc.keep) + 1
+			if _, err := st2.AppendUpdate("ids", &Update{Version: next, Add: []uint64{99}}); err != nil {
+				t.Fatal(err)
+			}
+			recs3, err := st2.Load()
+			if err != nil || len(recs3[0].Updates) != tc.keep+1 {
+				t.Fatalf("%s: append after truncation broken: %v", tc.name, err)
+			}
+		})
+	}
+}
+
+// TestDiskCrashedCompaction simulates the two crash windows inside
+// SaveSnapshot: (a) tmp written but never renamed — the old snapshot and
+// full WAL must win; (b) renamed but WAL not truncated — replay must skip
+// the stale prefix via the version rule.
+func TestDiskCrashedCompaction(t *testing.T) {
+	root := t.TempDir()
+	st, err := Open(root, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SaveSnapshot(&Record{Name: "ids", Kind: KindSet, Elems: []uint64{1}}); err != nil {
+		t.Fatal(err)
+	}
+	for v := uint64(1); v <= 4; v++ {
+		if _, err := st.AppendUpdate("ids", &Update{Version: v, Add: []uint64{v}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Close()
+	dsdir := filepath.Dir(walPath(t, root))
+
+	// (a) Crash before rename: a stray snap.tmp must be ignored and removed.
+	if err := os.WriteFile(filepath.Join(dsdir, "snap.tmp"), []byte("half-written snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(root, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := st2.Load()
+	if err != nil || len(recs) != 1 || recs[0].Record.Version != 0 || len(recs[0].Updates) != 4 {
+		t.Fatalf("crash-before-rename recovery wrong: %v %+v", err, recs)
+	}
+	if _, err := os.Stat(filepath.Join(dsdir, "snap.tmp")); err == nil {
+		t.Fatal("stray snap.tmp not cleaned up")
+	}
+	st2.Close()
+
+	// (b) Crash after rename, before WAL truncate: write a version-3
+	// snapshot directly (as SaveSnapshot would have), leave the WAL intact.
+	snapOnly, err := Open(root, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := marshalRecord(&Record{Name: "ids", Kind: KindSet, Version: 3, Elems: []uint64{1, 2, 3}})
+	buf := append(append([]byte{}, snapMagic[:]...), body...)
+	buf = binary.LittleEndian.AppendUint64(buf, crc64.Checksum(body, crcTable))
+	if err := os.WriteFile(filepath.Join(dsdir, "snap"), buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, err = snapOnly.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].Record.Version != 3 || len(recs[0].Updates) != 1 || recs[0].Updates[0].Version != 4 {
+		t.Fatalf("crash-after-rename recovery wrong: version=%d updates=%+v", recs[0].Record.Version, recs[0].Updates)
+	}
+	snapOnly.Close()
+}
+
+// TestDiskCorruptSnapshotSkipped asserts a rotted snapshot skips the dataset
+// with a warning instead of failing the whole recovery.
+func TestDiskCorruptSnapshotSkipped(t *testing.T) {
+	root := t.TempDir()
+	st, _ := Open(root, Options{})
+	if err := st.SaveSnapshot(&Record{Name: "ids", Kind: KindSet, Elems: []uint64{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SaveSnapshot(&Record{Name: "ok", Kind: KindSet, Elems: []uint64{2}}); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	// Flip a byte in the middle of ids' snapshot.
+	var idsDir string
+	entries, _ := os.ReadDir(root)
+	for _, e := range entries {
+		if len(e.Name()) > 4 && e.Name()[:3] == "ids" {
+			idsDir = filepath.Join(root, e.Name())
+		}
+	}
+	sp := filepath.Join(idsDir, "snap")
+	buf, _ := os.ReadFile(sp)
+	buf[len(buf)/2] ^= 0xff
+	os.WriteFile(sp, buf, 0o644)
+
+	st2, _ := Open(root, Options{})
+	defer st2.Close()
+	recs, err := st2.Load()
+	if err != nil {
+		t.Fatalf("load failed outright: %v", err)
+	}
+	if len(recs) != 1 || recs[0].Record.Name != "ok" {
+		t.Fatalf("expected only the intact dataset, got %+v", recs)
+	}
+}
+
+// TestDiskCompactionSignal asserts the WAL-size threshold asks for
+// compaction and a snapshot resets it.
+func TestDiskCompactionSignal(t *testing.T) {
+	st, err := Open(t.TempDir(), Options{CompactBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.SaveSnapshot(&Record{Name: "ids", Kind: KindSet}); err != nil {
+		t.Fatal(err)
+	}
+	var compact bool
+	v := uint64(0)
+	for i := 0; i < 100 && !compact; i++ {
+		v++
+		compact, err = st.AppendUpdate("ids", &Update{Version: v, Add: []uint64{v}})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !compact {
+		t.Fatal("compaction never requested")
+	}
+	if err := st.SaveSnapshot(&Record{Name: "ids", Kind: KindSet, Version: v}); err != nil {
+		t.Fatal(err)
+	}
+	v++
+	compact, err = st.AppendUpdate("ids", &Update{Version: v, Add: []uint64{v}})
+	if err != nil || compact {
+		t.Fatalf("WAL size not reset by snapshot: compact=%v err=%v", compact, err)
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

@@ -1,0 +1,58 @@
+package sosrnet
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"sosr"
+	"sosr/internal/setutil"
+)
+
+// TestMaxConcurrentSessionsBusy pins the session cap: a server at the cap
+// answers immediately with the distinct busy error code (clients see
+// ErrBusy), counts the reject under reason="busy", and serves normally the
+// moment the slot frees.
+func TestMaxConcurrentSessionsBusy(t *testing.T) {
+	alice, bob := setPair()
+	srv, addr, _ := startServer(t, func(s *Server) {
+		s.MaxConcurrentSessions = 1
+		if err := s.HostSets("ids", alice); err != nil {
+			t.Fatal(err)
+		}
+	})
+	ops := httptest.NewServer(srv.OpsHandler())
+	defer ops.Close()
+
+	// Occupy the only slot with a connection that never sends its hello —
+	// slots are claimed at accept, so even a dribbling handshake counts.
+	hold, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hold.Close()
+	waitFor(t, "session slot claimed", func() bool { return srv.liveSessions.Load() == 1 })
+
+	c := Dial(addr)
+	if _, _, err := c.Sets(context.Background(), "ids", bob, sosr.SetConfig{Seed: 7, KnownDiff: 16}); !errors.Is(err, ErrBusy) {
+		t.Fatalf("over-cap session: want ErrBusy, got %v", err)
+	}
+	waitFor(t, "busy reject metric", func() bool {
+		return scrapeMetrics(t, ops.URL)[`sosr_handshake_rejects_total{reason="busy"}`] >= 1
+	})
+
+	// Free the slot: the very next session must serve, proving the counter
+	// is released on every handle exit path.
+	hold.Close()
+	waitFor(t, "session slot released", func() bool { return srv.liveSessions.Load() == 0 })
+	got, _, err := c.Sets(context.Background(), "ids", bob, sosr.SetConfig{Seed: 8, KnownDiff: 16})
+	if err != nil {
+		t.Fatalf("post-release session: %v", err)
+	}
+	if !reflect.DeepEqual(got.Recovered, setutil.Canonical(alice)) {
+		t.Fatal("post-release session recovered the wrong set")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"sosr/internal/hashing"
 	"sosr/internal/setrecon"
 	"sosr/internal/setutil"
+	"sosr/internal/store"
 )
 
 // Server-side encoding memoization and live dataset updates.
@@ -291,10 +292,29 @@ func (s *Server) UpdateSetsOfSets(name string, add, remove [][]uint64) error {
 
 	ds.mu.Lock()
 	defer ds.mu.Unlock()
-	// Copy-on-write rebuild with membership validation before any state or
-	// digest is touched. Hash-index the mutation lists so the pass over a
-	// large hosted parent is O(|sos| + |update|), not O(|sos| x |update|)
-	// (this all runs under ds.mu, which gates session starts).
+	next, err := ds.stageSOS(addC, removeC)
+	if err != nil {
+		return fmt.Errorf("sosrnet: %w in %q", err, name)
+	}
+	compact, err := s.walAppend(name, ds, &store.Update{
+		Version: ds.version + 1, AddSets: addC, RemoveSets: removeC,
+	})
+	if err != nil {
+		return err
+	}
+	ds.commitSOS(next, addC, removeC)
+	if compact {
+		s.compactLocked(name, ds)
+	}
+	return nil
+}
+
+// stageSOS validates a canonical, shard-filtered sets-of-sets mutation
+// against the hosted parent and builds the next parent slice, touching no
+// state. Caller holds d.mu. The copy-on-write rebuild hash-indexes the
+// mutation lists so the pass over a large hosted parent is
+// O(|sos| + |update|), not O(|sos| x |update|).
+func (d *dataset) stageSOS(addC, removeC [][]uint64) ([][]uint64, error) {
 	const memberSeed = 0xd15717c7 // same salt Validate uses for dedup
 	rmByHash := make(map[uint64][]int, len(removeC))
 	for i, cs := range removeC {
@@ -302,10 +322,10 @@ func (s *Server) UpdateSetsOfSets(name string, add, remove [][]uint64) error {
 		rmByHash[h] = append(rmByHash[h], i)
 	}
 	taken := make([]bool, len(removeC))
-	next := make([][]uint64, 0, len(ds.sos)+len(addC))
-	nextHashes := make(map[uint64][]int, len(ds.sos)+len(addC))
+	next := make([][]uint64, 0, len(d.sos)+len(addC))
+	nextHashes := make(map[uint64][]int, len(d.sos)+len(addC))
 outer:
-	for _, cs := range ds.sos {
+	for _, cs := range d.sos {
 		h := setutil.Hash(memberSeed, cs)
 		for _, i := range rmByHash[h] {
 			if !taken[i] && setutil.Equal(cs, removeC[i]) {
@@ -318,23 +338,30 @@ outer:
 	}
 	for i, ok := range taken {
 		if !ok {
-			return fmt.Errorf("sosrnet: remove[%d] is not hosted in %q", i, name)
+			return nil, fmt.Errorf("remove[%d] is not hosted", i)
 		}
 	}
 	for i, cs := range addC {
 		h := setutil.Hash(memberSeed, cs)
 		for _, j := range nextHashes[h] {
 			if setutil.Equal(next[j], cs) {
-				return fmt.Errorf("sosrnet: add[%d] already hosted in %q", i, name)
+				return nil, fmt.Errorf("add[%d] already hosted", i)
 			}
 		}
 		nextHashes[h] = append(nextHashes[h], len(next))
 		next = append(next, cs)
 	}
+	return next, nil
+}
 
-	// Patch every live digest; a patch failure (which validation above should
+// commitSOS installs a staged sets-of-sets mutation: infallible by
+// construction (stageSOS validated it), so it can run after the WAL append
+// without ever leaving the journal ahead of a failed commit. Caller holds
+// d.mu.
+func (d *dataset) commitSOS(next [][]uint64, addC, removeC [][]uint64) {
+	// Patch every live digest; a patch failure (which staging should
 	// preclude) drops that digest rather than serving corrupt bytes.
-	for lk, dig := range ds.live {
+	for lk, dig := range d.live {
 		ok := true
 		for _, cs := range removeC {
 			if dig.Remove(cs) != nil {
@@ -351,12 +378,11 @@ outer:
 			}
 		}
 		if !ok {
-			ds.dropLive(lk)
+			d.dropLive(lk)
 		}
 	}
-	ds.sos = next
-	ds.version++
-	return nil
+	d.sos = next
+	d.version++
 }
 
 // UpdateSets applies a live mutation to a hosted set dataset (KindSet):
@@ -383,9 +409,23 @@ func (s *Server) UpdateSets(name string, add, remove []uint64) error {
 	}
 	ds.mu.Lock()
 	defer ds.mu.Unlock()
-	ds.set = setutil.ApplyDiff(ds.set, add, remove)
+	compact, err := s.walAppend(name, ds, &store.Update{
+		Version: ds.version + 1, Add: add, Remove: remove,
+	})
+	if err != nil {
+		return err
+	}
+	ds.set = ds.stageSet(add, remove)
 	ds.version++
+	if compact {
+		s.compactLocked(name, ds)
+	}
 	return nil
+}
+
+// stageSet computes the next canonical set contents. Caller holds d.mu.
+func (d *dataset) stageSet(add, remove []uint64) []uint64 {
+	return setutil.ApplyDiff(d.set, add, remove)
 }
 
 // UpdateMultisets applies a live mutation to a hosted multiset dataset
@@ -421,10 +461,32 @@ func (s *Server) UpdateMultisets(name string, add, remove []uint64) error {
 
 	ds.mu.Lock()
 	defer ds.mu.Unlock()
+	packed, err := ds.stageMultiset(add, remove)
+	if err != nil {
+		return fmt.Errorf("sosrnet: %w in %q", err, name)
+	}
+	compact, err := s.walAppend(name, ds, &store.Update{
+		Version: ds.version + 1, Add: add, Remove: remove,
+	})
+	if err != nil {
+		return err
+	}
+	ds.set = packed
+	ds.version++
+	if compact {
+		s.compactLocked(name, ds)
+	}
+	return nil
+}
+
+// stageMultiset validates a shard-filtered multiset mutation against the
+// hosted packing and returns the next packed contents, touching no state.
+// Caller holds d.mu.
+func (d *dataset) stageMultiset(add, remove []uint64) ([]uint64, error) {
 	// Unpack the hosted (element, count) words, stage the mutation on the
 	// counts, and validate everything before any state is touched.
-	counts := make(map[uint64]uint64, len(ds.set))
-	for _, w := range ds.set {
+	counts := make(map[uint64]uint64, len(d.set))
+	for _, w := range d.set {
 		x, k := setrecon.UnpackCounted(w)
 		counts[x] = k
 	}
@@ -438,10 +500,10 @@ func (s *Server) UpdateMultisets(name string, add, remove []uint64) error {
 	for x, delta := range staged {
 		next := int64(counts[x]) + delta
 		if next < 0 {
-			return fmt.Errorf("sosrnet: remove of element %d exceeds its multiplicity %d in %q", x, counts[x], name)
+			return nil, fmt.Errorf("remove of element %d exceeds its multiplicity %d", x, counts[x])
 		}
 		if next > int64(setrecon.MaxMultiplicity) {
-			return fmt.Errorf("%w: element %d would reach multiplicity %d", setrecon.ErrMultisetRange, x, next)
+			return nil, fmt.Errorf("%w: element %d would reach multiplicity %d", setrecon.ErrMultisetRange, x, next)
 		}
 	}
 	for x, delta := range staged {
@@ -457,9 +519,7 @@ func (s *Server) UpdateMultisets(name string, add, remove []uint64) error {
 		packed = append(packed, setrecon.PackCounted(x, k))
 	}
 	sort.Slice(packed, func(i, j int) bool { return packed[i] < packed[j] })
-	ds.set = packed
-	ds.version++
-	return nil
+	return packed, nil
 }
 
 // DatasetVersion reports the current version of a hosted dataset (0 until

@@ -1,0 +1,228 @@
+package sosrnet
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"os/exec"
+	"testing"
+
+	"sosr/internal/store"
+)
+
+// The crash schedule is a pure function of each dataset's version, so the
+// parent can rebuild the exact uninterrupted history the killed child was
+// writing: update v adds element crashElem(v) to "ids" (retiring the one
+// from 100 versions back) and child set crashChild(v) to "docs".
+
+func crashInitialSet() []uint64 { return seqSet(0, 200) }
+
+func crashInitialSOS() [][]uint64 {
+	out := make([][]uint64, 0, 30)
+	for i := uint64(0); i < 30; i++ {
+		out = append(out, []uint64{i * 10, i*10 + 1, i*10 + 2})
+	}
+	return out
+}
+
+func crashElem(v uint64) uint64 { return 1_000_000 + v }
+
+func crashSetRemove(v uint64) []uint64 {
+	if v > 100 {
+		return []uint64{crashElem(v - 100)}
+	}
+	return nil
+}
+
+func crashChild(v uint64) []uint64 { return []uint64{500_000 + v*3, 500_000 + v*3 + 1} }
+
+// applyCrashSchedule replays the deterministic history onto a server: host,
+// then update each dataset to the target version.
+func applyCrashSchedule(t *testing.T, srv *Server, idsV, docsV uint64) {
+	t.Helper()
+	if err := srv.HostSets("ids", crashInitialSet()); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.HostSetsOfSets("docs", crashInitialSOS()); err != nil {
+		t.Fatal(err)
+	}
+	for v := uint64(1); v <= idsV; v++ {
+		if err := srv.UpdateSets("ids", []uint64{crashElem(v)}, crashSetRemove(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for v := uint64(1); v <= docsV; v++ {
+		if err := srv.UpdateSetsOfSets("docs", [][]uint64{crashChild(v)}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCrashServerHelper is not a test: it is the child process body for
+// TestCrashRecoverySIGKILL, selected by re-exec and gated on the env var.
+// It recovers whatever state the previous incarnation left in the store,
+// hosts anything missing, then streams updates forever — printing "acked
+// <dataset> <version>" only after each mutation's WAL append returned, i.e.
+// only once it is claimed durable — until the parent kills -9 it.
+func TestCrashServerHelper(t *testing.T) {
+	dir := os.Getenv("SOSR_CRASH_DIR")
+	if dir == "" {
+		t.Skip("helper process body for TestCrashRecoverySIGKILL")
+	}
+	// A tiny compaction threshold forces frequent inline snapshot rewrites,
+	// so kills land mid-compaction too, not just mid-append.
+	st, err := store.Open(dir, store.Options{CompactBytes: 512})
+	if err != nil {
+		t.Fatalf("helper: %v", err)
+	}
+	srv := NewServer()
+	srv.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	srv.UseStore(st)
+	if _, err := srv.Recover(); err != nil {
+		t.Fatalf("helper recover: %v", err)
+	}
+	if _, err := srv.DatasetVersion("ids"); err != nil {
+		if err := srv.HostSets("ids", crashInitialSet()); err != nil {
+			t.Fatalf("helper: %v", err)
+		}
+	}
+	if _, err := srv.DatasetVersion("docs"); err != nil {
+		if err := srv.HostSetsOfSets("docs", crashInitialSOS()); err != nil {
+			t.Fatalf("helper: %v", err)
+		}
+	}
+	for {
+		v, err := srv.DatasetVersion("ids")
+		if err != nil {
+			t.Fatalf("helper: %v", err)
+		}
+		if err := srv.UpdateSets("ids", []uint64{crashElem(v + 1)}, crashSetRemove(v+1)); err != nil {
+			t.Fatalf("helper: %v", err)
+		}
+		fmt.Printf("acked ids %d\n", v+1)
+		w, err := srv.DatasetVersion("docs")
+		if err != nil {
+			t.Fatalf("helper: %v", err)
+		}
+		if err := srv.UpdateSetsOfSets("docs", [][]uint64{crashChild(w + 1)}, nil); err != nil {
+			t.Fatalf("helper: %v", err)
+		}
+		fmt.Printf("acked docs %d\n", w+1)
+	}
+}
+
+// TestCrashRecoverySIGKILL is the tentpole's fault-injection proof: a serving
+// process is SIGKILLed mid-update-stream (and, with the tiny compaction
+// threshold, mid-compaction) three times in a row; every acknowledged update
+// must survive, and the recovered server must be byte-identical — summary,
+// content hash, and Alice payloads — to a server that applied the same
+// history uninterrupted.
+func TestCrashRecoverySIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and kills helper processes")
+	}
+	dir := t.TempDir()
+	lastAcked := map[string]uint64{}
+	for round := 0; round < 3; round++ {
+		cmd := exec.Command(os.Args[0], "-test.run=^TestCrashServerHelper$")
+		cmd.Env = append(os.Environ(), "SOSR_CRASH_DIR="+dir)
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		// Let the child stream acks, then kill -9 at an arbitrary point — the
+		// varying target lands kills in different phases of the append /
+		// compact cycle.
+		target := 37 + round*23
+		acks := 0
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			var name string
+			var v uint64
+			if _, err := fmt.Sscanf(sc.Text(), "acked %s %d", &name, &v); err == nil {
+				lastAcked[name] = v
+				acks++
+				if acks >= target {
+					break
+				}
+			}
+		}
+		if acks == 0 {
+			t.Fatalf("round %d: child produced no acks; stderr:\n%s", round, stderr.String())
+		}
+		if err := cmd.Process.Kill(); err != nil {
+			t.Fatal(err)
+		}
+		_ = cmd.Wait()
+	}
+
+	// Recover from the thrice-killed store.
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	var rs RecoveryStats
+	srv, addr, _ := startServer(t, func(s *Server) {
+		s.UseStore(st)
+		var err error
+		if rs, err = s.Recover(); err != nil {
+			t.Fatalf("Recover: %v", err)
+		}
+	})
+	if rs.Datasets != 2 {
+		t.Fatalf("recovered %d datasets, want 2 (%+v)", rs.Datasets, rs)
+	}
+	idsV, err := srv.DatasetVersion("ids")
+	if err != nil {
+		t.Fatal(err)
+	}
+	docsV, err := srv.DatasetVersion("docs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Durability: nothing acknowledged may be lost. (Versions may exceed the
+	// last ack — an appended-but-unacked final update surviving is fine.)
+	if idsV < lastAcked["ids"] || docsV < lastAcked["docs"] {
+		t.Fatalf("acknowledged updates lost: recovered ids=%d docs=%d, acked ids=%d docs=%d",
+			idsV, docsV, lastAcked["ids"], lastAcked["docs"])
+	}
+	if idsV > lastAcked["ids"]+1 || docsV > lastAcked["docs"]+1 {
+		t.Fatalf("recovered beyond the possible history: ids=%d docs=%d, acked ids=%d docs=%d",
+			idsV, docsV, lastAcked["ids"], lastAcked["docs"])
+	}
+
+	// The uninterrupted reference: same history, no crashes, no store.
+	ref, refAddr, _ := startServer(t, func(s *Server) {
+		applyCrashSchedule(t, s, idsV, docsV)
+	})
+	refInfos := map[string]DatasetInfo{}
+	for _, di := range ref.Datasets() {
+		refInfos[di.Name] = di
+	}
+	for _, di := range srv.Datasets() {
+		want := refInfos[di.Name]
+		if di != want {
+			t.Fatalf("%s: recovered summary diverged:\n got %+v\nwant %+v", di.Name, di, want)
+		}
+	}
+	for pname, h := range map[string]helloMsg{
+		"set-iblt": {Dataset: "ids", Kind: KindSet, Seed: 11, D: 16},
+		"cascade":  {Dataset: "docs", Kind: KindSetsOfSets, Seed: 11, Protocol: "cascade", D: 4, S: 1024, H: 8},
+	} {
+		wantLabel, wantBody := aliceProbe(t, refAddr, h)
+		gotLabel, gotBody := aliceProbe(t, addr, h)
+		if gotLabel != wantLabel || !bytes.Equal(gotBody, wantBody) {
+			t.Fatalf("%s: recovered Alice payload differs from uninterrupted run (%d vs %d bytes)",
+				pname, len(gotBody), len(wantBody))
+		}
+	}
+}

@@ -49,6 +49,7 @@ const (
 	rejectUnknownDataset = "unknown_dataset"
 	rejectMisroute       = "misroute"
 	rejectStaleEpoch     = "stale_epoch"
+	rejectBusy           = "busy"
 )
 
 // metrics lazily registers the server's families on its registry (creating a

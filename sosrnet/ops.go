@@ -2,9 +2,14 @@ package sosrnet
 
 import (
 	"encoding/json"
+	"errors"
+	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"sort"
+
+	"sosr/internal/hashing"
+	"sosr/internal/setutil"
 )
 
 // DatasetInfo is one hosted dataset's read-only operational summary, as
@@ -20,6 +25,43 @@ type DatasetInfo struct {
 	ShardIndex int    `json:"shard_index,omitempty"`
 	ShardCount int    `json:"shard_count,omitempty"`
 	ShardEpoch uint64 `json:"shard_epoch,omitempty"`
+	// ContentHash is an order-invariant hex digest of the hosted contents
+	// under a fixed seed — two servers host byte-identical data iff the
+	// hashes match, which is what crash-recovery checks compare.
+	ContentHash string `json:"content_hash"`
+}
+
+// contentHashSeed fixes the /datasets content-hash seed so digests compare
+// across processes and restarts.
+const contentHashSeed = 0x5e7c0de
+
+// contentHashLocked digests the dataset's contents (not its version or
+// shard binding). Caller holds ds.mu.
+func contentHashLocked(ds *dataset) string {
+	var h uint64
+	switch ds.kind {
+	case KindSet, KindMultiset:
+		h = setutil.Hash(contentHashSeed, ds.set)
+	case KindSetsOfSets:
+		h = setutil.HashSetOfSets(contentHashSeed, ds.sos)
+	case KindGraph:
+		// Pack each undirected edge into one word; canonicalize so the
+		// digest is independent of adjacency insertion order.
+		edges := ds.g.Edges()
+		packed := make([]uint64, 0, len(edges))
+		for _, e := range edges {
+			packed = append(packed, uint64(e[0])<<32|uint64(uint32(e[1])))
+		}
+		h = setutil.Hash(contentHashSeed, setutil.Canonical(packed))
+	case KindForest:
+		// Positional: the parent array is the content.
+		words := make([]uint64, len(ds.f.Parent))
+		for i, p := range ds.f.Parent {
+			words[i] = uint64(uint32(p))
+		}
+		h = hashing.HashUint64s(contentHashSeed, words)
+	}
+	return fmt.Sprintf("%016x", h)
 }
 
 // Datasets returns a snapshot of every hosted dataset, sorted by name.
@@ -50,6 +92,7 @@ func (s *Server) Datasets() []DatasetInfo {
 		case KindForest:
 			di.Items = len(ds.f.Parent)
 		}
+		di.ContentHash = contentHashLocked(ds)
 		ds.mu.Unlock()
 		out = append(out, di)
 	}
@@ -60,15 +103,33 @@ func (s *Server) Datasets() []DatasetInfo {
 // OpsHandler returns the server's operational HTTP surface, meant for a
 // private listener (sosrd's -ops-addr), never the reconciliation port:
 //
-//	/metrics        Prometheus text exposition of Registry()
-//	/healthz        liveness ("ok")
-//	/datasets       read-only JSON dataset summary
-//	/debug/pprof/   the standard runtime profiles
+//	/metrics              Prometheus text exposition of Registry()
+//	/healthz              liveness ("ok")
+//	/readyz               readiness: 200 once recovery finished, 503 while
+//	                      recovering or draining for shutdown
+//	/datasets             read-only JSON dataset summary with content hashes
+//	/admin/host           POST {name,kind,elems|parents}: host a dataset
+//	/admin/update         POST {name,add,remove|add_sets,remove_sets}
+//	/admin/drop           POST {name}: unhost + remove persisted state
+//	/admin/snapshot       POST {name} ("" = all): snapshot, compacting the WAL
+//	/debug/pprof/         the standard runtime profiles
+//
+// The admin endpoints mutate hosted data — another reason this listener must
+// stay private.
 func (s *Server) OpsHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", s.Registry().Handler())
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !s.Ready() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_, _ = w.Write([]byte("not ready\n"))
+			return
+		}
 		_, _ = w.Write([]byte("ok\n"))
 	})
 	mux.HandleFunc("/datasets", func(w http.ResponseWriter, _ *http.Request) {
@@ -77,6 +138,10 @@ func (s *Server) OpsHandler() http.Handler {
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(s.Datasets())
 	})
+	mux.HandleFunc("POST /admin/host", s.adminHost)
+	mux.HandleFunc("POST /admin/update", s.adminUpdate)
+	mux.HandleFunc("POST /admin/drop", s.adminDrop)
+	mux.HandleFunc("POST /admin/snapshot", s.adminSnapshot)
 	// The default-mux pprof registrations are skipped by using a private mux;
 	// wire the handlers in explicitly.
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -85,4 +150,148 @@ func (s *Server) OpsHandler() http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// adminHostReq is the POST /admin/host body; elems feeds sets and multisets,
+// parents feeds sets of sets (graphs and forests are hosted programmatically,
+// not over the admin surface).
+type adminHostReq struct {
+	Name    string     `json:"name"`
+	Kind    Kind       `json:"kind"`
+	Elems   []uint64   `json:"elems,omitempty"`
+	Parents [][]uint64 `json:"parents,omitempty"`
+}
+
+// adminUpdateReq is the POST /admin/update body; the hosted dataset's kind
+// picks which field pair applies.
+type adminUpdateReq struct {
+	Name       string     `json:"name"`
+	Add        []uint64   `json:"add,omitempty"`
+	Remove     []uint64   `json:"remove,omitempty"`
+	AddSets    [][]uint64 `json:"add_sets,omitempty"`
+	RemoveSets [][]uint64 `json:"remove_sets,omitempty"`
+}
+
+// adminNameReq is the POST /admin/drop and /admin/snapshot body.
+type adminNameReq struct {
+	Name string `json:"name"`
+}
+
+// adminOK answers a successful admin call with the dataset's post-call
+// version (0 for whole-server snapshots and drops).
+type adminOK struct {
+	Name    string `json:"name,omitempty"`
+	Version uint64 `json:"version,omitempty"`
+}
+
+func adminJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// adminErr maps an admin failure to a status: unknown dataset is 404,
+// everything else (validation, duplicate host, store trouble) is 400 unless
+// the caller picked a harsher default.
+func adminErr(w http.ResponseWriter, err error, fallback int) {
+	code := fallback
+	if errors.Is(err, ErrUnknownDataset) {
+		code = http.StatusNotFound
+	}
+	adminJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func adminDecode(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		adminJSON(w, http.StatusBadRequest, map[string]string{"error": "bad request body: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+func (s *Server) adminHost(w http.ResponseWriter, r *http.Request) {
+	var req adminHostReq
+	if !adminDecode(w, r, &req) {
+		return
+	}
+	var err error
+	switch req.Kind {
+	case KindSet:
+		err = s.HostSets(req.Name, req.Elems)
+	case KindMultiset:
+		err = s.HostMultiset(req.Name, req.Elems)
+	case KindSetsOfSets:
+		err = s.HostSetsOfSets(req.Name, req.Parents)
+	default:
+		err = fmt.Errorf("%w: kind %q cannot be hosted over the admin surface", ErrUnsupported, req.Kind)
+	}
+	if err != nil {
+		adminErr(w, err, http.StatusBadRequest)
+		return
+	}
+	adminJSON(w, http.StatusOK, adminOK{Name: req.Name})
+}
+
+func (s *Server) adminUpdate(w http.ResponseWriter, r *http.Request) {
+	var req adminUpdateReq
+	if !adminDecode(w, r, &req) {
+		return
+	}
+	s.mu.Lock()
+	ds := s.datasets[req.Name]
+	s.mu.Unlock()
+	if ds == nil {
+		adminErr(w, fmt.Errorf("%w: %q", ErrUnknownDataset, req.Name), http.StatusNotFound)
+		return
+	}
+	var err error
+	switch ds.kind {
+	case KindSet:
+		err = s.UpdateSets(req.Name, req.Add, req.Remove)
+	case KindMultiset:
+		err = s.UpdateMultisets(req.Name, req.Add, req.Remove)
+	case KindSetsOfSets:
+		err = s.UpdateSetsOfSets(req.Name, req.AddSets, req.RemoveSets)
+	default:
+		err = fmt.Errorf("%w: kind %q takes no updates", ErrUnsupported, ds.kind)
+	}
+	if err != nil {
+		adminErr(w, err, http.StatusBadRequest)
+		return
+	}
+	v, _ := s.DatasetVersion(req.Name)
+	adminJSON(w, http.StatusOK, adminOK{Name: req.Name, Version: v})
+}
+
+func (s *Server) adminDrop(w http.ResponseWriter, r *http.Request) {
+	var req adminNameReq
+	if !adminDecode(w, r, &req) {
+		return
+	}
+	if err := s.DropDataset(req.Name); err != nil {
+		adminErr(w, err, http.StatusInternalServerError)
+		return
+	}
+	adminJSON(w, http.StatusOK, adminOK{Name: req.Name})
+}
+
+func (s *Server) adminSnapshot(w http.ResponseWriter, r *http.Request) {
+	var req adminNameReq
+	if !adminDecode(w, r, &req) {
+		return
+	}
+	if req.Name == "" {
+		if err := s.SnapshotAll(); err != nil {
+			adminErr(w, err, http.StatusInternalServerError)
+			return
+		}
+		adminJSON(w, http.StatusOK, adminOK{})
+		return
+	}
+	if err := s.SnapshotDataset(req.Name); err != nil {
+		adminErr(w, err, http.StatusInternalServerError)
+		return
+	}
+	v, _ := s.DatasetVersion(req.Name)
+	adminJSON(w, http.StatusOK, adminOK{Name: req.Name, Version: v})
 }

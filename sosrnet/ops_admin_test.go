@@ -1,0 +1,169 @@
+package sosrnet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"sosr"
+	"sosr/internal/setutil"
+	"sosr/internal/store"
+)
+
+// postAdmin posts a JSON body to an admin endpoint and decodes the reply.
+func postAdmin(t *testing.T, url string, body any) (int, map[string]any) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("%s: undecodable admin reply: %v", url, err)
+	}
+	return resp.StatusCode, out
+}
+
+// getDatasets fetches and decodes the ops /datasets summary.
+func getDatasets(t *testing.T, opsURL string) map[string]DatasetInfo {
+	t.Helper()
+	resp, err := http.Get(opsURL + "/datasets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var dis []DatasetInfo
+	if err := json.NewDecoder(resp.Body).Decode(&dis); err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]DatasetInfo, len(dis))
+	for _, di := range dis {
+		out[di.Name] = di
+	}
+	return out
+}
+
+// TestOpsAdminSurface drives the full remote-operations loop the CI
+// crash-recovery job depends on: readiness flips, hosting, updating,
+// snapshotting and dropping datasets over the ops mux, with /datasets
+// content hashes that compare across server instances.
+func TestOpsAdminSurface(t *testing.T) {
+	alice, bob := setPair()
+	srv, addr, _ := startServer(t, func(s *Server) {
+		s.UseStore(store.NewMem())
+	})
+	ops := httptest.NewServer(srv.OpsHandler())
+	defer ops.Close()
+
+	// Readiness follows SetReady; a fresh server is ready.
+	status := func(path string) int {
+		resp, err := http.Get(ops.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := status("/readyz"); got != http.StatusOK {
+		t.Fatalf("fresh /readyz: got %d", got)
+	}
+	srv.SetReady(false)
+	if got := status("/readyz"); got != http.StatusServiceUnavailable {
+		t.Fatalf("draining /readyz: got %d, want 503", got)
+	}
+	if got := status("/healthz"); got != http.StatusOK {
+		t.Fatalf("/healthz must stay live while not ready: got %d", got)
+	}
+	srv.SetReady(true)
+	if got := status("/readyz"); got != http.StatusOK {
+		t.Fatalf("ready again /readyz: got %d", got)
+	}
+
+	// Host remotely, then reconcile over the data port.
+	if code, body := postAdmin(t, ops.URL+"/admin/host",
+		adminHostReq{Name: "ids", Kind: KindSet, Elems: alice}); code != http.StatusOK {
+		t.Fatalf("/admin/host: %d %v", code, body)
+	}
+	c := Dial(addr)
+	got, _, err := c.Sets(context.Background(), "ids", bob, sosr.SetConfig{Seed: 7, KnownDiff: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Recovered, setutil.Canonical(alice)) {
+		t.Fatal("admin-hosted dataset reconciled to the wrong set")
+	}
+
+	// Update remotely: the version advances and the content hash moves.
+	before := getDatasets(t, ops.URL)["ids"]
+	if before.ContentHash == "" {
+		t.Fatal("/datasets: empty content hash")
+	}
+	add, remove := []uint64{1_000_001, 1_000_002}, []uint64{alice[0]}
+	code, body := postAdmin(t, ops.URL+"/admin/update", adminUpdateReq{Name: "ids", Add: add, Remove: remove})
+	if code != http.StatusOK || body["version"].(float64) != 1 {
+		t.Fatalf("/admin/update: %d %v", code, body)
+	}
+	after := getDatasets(t, ops.URL)["ids"]
+	if after.Version != 1 || after.ContentHash == before.ContentHash {
+		t.Fatalf("update did not move the summary: %+v -> %+v", before, after)
+	}
+
+	// The hash is a pure function of contents: an independent server hosting
+	// the same final set reports the identical digest.
+	want := setutil.ApplyDiff(setutil.Canonical(alice), add, remove)
+	ref := NewServer()
+	if err := ref.HostSets("ids", want); err != nil {
+		t.Fatal(err)
+	}
+	if refHash := ref.Datasets()[0].ContentHash; refHash != after.ContentHash {
+		t.Fatalf("content hash differs across servers hosting equal data: %s vs %s", refHash, after.ContentHash)
+	}
+
+	// Snapshot, then drop; the dataset disappears from serving and summary.
+	if code, body := postAdmin(t, ops.URL+"/admin/snapshot", adminNameReq{Name: "ids"}); code != http.StatusOK {
+		t.Fatalf("/admin/snapshot: %d %v", code, body)
+	}
+	if code, body := postAdmin(t, ops.URL+"/admin/snapshot", adminNameReq{}); code != http.StatusOK {
+		t.Fatalf("/admin/snapshot (all): %d %v", code, body)
+	}
+	if code, body := postAdmin(t, ops.URL+"/admin/drop", adminNameReq{Name: "ids"}); code != http.StatusOK {
+		t.Fatalf("/admin/drop: %d %v", code, body)
+	}
+	if dis := getDatasets(t, ops.URL); len(dis) != 0 {
+		t.Fatalf("dropped dataset still listed: %v", dis)
+	}
+	if _, _, err := c.Sets(context.Background(), "ids", bob, sosr.SetConfig{Seed: 9, KnownDiff: 16}); err == nil ||
+		!errors.Is(err, ErrServer) || !strings.Contains(err.Error(), "unknown dataset") {
+		t.Fatalf("post-drop session: want server-reported unknown dataset, got %v", err)
+	}
+
+	// Error mapping: unknown names 404, bad kinds and bodies 400.
+	if code, _ := postAdmin(t, ops.URL+"/admin/update", adminUpdateReq{Name: "ids", Add: add}); code != http.StatusNotFound {
+		t.Fatalf("update of dropped dataset: got %d, want 404", code)
+	}
+	if code, _ := postAdmin(t, ops.URL+"/admin/drop", adminNameReq{Name: "ids"}); code != http.StatusNotFound {
+		t.Fatalf("double drop: got %d, want 404", code)
+	}
+	if code, _ := postAdmin(t, ops.URL+"/admin/host", adminHostReq{Name: "g", Kind: KindGraph}); code != http.StatusBadRequest {
+		t.Fatalf("hosting a graph over admin: got %d, want 400", code)
+	}
+	resp, err := http.Post(ops.URL+"/admin/host", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("truncated body: got %d, want 400", resp.StatusCode)
+	}
+}

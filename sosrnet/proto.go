@@ -75,6 +75,9 @@ var (
 	// server's while the address structure matches — the client should
 	// re-resolve the topology and retry, not treat the shard as broken.
 	ErrStaleEpoch = errors.New("sosrnet: stale topology epoch")
+	// ErrBusy indicates the server is at its concurrent-session cap; the
+	// dataset is fine, retry after a backoff (or on another replica).
+	ErrBusy = errors.New("sosrnet: server busy")
 )
 
 // Error codes carried in ctl/error frames so clients can classify a
@@ -82,6 +85,7 @@ var (
 const (
 	codeMisroute   = "misroute"
 	codeStaleEpoch = "stale_epoch"
+	codeBusy       = "busy"
 )
 
 // helloMsg opens a session. Zero fields are omitted; kind-specific fields
@@ -206,6 +210,8 @@ func sendErrorFrame(ep *wire.Endpoint, err error) {
 		em.Code = codeStaleEpoch
 	case errors.Is(err, ErrMisrouted):
 		em.Code = codeMisroute
+	case errors.Is(err, ErrBusy):
+		em.Code = codeBusy
 	}
 	_ = ep.SendFrame(lblError, marshalCtl(em))
 }
@@ -222,6 +228,8 @@ func serverError(payload []byte) error {
 		return fmt.Errorf("%w: %w: %s", ErrServer, ErrStaleEpoch, em.Error)
 	case codeMisroute:
 		return fmt.Errorf("%w: %w: %s", ErrServer, ErrMisrouted, em.Error)
+	case codeBusy:
+		return fmt.Errorf("%w: %w: %s", ErrServer, ErrBusy, em.Error)
 	}
 	return fmt.Errorf("%w: %s", ErrServer, em.Error)
 }

@@ -22,6 +22,7 @@ import (
 	"sosr/internal/setrecon"
 	"sosr/internal/setutil"
 	"sosr/internal/shardmap"
+	"sosr/internal/store"
 	"sosr/internal/transport"
 	"sosr/internal/wire"
 )
@@ -76,6 +77,14 @@ type Server struct {
 	// session re-encodes, the pre-PR-4 behavior). Set before the first
 	// session.
 	CacheBytes int64
+	// MaxConcurrentSessions caps sessions holding a goroutine at once
+	// (0 = unlimited). A connection over the cap is answered with a ctl/error
+	// carrying the "busy" code (clients see ErrBusy — retry after a backoff
+	// or on another replica) and counted under
+	// sosr_handshake_rejects_total{reason="busy"}. Slots are claimed at
+	// accept, before the hello arrives, so dribbling handshakes count toward
+	// the cap until the hello deadline clears them.
+	MaxConcurrentSessions int
 
 	mu       sync.Mutex
 	datasets map[string]*dataset
@@ -85,6 +94,7 @@ type Server struct {
 	wg       sync.WaitGroup
 	cache    *enccache.Cache
 	cacheOff bool
+	store    store.Store // nil = no persistence (see persist.go)
 
 	// obsOnce guards lazy metric registration (see metrics.go); sid numbers
 	// sessions for log correlation. Neither is touched under s.mu —
@@ -92,6 +102,10 @@ type Server struct {
 	obsOnce sync.Once
 	met     *serverMetrics
 	sid     atomic.Uint64
+	// notReady inverts Ready() so the zero value is ready (see persist.go).
+	notReady atomic.Bool
+	// liveSessions tracks sessions against MaxConcurrentSessions.
+	liveSessions atomic.Int64
 }
 
 // shardState pins a hosted dataset to one shard of a partitioned logical
@@ -262,6 +276,13 @@ func (s *Server) host(name string, ds *dataset) error {
 	defer s.mu.Unlock()
 	if _, dup := s.datasets[name]; dup {
 		return fmt.Errorf("sosrnet: dataset %q already hosted", name)
+	}
+	// Snapshot-before-host: the dataset is acknowledged only once its initial
+	// snapshot is durable, so a crash right after Host* cannot lose it.
+	if s.store != nil {
+		if err := s.store.SaveSnapshot(recordLocked(name, ds)); err != nil {
+			return fmt.Errorf("sosrnet: persisting dataset %q: %w", name, err)
+		}
 	}
 	s.datasets[name] = ds
 	return nil
@@ -534,6 +555,19 @@ func (s *Server) handle(conn net.Conn) {
 	}
 	ep := wire.NewEndpoint(conn, transport.Alice)
 	ep.SetMaxPayload(s.MaxFrame)
+	// Claim a session slot before any read: a server at its cap answers
+	// immediately with a distinct busy error instead of queueing the client
+	// behind sessions it cannot serve.
+	if lim := s.MaxConcurrentSessions; lim > 0 {
+		if s.liveSessions.Add(1) > int64(lim) {
+			s.liveSessions.Add(-1)
+			err := fmt.Errorf("%w: at the cap of %d concurrent sessions", ErrBusy, lim)
+			sendErrorFrame(ep, err)
+			s.reject(sid, remote, rejectBusy, err)
+			return
+		}
+		defer s.liveSessions.Add(-1)
+	}
 	payload, err := ep.RecvExpect(lblHello)
 	if err != nil {
 		reason := rejectHelloIO
