@@ -48,6 +48,32 @@ type perfBench struct {
 	P50Ms float64 `json:"p50_ms,omitempty"`
 	P95Ms float64 `json:"p95_ms,omitempty"`
 	P99Ms float64 `json:"p99_ms,omitempty"`
+	// BoundRatioMean/BoundRatioMax audit the paper's communication envelope:
+	// protocol bytes divided by the resolved difference bound d̂. Set for the
+	// encode rows (payload bytes ÷ d̂) and, from the servers' sosr_bound_ratio
+	// histogram, for the session rows.
+	BoundRatioMean float64 `json:"bound_ratio_mean,omitempty"`
+	BoundRatioMax  float64 `json:"bound_ratio_max,omitempty"`
+}
+
+// boundRatio fills the envelope columns for a single encoding of known size.
+func (pb *perfBench) boundRatio(bytes, dHat int) {
+	if dHat <= 0 {
+		return
+	}
+	r := float64(bytes) / float64(dHat)
+	pb.BoundRatioMean, pb.BoundRatioMax = r, r
+}
+
+// boundRatios fills the envelope columns from a registry's sosr_bound_ratio
+// histogram (every server session of the run).
+func (pb *perfBench) boundRatios(reg *obs.Registry) {
+	h := reg.GetHistogram("sosr_bound_ratio")
+	if h == nil || h.Count() == 0 {
+		return
+	}
+	pb.BoundRatioMean = h.Sum() / float64(h.Count())
+	pb.BoundRatioMax = h.Quantile(1)
 }
 
 // sessionQuantiles fills the latency-quantile columns from a registry's
@@ -122,12 +148,14 @@ func perfJSON(w io.Writer) error {
 	}
 	setBob := append(append([]uint64{}, setAlice[32:]...), 1_000_001, 1_000_004, 1_000_007)
 	setMsg := setrecon.BuildIBLTMsg(coins, setAlice, 64)
-	report.Benchmarks = append(report.Benchmarks, perfRow("set/encode-d64", func(b *testing.B) {
+	setEncode := perfRow("set/encode-d64", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			setrecon.BuildIBLTMsg(coins, setAlice, 64)
 		}
-	}))
+	})
+	setEncode.boundRatio(len(setMsg), 64)
+	report.Benchmarks = append(report.Benchmarks, setEncode)
 	report.Benchmarks = append(report.Benchmarks, perfRow("set/decode-d64", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
@@ -159,14 +187,16 @@ func perfJSON(w io.Writer) error {
 		if _, err := core.ApplyMsg(cfg.kind, coins, msg, sosBob, p, cfg.d, dHat); err != nil {
 			return fmt.Errorf("%s decode: %w", cfg.name, err)
 		}
-		report.Benchmarks = append(report.Benchmarks, perfRow(cfg.name+"-encode", func(b *testing.B) {
+		encRow := perfRow(cfg.name+"-encode", func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := core.AliceMsg(cfg.kind, coins, sosAlice, p, cfg.d, dHat); err != nil {
 					b.Fatal(err)
 				}
 			}
-		}))
+		})
+		encRow.boundRatio(len(msg), dHat)
+		report.Benchmarks = append(report.Benchmarks, encRow)
 		report.Benchmarks = append(report.Benchmarks, perfRow(cfg.name+"-decode", func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -330,6 +360,7 @@ func netSessions(alice, bob [][]uint64, clients int, dur time.Duration) (perfBen
 		SessionsPerSec: float64(n) / elapsed.Seconds(),
 	}
 	row.sessionQuantiles(srv.Registry())
+	row.boundRatios(srv.Registry())
 	return row, nil
 }
 
@@ -409,6 +440,7 @@ func shardedSessions(alice, bob [][]uint64, shards, clients int, dur time.Durati
 		SessionsPerSec: float64(n) / elapsed.Seconds(),
 	}
 	row.sessionQuantiles(reg)
+	row.boundRatios(reg)
 	return row, nil
 }
 

@@ -20,6 +20,28 @@ type walConfig struct {
 	NoSync bool `json:"no_sync,omitempty"`
 }
 
+// opsConfig tunes the privileged half of the ops listener.
+type opsConfig struct {
+	// AdminToken, when set, gates every /admin/* and /debug/* route behind
+	// `Authorization: Bearer <token>`; /metrics, /healthz, /readyz, and
+	// /datasets stay open for scrapers and probes.
+	AdminToken string `json:"admin_token,omitempty"`
+}
+
+// traceConfig tunes distributed session tracing.
+type traceConfig struct {
+	// Sample is the probability (0..1) that a server-rooted session starts a
+	// trace. Traces a client opened (trace context in the hello) are always
+	// recorded regardless of this rate.
+	Sample float64 `json:"sample,omitempty"`
+	// Slow is a duration ("250ms"); traces slower than it are captured in
+	// the flagged ring even when the recent ring has moved on.
+	Slow string `json:"slow,omitempty"`
+	// Ring bounds the retained traces per ring, recent and flagged
+	// separately (0 = 256).
+	Ring int `json:"ring,omitempty"`
+}
+
 // serverConfig is the sosrd serve -config file: the same knobs as the
 // flags, plus datasets to host inline. Explicit flags override file values.
 //
@@ -30,6 +52,8 @@ type walConfig struct {
 //	  "log_level": "info",
 //	  "max_sessions": 256,
 //	  "wal": {"compact_bytes": 4194304},
+//	  "ops": {"admin_token": "s3cret"},
+//	  "trace": {"sample": 0.1, "slow": "250ms", "ring": 512},
 //	  "datasets": [{"name": "ids", "kind": "set", "elems": [1, 2, 3]}]
 //	}
 type serverConfig struct {
@@ -39,6 +63,8 @@ type serverConfig struct {
 	LogLevel    string        `json:"log_level,omitempty"`
 	MaxSessions int           `json:"max_sessions,omitempty"`
 	WAL         walConfig     `json:"wal,omitempty"`
+	Ops         opsConfig     `json:"ops,omitempty"`
+	Trace       traceConfig   `json:"trace,omitempty"`
 	Datasets    []fileDataset `json:"datasets,omitempty"`
 }
 

@@ -128,10 +128,10 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  sosrd serve       [-addr :7075] [-config file.json] [-demo | -data file.json] [-data-dir dir] [-max-sessions N] [-ops-addr 127.0.0.1:7076] [-log-level info]
+  sosrd serve       [-addr :7075] [-config file.json] [-demo | -data file.json] [-data-dir dir] [-max-sessions N] [-ops-addr 127.0.0.1:7076] [-admin-token T] [-trace-sample 0.1] [-trace-slow 250ms] [-trace-ring N] [-log-level info]
   sosrd sync        -addr host:7075 -name NAME -kind set|multiset|sos [flags]
-  sosrd shard-serve -shards 'a:7075|a2:7075,b:7075,...' -index I [-replica-index J] [-epoch E] [-listen addr] [-stall 0s] [-demo | -data file.json] [-data-dir dir] [-ops-addr addr] [-log-level info]
-  sosrd shard-sync  -shards 'a:7075|a2:7075,b:7075,...' -name NAME -kind set|multiset|sos [-epoch E] [-hedge 0s] [-per-shard-d] [-dump-metrics] [flags]
+  sosrd shard-serve -shards 'a:7075|a2:7075,b:7075,...' -index I [-replica-index J] [-epoch E] [-listen addr] [-stall 0s] [-demo | -data file.json] [-data-dir dir] [-ops-addr addr] [-admin-token T] [-trace-sample R] [-trace-slow D] [-trace-ring N] [-log-level info]
+  sosrd shard-sync  -shards 'a:7075|a2:7075,b:7075,...' -name NAME -kind set|multiset|sos [-epoch E] [-hedge 0s] [-per-shard-d] [-trace] [-dump-metrics] [flags]
   sosrd demo`)
 	os.Exit(2)
 }
@@ -189,7 +189,11 @@ func cmdServe(args []string) {
 	demo := fs.Bool("demo", false, "host a generated demo sets-of-sets dataset named \"docs\"")
 	dataDir := fs.String("data-dir", "", "durable store directory: snapshots + WAL, crash recovery on boot, snapshot on SIGTERM")
 	maxSessions := fs.Int("max-sessions", 0, "concurrent session cap; excess hellos get the busy error (0 = unlimited)")
-	opsAddr := fs.String("ops-addr", "", "private ops listener address (/metrics, /healthz, /readyz, /datasets, /admin/*, /debug/pprof); empty disables")
+	opsAddr := fs.String("ops-addr", "", "private ops listener address (/metrics, /healthz, /readyz, /datasets, /admin/*, /debug/*); empty disables")
+	adminToken := fs.String("admin-token", "", "bearer token required on /admin/* and /debug/* ops routes (empty = open)")
+	traceSample := fs.Float64("trace-sample", 0, "probability a session starts a server-rooted trace, 0..1 (client-opened traces are always recorded)")
+	traceSlow := fs.Duration("trace-slow", 0, "capture traces slower than this in the flagged ring (0 disables slow capture)")
+	traceRing := fs.Int("trace-ring", 0, "retained traces per ring, recent and flagged separately (0 = 256)")
 	logLevel := fs.String("log-level", "", "log threshold: debug, info, warn, error (default info)")
 	fs.Parse(args)
 
@@ -204,14 +208,23 @@ func cmdServe(args []string) {
 	cfg.OpsAddr = pick(*opsAddr, cfg.OpsAddr)
 	cfg.DataDir = pick(*dataDir, cfg.DataDir)
 	cfg.LogLevel = pick(*logLevel, pick(cfg.LogLevel, "info"))
+	cfg.Ops.AdminToken = pick(*adminToken, cfg.Ops.AdminToken)
 	if *maxSessions > 0 {
 		cfg.MaxSessions = *maxSessions
+	}
+	if *traceSample > 0 {
+		cfg.Trace.Sample = *traceSample
+	}
+	if *traceRing > 0 {
+		cfg.Trace.Ring = *traceRing
 	}
 	setLogLevel(cfg.LogLevel)
 
 	srv := sosrnet.NewServer()
 	srv.Logger = logger
 	srv.MaxConcurrentSessions = cfg.MaxSessions
+	srv.AdminToken = cfg.Ops.AdminToken
+	srv.Trace = newTracer(cfg.Trace, *traceSlow)
 	st := openStore(srv, cfg)
 
 	sets := cfg.Datasets
@@ -246,6 +259,21 @@ func cmdServe(args []string) {
 		fatal("listen failed", "addr", cfg.Addr, "err", err.Error())
 	}
 	runServer(srv, ln, ops, st)
+}
+
+// newTracer builds a serving command's tracer from its knobs. The tracer is
+// always non-nil — even at sample rate 0 it records traces that clients
+// opened (trace context in the hello), which is how one `shard-sync -trace`
+// run shows up on every shard server's /debug/traces.
+func newTracer(tc traceConfig, slowFlag time.Duration) *obs.Tracer {
+	slow := slowFlag
+	if slow == 0 && tc.Slow != "" {
+		var err error
+		if slow, err = time.ParseDuration(tc.Slow); err != nil {
+			fatal("bad trace.slow duration in config", "slow", tc.Slow, "err", err.Error())
+		}
+	}
+	return &obs.Tracer{SampleRate: tc.Sample, SlowThreshold: slow, MaxTraces: tc.Ring}
 }
 
 // openStore attaches the durable store when a data dir is configured, and
@@ -350,7 +378,11 @@ func cmdShardServe(args []string) {
 	demo := fs.Bool("demo", false, "host the generated demo dataset's owned slice")
 	dataDir := fs.String("data-dir", "", "durable store directory: the owned slices and shard binding persist across restarts")
 	maxSessions := fs.Int("max-sessions", 0, "concurrent session cap; excess hellos get the busy error (0 = unlimited)")
-	opsAddr := fs.String("ops-addr", "", "private ops listener address (/metrics, /healthz, /readyz, /datasets, /admin/*, /debug/pprof); empty disables")
+	opsAddr := fs.String("ops-addr", "", "private ops listener address (/metrics, /healthz, /readyz, /datasets, /admin/*, /debug/*); empty disables")
+	adminToken := fs.String("admin-token", "", "bearer token required on /admin/* and /debug/* ops routes (empty = open)")
+	traceSample := fs.Float64("trace-sample", 0, "probability a session starts a server-rooted trace, 0..1 (client-opened traces are always recorded)")
+	traceSlow := fs.Duration("trace-slow", 0, "capture traces slower than this in the flagged ring (0 disables slow capture)")
+	traceRing := fs.Int("trace-ring", 0, "retained traces per ring, recent and flagged separately (0 = 256)")
 	logLevel := fs.String("log-level", "info", "log threshold: debug, info, warn, error")
 	fs.Parse(args)
 	setLogLevel(*logLevel)
@@ -370,6 +402,8 @@ func cmdShardServe(args []string) {
 	srv := sosrnet.NewServer()
 	srv.Logger = logger.With("shard", *index, "replica", *replicaIdx)
 	srv.MaxConcurrentSessions = *maxSessions
+	srv.AdminToken = *adminToken
+	srv.Trace = newTracer(traceConfig{Sample: *traceSample, Ring: *traceRing}, *traceSlow)
 	st := openStore(srv, &serverConfig{DataDir: *dataDir})
 	var sets []fileDataset
 	switch {
@@ -495,6 +529,7 @@ func cmdShardSync(args []string) {
 	hedge := fs.Duration("hedge", 0, "straggler delay before racing a second replica of a slow shard (0 disables hedging)")
 	perShardD := fs.Bool("per-shard-d", false, "drop -d per shard so each shard estimates its own difference bound")
 	dumpMetrics := fs.Bool("dump-metrics", false, "print the client's Prometheus metrics (failover/hedge counters) to stdout after the sync")
+	trace := fs.Bool("trace", false, "trace the sync end to end and print its trace id; every shard server records the same trace (see /debug/traces?id=...)")
 	fs.Parse(args)
 	if *name == "" {
 		fatal("shard-sync: -name is required")
@@ -509,11 +544,22 @@ func cmdShardSync(args []string) {
 	}
 	c.HedgeDelay = *hedge
 	c.PerShardDiff = *perShardD
+	c.Logger = logger
 	reg := obs.NewRegistry()
 	c.Obs = reg
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// With -trace, root the whole sync under one always-sampled span: the
+	// fan-out, every per-shard attempt, and each shard server's stage spans
+	// share its trace id, printed at the end for /debug/traces?id= lookups.
+	var syncSpan *obs.Span
+	if *trace {
+		tr := &obs.Tracer{SampleRate: 1}
+		syncSpan = tr.StartRoot("shard-sync")
+		ctx = obs.ContextWithSpan(ctx, syncSpan)
+	}
 
 	var local fileDataset
 	switch {
@@ -564,6 +610,10 @@ func cmdShardSync(args []string) {
 		printShardStats(st)
 	default:
 		fatal("shard-sync: unsupported kind", "kind", *kind)
+	}
+	if syncSpan != nil {
+		syncSpan.Finish()
+		fmt.Printf("trace: id=%s\n", syncSpan.TraceID())
 	}
 	if *dumpMetrics {
 		if err := reg.WriteProm(os.Stdout); err != nil {

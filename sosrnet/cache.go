@@ -8,6 +8,7 @@ import (
 	"sosr/internal/core"
 	"sosr/internal/enccache"
 	"sosr/internal/hashing"
+	"sosr/internal/obs"
 	"sosr/internal/setrecon"
 	"sosr/internal/setutil"
 	"sosr/internal/store"
@@ -79,21 +80,30 @@ func (s *Server) CacheStats() enccache.Stats {
 // cachedMsg memoizes a seed+bound-keyed payload whose builder cannot fail
 // (set IBLTs, charpoly evaluations, multiround round 1). Builder runs — the
 // cache misses that actually encode — are observed into the encode stage
-// histogram, so the metric reflects real work, not replayed bytes.
-func (s *Server) cachedMsg(view dsView, proto string, seed uint64, d int, build func() []byte) []byte {
+// histogram and get an "encode" span, so both reflect real work, not
+// replayed bytes; the session trace tallies the lookup either way.
+func (s *Server) cachedMsg(view dsView, proto string, seed uint64, d int, tr *sessTrace, build func() []byte) []byte {
+	built := false
 	timed := func() []byte {
+		built = true
+		sp := tr.child("encode")
+		sp.SetStr("proto", proto)
+		sp.SetInt("d", int64(d))
 		t0 := time.Now()
 		body := build()
 		s.observeEncode(t0)
+		sp.Finish()
 		return body
 	}
-	cache := s.encCache()
-	if cache == nil {
-		return timed()
+	var body []byte
+	if cache := s.encCache(); cache == nil {
+		body = timed()
+	} else {
+		body, _ = cache.GetOrCompute(enccache.Key{
+			Dataset: view.name, Version: view.version, Proto: proto, Seed: seed, D: d,
+		}, func() ([]byte, error) { return timed(), nil })
 	}
-	body, _ := cache.GetOrCompute(enccache.Key{
-		Dataset: view.name, Version: view.version, Proto: proto, Seed: seed, D: d,
-	}, func() ([]byte, error) { return timed(), nil })
+	tr.cacheEvent(!built)
 	return body
 }
 
@@ -101,20 +111,31 @@ func (s *Server) cachedMsg(view dsView, proto string, seed uint64, d int, build 
 // fail (graph and forest Alice sides, which emit signature + edge/meta frames
 // from one encode pass). extra pins builder inputs with no dedicated key
 // field. Builder runs are observed into the encode stage histogram.
-func (s *Server) cachedFrames(view dsView, proto string, seed uint64, d int, extra string, build func() ([][]byte, error)) ([][]byte, error) {
+func (s *Server) cachedFrames(view dsView, proto string, seed uint64, d int, extra string, tr *sessTrace, build func() ([][]byte, error)) ([][]byte, error) {
+	built := false
 	timed := func() ([][]byte, error) {
+		built = true
+		sp := tr.child("encode")
+		sp.SetStr("proto", proto)
+		sp.SetInt("d", int64(d))
 		t0 := time.Now()
 		frames, err := build()
 		s.observeEncode(t0)
+		sp.Fail(err)
+		sp.Finish()
 		return frames, err
 	}
-	cache := s.encCache()
-	if cache == nil {
-		return timed()
+	var frames [][]byte
+	var err error
+	if cache := s.encCache(); cache == nil {
+		frames, err = timed()
+	} else {
+		frames, err = cache.GetOrComputeFrames(enccache.Key{
+			Dataset: view.name, Version: view.version, Proto: proto, Seed: seed, D: d, Extra: extra,
+		}, timed)
 	}
-	return cache.GetOrComputeFrames(enccache.Key{
-		Dataset: view.name, Version: view.version, Proto: proto, Seed: seed, D: d, Extra: extra,
-	}, timed)
+	tr.cacheEvent(!built)
+	return frames, err
 }
 
 // sosProtoName maps a digest kind to its cache-key protocol name.
@@ -132,24 +153,41 @@ func sosProtoName(kind core.DigestKind) string {
 
 // sosAliceMsg returns the one-round sets-of-sets payload for the session's
 // snapshot, memoized and incrementally maintained.
-func (s *Server) sosAliceMsg(view dsView, kind core.DigestKind, coins hashing.Coins, p core.Params, d, dHat int) ([]byte, error) {
-	cache := s.encCache()
-	if cache == nil {
+func (s *Server) sosAliceMsg(view dsView, kind core.DigestKind, coins hashing.Coins, p core.Params, d, dHat int, tr *sessTrace) ([]byte, error) {
+	proto := sosProtoName(kind)
+	built := false
+	timed := func(run func() ([]byte, error)) ([]byte, error) {
+		built = true
+		sp := tr.child("encode")
+		sp.SetStr("proto", proto)
+		sp.SetInt("d", int64(d))
+		sp.SetInt("dhat", int64(dHat))
 		t0 := time.Now()
-		body, err := core.AliceMsg(kind, coins, view.sos, p, d, dHat)
+		body, err := run()
 		s.observeEncode(t0)
+		sp.Fail(err)
+		sp.Finish()
 		return body, err
 	}
-	k := enccache.Key{
-		Dataset: view.name, Version: view.version, Proto: sosProtoName(kind),
-		Seed: coins.Master(), S: p.S, H: p.H, U: p.U, D: d, DHat: dHat,
+	var body []byte
+	var err error
+	if cache := s.encCache(); cache == nil {
+		body, err = timed(func() ([]byte, error) {
+			return core.AliceMsg(kind, coins, view.sos, p, d, dHat)
+		})
+	} else {
+		k := enccache.Key{
+			Dataset: view.name, Version: view.version, Proto: proto,
+			Seed: coins.Master(), S: p.S, H: p.H, U: p.U, D: d, DHat: dHat,
+		}
+		body, err = cache.GetOrCompute(k, func() ([]byte, error) {
+			return timed(func() ([]byte, error) {
+				return view.ds.oneRoundBody(kind, coins, view, p, d, dHat)
+			})
+		})
 	}
-	return cache.GetOrCompute(k, func() ([]byte, error) {
-		t0 := time.Now()
-		body, err := view.ds.oneRoundBody(kind, coins, view, p, d, dHat)
-		s.observeEncode(t0)
-		return body, err
-	})
+	tr.cacheEvent(!built)
+	return body, err
 }
 
 // oneRoundBody builds the payload for a cache miss. When the session's
@@ -270,6 +308,12 @@ func (d *dataset) dropLive(lk liveKey) {
 // exactly its slice. A mutation that owns nothing here is a no-op (no
 // version bump, caches stay warm).
 func (s *Server) UpdateSetsOfSets(name string, add, remove [][]uint64) error {
+	return s.updateSetsOfSets(name, add, remove, nil)
+}
+
+// updateSetsOfSets is UpdateSetsOfSets with a trace span: the admin endpoint
+// passes its request span so the WAL append lands in the request's trace.
+func (s *Server) updateSetsOfSets(name string, add, remove [][]uint64, sp *obs.Span) error {
 	ds, err := s.lookup(name, KindSetsOfSets)
 	if err != nil {
 		return err
@@ -298,7 +342,7 @@ func (s *Server) UpdateSetsOfSets(name string, add, remove [][]uint64) error {
 	}
 	compact, err := s.walAppend(name, ds, &store.Update{
 		Version: ds.version + 1, AddSets: addC, RemoveSets: removeC,
-	})
+	}, sp)
 	if err != nil {
 		return err
 	}
@@ -393,6 +437,11 @@ func (d *dataset) commitSOS(next [][]uint64, addC, removeC [][]uint64) {
 // every shard server; each takes its slice), and an update owning nothing
 // here is a no-op.
 func (s *Server) UpdateSets(name string, add, remove []uint64) error {
+	return s.updateSets(name, add, remove, nil)
+}
+
+// updateSets is UpdateSets with a trace span (see updateSetsOfSets).
+func (s *Server) updateSets(name string, add, remove []uint64, sp *obs.Span) error {
 	ds, err := s.lookup(name, KindSet)
 	if err != nil {
 		return err
@@ -411,7 +460,7 @@ func (s *Server) UpdateSets(name string, add, remove []uint64) error {
 	defer ds.mu.Unlock()
 	compact, err := s.walAppend(name, ds, &store.Update{
 		Version: ds.version + 1, Add: add, Remove: remove,
-	})
+	}, sp)
 	if err != nil {
 		return err
 	}
@@ -438,6 +487,11 @@ func (d *dataset) stageSet(add, remove []uint64) []uint64 {
 // value (matching HostMultisetShard), broadcast updates apply per-shard
 // slices, and an update owning nothing here is a no-op.
 func (s *Server) UpdateMultisets(name string, add, remove []uint64) error {
+	return s.updateMultisets(name, add, remove, nil)
+}
+
+// updateMultisets is UpdateMultisets with a trace span (see updateSetsOfSets).
+func (s *Server) updateMultisets(name string, add, remove []uint64, sp *obs.Span) error {
 	ds, err := s.lookup(name, KindMultiset)
 	if err != nil {
 		return err
@@ -467,7 +521,7 @@ func (s *Server) UpdateMultisets(name string, add, remove []uint64) error {
 	}
 	compact, err := s.walAppend(name, ds, &store.Update{
 		Version: ds.version + 1, Add: add, Remove: remove,
-	})
+	}, sp)
 	if err != nil {
 		return err
 	}

@@ -67,6 +67,13 @@ type Client struct {
 	// Obs, when set, receives decode-stage metrics: sketch-cache hits/misses
 	// and a peel-iterations histogram.
 	Obs *obs.Registry
+	// Trace, when set, samples a distributed trace per session: the root span
+	// covers the whole session (wire accounting as attributes), "decode"
+	// children cover Bob-side applies, and the span identity rides the hello
+	// frame so the server's stage spans join the same trace. A span already in
+	// the call's context (the sosrshard fan-out propagates one per attempt)
+	// takes precedence over sampling: the session becomes a child of it.
+	Trace *obs.Tracer
 	// CacheBytes bounds the client's Bob-sketch cache: repeated sets-of-sets
 	// sessions against the same dataset with the same local data subtract a
 	// memoized child-encoding aggregate instead of re-encoding per session.
@@ -140,9 +147,12 @@ func ctxErr(ctx context.Context, err error) error {
 	return err
 }
 
-func (c *Client) hello(ep *wire.Endpoint, h *helloMsg) (*acceptMsg, error) {
+func (c *Client) hello(ep *wire.Endpoint, h *helloMsg, sp *obs.Span) (*acceptMsg, error) {
 	h.V = protoVersion
 	h.ShardID, h.ShardCount, h.ShardEpoch, h.ShardSet = c.ShardID, c.ShardCount, c.ShardEpoch, c.ShardFingerprint
+	if sp != nil {
+		h.TraceID, h.SpanID = uint64(sp.TraceID()), uint64(sp.ID())
+	}
 	if err := ep.SendFrame(lblHello, marshalCtl(h)); err != nil {
 		return nil, err
 	}
@@ -186,15 +196,53 @@ func netStats(ep *wire.Endpoint, attempts int) *NetStats {
 	}
 }
 
+// startSpan opens a session's client span: a child of the caller's context
+// span when one is present (the sosrshard fan-out propagates one per shard
+// attempt), otherwise a sampled root from c.Trace. Nil — and free — when
+// tracing is off.
+func (c *Client) startSpan(ctx context.Context, name string, kind Kind) *obs.Span {
+	sp := obs.SpanFromContext(ctx).Child("client/session")
+	if sp == nil {
+		sp = c.Trace.StartRoot("client/session")
+	}
+	sp.SetStr("dataset", name)
+	sp.SetStr("kind", string(kind))
+	sp.SetStr("server", c.Addr)
+	return sp
+}
+
+// finishSpan closes a session span with the accounting the session returns.
+// The byte attributes are read from the same NetStats value the caller hands
+// back, so a trace root's wire bytes equal the reported Stats exactly — by
+// construction, not by a parallel tally.
+func (c *Client) finishSpan(sp *obs.Span, ns *NetStats, err error) {
+	if sp == nil {
+		return
+	}
+	if ns != nil {
+		sp.SetInt("proto_bytes", int64(ns.Protocol.TotalBytes))
+		sp.SetInt("wire_in", ns.WireIn)
+		sp.SetInt("wire_out", ns.WireOut)
+		sp.SetInt("overhead", ns.Overhead)
+		sp.SetInt("attempts", int64(ns.Attempts))
+		sp.SetInt("rounds", int64(ns.Protocol.Rounds))
+	}
+	sp.Fail(err)
+	sp.Finish()
+}
+
 // Sets reconciles a local set against the hosted set `name`: the client ends
 // up with the server's set. cfg mirrors sosr.ReconcileSets. Cancelling ctx
 // severs the session.
 func (c *Client) Sets(ctx context.Context, name string, local []uint64, cfg sosr.SetConfig) (*sosr.SetResult, *NetStats, error) {
-	res, ns, err := c.sets(ctx, name, local, cfg)
-	return res, ns, ctxErr(ctx, err)
+	sp := c.startSpan(ctx, name, KindSet)
+	res, ns, err := c.sets(ctx, name, local, cfg, sp)
+	err = ctxErr(ctx, err)
+	c.finishSpan(sp, ns, err)
+	return res, ns, err
 }
 
-func (c *Client) sets(ctx context.Context, name string, local []uint64, cfg sosr.SetConfig) (*sosr.SetResult, *NetStats, error) {
+func (c *Client) sets(ctx context.Context, name string, local []uint64, cfg sosr.SetConfig, sp *obs.Span) (*sosr.SetResult, *NetStats, error) {
 	if cfg.UseCharPoly && cfg.KnownDiff <= 0 {
 		return nil, nil, errors.New("sosrnet: UseCharPoly requires KnownDiff > 0")
 	}
@@ -207,7 +255,7 @@ func (c *Client) sets(ctx context.Context, name string, local []uint64, cfg sosr
 	_, err = c.hello(ep, &helloMsg{
 		Dataset: name, Kind: KindSet, Seed: cfg.Seed,
 		D: cfg.KnownDiff, CharPoly: cfg.UseCharPoly,
-	})
+	}, sp)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -255,11 +303,14 @@ func (c *Client) sets(ctx context.Context, name string, local []uint64, cfg sosr
 // ≤ 0 runs the estimator variant over the packed sets (a wire-only
 // extension; the in-process API requires a known bound).
 func (c *Client) Multiset(ctx context.Context, name string, local []uint64, diffBound int, seed uint64) ([]uint64, *NetStats, error) {
-	rec, ns, err := c.multiset(ctx, name, local, diffBound, seed)
-	return rec, ns, ctxErr(ctx, err)
+	sp := c.startSpan(ctx, name, KindMultiset)
+	rec, ns, err := c.multiset(ctx, name, local, diffBound, seed, sp)
+	err = ctxErr(ctx, err)
+	c.finishSpan(sp, ns, err)
+	return rec, ns, err
 }
 
-func (c *Client) multiset(ctx context.Context, name string, local []uint64, diffBound int, seed uint64) ([]uint64, *NetStats, error) {
+func (c *Client) multiset(ctx context.Context, name string, local []uint64, diffBound int, seed uint64, sp *obs.Span) ([]uint64, *NetStats, error) {
 	packed, err := setrecon.MultisetToSet(local)
 	if err != nil {
 		return nil, nil, err
@@ -269,7 +320,7 @@ func (c *Client) multiset(ctx context.Context, name string, local []uint64, diff
 		return nil, nil, err
 	}
 	defer cleanup()
-	if _, err = c.hello(ep, &helloMsg{Dataset: name, Kind: KindMultiset, Seed: seed, D: diffBound}); err != nil {
+	if _, err = c.hello(ep, &helloMsg{Dataset: name, Kind: KindMultiset, Seed: seed, D: diffBound}, sp); err != nil {
 		return nil, nil, err
 	}
 	coins := hashing.NewCoins(seed)
@@ -297,11 +348,14 @@ func (c *Client) multiset(ctx context.Context, name string, local []uint64, diff
 // `name`, mirroring sosr.ReconcileSetsOfSets (all four protocol families,
 // known- and unknown-d variants). Cancelling ctx severs the session.
 func (c *Client) SetsOfSets(ctx context.Context, name string, local [][]uint64, cfg sosr.Config) (*sosr.Result, *NetStats, error) {
-	res, ns, err := c.setsOfSets(ctx, name, local, cfg)
-	return res, ns, ctxErr(ctx, err)
+	sp := c.startSpan(ctx, name, KindSetsOfSets)
+	res, ns, err := c.setsOfSets(ctx, name, local, cfg, sp)
+	err = ctxErr(ctx, err)
+	c.finishSpan(sp, ns, err)
+	return res, ns, err
 }
 
-func (c *Client) setsOfSets(ctx context.Context, name string, local [][]uint64, cfg sosr.Config) (*sosr.Result, *NetStats, error) {
+func (c *Client) setsOfSets(ctx context.Context, name string, local [][]uint64, cfg sosr.Config, sp *obs.Span) (*sosr.Result, *NetStats, error) {
 	bob := make([][]uint64, len(local))
 	for i, cs := range local {
 		bob[i] = setutil.Canonical(cs)
@@ -316,7 +370,7 @@ func (c *Client) setsOfSets(ctx context.Context, name string, local [][]uint64, 
 		D: cfg.KnownDiff, Protocol: cfg.Protocol.String(), DHat: cfg.KnownChildDiff,
 		Replicas: cfg.Replicas, S: cfg.MaxChildSets, H: cfg.MaxChildSize, U: cfg.Universe,
 		CS: len(bob), CH: maxChildLen(bob), Validate: cfg.Validate,
-	})
+	}, sp)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -332,6 +386,7 @@ func (c *Client) setsOfSets(ctx context.Context, name string, local [][]uint64, 
 	}
 	coins := hashing.NewCoins(cfg.Seed)
 	ap := c.newSOSApply(name, bob, p)
+	ap.sp = sp
 	var res *core.Result
 	var attempts int
 	switch acc.Protocol {
@@ -398,7 +453,11 @@ func (a *sosApply) oneShot(ep *wire.Endpoint, coins hashing.Coins, d, dHat int, 
 	if err != nil {
 		return nil, 0, err
 	}
+	dsp := a.sp.Child("decode")
+	dsp.SetInt("d", int64(d))
 	res, err := core.ApplyMsg(kind, coins, body, a.bob, a.p, d, dHat)
+	dsp.SetBool("ok", err == nil)
+	dsp.Finish()
 	if err != nil {
 		sendDone(ep, false, err, 1)
 		return nil, 0, err
@@ -512,7 +571,11 @@ func (a *sosApply) multiRound(ep *wire.Endpoint, coins hashing.Coins, acc *accep
 		if err != nil {
 			return nil, 0, err
 		}
+		dsp := a.sp.Child("decode")
+		dsp.SetInt("round", int64(r+1))
 		res, err := core.MRBobFinish(c, bob, st, msg3)
+		dsp.SetBool("ok", err == nil)
+		dsp.Finish()
 		if err != nil {
 			if ferr := retryOrFail(err); ferr != nil {
 				return nil, 0, ferr
@@ -531,11 +594,14 @@ func (a *sosApply) multiRound(ep *wire.Endpoint, coins hashing.Coins, acc *accep
 // sosr.ReconcileGraphs (degree-ordering and degree-neighborhood schemes).
 // Cancelling ctx severs the session.
 func (c *Client) Graph(ctx context.Context, name string, local sosr.Graph, cfg sosr.GraphConfig) (*sosr.GraphResult, *NetStats, error) {
-	res, ns, err := c.graph(ctx, name, local, cfg)
-	return res, ns, ctxErr(ctx, err)
+	sp := c.startSpan(ctx, name, KindGraph)
+	res, ns, err := c.graph(ctx, name, local, cfg, sp)
+	err = ctxErr(ctx, err)
+	c.finishSpan(sp, ns, err)
+	return res, ns, err
 }
 
-func (c *Client) graph(ctx context.Context, name string, local sosr.Graph, cfg sosr.GraphConfig) (*sosr.GraphResult, *NetStats, error) {
+func (c *Client) graph(ctx context.Context, name string, local sosr.Graph, cfg sosr.GraphConfig, sp *obs.Span) (*sosr.GraphResult, *NetStats, error) {
 	gb := toGraph(local)
 	d := cfg.MaxEdits
 	if d < 1 {
@@ -571,7 +637,7 @@ func (c *Client) graph(ctx context.Context, name string, local sosr.Graph, cfg s
 		return nil, nil, err
 	}
 	defer cleanup()
-	acc, err := c.hello(ep, h)
+	acc, err := c.hello(ep, h, sp)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -612,11 +678,14 @@ func (c *Client) graph(ctx context.Context, name string, local sosr.Graph, cfg s
 // sosr.ReconcileForests (known-budget and auto-doubling variants).
 // Cancelling ctx severs the session.
 func (c *Client) Forest(ctx context.Context, name string, local sosr.Forest, cfg sosr.ForestConfig) (*sosr.ForestResult, *NetStats, error) {
-	res, ns, err := c.forest(ctx, name, local, cfg)
-	return res, ns, ctxErr(ctx, err)
+	sp := c.startSpan(ctx, name, KindForest)
+	res, ns, err := c.forest(ctx, name, local, cfg, sp)
+	err = ctxErr(ctx, err)
+	c.finishSpan(sp, ns, err)
+	return res, ns, err
 }
 
-func (c *Client) forest(ctx context.Context, name string, local sosr.Forest, cfg sosr.ForestConfig) (*sosr.ForestResult, *NetStats, error) {
+func (c *Client) forest(ctx context.Context, name string, local sosr.Forest, cfg sosr.ForestConfig, sp *obs.Span) (*sosr.ForestResult, *NetStats, error) {
 	fb := toForest(local)
 	if err := fb.Validate(); err != nil {
 		return nil, nil, err
@@ -631,7 +700,7 @@ func (c *Client) forest(ctx context.Context, name string, local sosr.Forest, cfg
 		Dataset: name, Kind: KindForest, Seed: cfg.Seed,
 		D: cfg.MaxEdits, Sigma: cfg.Depth,
 		N: info.N, Depth: info.Depth, MaxChild: info.MaxChild,
-	})
+	}, sp)
 	if err != nil {
 		return nil, nil, err
 	}

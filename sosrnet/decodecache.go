@@ -6,6 +6,7 @@ import (
 	"sosr/internal/core"
 	"sosr/internal/enccache"
 	"sosr/internal/hashing"
+	"sosr/internal/obs"
 	"sosr/internal/setutil"
 )
 
@@ -47,6 +48,8 @@ type sosApply struct {
 	bob  [][]uint64
 	p    core.Params
 	fp   uint64
+	// sp is the session span decode children hang off; nil when untraced.
+	sp *obs.Span
 }
 
 func (c *Client) newSOSApply(name string, bob [][]uint64, p core.Params) *sosApply {
@@ -55,12 +58,21 @@ func (c *Client) newSOSApply(name string, bob [][]uint64, p core.Params) *sosApp
 
 // apply runs one cached Bob step: look up (or build) the sketch for this
 // exact decode shape and subtract it instead of re-encoding the local data.
+// An attempt that fails to decode is an expected protocol outcome (it drives
+// the replication/doubling retry loops), so the decode span records ok=false
+// rather than a span error — only genuinely broken sessions flag traces.
 func (a *sosApply) apply(coins hashing.Coins, body []byte, kind core.DigestKind, d, dHat int) (*core.Result, error) {
+	dsp := a.sp.Child("decode")
+	dsp.SetInt("d", int64(d))
+	dsp.SetInt("dhat", int64(dHat))
 	sk := a.sketch(kind, coins, d, dHat)
 	res, err := core.ApplyMsgCached(kind, coins, body, a.bob, a.p, d, dHat, sk)
 	if err == nil {
 		a.c.observePeels(res.PeelIterations)
+		dsp.SetInt("peels", int64(res.PeelIterations))
 	}
+	dsp.SetBool("ok", err == nil)
+	dsp.Finish()
 	return res, err
 }
 

@@ -23,6 +23,7 @@ import (
 //	sosr_enccache_bytes / sosr_enccache_entries
 //	sosr_dataset_version{dataset,shard}        copy-on-write version counter
 //	sosr_dataset_items{dataset,shard}          elements/children/edges/nodes hosted
+//	sosr_bound_ratio                           protocol bytes ÷ d̂ per session
 type serverMetrics struct {
 	started  *obs.CounterVec
 	sessions *obs.CounterVec
@@ -31,6 +32,12 @@ type serverMetrics struct {
 	protoB   *obs.CounterVec
 	stage    *obs.HistogramVec
 	active   *obs.Gauge
+
+	// boundRatio audits the paper's O(d̂) communication promise on every
+	// session: protocol payload bytes divided by the resolved difference
+	// bound d̂. Independent of n by Theorem 3.3 — a drifting ratio means a
+	// protocol regression, not a bigger dataset.
+	boundRatio *obs.Histogram
 
 	// Hot stage children, resolved once so the session path is an atomic add.
 	stageHello    *obs.Histogram
@@ -80,6 +87,9 @@ func (s *Server) metrics() *serverMetrics {
 				nil, "stage"),
 			active: r.Gauge("sosr_sessions_active",
 				"Sessions currently holding a goroutine.").With(),
+			boundRatio: r.Histogram("sosr_bound_ratio",
+				"Protocol payload bytes divided by the session's resolved difference bound d̂ — the paper's O(d̂) communication promise, audited per session.",
+				boundRatioBuckets).With(),
 		}
 		m.stageHello = m.stage.With("hello")
 		m.stageEncode = m.stage.With("encode")
@@ -160,6 +170,10 @@ type clientMetrics struct {
 // peelBuckets spans the observed peel-iteration range: tens for small
 // cascades through thousands for naive decodes of large parents.
 var peelBuckets = []float64{8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192}
+
+// boundRatioBuckets span bytes-per-d̂ from a tight charpoly session (~8
+// bytes per difference) through heavily padded small-d̂ cascades.
+var boundRatioBuckets = []float64{4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096}
 
 // metrics lazily registers the client's decode families on Obs; nil when the
 // caller supplied no registry (the decode path then skips observation).

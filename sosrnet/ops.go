@@ -1,14 +1,17 @@
 package sosrnet
 
 import (
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"sort"
+	"strings"
 
 	"sosr/internal/hashing"
+	"sosr/internal/obs"
 	"sosr/internal/setutil"
 )
 
@@ -112,10 +115,15 @@ func (s *Server) Datasets() []DatasetInfo {
 //	/admin/update         POST {name,add,remove|add_sets,remove_sets}
 //	/admin/drop           POST {name}: unhost + remove persisted state
 //	/admin/snapshot       POST {name} ("" = all): snapshot, compacting the WAL
+//	/debug/traces         recent + flagged (slow/errored) trace summaries;
+//	                      ?id=<hex trace id> returns one trace's span tree
 //	/debug/pprof/         the standard runtime profiles
 //
-// The admin endpoints mutate hosted data — another reason this listener must
-// stay private.
+// When AdminToken is set, every /admin/* and /debug/* route requires
+// `Authorization: Bearer <token>`; /metrics, /healthz, /readyz, and /datasets
+// stay open so scrapers and probes need no secret. The admin endpoints mutate
+// hosted data and the debug endpoints expose internals — another reason this
+// listener must stay private even with a token set.
 func (s *Server) OpsHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", s.Registry().Handler())
@@ -138,18 +146,69 @@ func (s *Server) OpsHandler() http.Handler {
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(s.Datasets())
 	})
-	mux.HandleFunc("POST /admin/host", s.adminHost)
-	mux.HandleFunc("POST /admin/update", s.adminUpdate)
-	mux.HandleFunc("POST /admin/drop", s.adminDrop)
-	mux.HandleFunc("POST /admin/snapshot", s.adminSnapshot)
+	mux.HandleFunc("POST /admin/host", s.authorized(s.adminHost))
+	mux.HandleFunc("POST /admin/update", s.authorized(s.adminUpdate))
+	mux.HandleFunc("POST /admin/drop", s.authorized(s.adminDrop))
+	mux.HandleFunc("POST /admin/snapshot", s.authorized(s.adminSnapshot))
+	mux.HandleFunc("/debug/traces", s.authorized(s.debugTraces))
 	// The default-mux pprof registrations are skipped by using a private mux;
 	// wire the handlers in explicitly.
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/pprof/", s.authorized(pprof.Index))
+	mux.HandleFunc("/debug/pprof/cmdline", s.authorized(pprof.Cmdline))
+	mux.HandleFunc("/debug/pprof/profile", s.authorized(pprof.Profile))
+	mux.HandleFunc("/debug/pprof/symbol", s.authorized(pprof.Symbol))
+	mux.HandleFunc("/debug/pprof/trace", s.authorized(pprof.Trace))
 	return mux
+}
+
+// authorized gates a privileged ops handler behind AdminToken. With no token
+// configured the handler is served as-is (private-listener deployments); with
+// one, requests must present `Authorization: Bearer <token>`, compared in
+// constant time so the gate leaks nothing about the token through timing.
+func (s *Server) authorized(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		token := s.AdminToken
+		if token == "" {
+			h(w, r)
+			return
+		}
+		got, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+		if !ok || subtle.ConstantTimeCompare([]byte(got), []byte(token)) != 1 {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="sosr-ops"`)
+			adminJSON(w, http.StatusUnauthorized, map[string]string{"error": "missing or invalid bearer token"})
+			return
+		}
+		h(w, r)
+	}
+}
+
+// debugTraces serves the trace rings: without ?id, the recent and flagged
+// (slow/errored) summaries newest-first; with ?id=<hex trace id>, that
+// trace's full span tree. 404s when tracing is not configured or the trace
+// has been evicted.
+func (s *Server) debugTraces(w http.ResponseWriter, r *http.Request) {
+	if s.Trace == nil {
+		adminJSON(w, http.StatusNotFound, map[string]string{"error": "tracing is not enabled on this server"})
+		return
+	}
+	if raw := r.URL.Query().Get("id"); raw != "" {
+		id, err := obs.ParseTraceID(raw)
+		if err != nil {
+			adminJSON(w, http.StatusBadRequest, map[string]string{"error": "bad trace id: " + err.Error()})
+			return
+		}
+		d := s.Trace.Get(id)
+		if d == nil {
+			adminJSON(w, http.StatusNotFound, map[string]string{"error": "trace not found (evicted or never sampled)"})
+			return
+		}
+		adminJSON(w, http.StatusOK, d)
+		return
+	}
+	adminJSON(w, http.StatusOK, map[string]any{
+		"recent":  s.Trace.Recent(),
+		"flagged": s.Trace.Flagged(),
+	})
 }
 
 // adminHostReq is the POST /admin/host body; elems feeds sets and multisets,
@@ -244,17 +303,28 @@ func (s *Server) adminUpdate(w http.ResponseWriter, r *http.Request) {
 		adminErr(w, fmt.Errorf("%w: %q", ErrUnknownDataset, req.Name), http.StatusNotFound)
 		return
 	}
+	// Admin mutations get their own root trace: a "commit" child wraps the
+	// staged commit and the WAL append lands as its "store/append" child, so
+	// a slow durable write shows up in /debug/traces like any slow session.
+	sp := s.Trace.StartRoot("admin/update")
+	sp.SetStr("dataset", req.Name)
+	sp.SetStr("kind", string(ds.kind))
+	csp := sp.Child("commit")
 	var err error
 	switch ds.kind {
 	case KindSet:
-		err = s.UpdateSets(req.Name, req.Add, req.Remove)
+		err = s.updateSets(req.Name, req.Add, req.Remove, csp)
 	case KindMultiset:
-		err = s.UpdateMultisets(req.Name, req.Add, req.Remove)
+		err = s.updateMultisets(req.Name, req.Add, req.Remove, csp)
 	case KindSetsOfSets:
-		err = s.UpdateSetsOfSets(req.Name, req.AddSets, req.RemoveSets)
+		err = s.updateSetsOfSets(req.Name, req.AddSets, req.RemoveSets, csp)
 	default:
 		err = fmt.Errorf("%w: kind %q takes no updates", ErrUnsupported, ds.kind)
 	}
+	csp.Fail(err)
+	csp.Finish()
+	sp.Fail(err)
+	sp.Finish()
 	if err != nil {
 		adminErr(w, err, http.StatusBadRequest)
 		return

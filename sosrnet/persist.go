@@ -8,6 +8,7 @@ import (
 	"sosr/internal/forest"
 	"sosr/internal/graph"
 	"sosr/internal/hashing"
+	"sosr/internal/obs"
 	"sosr/internal/shardmap"
 	"sosr/internal/store"
 )
@@ -234,15 +235,21 @@ func (s *Server) DropDataset(name string) error {
 // walAppend journals one staged mutation before it commits. Caller holds
 // ds.mu (so WAL order is version order) and must abort the commit on error.
 // Returns with the entry durable; if the store asks for compaction the
-// caller snapshots right after its commit via compactLocked.
-func (s *Server) walAppend(name string, ds *dataset, up *store.Update) (compact bool, err error) {
+// caller snapshots right after its commit via compactLocked. sp, when
+// non-nil, parents a "store/append" span covering the durable write.
+func (s *Server) walAppend(name string, ds *dataset, up *store.Update, sp *obs.Span) (compact bool, err error) {
 	s.mu.Lock()
 	st := s.store
 	s.mu.Unlock()
 	if st == nil {
 		return false, nil
 	}
+	wsp := sp.Child("store/append")
+	wsp.SetStr("dataset", name)
+	wsp.SetInt("version", int64(up.Version))
 	compact, err = st.AppendUpdate(name, up)
+	wsp.Fail(err)
+	wsp.Finish()
 	if err != nil {
 		return false, fmt.Errorf("sosrnet: journaling update for %q: %w", name, err)
 	}

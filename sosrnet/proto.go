@@ -114,6 +114,15 @@ type helloMsg struct {
 	ShardSet   uint64 `json:"shardset,omitempty"`
 	ShardEpoch uint64 `json:"shardepoch,omitempty"`
 
+	// TraceID/SpanID propagate the client's trace context (see internal/obs)
+	// so the server's stage spans join the same distributed trace as the
+	// client session that opened the connection. Zero means the client did
+	// not sample this session; both fields are omitted from the JSON then,
+	// so unsampled hellos are byte-identical to pre-trace ones and
+	// protoVersion is unchanged (decoders ignore unknown fields).
+	TraceID uint64 `json:"traceid,omitempty"`
+	SpanID  uint64 `json:"spanid,omitempty"`
+
 	// D is the known difference bound (kind-specific meaning: set/multiset
 	// symmetric-difference bound, sets-of-sets total element differences,
 	// graph edge edits, forest edge edits). 0 selects the unknown-d variant

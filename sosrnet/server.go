@@ -85,6 +85,24 @@ type Server struct {
 	// accept, before the hello arrives, so dribbling handshakes count toward
 	// the cap until the hello deadline clears them.
 	MaxConcurrentSessions int
+	// Trace, when set, records distributed traces: a session whose hello
+	// carries a trace context always joins its client's trace (the client
+	// made the sampling decision); otherwise the tracer's own SampleRate
+	// decides whether to start a server-local root. Each traced session
+	// gets per-stage spans (hello, estimate, encode, transfer) plus the
+	// resolved bounds, byte totals, cache outcomes, and the bytes÷d̂ bound
+	// ratio on its session span. Nil disables tracing; the session path
+	// then allocates nothing for it (all span helpers are nil-safe).
+	Trace *obs.Tracer
+	// AdminToken, when non-empty, gates the mutating and introspective ops
+	// endpoints (/admin/*, /debug/*) behind "Authorization: Bearer <token>".
+	// /metrics, /healthz, /readyz, and /datasets stay open for scrapers.
+	AdminToken string
+	// BoundEnvelope flags sessions whose protocol-bytes ÷ d̂ ratio blows
+	// past it: the session span gains bound_exceeded=true and a Warn log is
+	// emitted (the ratio itself always feeds sosr_bound_ratio). 0 means
+	// DefaultBoundEnvelope; negative disables flagging.
+	BoundEnvelope float64
 
 	mu       sync.Mutex
 	datasets map[string]*dataset
@@ -209,6 +227,14 @@ const DefaultSessionTimeout = 5 * time.Minute
 
 // DefaultHelloTimeout is the default deadline for the opening hello frame.
 const DefaultHelloTimeout = 10 * time.Second
+
+// DefaultBoundEnvelope is the default bytes÷d̂ ratio past which a session
+// is flagged as blowing its communication envelope. The constant-factor
+// cost per difference is tens of bytes for IBLT variants (cells × cell
+// size × hash replication) and can reach a few hundred for padded small-d̂
+// cascades; 1024 is comfortably past every healthy protocol family while
+// still catching a linear-in-n regression immediately.
+const DefaultBoundEnvelope = 1024
 
 // maxHelloReplicas caps the client-requested replication factor (each
 // replica is one server-built payload).
@@ -522,10 +548,61 @@ func (s *Server) Shutdown(ctx context.Context) error {
 }
 
 // reject counts and logs a session dropped before serving.
-func (s *Server) reject(sid uint64, remote, reason string, err error) {
+func (s *Server) reject(sid uint64, remote, reason string, err error, tid obs.TraceID) {
 	s.metrics().rejects.With(reason).Inc()
-	s.logger().Warn("handshake rejected",
-		"sid", sid, "remote", remote, "reason", reason, "err", err.Error())
+	args := []any{"sid", sid, "remote", remote, "reason", reason, "err", err.Error()}
+	if tid != 0 {
+		args = append(args, "trace_id", tid.String())
+	}
+	s.logger().Warn("handshake rejected", args...)
+}
+
+func (s *Server) boundEnvelope() float64 {
+	if s.BoundEnvelope != 0 {
+		return s.BoundEnvelope
+	}
+	return DefaultBoundEnvelope
+}
+
+// sessTrace carries one session's tracing state down the serve paths: the
+// session span, the transfer-stage span the per-stage children hang off,
+// the resolved difference bounds, and the encode-cache outcomes. A nil
+// *sessTrace (or one holding nil spans) is fully inert, so untraced
+// sessions pay only nil checks.
+type sessTrace struct {
+	sp    *obs.Span // session span (root or joined)
+	stage *obs.Span // "transfer" span, parent of estimate/encode children
+	d     int       // resolved difference bound
+	dHat  int       // resolved d̂ (== d for set/graph/forest kinds)
+	hits  int       // encode-cache hits this session
+	miss  int       // encode-cache misses (payload builds)
+}
+
+// child opens a stage span under the transfer span.
+func (t *sessTrace) child(name string) *obs.Span {
+	if t == nil {
+		return nil
+	}
+	return t.stage.Child(name)
+}
+
+// bounds records the session's resolved (d, d̂).
+func (t *sessTrace) bounds(d, dHat int) {
+	if t != nil {
+		t.d, t.dHat = d, dHat
+	}
+}
+
+// cacheEvent tallies one encode-cache consultation.
+func (t *sessTrace) cacheEvent(hit bool) {
+	if t == nil {
+		return
+	}
+	if hit {
+		t.hits++
+	} else {
+		t.miss++
+	}
 }
 
 // handle runs one session.
@@ -563,7 +640,7 @@ func (s *Server) handle(conn net.Conn) {
 			s.liveSessions.Add(-1)
 			err := fmt.Errorf("%w: at the cap of %d concurrent sessions", ErrBusy, lim)
 			sendErrorFrame(ep, err)
-			s.reject(sid, remote, rejectBusy, err)
+			s.reject(sid, remote, rejectBusy, err, 0)
 			return
 		}
 		defer s.liveSessions.Add(-1)
@@ -575,7 +652,7 @@ func (s *Server) handle(conn net.Conn) {
 		if errors.As(err, &ne) && ne.Timeout() {
 			reason = rejectHelloTimeout
 		}
-		s.reject(sid, remote, reason, err)
+		s.reject(sid, remote, reason, err, 0)
 		return
 	}
 	// Handshake complete: restore the session-wide read deadline.
@@ -590,24 +667,24 @@ func (s *Server) handle(conn net.Conn) {
 	if err := json.Unmarshal(payload, &h); err != nil {
 		err = fmt.Errorf("malformed hello: %v", err)
 		sendErrorFrame(ep, err)
-		s.reject(sid, remote, rejectMalformed, err)
+		s.reject(sid, remote, rejectMalformed, err, 0)
 		return
 	}
 	if h.V != protoVersion {
 		err := fmt.Errorf("protocol version %d unsupported (want %d)", h.V, protoVersion)
 		sendErrorFrame(ep, err)
-		s.reject(sid, remote, rejectVersion, err)
+		s.reject(sid, remote, rejectVersion, err, obs.TraceID(h.TraceID))
 		return
 	}
 	if err := s.checkHello(&h); err != nil {
 		sendErrorFrame(ep, err)
-		s.reject(sid, remote, rejectBound, err)
+		s.reject(sid, remote, rejectBound, err, obs.TraceID(h.TraceID))
 		return
 	}
 	ds, err := s.lookup(h.Dataset, h.Kind)
 	if err != nil {
 		sendErrorFrame(ep, err)
-		s.reject(sid, remote, rejectUnknownDataset, err)
+		s.reject(sid, remote, rejectUnknownDataset, err, obs.TraceID(h.TraceID))
 		return
 	}
 	if err := ds.checkRoute(&h); err != nil {
@@ -616,11 +693,30 @@ func (s *Server) handle(conn net.Conn) {
 		if errors.Is(err, ErrStaleEpoch) {
 			reason = rejectStaleEpoch
 		}
-		s.reject(sid, remote, reason, err)
+		s.reject(sid, remote, reason, err, obs.TraceID(h.TraceID))
 		return
 	}
 	m.stageHello.Observe(time.Since(start).Seconds())
 	m.started.With(string(h.Kind)).Inc()
+	// Trace context: a hello carrying trace IDs joins the client's trace
+	// unconditionally (the client sampled it); otherwise the server's own
+	// sample rate decides. sp stays nil on untraced sessions — every span
+	// helper below is nil-safe and allocation-free then.
+	var sp *obs.Span
+	if h.TraceID != 0 {
+		sp = s.Trace.Join(obs.TraceID(h.TraceID), obs.SpanID(h.SpanID), "server/session")
+	} else {
+		sp = s.Trace.StartRoot("server/session")
+	}
+	tid := obs.TraceID(h.TraceID)
+	if sp != nil {
+		tid = sp.TraceID()
+		sp.ChildAt("hello", start).Finish()
+	}
+	// The carrier itself is always threaded so bound resolution and cache
+	// tallies feed sosr_bound_ratio on every session; its spans stay nil
+	// (and cost nothing) when the session is untraced.
+	stc := &sessTrace{sp: sp}
 	// Handshake validated: pipeline the client's remaining frames (probes,
 	// acks, done) so they decode off the socket while payloads are built. The
 	// accept-loop goroutine closes conn right after handle returns, which
@@ -630,21 +726,24 @@ func (s *Server) handle(conn net.Conn) {
 	view := ds.view(h.Dataset)
 	coins := hashing.NewCoins(h.Seed)
 	serveStart := time.Now()
+	stc.stage = sp.Child("transfer")
 	var done *doneMsg
 	proto, detail := "unknown", ""
 	switch h.Kind {
 	case KindSet, KindMultiset:
-		done, proto, detail, err = s.serveSet(ep, coins, view, &h)
+		done, proto, detail, err = s.serveSet(ep, coins, view, &h, stc)
 	case KindSetsOfSets:
-		done, proto, detail, err = s.serveSOS(ep, coins, view, &h)
+		done, proto, detail, err = s.serveSOS(ep, coins, view, &h, stc)
 	case KindGraph:
-		done, proto, detail, err = s.serveGraph(ep, coins, view, &h)
+		done, proto, detail, err = s.serveGraph(ep, coins, view, &h, stc)
 	case KindForest:
-		done, proto, detail, err = s.serveForest(ep, coins, view, &h)
+		done, proto, detail, err = s.serveForest(ep, coins, view, &h, stc)
 	default:
 		err = fmt.Errorf("%w: kind %q", ErrUnsupported, h.Kind)
 		sendErrorFrame(ep, err)
 	}
+	stc.stage.Fail(err)
+	stc.stage.Finish()
 	m.stageTransfer.Observe(time.Since(serveStart).Seconds())
 	dur := time.Since(start)
 	m.stageDone.Observe(dur.Seconds())
@@ -662,12 +761,58 @@ func (s *Server) handle(conn net.Conn) {
 		status = "client_failed"
 	}
 	m.sessions.With(string(h.Kind), proto, status).Inc()
+	// Bound-ratio audit: the paper promises O(d̂) protocol bytes per round
+	// independent of n; the ratio makes that checkable on every session,
+	// traced or not.
+	var ratio float64
+	exceeded := false
+	if stc.dHat > 0 && st.TotalBytes > 0 {
+		ratio = float64(st.TotalBytes) / float64(stc.dHat)
+	}
+	if ratio > 0 {
+		m.boundRatio.Observe(ratio)
+		exceeded = s.boundEnvelope() > 0 && ratio > s.boundEnvelope()
+	}
+	if sp != nil {
+		sp.SetStr("dataset", h.Dataset)
+		sp.SetStr("kind", string(h.Kind))
+		sp.SetStr("proto", proto)
+		sp.SetStr("status", status)
+		sp.SetStr("remote", remote)
+		sp.SetInt("sid", int64(sid))
+		sp.SetInt("d", int64(stc.d))
+		sp.SetInt("dhat", int64(stc.dHat))
+		sp.SetInt("proto_bytes", int64(st.TotalBytes))
+		sp.SetInt("wire_in", in)
+		sp.SetInt("wire_out", out)
+		sp.SetInt("cache_hits", int64(stc.hits))
+		sp.SetInt("cache_misses", int64(stc.miss))
+		if ratio > 0 {
+			sp.SetFloat("bound_ratio", ratio)
+			sp.SetBool("bound_exceeded", exceeded)
+		}
+		sp.Fail(err)
+		sp.Finish()
+	}
 	args := []any{
 		"sid", sid, "remote", remote,
 		"dataset", h.Dataset, "kind", string(h.Kind), "proto", proto, "status", status,
 		"rounds", st.Rounds, "proto_bytes", st.TotalBytes,
 		"wire_in", in, "wire_out", out,
 		"dur", dur.Round(time.Microsecond).String(),
+	}
+	if tid != 0 {
+		args = append(args, "trace_id", tid.String(), "span_id", sp.ID().String())
+	}
+	if exceeded {
+		eargs := []any{
+			"sid", sid, "dataset", h.Dataset, "proto", proto,
+			"ratio", ratio, "dhat", stc.dHat, "proto_bytes", st.TotalBytes,
+		}
+		if tid != 0 {
+			eargs = append(eargs, "trace_id", tid.String())
+		}
+		s.logger().Warn("session exceeded communication envelope", eargs...)
 	}
 	if detail != "" {
 		args = append(args, "detail", detail)
@@ -712,10 +857,11 @@ func parseDone(payload []byte) (*doneMsg, error) {
 
 // ---- set / multiset ----
 
-func (s *Server) serveSet(ep *wire.Endpoint, coins hashing.Coins, view dsView, h *helloMsg) (*doneMsg, string, string, error) {
+func (s *Server) serveSet(ep *wire.Endpoint, coins hashing.Coins, view dsView, h *helloMsg, tr *sessTrace) (*doneMsg, string, string, error) {
 	alice := view.set
 	variant := "iblt"
 	detail := fmt.Sprintf("d=%d", h.D)
+	tr.bounds(h.D, h.D)
 	switch {
 	case h.CharPoly:
 		variant = "charpoly"
@@ -741,30 +887,37 @@ func (s *Server) serveSet(ep *wire.Endpoint, coins hashing.Coins, view dsView, h
 	switch variant {
 	case "charpoly":
 		// EncodeCharPoly is seed-independent: memoize on (dataset, d) only.
-		body := s.cachedMsg(view, "charpoly", 0, h.D, func() []byte {
+		body := s.cachedMsg(view, "charpoly", 0, h.D, tr, func() []byte {
 			return setrecon.EncodeCharPoly(alice, h.D+1)
 		})
 		if err := ep.SendFrame("charpoly", body); err != nil {
 			return nil, variant, detail, err
 		}
 	case "iblt-unknown":
+		esp := tr.child("estimate")
 		probe, err := ep.RecvExpect("estimator")
 		if err != nil {
+			esp.Fail(err)
+			esp.Finish()
 			return nil, variant, detail, err
 		}
 		d, err := setrecon.DiffBoundFromEstimator(coins, probe, alice)
+		esp.SetInt("d", int64(d))
+		esp.Fail(err)
+		esp.Finish()
 		if err != nil {
 			sendErrorFrame(ep, err)
 			return nil, variant, detail, err
 		}
-		body := s.cachedMsg(view, "set-iblt", coins.Master(), d, func() []byte {
+		tr.bounds(d, d)
+		body := s.cachedMsg(view, "set-iblt", coins.Master(), d, tr, func() []byte {
 			return setrecon.BuildIBLTMsg(coins, alice, d)
 		})
 		if err := ep.SendFrame("iblt", body); err != nil {
 			return nil, variant, detail, err
 		}
 	default:
-		body := s.cachedMsg(view, "set-iblt", coins.Master(), h.D, func() []byte {
+		body := s.cachedMsg(view, "set-iblt", coins.Master(), h.D, tr, func() []byte {
 			return setrecon.BuildIBLTMsg(coins, alice, h.D)
 		})
 		if err := ep.SendFrame("iblt", body); err != nil {
@@ -825,7 +978,7 @@ func resolveSOS(h *helloMsg, alice [][]uint64) (*sosPlan, error) {
 	return pl, nil
 }
 
-func (s *Server) serveSOS(ep *wire.Endpoint, coins hashing.Coins, view dsView, h *helloMsg) (*doneMsg, string, string, error) {
+func (s *Server) serveSOS(ep *wire.Endpoint, coins hashing.Coins, view dsView, h *helloMsg, tr *sessTrace) (*doneMsg, string, string, error) {
 	alice := view.sos
 	pl, err := resolveSOS(h, alice)
 	if err != nil {
@@ -834,6 +987,7 @@ func (s *Server) serveSOS(ep *wire.Endpoint, coins hashing.Coins, view dsView, h
 		// keeps hostile hellos from minting unbounded metric series.
 		return nil, "invalid", "", err
 	}
+	tr.bounds(pl.d, pl.dHat)
 	detail := fmt.Sprintf("d=%d d̂=%d s=%d h=%d", pl.d, pl.dHat, pl.p.S, pl.p.H)
 	if h.Validate {
 		if err := core.Validate(alice, pl.p); err != nil {
@@ -852,16 +1006,22 @@ func (s *Server) serveSOS(ep *wire.Endpoint, coins hashing.Coins, view dsView, h
 	switch pl.proto {
 	case "naive":
 		if pl.d > 0 {
-			done, err = s.serveReplicatedOneShot(ep, coins, view, pl, core.DigestNaive, "naive-iblt")
+			done, err = s.serveReplicatedOneShot(ep, coins, view, pl, core.DigestNaive, "naive-iblt", tr)
 		} else {
 			// Theorem 3.4: probe, then a single Theorem 3.3 shot.
+			esp := tr.child("estimate")
 			var probe []byte
 			if probe, err = ep.RecvExpect("childdiff-estimator"); err != nil {
+				esp.Fail(err)
+				esp.Finish()
 				break
 			}
 			dHat := core.EstimateChildDiff(probe, coins, alice, pl.p)
+			esp.SetInt("dhat", int64(dHat))
+			esp.Finish()
+			tr.bounds(1, dHat)
 			var body []byte
-			if body, err = s.sosAliceMsg(view, core.DigestNaive, coins, pl.p, 1, dHat); err != nil {
+			if body, err = s.sosAliceMsg(view, core.DigestNaive, coins, pl.p, 1, dHat, tr); err != nil {
 				sendErrorFrame(ep, err)
 				break
 			}
@@ -872,18 +1032,18 @@ func (s *Server) serveSOS(ep *wire.Endpoint, coins hashing.Coins, view dsView, h
 		}
 	case "nested":
 		if pl.d > 0 {
-			done, err = s.serveReplicatedOneShot(ep, coins, view, pl, core.DigestNested, "nested-iblt")
+			done, err = s.serveReplicatedOneShot(ep, coins, view, pl, core.DigestNested, "nested-iblt", tr)
 		} else {
-			done, err = s.serveDoubling(ep, coins, view, pl.p, core.DigestNested, "nested-iblt")
+			done, err = s.serveDoubling(ep, coins, view, pl.p, core.DigestNested, "nested-iblt", tr)
 		}
 	case "cascade":
 		if pl.d > 0 {
-			done, err = s.serveReplicatedOneShot(ep, coins, view, pl, core.DigestCascade, "cascade-iblts")
+			done, err = s.serveReplicatedOneShot(ep, coins, view, pl, core.DigestCascade, "cascade-iblts", tr)
 		} else {
-			done, err = s.serveDoubling(ep, coins, view, pl.p, core.DigestCascade, "cascade-iblts")
+			done, err = s.serveDoubling(ep, coins, view, pl.p, core.DigestCascade, "cascade-iblts", tr)
 		}
 	case "multiround":
-		done, err = s.serveMultiRound(ep, coins, view, pl)
+		done, err = s.serveMultiRound(ep, coins, view, pl, tr)
 	}
 	return done, pl.proto, detail, err
 }
@@ -891,10 +1051,10 @@ func (s *Server) serveSOS(ep *wire.Endpoint, coins hashing.Coins, view dsView, h
 // serveReplicatedOneShot runs the §3.2 replication loop for a one-round
 // protocol: each attempt r uses fresh coins; the client answers ctl/done on
 // success (or final failure) and ctl/retry to request the next attempt.
-func (s *Server) serveReplicatedOneShot(ep *wire.Endpoint, coins hashing.Coins, view dsView, pl *sosPlan, kind core.DigestKind, label string) (*doneMsg, error) {
+func (s *Server) serveReplicatedOneShot(ep *wire.Endpoint, coins hashing.Coins, view dsView, pl *sosPlan, kind core.DigestKind, label string, tr *sessTrace) (*doneMsg, error) {
 	for r := 0; r < pl.replicas; r++ {
 		c := coins.Sub("replica", r)
-		body, err := s.sosAliceMsg(view, kind, c, pl.p, pl.d, pl.dHat)
+		body, err := s.sosAliceMsg(view, kind, c, pl.p, pl.d, pl.dHat, tr)
 		if err != nil {
 			sendErrorFrame(ep, err)
 			return nil, err
@@ -924,11 +1084,14 @@ func (s *Server) serveReplicatedOneShot(ep *wire.Endpoint, coins hashing.Coins, 
 // uses d = 2^k with fresh coins; the client acknowledges each attempt with a
 // protocol "ack"/"retry" frame (the same 1-byte messages the in-process run
 // records) and closes with ctl/done.
-func (s *Server) serveDoubling(ep *wire.Endpoint, coins hashing.Coins, view dsView, p core.Params, kind core.DigestKind, label string) (*doneMsg, error) {
+func (s *Server) serveDoubling(ep *wire.Endpoint, coins hashing.Coins, view dsView, p core.Params, kind core.DigestKind, label string, tr *sessTrace) (*doneMsg, error) {
 	for k := 0; k < maxDoublingAttempts; k++ {
 		d := 1 << k
 		att := coins.Sub("doubling-attempt", k)
-		body, err := s.sosAliceMsg(view, kind, att, p, d, core.DHat(d, p.S))
+		// Each attempt re-records the bounds; the surviving values are the
+		// attempt the client acked (or the last one tried).
+		tr.bounds(d, core.DHat(d, p.S))
+		body, err := s.sosAliceMsg(view, kind, att, p, d, core.DHat(d, p.S), tr)
 		if err != nil {
 			sendErrorFrame(ep, err)
 			return nil, err
@@ -962,25 +1125,32 @@ func (s *Server) serveDoubling(ep *wire.Endpoint, coins hashing.Coins, view dsVi
 
 // serveMultiRound runs Theorem 3.9 (known d, replicated) or 3.10 (unknown d,
 // probe first) over the wire, the only genuinely multi-round flow.
-func (s *Server) serveMultiRound(ep *wire.Endpoint, coins hashing.Coins, view dsView, pl *sosPlan) (*doneMsg, error) {
+func (s *Server) serveMultiRound(ep *wire.Endpoint, coins hashing.Coins, view dsView, pl *sosPlan, tr *sessTrace) (*doneMsg, error) {
 	alice := view.sos
 	attempts := pl.replicas
 	dHat := pl.dHat
 	if pl.d <= 0 {
 		attempts = 1
+		esp := tr.child("estimate")
 		probe, err := ep.RecvExpect("childdiff-estimator")
 		if err != nil {
+			esp.Fail(err)
+			esp.Finish()
 			return nil, err
 		}
 		dHat = core.EstimateChildDiff(probe, coins, alice, pl.p)
+		esp.SetInt("dhat", int64(dHat))
+		esp.Finish()
+		tr.bounds(pl.d, dHat)
 	}
 	for r := 0; r < attempts; r++ {
 		c := coins
 		if pl.d > 0 {
 			c = coins.Sub("replica", r)
 			dHat = core.DHat(pl.d, pl.p.S)
+			tr.bounds(pl.d, dHat)
 		}
-		round1 := s.cachedMsg(view, "mr1", c.Master(), dHat, func() []byte {
+		round1 := s.cachedMsg(view, "mr1", c.Master(), dHat, tr, func() []byte {
 			return core.MRAlice1(c, alice, dHat)
 		})
 		if err := ep.SendFrame("hash-iblt", round1); err != nil {
@@ -1027,7 +1197,7 @@ func (s *Server) serveMultiRound(ep *wire.Endpoint, coins hashing.Coins, view ds
 
 // ---- graph ----
 
-func (s *Server) serveGraph(ep *wire.Endpoint, coins hashing.Coins, view dsView, h *helloMsg) (*doneMsg, string, string, error) {
+func (s *Server) serveGraph(ep *wire.Endpoint, coins hashing.Coins, view dsView, h *helloMsg, tr *sessTrace) (*doneMsg, string, string, error) {
 	ga := view.g
 	// The scheme is the protocol label; anything unresolved maps to a fixed
 	// label so hostile hellos cannot mint unbounded metric series.
@@ -1046,11 +1216,12 @@ func (s *Server) serveGraph(ep *wire.Endpoint, coins hashing.Coins, view dsView,
 	if d < 1 {
 		d = 1
 	}
+	tr.bounds(d, d)
 	switch h.Scheme {
 	case "degree":
 		// Both frames come from one encode pass; memoize them together.
 		frames, err := s.cachedFrames(view, "graph-degree", coins.Master(), d,
-			fmt.Sprintf("h=%d", h.TopH), func() ([][]byte, error) {
+			fmt.Sprintf("h=%d", h.TopH), tr, func() ([][]byte, error) {
 				msgs, err := graphrecon.DegreeOrderAlice(coins, ga, graphrecon.DegreeOrderParams{H: h.TopH, D: d})
 				if err != nil {
 					return nil, err
@@ -1087,7 +1258,7 @@ func (s *Server) serveGraph(ep *wire.Endpoint, coins hashing.Coins, view dsView,
 			return nil, proto, detail, err
 		}
 		frames, err := s.cachedFrames(view, "graph-nbr", coins.Master(), d,
-			fmt.Sprintf("m=%d,sig=%d,budget=%d", h.M, maxSig, h.SigBudget), func() ([][]byte, error) {
+			fmt.Sprintf("m=%d,sig=%d,budget=%d", h.M, maxSig, h.SigBudget), tr, func() ([][]byte, error) {
 				msgs, err := graphrecon.NeighborhoodAlice(coins, ga, p, sideA, maxSig)
 				if err != nil {
 					return nil, err
@@ -1118,7 +1289,7 @@ func (s *Server) serveGraph(ep *wire.Endpoint, coins hashing.Coins, view dsView,
 
 // ---- forest ----
 
-func (s *Server) serveForest(ep *wire.Endpoint, coins hashing.Coins, ds dsView, h *helloMsg) (*doneMsg, string, string, error) {
+func (s *Server) serveForest(ep *wire.Endpoint, coins hashing.Coins, ds dsView, h *helloMsg, tr *sessTrace) (*doneMsg, string, string, error) {
 	const proto = "forest"
 	infoB := forest.SideInfo{N: h.N, Depth: h.Depth, MaxChild: h.MaxChild}
 	maxBudget := h.MaxBudget
@@ -1139,6 +1310,7 @@ func (s *Server) serveForest(ep *wire.Endpoint, coins hashing.Coins, ds dsView, 
 		return fmt.Sprintf("n=%d,dep=%d,mc=%d,sigma=%d,budget=%d", infoB.N, infoB.Depth, infoB.MaxChild, sigma, budget)
 	}
 	if h.D > 0 {
+		tr.bounds(h.D, h.D)
 		rp, params := forest.Plan(ds.fi, infoB, forest.ReconParams{Sigma: h.Sigma, D: h.D, Budget: h.Budget})
 		if rp.Budget > s.maxBound() {
 			err := fmt.Errorf("%w: forest budget %d exceeds server bound %d", ErrUnsupported, rp.Budget, s.maxBound())
@@ -1146,7 +1318,7 @@ func (s *Server) serveForest(ep *wire.Endpoint, coins hashing.Coins, ds dsView, 
 			return nil, proto, detail, err
 		}
 		frames, err := s.cachedFrames(ds, "forest", coins.Master(), h.D,
-			planExtra(h.Sigma, h.Budget), func() ([][]byte, error) {
+			planExtra(h.Sigma, h.Budget), tr, func() ([][]byte, error) {
 				sig, meta, err := forest.AliceMsg(coins, ds.f, rp, params)
 				if err != nil {
 					return nil, err
@@ -1171,8 +1343,9 @@ func (s *Server) serveForest(ep *wire.Endpoint, coins hashing.Coins, ds dsView, 
 	for budget, k := 16, 0; budget <= maxBudget; budget, k = budget*2, k+1 {
 		att := coins.Sub("forest-attempt", k)
 		rp, params := forest.Plan(ds.fi, infoB, forest.ReconParams{Sigma: 1, D: 1, Budget: budget})
+		tr.bounds(1, budget)
 		frames, err := s.cachedFrames(ds, "forest-auto", att.Master(), 1,
-			planExtra(1, budget), func() ([][]byte, error) {
+			planExtra(1, budget), tr, func() ([][]byte, error) {
 				sig, meta, err := forest.AliceMsg(att, ds.f, rp, params)
 				if err != nil {
 					return nil, err

@@ -1,0 +1,298 @@
+package sosrnet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"sosr"
+	"sosr/internal/obs"
+)
+
+// findSpan walks a dump's span trees and returns the first span with name.
+func findSpan(roots []*obs.SpanDump, name string) *obs.SpanDump {
+	for _, r := range roots {
+		if r.Name == name {
+			return r
+		}
+		if sub := findSpan(r.Children, name); sub != nil {
+			return sub
+		}
+	}
+	return nil
+}
+
+// attrInt fetches an integer attribute from a span dump, failing the test if
+// it is absent. Attrs hold int64 when read in-process and float64 after a
+// JSON round trip; both are accepted.
+func attrInt(t *testing.T, sp *obs.SpanDump, key string) int64 {
+	t.Helper()
+	v, ok := sp.Attrs[key]
+	if !ok {
+		t.Fatalf("span %q: missing attr %q (attrs: %v)", sp.Name, key, sp.Attrs)
+	}
+	switch n := v.(type) {
+	case int64:
+		return n
+	case float64:
+		return int64(n)
+	}
+	t.Fatalf("span %q attr %q: unexpected type %T", sp.Name, key, v)
+	return 0
+}
+
+// TestTracedSessionEndToEnd runs one traced sets-of-sets sync and checks that
+// client and server record the same trace: the client root carries the exact
+// wire byte totals from Stats, and the server's joined session span carries
+// the stage spans (hello, transfer, estimate, encode) plus the bound-ratio
+// audit attributes. The server samples at 0 — only the hello's trace context
+// makes it record, which is the propagation path shard-sync -trace relies on.
+func TestTracedSessionEndToEnd(t *testing.T) {
+	aliceSOS, bobSOS := sosPair()
+	srv, addr, _ := startServer(t, func(s *Server) {
+		s.Trace = &obs.Tracer{SampleRate: 0}
+		if err := s.HostSetsOfSets("docs", aliceSOS); err != nil {
+			t.Fatal(err)
+		}
+	})
+	c := Dial(addr)
+	c.Timeout = 30 * time.Second
+	c.Trace = &obs.Tracer{SampleRate: 1}
+
+	// KnownDiff 0 forces the estimator round so the estimate span exists.
+	res, ns, err := c.SetsOfSets(context.Background(), "docs", bobSOS, sosr.Config{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Recovered) != len(aliceSOS) {
+		t.Fatalf("recovered %d parents, want %d", len(res.Recovered), len(aliceSOS))
+	}
+
+	// Exactly one client-side trace, rooted at client/session.
+	recent := c.Trace.Recent()
+	if len(recent) != 1 {
+		t.Fatalf("client tracer has %d traces, want 1: %+v", len(recent), recent)
+	}
+	tid, err := obs.ParseTraceID(recent[0].Trace)
+	if err != nil {
+		t.Fatalf("bad trace id %q: %v", recent[0].Trace, err)
+	}
+	cdump := c.Trace.Get(tid)
+	if cdump == nil {
+		t.Fatal("client trace vanished from ring")
+	}
+	croot := findSpan(cdump.Roots, "client/session")
+	if croot == nil {
+		t.Fatalf("no client/session span in client dump: %+v", cdump.Roots)
+	}
+	// Root wire attributes must equal the returned Stats exactly.
+	wants := []struct {
+		key  string
+		want int64
+	}{
+		{"proto_bytes", int64(ns.Protocol.TotalBytes)},
+		{"wire_in", ns.WireIn},
+		{"wire_out", ns.WireOut},
+		{"overhead", ns.Overhead},
+		{"attempts", int64(ns.Attempts)},
+		{"rounds", int64(ns.Protocol.Rounds)},
+	}
+	for _, w := range wants {
+		if got := attrInt(t, croot, w.key); got != w.want {
+			t.Errorf("client root %s=%d, want %d (Stats: %+v)", w.key, got, w.want, ns)
+		}
+	}
+	if findSpan(cdump.Roots, "decode") == nil {
+		t.Error("client dump has no decode span")
+	}
+
+	// The server joined the same trace despite sampling at zero. Its session
+	// span finishes asynchronously after the client returns, so poll.
+	var sdump *obs.TraceDump
+	waitFor(t, "server session span", func() bool {
+		sdump = srv.Trace.Get(tid)
+		return sdump != nil && findSpan(sdump.Roots, "server/session") != nil
+	})
+	sroot := findSpan(sdump.Roots, "server/session")
+	for _, stage := range []string{"hello", "transfer", "estimate", "encode"} {
+		if findSpan([]*obs.SpanDump{sroot}, stage) == nil {
+			t.Errorf("server session span has no %q stage span", stage)
+		}
+	}
+	if got := attrInt(t, sroot, "proto_bytes"); got != int64(ns.Protocol.TotalBytes) {
+		t.Errorf("server root proto_bytes=%d, want %d", got, ns.Protocol.TotalBytes)
+	}
+	// Server wire totals mirror the client's: server in = client out.
+	if got := attrInt(t, sroot, "wire_in"); got != ns.WireOut {
+		t.Errorf("server wire_in=%d, want client wire_out=%d", got, ns.WireOut)
+	}
+	if got := attrInt(t, sroot, "wire_out"); got != ns.WireIn {
+		t.Errorf("server wire_out=%d, want client wire_in=%d", got, ns.WireIn)
+	}
+	if _, ok := sroot.Attrs["bound_ratio"]; !ok {
+		t.Errorf("server root has no bound_ratio attr: %v", sroot.Attrs)
+	}
+	if dhat := attrInt(t, sroot, "dhat"); dhat <= 0 {
+		t.Errorf("server root dhat=%d, want > 0", dhat)
+	}
+
+	// The same dump is retrievable over the ops surface.
+	ops := httptest.NewServer(srv.OpsHandler())
+	defer ops.Close()
+	resp, err := http.Get(ops.URL + "/debug/traces?id=" + tid.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/traces?id=: status %d", resp.StatusCode)
+	}
+	var httpDump obs.TraceDump
+	if err := json.NewDecoder(resp.Body).Decode(&httpDump); err != nil {
+		t.Fatal(err)
+	}
+	if httpDump.Trace != tid.String() || httpDump.Spans != sdump.Spans {
+		t.Fatalf("HTTP dump diverges: got trace=%s spans=%d, want trace=%s spans=%d",
+			httpDump.Trace, httpDump.Spans, tid, sdump.Spans)
+	}
+}
+
+// TestUntracedClientServerSampling checks the server-rooted path: no client
+// trace context, server sampling at 1 records a trace of its own.
+func TestUntracedClientServerSampling(t *testing.T) {
+	alice, bob := setPair()
+	srv, addr, _ := startServer(t, func(s *Server) {
+		s.Trace = &obs.Tracer{SampleRate: 1}
+		if err := s.HostSets("ids", alice); err != nil {
+			t.Fatal(err)
+		}
+	})
+	c := Dial(addr)
+	c.Timeout = 30 * time.Second
+	if _, _, err := c.Sets(context.Background(), "ids", bob, sosr.SetConfig{Seed: 3, KnownDiff: 16}); err != nil {
+		t.Fatal(err)
+	}
+	// The session span lands after the client returns; poll for it.
+	var recent []obs.TraceSummary
+	waitFor(t, "server-rooted trace", func() bool {
+		recent = srv.Trace.Recent()
+		return len(recent) == 1 && recent[0].Root == "server/session"
+	})
+}
+
+// TestOpsAdminTokenAuth checks the bearer-token gate: /admin/* and /debug/*
+// reject requests without the token, while the scrape and probe routes stay
+// open.
+func TestOpsAdminTokenAuth(t *testing.T) {
+	srv, _, _ := startServer(t, func(s *Server) {
+		s.AdminToken = "s3cret"
+		s.Trace = &obs.Tracer{}
+		if err := s.HostSets("ids", []uint64{1, 2, 3}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	ops := httptest.NewServer(srv.OpsHandler())
+	defer ops.Close()
+
+	get := func(path, token string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, ops.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if token != "" {
+			req.Header.Set("Authorization", "Bearer "+token)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	// Gated routes: 401 without or with a wrong token, 200 with the right one.
+	for _, path := range []string{"/debug/traces", "/debug/pprof/cmdline"} {
+		if got := get(path, "").StatusCode; got != http.StatusUnauthorized {
+			t.Errorf("GET %s without token: status %d, want 401", path, got)
+		}
+		if got := get(path, "wrong").StatusCode; got != http.StatusUnauthorized {
+			t.Errorf("GET %s with wrong token: status %d, want 401", path, got)
+		}
+	}
+	if resp, err := http.Post(ops.URL+"/admin/drop?name=ids", "application/json", nil); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusUnauthorized {
+			t.Errorf("POST /admin/drop without token: status %d, want 401", resp.StatusCode)
+		}
+	}
+	if resp := get("/debug/traces", ""); resp.Header.Get("WWW-Authenticate") == "" {
+		t.Error("401 response missing WWW-Authenticate header")
+	}
+	if got := get("/debug/traces", "s3cret").StatusCode; got != http.StatusOK {
+		t.Errorf("GET /debug/traces with token: status %d, want 200", got)
+	}
+
+	// Open routes need no token.
+	for _, path := range []string{"/metrics", "/healthz", "/readyz", "/datasets"} {
+		if got := get(path, "").StatusCode; got != http.StatusOK {
+			t.Errorf("GET %s without token: status %d, want 200", path, got)
+		}
+	}
+}
+
+// TestDebugTracesRoutes checks the listing and error paths of /debug/traces.
+func TestDebugTracesRoutes(t *testing.T) {
+	srv, addr, _ := startServer(t, func(s *Server) {
+		s.Trace = &obs.Tracer{SampleRate: 1}
+		if err := s.HostSets("ids", []uint64{1, 2, 3, 4}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	c := Dial(addr)
+	c.Timeout = 30 * time.Second
+	if _, _, err := c.Sets(context.Background(), "ids", []uint64{1, 2, 3}, sosr.SetConfig{Seed: 5, KnownDiff: 4}); err != nil {
+		t.Fatal(err)
+	}
+	ops := httptest.NewServer(srv.OpsHandler())
+	defer ops.Close()
+
+	resp, err := http.Get(ops.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listing struct {
+		Recent  []obs.TraceSummary `json:"recent"`
+		Flagged []obs.TraceSummary `json:"flagged"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(listing.Recent) != 1 {
+		t.Fatalf("listing has %d recent traces, want 1", len(listing.Recent))
+	}
+
+	for _, tc := range []struct {
+		query string
+		want  int
+	}{
+		{"?id=not-hex", http.StatusBadRequest},
+		{fmt.Sprintf("?id=%016x", uint64(0xdeadbeef)), http.StatusNotFound},
+	} {
+		resp, err := http.Get(ops.URL + "/debug/traces" + tc.query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("GET /debug/traces%s: status %d, want %d", tc.query, resp.StatusCode, tc.want)
+		}
+	}
+}

@@ -45,6 +45,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"sort"
 	"strconv"
@@ -188,6 +189,17 @@ type Client struct {
 	// failover and hedge counters (see metrics.go). Nil disables
 	// instrumentation.
 	Obs *obs.Registry
+	// Trace, when set, samples one distributed trace per reconcile: a
+	// "shard/reconcile" root, one "shard/fanout" child per shard, one
+	// "shard/attempt" child per replica session (failovers and hedges
+	// included), and — because the attempt span rides each session's hello —
+	// the per-shard client and server stage spans under them. A span already
+	// in the caller's context takes precedence over sampling.
+	Trace *obs.Tracer
+	// Logger, when set, receives fan-out event logs (replica failover, hedge
+	// launches, topology refreshes), each line carrying the reconcile's
+	// trace_id so logs correlate with /debug/traces. Nil discards them.
+	Logger *slog.Logger
 
 	obsOnce sync.Once
 	met     *clientMetrics
@@ -267,6 +279,48 @@ func (c *Client) state() (*state, error) {
 	return &state{topo: c.topo, clients: c.clients}, nil
 }
 
+var discardLogger = slog.New(slog.DiscardHandler)
+
+func (c *Client) logger() *slog.Logger {
+	if c.Logger != nil {
+		return c.Logger
+	}
+	return discardLogger
+}
+
+// startSpan opens one reconcile's root span — a child of the caller's
+// context span when one is present, a sampled root from c.Trace otherwise —
+// and is nil (free) when tracing is off.
+func (c *Client) startSpan(ctx context.Context, name string, kind string) *obs.Span {
+	sp := obs.SpanFromContext(ctx).Child("shard/reconcile")
+	if sp == nil {
+		sp = c.Trace.StartRoot("shard/reconcile")
+	}
+	sp.SetStr("dataset", name)
+	sp.SetStr("kind", kind)
+	return sp
+}
+
+// finishSpan closes a reconcile root with the merged accounting: the byte
+// attributes come from the same Stats value the caller returns, so the trace
+// root's wire bytes equal the reported itemized Stats exactly.
+func (c *Client) finishSpan(sp *obs.Span, stats *Stats, err error) {
+	if sp == nil {
+		return
+	}
+	if stats != nil {
+		sp.SetInt("proto_bytes", int64(stats.Protocol.TotalBytes))
+		sp.SetInt("wire_in", stats.WireIn)
+		sp.SetInt("wire_out", stats.WireOut)
+		sp.SetInt("overhead", stats.Overhead)
+		sp.SetInt("attempts", int64(stats.Attempts))
+		sp.SetInt("failovers", int64(stats.Failovers))
+		sp.SetInt("hedges", int64(stats.Hedges))
+	}
+	sp.Fail(err)
+	sp.Finish()
+}
+
 // shardSeed derives the public-coin seed for one shard's session from the
 // logical seed and the canonical shard identity, so distinct shards run
 // independent hash families and reordered-but-identical topologies derive
@@ -293,6 +347,9 @@ func withRefresh[R any](ctx context.Context, c *Client, run func(st *state) (R, 
 	if m := c.metrics(); m != nil {
 		m.refreshes.Inc()
 	}
+	c.logger().Warn("stale topology epoch; refreshing and retrying",
+		"epoch", st.topo.Epoch(), "err", err.Error(),
+		"trace_id", obs.SpanFromContext(ctx).TraceID().String())
 	topo, rerr := c.Refresh(ctx)
 	if rerr != nil {
 		return zero, nil, fmt.Errorf("sosrshard: topology refresh failed (%v) after: %w", rerr, err)
@@ -368,6 +425,11 @@ func (c *Client) runShard(ctx context.Context, st *state, shard int, key uint64,
 	}
 	actx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	// The fan-out put this shard's span in ctx; every replica attempt —
+	// first try, failover, hedge — becomes its own child, so a trace shows
+	// exactly which replicas were asked and which one won.
+	fsp := obs.SpanFromContext(ctx)
+	tid := fsp.TraceID()
 	// Buffered to maxAttempts: a cancelled loser's goroutine can always
 	// deliver its result and exit, even after runShard has returned.
 	results := make(chan attemptResult, maxAttempts)
@@ -376,8 +438,21 @@ func (c *Client) runShard(ctx context.Context, st *state, shard int, key uint64,
 		cl := st.clients[shard][order[launched%len(order)]]
 		launched++
 		pending++
+		attempt := launched
 		go func() {
-			res, ns, err := fn(actx, cl)
+			asp := fsp.Child("shard/attempt")
+			asp.SetStr("replica", cl.Addr)
+			asp.SetInt("attempt", int64(attempt))
+			asp.SetBool("hedge", viaHedge)
+			res, ns, err := fn(obs.ContextWithSpan(actx, asp), cl)
+			// A loser cancelled because another attempt won is an expected
+			// outcome, not a failure worth flagging the whole trace for.
+			if err != nil && actx.Err() != nil {
+				asp.SetBool("cancelled", true)
+			} else {
+				asp.Fail(err)
+			}
+			asp.Finish()
 			results <- attemptResult{viaHedge: viaHedge, replica: cl.Addr, res: res, ns: ns, err: err}
 		}()
 	}
@@ -425,6 +500,9 @@ func (c *Client) runShard(ctx context.Context, st *state, shard int, key uint64,
 			if m != nil {
 				m.failovers.With(strconv.Itoa(shard)).Inc()
 			}
+			c.logger().Warn("shard replica attempt failed; failing over",
+				"shard", shard, "replica", r.replica, "attempts", launched,
+				"err", r.err.Error(), "trace_id", tid.String())
 			if launched < maxAttempts && backoffCh == nil {
 				backoffT = time.NewTimer(backoff)
 				backoffCh = backoffT.C
@@ -444,6 +522,8 @@ func (c *Client) runShard(ctx context.Context, st *state, shard int, key uint64,
 				if m != nil {
 					m.hedges.With("launched").Inc()
 				}
+				c.logger().Info("hedging straggling shard with a second replica",
+					"shard", shard, "trace_id", tid.String())
 				launch(true)
 			}
 		}
@@ -469,10 +549,15 @@ func (c *Client) fanOut(ctx context.Context, st *state, seed uint64, fn shardFn)
 			defer wg.Done()
 			t0 := time.Now()
 			key := c.shardSeed(st.topo, seed, i)
-			outs[i], errs[i] = c.runShard(ctx, st, i, key,
+			fsp := obs.SpanFromContext(ctx).Child("shard/fanout")
+			fsp.SetInt("shard", int64(i))
+			fsp.SetStr("shard_id", st.topo.ShardID(i))
+			outs[i], errs[i] = c.runShard(obs.ContextWithSpan(ctx, fsp), st, i, key,
 				func(actx context.Context, cl *sosrnet.Client) (any, *sosrnet.NetStats, error) {
 					return fn(actx, i, cl, key)
 				})
+			fsp.Fail(errs[i])
+			fsp.Finish()
 			durs[i] = time.Since(t0)
 		}(i)
 	}
@@ -514,8 +599,10 @@ func (c *Client) fanOut(ctx context.Context, st *state, seed uint64, fn shardFn)
 // (cfg.KnownDiff must bound the whole logical difference — any single shard
 // may own all of it — unless PerShardDiff lets each shard estimate its own).
 func (c *Client) Sets(ctx context.Context, name string, local []uint64, cfg sosr.SetConfig) (*sosr.SetResult, *Stats, error) {
+	sp := c.startSpan(ctx, name, "set")
+	ctx = obs.ContextWithSpan(ctx, sp)
 	canon := setutil.Canonical(local)
-	return withRefresh(ctx, c, func(st *state) (*sosr.SetResult, *Stats, error) {
+	res, stats, err := withRefresh(ctx, c, func(st *state) (*sosr.SetResult, *Stats, error) {
 		parts := st.topo.SplitElems(canon)
 		outs, err := c.fanOut(ctx, st, cfg.Seed, func(actx context.Context, i int, cl *sosrnet.Client, seed uint64) (any, *sosrnet.NetStats, error) {
 			sc := cfg
@@ -546,6 +633,8 @@ func (c *Client) Sets(ctx context.Context, name string, local []uint64, cfg sosr
 		merged.Stats = stats.Protocol
 		return merged, stats, nil
 	})
+	c.finishSpan(sp, stats, err)
+	return res, stats, err
 }
 
 // Multiset reconciles a local multiset against the sharded hosted multiset
@@ -555,7 +644,9 @@ func (c *Client) Sets(ctx context.Context, name string, local []uint64, cfg sosr
 // bounds the packed-set difference per shard; pass the logical bound, or set
 // PerShardDiff to let each shard estimate its own.
 func (c *Client) Multiset(ctx context.Context, name string, local []uint64, diffBound int, seed uint64) ([]uint64, *Stats, error) {
-	return withRefresh(ctx, c, func(st *state) ([]uint64, *Stats, error) {
+	sp := c.startSpan(ctx, name, "multiset")
+	ctx = obs.ContextWithSpan(ctx, sp)
+	res, stats, err := withRefresh(ctx, c, func(st *state) ([]uint64, *Stats, error) {
 		parts := st.topo.SplitElems(local)
 		outs, err := c.fanOut(ctx, st, seed, func(actx context.Context, i int, cl *sosrnet.Client, sseed uint64) (any, *sosrnet.NetStats, error) {
 			d := diffBound
@@ -576,6 +667,8 @@ func (c *Client) Multiset(ctx context.Context, name string, local []uint64, diff
 		sortWords(merged)
 		return merged, stats, nil
 	})
+	c.finishSpan(sp, stats, err)
+	return res, stats, err
 }
 
 // SetsOfSets reconciles a local parent set against the sharded hosted
@@ -586,11 +679,13 @@ func (c *Client) Multiset(ctx context.Context, name string, local []uint64, diff
 // cfg.KnownDiff must bound the whole logical difference, or set PerShardDiff
 // to let each shard derive its own bound.
 func (c *Client) SetsOfSets(ctx context.Context, name string, local [][]uint64, cfg sosr.Config) (*sosr.Result, *Stats, error) {
+	sp := c.startSpan(ctx, name, "sos")
+	ctx = obs.ContextWithSpan(ctx, sp)
 	canon := make([][]uint64, len(local))
 	for i, cs := range local {
 		canon[i] = setutil.Canonical(cs)
 	}
-	return withRefresh(ctx, c, func(st *state) (*sosr.Result, *Stats, error) {
+	res, stats, err := withRefresh(ctx, c, func(st *state) (*sosr.Result, *Stats, error) {
 		parts := st.topo.SplitSets(canon)
 		outs, err := c.fanOut(ctx, st, cfg.Seed, func(actx context.Context, i int, cl *sosrnet.Client, seed uint64) (any, *sosrnet.NetStats, error) {
 			sc := cfg
@@ -619,6 +714,8 @@ func (c *Client) SetsOfSets(ctx context.Context, name string, local [][]uint64, 
 		merged.Attempts = stats.Attempts
 		return merged, stats, nil
 	})
+	c.finishSpan(sp, stats, err)
+	return res, stats, err
 }
 
 // unpack3 adapts a typed (result, stats, error) return to the engine's
